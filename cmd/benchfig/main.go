@@ -1,0 +1,66 @@
+// Command benchfig regenerates the paper's evaluation figures as text
+// tables: the same sweeps, algorithms and metrics (I/O accesses, CPU
+// time, peak search-structure memory) that the paper plots in Figures
+// 8–17.
+//
+// Usage:
+//
+//	benchfig [-scale 0.1] [-seed 20090824] all
+//	benchfig [-scale 0.1] fig8 fig13 fig17
+//
+// scale multiplies the paper's cardinalities (1.0 = |O| up to 400k,
+// |F| up to 20k — minutes of runtime; 0.05–0.2 reproduces every trend in
+// seconds).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"fairassign/internal/experiments"
+)
+
+func main() {
+	scale := flag.Float64("scale", 0.1, "scale factor for the paper's cardinalities (1.0 = full size)")
+	seed := flag.Int64("seed", 20090824, "random seed for data generation")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: benchfig [-scale f] [-seed n] all|%s ...\n",
+			strings.Join(experiments.FigureIDs(), "|"))
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	params := experiments.Params{Scale: *scale, Seed: *seed}
+	var ids []string
+	if len(args) == 1 && args[0] == "all" {
+		ids = experiments.FigureIDs()
+	} else {
+		for _, a := range args {
+			if _, ok := experiments.Registry[a]; !ok {
+				fmt.Fprintf(os.Stderr, "benchfig: unknown figure %q\n", a)
+				os.Exit(2)
+			}
+			ids = append(ids, a)
+		}
+	}
+
+	fmt.Printf("fairassign experiment harness — scale %.3g, seed %d\n", *scale, *seed)
+	for _, id := range ids {
+		results, err := experiments.Registry[id](params)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchfig %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		for _, r := range results {
+			fmt.Println()
+			fmt.Println(r.Format())
+		}
+	}
+}

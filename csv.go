@@ -1,0 +1,167 @@
+package fairassign
+
+import (
+	"encoding/csv"
+	"fmt"
+	"os"
+	"strconv"
+)
+
+// LoadObjectsCSV reads objects from a headerless CSV file with rows of
+// the form id,attr1,...,attrD[,capacity]. Whether the trailing column is
+// a capacity is inferred from the first row's width against the second
+// row; files must be rectangular. A one-line header starting with a
+// non-numeric id cell is skipped.
+func LoadObjectsCSV(path string) ([]Object, error) {
+	rows, err := readCSV(path)
+	if err != nil {
+		return nil, err
+	}
+	var out []Object
+	for i, row := range rows {
+		if len(row) < 2 {
+			return nil, fmt.Errorf("fairassign: %s row %d: need id plus at least one attribute", path, i+1)
+		}
+		id, err := strconv.ParseUint(row[0], 10, 64)
+		if err != nil {
+			if i == 0 {
+				continue // header
+			}
+			return nil, fmt.Errorf("fairassign: %s row %d: bad id %q", path, i+1, row[0])
+		}
+		attrs := make([]float64, 0, len(row)-1)
+		for _, cell := range row[1:] {
+			v, err := strconv.ParseFloat(cell, 64)
+			if err != nil {
+				return nil, fmt.Errorf("fairassign: %s row %d: bad value %q", path, i+1, cell)
+			}
+			attrs = append(attrs, v)
+		}
+		out = append(out, Object{ID: id, Attributes: attrs})
+	}
+	return out, nil
+}
+
+// LoadFunctionsCSV reads preference functions from a headerless CSV file
+// with rows of the form id,w1,...,wD. Use LoadFunctionsCSVExt for files
+// carrying gamma and capacity columns.
+func LoadFunctionsCSV(path string) ([]Function, error) {
+	return LoadFunctionsCSVExt(path, 0)
+}
+
+// LoadFunctionsCSVExt reads functions from rows of the form
+// id,w1,...,wD followed by `extras` trailing columns interpreted in
+// order as gamma then capacity (extras in 0..2).
+func LoadFunctionsCSVExt(path string, extras int) ([]Function, error) {
+	if extras < 0 || extras > 2 {
+		return nil, fmt.Errorf("fairassign: extras must be 0..2, got %d", extras)
+	}
+	rows, err := readCSV(path)
+	if err != nil {
+		return nil, err
+	}
+	var out []Function
+	for i, row := range rows {
+		if len(row) < 2+extras {
+			return nil, fmt.Errorf("fairassign: %s row %d: too few columns", path, i+1)
+		}
+		id, err := strconv.ParseUint(row[0], 10, 64)
+		if err != nil {
+			if i == 0 {
+				continue // header
+			}
+			return nil, fmt.Errorf("fairassign: %s row %d: bad id %q", path, i+1, row[0])
+		}
+		weightCells := row[1 : len(row)-extras]
+		w := make([]float64, 0, len(weightCells))
+		for _, cell := range weightCells {
+			v, err := strconv.ParseFloat(cell, 64)
+			if err != nil {
+				return nil, fmt.Errorf("fairassign: %s row %d: bad weight %q", path, i+1, cell)
+			}
+			w = append(w, v)
+		}
+		f := Function{ID: id, Weights: w}
+		if extras >= 1 {
+			g, err := strconv.ParseFloat(row[len(row)-extras], 64)
+			if err != nil {
+				return nil, fmt.Errorf("fairassign: %s row %d: bad gamma", path, i+1)
+			}
+			f.Gamma = g
+		}
+		if extras == 2 {
+			c, err := strconv.Atoi(row[len(row)-1])
+			if err != nil {
+				return nil, fmt.Errorf("fairassign: %s row %d: bad capacity", path, i+1)
+			}
+			f.Capacity = c
+		}
+		out = append(out, f)
+	}
+	return out, nil
+}
+
+// SaveObjectsCSV writes objects as id,attr1,...,attrD rows.
+func SaveObjectsCSV(path string, objects []Object) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("fairassign: %w", err)
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	for _, o := range objects {
+		row := make([]string, 0, len(o.Attributes)+1)
+		row = append(row, strconv.FormatUint(o.ID, 10))
+		for _, v := range o.Attributes {
+			row = append(row, strconv.FormatFloat(v, 'g', -1, 64))
+		}
+		if err := w.Write(row); err != nil {
+			return fmt.Errorf("fairassign: %w", err)
+		}
+	}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		return fmt.Errorf("fairassign: %w", err)
+	}
+	return f.Close()
+}
+
+// SaveFunctionsCSV writes functions as id,w1,...,wD rows.
+func SaveFunctionsCSV(path string, functions []Function) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("fairassign: %w", err)
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	for _, fn := range functions {
+		row := make([]string, 0, len(fn.Weights)+1)
+		row = append(row, strconv.FormatUint(fn.ID, 10))
+		for _, v := range fn.Weights {
+			row = append(row, strconv.FormatFloat(v, 'g', -1, 64))
+		}
+		if err := w.Write(row); err != nil {
+			return fmt.Errorf("fairassign: %w", err)
+		}
+	}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		return fmt.Errorf("fairassign: %w", err)
+	}
+	return f.Close()
+}
+
+func readCSV(path string) ([][]string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("fairassign: %w", err)
+	}
+	defer f.Close()
+	r := csv.NewReader(f)
+	r.FieldsPerRecord = -1
+	rows, err := r.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("fairassign: %s: %w", path, err)
+	}
+	return rows, nil
+}

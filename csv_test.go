@@ -1,0 +1,112 @@
+package fairassign
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeTemp(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "data.csv")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestLoadObjectsCSVBasic(t *testing.T) {
+	path := writeTemp(t, "1,0.5,0.6\n2,0.2,0.7\n")
+	objs, err := LoadObjectsCSV(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(objs) != 2 || objs[0].ID != 1 || objs[1].Attributes[1] != 0.7 {
+		t.Fatalf("parsed %+v", objs)
+	}
+}
+
+func TestLoadObjectsCSVSkipsHeader(t *testing.T) {
+	path := writeTemp(t, "id,salary,standing\n1,0.5,0.6\n")
+	objs, err := LoadObjectsCSV(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(objs) != 1 || objs[0].ID != 1 {
+		t.Fatalf("parsed %+v", objs)
+	}
+}
+
+func TestLoadObjectsCSVErrors(t *testing.T) {
+	cases := []string{
+		"1\n",          // too few columns
+		"1,abc\n2,1\n", // bad value
+		"1,1\nxx,2\n",  // bad id on a non-header row
+	}
+	for i, content := range cases {
+		path := writeTemp(t, content)
+		if _, err := LoadObjectsCSV(path); err == nil {
+			t.Errorf("case %d: expected error for %q", i, content)
+		}
+	}
+	if _, err := LoadObjectsCSV(filepath.Join(t.TempDir(), "missing.csv")); err == nil {
+		t.Error("missing file should error")
+	}
+}
+
+func TestLoadFunctionsCSVExtras(t *testing.T) {
+	// id, w1, w2, gamma, capacity
+	path := writeTemp(t, "1,0.8,0.2,2,5\n2,0.5,0.5,1,1\n")
+	funcs, err := LoadFunctionsCSVExt(path, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(funcs) != 2 {
+		t.Fatalf("parsed %d functions", len(funcs))
+	}
+	if funcs[0].Gamma != 2 || funcs[0].Capacity != 5 {
+		t.Fatalf("extras not parsed: %+v", funcs[0])
+	}
+	if len(funcs[0].Weights) != 2 || funcs[0].Weights[0] != 0.8 {
+		t.Fatalf("weights wrong: %+v", funcs[0])
+	}
+	if _, err := LoadFunctionsCSVExt(path, 5); err == nil {
+		t.Error("extras out of range should error")
+	}
+}
+
+func TestLoadFunctionsCSVGammaOnly(t *testing.T) {
+	path := writeTemp(t, "7,0.3,0.3,0.4,3\n")
+	funcs, err := LoadFunctionsCSVExt(path, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if funcs[0].Gamma != 3 || len(funcs[0].Weights) != 3 {
+		t.Fatalf("parsed %+v", funcs[0])
+	}
+}
+
+func TestSaveFunctionsCSVRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "funcs.csv")
+	in := GenerateFunctions(30, 4, 77)
+	if err := SaveFunctionsCSV(path, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := LoadFunctionsCSV(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("lost rows: %d vs %d", len(out), len(in))
+	}
+	for i := range out {
+		if out[i].ID != in[i].ID {
+			t.Fatal("ids scrambled")
+		}
+		for d := range out[i].Weights {
+			if out[i].Weights[d] != in[i].Weights[d] {
+				t.Fatal("weights lost precision")
+			}
+		}
+	}
+}

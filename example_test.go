@@ -1,0 +1,102 @@
+package fairassign_test
+
+import (
+	"fmt"
+
+	"fairassign"
+)
+
+// The paper's Figure 1: three students with different salary/standing
+// preferences compete for four internship positions.
+func ExampleNewSolver() {
+	positions := []fairassign.Object{
+		{ID: 1, Attributes: []float64{0.5, 0.6}}, // a
+		{ID: 2, Attributes: []float64{0.2, 0.7}}, // b
+		{ID: 3, Attributes: []float64{0.8, 0.2}}, // c
+		{ID: 4, Attributes: []float64{0.4, 0.4}}, // d
+	}
+	students := []fairassign.Function{
+		{ID: 1, Weights: []float64{0.8, 0.2}},
+		{ID: 2, Weights: []float64{0.2, 0.8}},
+		{ID: 3, Weights: []float64{0.5, 0.5}},
+	}
+	solver, err := fairassign.NewSolver(positions, students, fairassign.Options{})
+	if err != nil {
+		panic(err)
+	}
+	result, err := solver.Solve()
+	if err != nil {
+		panic(err)
+	}
+	for _, p := range result.Pairs {
+		fmt.Printf("student %d -> position %d (%.2f)\n", p.FunctionID, p.ObjectID, p.Score)
+	}
+	// Output:
+	// student 1 -> position 3 (0.68)
+	// student 2 -> position 2 (0.60)
+	// student 3 -> position 1 (0.55)
+}
+
+// Skyline filters the objects that could be anyone's top choice.
+func ExampleSkyline() {
+	objects := []fairassign.Object{
+		{ID: 1, Attributes: []float64{0.5, 0.6}},
+		{ID: 2, Attributes: []float64{0.2, 0.7}},
+		{ID: 3, Attributes: []float64{0.8, 0.2}},
+		{ID: 4, Attributes: []float64{0.4, 0.4}}, // dominated by object 1
+	}
+	for _, o := range fairassign.Skyline(objects) {
+		fmt.Println(o.ID)
+	}
+	// Output:
+	// 1
+	// 2
+	// 3
+}
+
+// TopK answers a single user's preference query.
+func ExampleTopK() {
+	objects := []fairassign.Object{
+		{ID: 1, Attributes: []float64{0.5, 0.6}},
+		{ID: 2, Attributes: []float64{0.2, 0.7}},
+		{ID: 3, Attributes: []float64{0.8, 0.2}},
+	}
+	salaryFirst := fairassign.Function{ID: 1, Weights: []float64{4, 1}}
+	top, err := fairassign.TopK(objects, salaryFirst, 2, false)
+	if err != nil {
+		panic(err)
+	}
+	for _, r := range top {
+		fmt.Printf("object %d scores %.2f\n", r.Object.ID, r.Score)
+	}
+	// Output:
+	// object 3 scores 0.68
+	// object 1 scores 0.52
+}
+
+// ProgressiveMatcher serves a matching while new objects arrive.
+func ExampleProgressiveMatcher() {
+	objects := []fairassign.Object{{ID: 1, Attributes: []float64{0.3, 0.3}}}
+	buyers := []fairassign.Function{
+		{ID: 1, Weights: []float64{0.9, 0.1}},
+		{ID: 2, Weights: []float64{0.1, 0.9}},
+	}
+	m, err := fairassign.NewProgressiveMatcher(objects, buyers, fairassign.Options{})
+	if err != nil {
+		panic(err)
+	}
+	p, _, _ := m.Next()
+	fmt.Printf("first: buyer %d takes object %d\n", p.FunctionID, p.ObjectID)
+	if _, ok, _ := m.Next(); !ok {
+		fmt.Println("stock exhausted")
+	}
+	if err := m.AddObject(fairassign.Object{ID: 2, Attributes: []float64{0.6, 0.6}}); err != nil {
+		panic(err)
+	}
+	p, _, _ = m.Next()
+	fmt.Printf("after release: buyer %d takes object %d\n", p.FunctionID, p.ObjectID)
+	// Output:
+	// first: buyer 1 takes object 1
+	// stock exhausted
+	// after release: buyer 2 takes object 2
+}

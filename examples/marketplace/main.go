@@ -1,0 +1,88 @@
+// Marketplace demonstrates the dynamic extension (the paper's Section 8
+// future work): a housing agency serves a stable matching while new
+// apartment blocks are still being released. Buyers are matched on
+// demand; each release makes previously unmatchable buyers eligible
+// again.
+//
+// Run with: go run ./examples/marketplace
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"fairassign"
+)
+
+func main() {
+	const dims = 4
+	rng := rand.New(rand.NewSource(21))
+
+	// Phase 1 stock: a small initial release.
+	initial := fairassign.GenerateObjects(fairassign.Independent, 120, dims, 51)
+
+	// 300 buyers, more than the initial stock can serve.
+	buyers := make([]fairassign.Function, 300)
+	for i := range buyers {
+		w := make([]float64, dims)
+		for d := range w {
+			w[d] = rng.Float64()
+		}
+		buyers[i] = fairassign.Function{ID: uint64(i + 1), Weights: w}
+	}
+
+	m, err := fairassign.NewProgressiveMatcher(initial, buyers, fairassign.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	serve := func(phase string) int {
+		n := 0
+		for {
+			_, ok, err := m.Next()
+			if err != nil {
+				log.Fatal(err)
+			}
+			if !ok {
+				break
+			}
+			n++
+		}
+		fmt.Printf("%s: matched %d buyers\n", phase, n)
+		return n
+	}
+
+	total := serve("phase 1 (120 units released)")
+
+	// Phase 2: a better block of 100 units is released.
+	release := fairassign.GenerateObjects(fairassign.Correlated, 100, dims, 52)
+	for i := range release {
+		release[i].ID = uint64(100000 + i)
+	}
+	for _, o := range release {
+		if err := m.AddObject(o); err != nil {
+			log.Fatal(err)
+		}
+	}
+	total += serve("phase 2 (+100 units)")
+
+	// Phase 3: the final tower opens with capacity units (identical
+	// apartments on each floor plan).
+	tower := fairassign.GenerateObjects(fairassign.Independent, 20, dims, 53)
+	for i := range tower {
+		tower[i].ID = uint64(200000 + i)
+		tower[i].Capacity = 5
+	}
+	for _, o := range tower {
+		if err := m.AddObject(o); err != nil {
+			log.Fatal(err)
+		}
+	}
+	total += serve("phase 3 (+20 floor plans × 5 units)")
+
+	stats := m.Stats()
+	fmt.Printf("total matched: %d of %d buyers\n", total, len(buyers))
+	fmt.Printf("cost: %d simulated I/Os, %v CPU, %d loops\n",
+		stats.IOAccesses, stats.CPUTime, stats.Loops)
+}

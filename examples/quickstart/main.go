@@ -1,0 +1,57 @@
+// Quickstart reproduces the paper's running example (Figure 1): three
+// students with different salary/standing preferences compete for four
+// internship positions, and the system computes the fair (stable)
+// assignment.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fairassign"
+)
+
+func main() {
+	// Four internship positions with two attributes: offered salary (X)
+	// and company standing (Y), both normalized to [0,1].
+	positions := []fairassign.Object{
+		{ID: 1, Attributes: []float64{0.5, 0.6}}, // a
+		{ID: 2, Attributes: []float64{0.2, 0.7}}, // b
+		{ID: 3, Attributes: []float64{0.8, 0.2}}, // c
+		{ID: 4, Attributes: []float64{0.4, 0.4}}, // d
+	}
+	names := map[uint64]string{1: "a", 2: "b", 3: "c", 4: "d"}
+
+	// Three students' preferences. The form of Table 1 — "Salary: 4/5,
+	// Standing: 1/5" — translates to weights (0.8, 0.2) and so on.
+	students := []fairassign.Function{
+		{ID: 1, Weights: []float64{0.8, 0.2}}, // f1: salary matters most
+		{ID: 2, Weights: []float64{0.2, 0.8}}, // f2: prestige matters most
+		{ID: 3, Weights: []float64{0.5, 0.5}}, // f3: balanced
+	}
+
+	solver, err := fairassign.NewSolver(positions, students, fairassign.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	result, err := solver.Solve()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Internship assignment (paper Figure 1):")
+	for _, p := range result.Pairs {
+		fmt.Printf("  student f%d gets position %s (score %.2f)\n",
+			p.FunctionID, names[p.ObjectID], p.Score)
+	}
+	if err := solver.Verify(result.Pairs); err != nil {
+		log.Fatalf("assignment not stable: %v", err)
+	}
+	fmt.Println("verified: no student/position pair would rather have each other")
+
+	// Expected, as in the paper: f1 takes c (0.68, the global best pair),
+	// then f2 takes b, and f3 takes a. Object d is never even read from
+	// the index — it is dominated by a, the core insight behind SB.
+}

@@ -1,0 +1,190 @@
+package assign
+
+import (
+	"container/heap"
+
+	"fairassign/internal/metrics"
+	"fairassign/internal/rtree"
+	"fairassign/internal/topk"
+)
+
+// BruteForce implements the Section 4.1 baseline with its resuming-search
+// improvement: every function keeps an incremental BRS top-1 searcher
+// alive over the object R-tree. The function whose cached top-1 has the
+// globally highest score forms a stable pair (Property 2). When an
+// object is fully assigned it is tombstoned; functions whose cached top
+// pointed at it lazily resume their searchers. The per-function heaps are
+// what give Brute Force its large memory footprint in Figure 9.
+func BruteForce(p *Problem, cfg Config) (*Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	idx, err := buildObjectIndex(p, cfg)
+	if err != nil {
+		return nil, err
+	}
+	res, err := bruteForceLoop(p, idx, nil)
+	if err != nil {
+		return nil, err
+	}
+	res.Stats.IO = *idx.store.IO()
+	return res, nil
+}
+
+// bruteForceLoop is the Brute Force engine. touchState, when non-nil, is
+// invoked on every per-function search operation; the disk-resident-F
+// configuration uses it to charge state-paging I/O.
+func bruteForceLoop(p *Problem, idx *objectIndex, touchState func(uint64) error) (*Result, error) {
+	res := &Result{}
+	var timer metrics.Timer
+	timer.Start()
+
+	funcCaps := newFuncCaps(p.Functions)
+	objCaps := newObjectCaps(p.Objects)
+	assigned := make(map[uint64]bool) // fully-consumed objects
+	skip := func(id uint64) bool { return assigned[id] }
+	touch := func(fid uint64) error {
+		if touchState == nil {
+			return nil
+		}
+		return touchState(fid)
+	}
+
+	type fstate struct {
+		f        Function
+		weights  []float64
+		searcher *topk.Searcher
+		top      rtree.Item
+		score    float64
+		alive    bool
+	}
+	states := make(map[uint64]*fstate, len(p.Functions))
+
+	// Max-heap of functions by cached top-1 score (lazy revalidation).
+	h := &funcScoreHeap{}
+	for _, f := range p.Functions {
+		st := &fstate{f: f, weights: f.Effective()}
+		st.searcher = topk.NewSearcher(idx.tree, st.weights, skip)
+		if err := touch(f.ID); err != nil {
+			return nil, err
+		}
+		it, sc, ok, err := st.searcher.Next()
+		if err != nil {
+			return nil, err
+		}
+		res.Stats.TopKRuns++
+		if !ok {
+			continue // no objects at all
+		}
+		st.top, st.score, st.alive = it, sc, true
+		states[f.ID] = st
+		heap.Push(h, funcScoreElem{fid: f.ID, score: sc})
+	}
+
+	trackPeak := func() {
+		var total int64
+		for _, st := range states {
+			if st.alive {
+				total += st.searcher.Footprint()
+			}
+		}
+		total += int64(h.Len()) * 16
+		if total > res.Stats.PeakMem {
+			res.Stats.PeakMem = total
+		}
+	}
+	trackPeak()
+
+	for funcCaps.units > 0 && objCaps.units > 0 && h.Len() > 0 {
+		res.Stats.Loops++
+		e := heap.Pop(h).(funcScoreElem)
+		st, ok := states[e.fid]
+		if !ok || !st.alive {
+			continue
+		}
+		if funcCaps.exhausted(e.fid) {
+			st.alive = false
+			continue
+		}
+		// Revalidate the cached top: the object may have been consumed.
+		if assigned[st.top.ID] {
+			if err := touch(e.fid); err != nil {
+				return nil, err
+			}
+			it, sc, ok, err := st.searcher.Next()
+			if err != nil {
+				return nil, err
+			}
+			res.Stats.TopKRuns++
+			if !ok {
+				st.alive = false // objects exhausted for this function
+				continue
+			}
+			st.top, st.score = it, sc
+			heap.Push(h, funcScoreElem{fid: e.fid, score: sc})
+			continue
+		}
+		// Valid top with the globally highest score: stable pair.
+		res.Pairs = append(res.Pairs, Pair{FuncID: e.fid, ObjectID: st.top.ID, Score: st.score})
+		if objCaps.consume(st.top.ID) {
+			assigned[st.top.ID] = true
+		}
+		if funcCaps.consume(e.fid) {
+			st.alive = false
+		} else {
+			// Function has capacity left; its top may or may not survive.
+			if assigned[st.top.ID] {
+				if err := touch(e.fid); err != nil {
+					return nil, err
+				}
+				it, sc, ok, err := st.searcher.Next()
+				if err != nil {
+					return nil, err
+				}
+				res.Stats.TopKRuns++
+				if !ok {
+					st.alive = false
+					continue
+				}
+				st.top, st.score = it, sc
+			}
+			heap.Push(h, funcScoreElem{fid: e.fid, score: st.score})
+		}
+		if res.Stats.Loops%64 == 0 {
+			trackPeak()
+		}
+	}
+	trackPeak()
+
+	timer.Stop()
+	res.Stats.CPUTime = timer.Total
+	res.Stats.Pairs = int64(len(res.Pairs))
+	for _, st := range states {
+		res.Stats.NodeReads += st.searcher.NodeReads
+	}
+	return res, nil
+}
+
+type funcScoreElem struct {
+	fid   uint64
+	score float64
+}
+
+type funcScoreHeap []funcScoreElem
+
+func (h funcScoreHeap) Len() int { return len(h) }
+func (h funcScoreHeap) Less(i, j int) bool {
+	if h[i].score != h[j].score {
+		return h[i].score > h[j].score
+	}
+	return h[i].fid < h[j].fid
+}
+func (h funcScoreHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *funcScoreHeap) Push(x any)   { *h = append(*h, x.(funcScoreElem)) }
+func (h *funcScoreHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}

@@ -1,0 +1,184 @@
+package assign
+
+import (
+	"sort"
+
+	"fairassign/internal/metrics"
+	"fairassign/internal/pagestore"
+	"fairassign/internal/rtree"
+	"fairassign/internal/topk"
+)
+
+// Chain adapts the Chain spatial-assignment algorithm (Wong et al.,
+// Section 2.1) to the preference-query setting, exactly as the paper's
+// experiments configure it: the functions are indexed by their weight
+// vectors in a main-memory R-tree, and the nearest-neighbor module is
+// replaced by BRS top-1 search. Starting from an arbitrary function, the
+// algorithm follows best-of-best links — f's best object o, o's best
+// function f' — outputting (f, o) when the pair is mutual (Property 2)
+// and otherwise enqueueing the witness and continuing. Every top-1 probe
+// is a fresh search, which is why Chain issues even more searches than
+// Brute Force (Figure 9).
+func Chain(p *Problem, cfg Config) (*Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	idx, err := buildObjectIndex(p, cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	// Main-memory R-tree over function weight vectors. Its page accesses
+	// are not charged to the I/O metric (it lives in RAM), but building
+	// and probing it is part of the CPU cost, as in the paper.
+	fstore := pagestore.NewMemStore(cfg.pageSize())
+	fpool := pagestore.NewBufferPool(fstore, 1<<20)
+	fitems := make([]rtree.Item, len(p.Functions))
+	weights := make(map[uint64][]float64, len(p.Functions))
+	for i, f := range p.Functions {
+		w := f.Effective()
+		weights[f.ID] = w
+		fitems[i] = rtree.Item{ID: f.ID, Point: w}
+	}
+	ftree, err := rtree.BulkLoad(fpool, p.Dims, fitems, cfg.treeFill())
+	if err != nil {
+		return nil, err
+	}
+
+	// The function R-tree is a main-memory structure: its size is part of
+	// Chain's memory footprint (the paper's memory metric).
+	ftreeBytes := int64(ftree.NumPages()) * int64(fstore.PageSize())
+	res, err := chainLoop(p, idx, ftree, weights, ftreeBytes)
+	if err != nil {
+		return nil, err
+	}
+	res.Stats.IO = *idx.store.IO()
+	return res, nil
+}
+
+// chainLoop is the Chain engine, shared by the in-memory (Chain) and
+// disk-resident-F (ChainDiskFuncs) configurations; the callers decide
+// which stores contribute to the reported I/O. memBase is charged as the
+// resident size of the function index (zero when it lives on disk).
+func chainLoop(p *Problem, idx *objectIndex, ftree *rtree.Tree, weights map[uint64][]float64, memBase int64) (*Result, error) {
+	res := &Result{}
+	var timer metrics.Timer
+	timer.Start()
+
+	opoints := make(map[uint64][]float64, len(p.Objects))
+	for _, o := range p.Objects {
+		opoints[o.ID] = o.Point
+	}
+
+	funcCaps := newFuncCaps(p.Functions)
+	objCaps := newObjectCaps(p.Objects)
+	deadFunc := make(map[uint64]bool)
+	deadObj := make(map[uint64]bool)
+	skipFunc := func(id uint64) bool { return deadFunc[id] }
+	skipObj := func(id uint64) bool { return deadObj[id] }
+
+	// Deterministic seed order: ascending function ID.
+	seeds := make([]uint64, len(p.Functions))
+	for i, f := range p.Functions {
+		seeds[i] = f.ID
+	}
+	sort.Slice(seeds, func(i, j int) bool { return seeds[i] < seeds[j] })
+	seedPos := 0
+
+	type queued struct {
+		isFunc bool
+		id     uint64
+	}
+	var queue []queued
+	trackPeak := func() {
+		if cur := memBase + int64(len(queue))*16; cur > res.Stats.PeakMem {
+			res.Stats.PeakMem = cur
+		}
+	}
+	trackPeak()
+
+	for funcCaps.units > 0 && objCaps.units > 0 {
+		// Pick the next element to test: queue head, else a fresh seed.
+		var x queued
+		if len(queue) > 0 {
+			x, queue = queue[0], queue[1:]
+		} else {
+			for seedPos < len(seeds) && deadFunc[seeds[seedPos]] {
+				seedPos++
+			}
+			if seedPos >= len(seeds) {
+				break
+			}
+			x = queued{isFunc: true, id: seeds[seedPos]}
+		}
+		if (x.isFunc && deadFunc[x.id]) || (!x.isFunc && deadObj[x.id]) {
+			continue
+		}
+		res.Stats.Loops++
+
+		if x.isFunc {
+			f := x.id
+			o, score, ok, err := topk.Top1(idx.tree, weights[f], skipObj)
+			res.Stats.TopKRuns++
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				break // no objects left at all
+			}
+			f2, _, ok, err := topk.Top1(ftree, o.Point, skipFunc)
+			res.Stats.TopKRuns++
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				break
+			}
+			if f2.ID == f {
+				emitChainPair(res, funcCaps, objCaps, deadFunc, deadObj, f, o.ID, score)
+			} else {
+				queue = append(queue, queued{isFunc: false, id: o.ID})
+			}
+		} else {
+			oid := x.id
+			opoint := opoints[oid]
+			f, _, ok, err := topk.Top1(ftree, opoint, skipFunc)
+			res.Stats.TopKRuns++
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				break
+			}
+			o2, score, ok, err := topk.Top1(idx.tree, weights[f.ID], skipObj)
+			res.Stats.TopKRuns++
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				break
+			}
+			if o2.ID == oid {
+				emitChainPair(res, funcCaps, objCaps, deadFunc, deadObj, f.ID, oid, score)
+			} else {
+				queue = append(queue, queued{isFunc: true, id: f.ID})
+			}
+		}
+		trackPeak()
+	}
+
+	timer.Stop()
+	res.Stats.CPUTime = timer.Total
+	res.Stats.Pairs = int64(len(res.Pairs))
+	return res, nil
+}
+
+func emitChainPair(res *Result, funcCaps, objCaps *capTable, deadFunc, deadObj map[uint64]bool, fid, oid uint64, score float64) {
+	res.Pairs = append(res.Pairs, Pair{FuncID: fid, ObjectID: oid, Score: score})
+	if funcCaps.consume(fid) {
+		deadFunc[fid] = true
+	}
+	if objCaps.consume(oid) {
+		deadObj[oid] = true
+	}
+}

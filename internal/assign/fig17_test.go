@@ -1,0 +1,73 @@
+package assign
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// diskFAlgorithms are the Section 7.6 configurations: identical matchings,
+// different I/O accounting.
+var diskFAlgorithms = []struct {
+	name string
+	run  func(*Problem, Config) (*Result, error)
+}{
+	{"SBDiskFuncs", SBDiskFuncs},
+	{"ChainDiskFuncs", ChainDiskFuncs},
+	{"BruteForceDiskFuncs", BruteForceDiskFuncs},
+}
+
+func TestDiskFuncVariantsMatchOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	// Swapped cardinalities, as in Figure 17: more functions than objects.
+	p := randProblem(rng, 120, 30, 3)
+	want, err := Oracle(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, alg := range diskFAlgorithms {
+		t.Run(alg.name, func(t *testing.T) {
+			got, err := alg.run(p, testCfg())
+			if err != nil {
+				t.Fatal(err)
+			}
+			samePairs(t, alg.name, got.Pairs, want.Pairs)
+		})
+	}
+}
+
+func TestDiskFuncVariantsChargeFunctionIO(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	p := randProblem(rng, 150, 40, 3)
+	for _, alg := range diskFAlgorithms {
+		got, err := alg.run(p, testCfg())
+		if err != nil {
+			t.Fatalf("%s: %v", alg.name, err)
+		}
+		if got.Stats.IO.Accesses() == 0 {
+			t.Errorf("%s: expected function-side I/O to be charged", alg.name)
+		}
+	}
+}
+
+func TestSBAltBeatsSBDiskOnFunctionIO(t *testing.T) {
+	// The Figure 17 headline: batch search reads each list page at most
+	// once per loop and random-accesses each function at most once per
+	// loop, while per-object TA searches re-scan independently. In the
+	// paper's regime (|F| >> |O|, D >= 4) SB-alt must use less I/O.
+	rng := rand.New(rand.NewSource(22))
+	p := randProblem(rng, 2000, 80, 5)
+	cfg := Config{PageSize: 512, BufferFrac: 1.0, FuncBufferFrac: 0.02, OmegaFrac: 0.025}
+	alt, err := SBAlt(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := SBDiskFuncs(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samePairs(t, "SBAltVsSBDisk", alt.Pairs, plain.Pairs)
+	if alt.Stats.IO.Accesses() >= plain.Stats.IO.Accesses() {
+		t.Errorf("SB-alt I/O = %d should be below per-object SB I/O = %d",
+			alt.Stats.IO.Accesses(), plain.Stats.IO.Accesses())
+	}
+}

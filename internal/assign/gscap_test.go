@@ -1,0 +1,64 @@
+package assign
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestGaleShapleyCapacitatedMatchesOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(67))
+	for trial := 0; trial < 10; trial++ {
+		p := randProblem(rng, 2+rng.Intn(15), 2+rng.Intn(25), 2+rng.Intn(2))
+		for i := range p.Functions {
+			p.Functions[i].Capacity = 1 + rng.Intn(3)
+		}
+		for i := range p.Objects {
+			p.Objects[i].Capacity = 1 + rng.Intn(3)
+		}
+		want, err := Oracle(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := GaleShapleyCapacitated(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		samePairs(t, "GS-capacitated", got.Pairs, want.Pairs)
+		if err := IsStable(p, got.Pairs); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestGaleShapleyCapacitatedWithPriorities(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	p := randProblem(rng, 12, 30, 3)
+	gammas := []float64{1, 2, 4}
+	for i := range p.Functions {
+		p.Functions[i].Capacity = 1 + rng.Intn(2)
+		p.Functions[i].Gamma = gammas[rng.Intn(len(gammas))]
+	}
+	want, err := Oracle(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := GaleShapleyCapacitated(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samePairs(t, "GS-cap-gamma", got.Pairs, want.Pairs)
+}
+
+func TestGaleShapleyCapacitatedReducesToPlain(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	p := randProblem(rng, 20, 20, 2)
+	plain, err := GaleShapley(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	capa, err := GaleShapleyCapacitated(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samePairs(t, "GS-cap-unit", capa.Pairs, plain.Pairs)
+}

@@ -1,0 +1,280 @@
+package assign
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Oracle computes the stable assignment directly from its definition:
+// enumerate all |F|·|O| scored pairs, sort them by descending score, and
+// greedily assign while capacities remain. It is O(|F|·|O|·log(|F|·|O|))
+// and exists to verify the search-based algorithms on small instances.
+// Ties are broken by (function ID, object ID) ascending, the same
+// deterministic order the other algorithms use.
+func Oracle(p *Problem) (*Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	type scored struct {
+		fi, oi int
+		score  float64
+	}
+	all := make([]scored, 0, len(p.Functions)*len(p.Objects))
+	for fi, f := range p.Functions {
+		w := f.Effective()
+		for oi, o := range p.Objects {
+			s := 0.0
+			for d, wd := range w {
+				s += wd * o.Point[d]
+			}
+			all = append(all, scored{fi: fi, oi: oi, score: s})
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].score != all[j].score {
+			return all[i].score > all[j].score
+		}
+		if p.Functions[all[i].fi].ID != p.Functions[all[j].fi].ID {
+			return p.Functions[all[i].fi].ID < p.Functions[all[j].fi].ID
+		}
+		return p.Objects[all[i].oi].ID < p.Objects[all[j].oi].ID
+	})
+
+	fcap := make([]int, len(p.Functions))
+	for i, f := range p.Functions {
+		fcap[i] = f.capacity()
+	}
+	ocap := make([]int, len(p.Objects))
+	for i, o := range p.Objects {
+		ocap[i] = o.capacity()
+	}
+	res := &Result{}
+	for _, sp := range all {
+		m := fcap[sp.fi]
+		if ocap[sp.oi] < m {
+			m = ocap[sp.oi]
+		}
+		for k := 0; k < m; k++ {
+			res.Pairs = append(res.Pairs, Pair{
+				FuncID:   p.Functions[sp.fi].ID,
+				ObjectID: p.Objects[sp.oi].ID,
+				Score:    sp.score,
+			})
+		}
+		fcap[sp.fi] -= m
+		ocap[sp.oi] -= m
+	}
+	res.Stats.Pairs = int64(len(res.Pairs))
+	return res, nil
+}
+
+// GaleShapley solves the classic stable marriage instance induced by the
+// score matrix (functions propose, objects accept their best proposal),
+// for the uncapacitated problem. Because both sides rank pairs by the
+// same score f(o), the stable matching is unique when scores are
+// distinct, so this must agree with Oracle and with every search
+// algorithm — a strong cross-check used by the tests.
+func GaleShapley(p *Problem) (*Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	for _, f := range p.Functions {
+		if f.capacity() != 1 {
+			return nil, fmt.Errorf("assign: GaleShapley supports capacity 1 only (function %d)", f.ID)
+		}
+	}
+	for _, o := range p.Objects {
+		if o.capacity() != 1 {
+			return nil, fmt.Errorf("assign: GaleShapley supports capacity 1 only (object %d)", o.ID)
+		}
+	}
+
+	nf, no := len(p.Functions), len(p.Objects)
+	// Score matrix and per-function preference order over objects.
+	scores := make([][]float64, nf)
+	prefs := make([][]int, nf)
+	for fi, f := range p.Functions {
+		w := f.Effective()
+		row := make([]float64, no)
+		for oi, o := range p.Objects {
+			s := 0.0
+			for d, wd := range w {
+				s += wd * o.Point[d]
+			}
+			row[oi] = s
+		}
+		scores[fi] = row
+		order := make([]int, no)
+		for i := range order {
+			order[i] = i
+		}
+		sort.Slice(order, func(i, j int) bool {
+			a, b := order[i], order[j]
+			if row[a] != row[b] {
+				return row[a] > row[b]
+			}
+			return p.Objects[a].ID < p.Objects[b].ID
+		})
+		prefs[fi] = order
+	}
+
+	next := make([]int, nf)      // next proposal index per function
+	engagedTo := make([]int, no) // object -> function index, -1 if free
+	for i := range engagedTo {
+		engagedTo[i] = -1
+	}
+	var free []int
+	for fi := 0; fi < nf; fi++ {
+		free = append(free, fi)
+	}
+	for len(free) > 0 {
+		fi := free[len(free)-1]
+		free = free[:len(free)-1]
+		if next[fi] >= no {
+			continue // exhausted all objects (|F| > |O| case)
+		}
+		oi := prefs[fi][next[fi]]
+		next[fi]++
+		cur := engagedTo[oi]
+		if cur == -1 {
+			engagedTo[oi] = fi
+			continue
+		}
+		// Object prefers the proposal with the higher score (tie: lower
+		// function ID).
+		better := scores[fi][oi] > scores[cur][oi] ||
+			(scores[fi][oi] == scores[cur][oi] && p.Functions[fi].ID < p.Functions[cur].ID)
+		if better {
+			engagedTo[oi] = fi
+			free = append(free, cur)
+		} else {
+			free = append(free, fi)
+		}
+	}
+
+	res := &Result{}
+	for oi, fi := range engagedTo {
+		if fi == -1 {
+			continue
+		}
+		res.Pairs = append(res.Pairs, Pair{
+			FuncID:   p.Functions[fi].ID,
+			ObjectID: p.Objects[oi].ID,
+			Score:    scores[fi][oi],
+		})
+	}
+	// Normalize order for comparison: descending score, then IDs.
+	sort.Slice(res.Pairs, func(i, j int) bool {
+		if res.Pairs[i].Score != res.Pairs[j].Score {
+			return res.Pairs[i].Score > res.Pairs[j].Score
+		}
+		if res.Pairs[i].FuncID != res.Pairs[j].FuncID {
+			return res.Pairs[i].FuncID < res.Pairs[j].FuncID
+		}
+		return res.Pairs[i].ObjectID < res.Pairs[j].ObjectID
+	})
+	res.Stats.Pairs = int64(len(res.Pairs))
+	return res, nil
+}
+
+// GaleShapleyCapacitated solves the capacitated stable assignment by
+// clone expansion: an entity with capacity c is split into c unit clones
+// with identical preferences, classic Gale–Shapley runs on the expanded
+// instance, and clone pairs collapse back. This is the textbook reduction
+// of the hospitals/residents problem and serves as a second independent
+// oracle for the Section 6.1 variant. Priorities (γ) are honored through
+// the effective weights.
+func GaleShapleyCapacitated(p *Problem) (*Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	expanded := &Problem{Dims: p.Dims}
+	// Clone IDs pack (original index, clone number); originals are
+	// recovered through lookup tables.
+	funcOrig := make(map[uint64]uint64)
+	objOrig := make(map[uint64]uint64)
+	var next uint64 = 1
+	for _, f := range p.Functions {
+		for c := 0; c < f.capacity(); c++ {
+			expanded.Functions = append(expanded.Functions, Function{
+				ID:      next,
+				Weights: f.Weights,
+				Gamma:   f.Gamma,
+			})
+			funcOrig[next] = f.ID
+			next++
+		}
+	}
+	next = 1
+	for _, o := range p.Objects {
+		for c := 0; c < o.capacity(); c++ {
+			expanded.Objects = append(expanded.Objects, Object{ID: next, Point: o.Point})
+			objOrig[next] = o.ID
+			next++
+		}
+	}
+	res, err := GaleShapley(expanded)
+	if err != nil {
+		return nil, err
+	}
+	out := &Result{}
+	for _, pr := range res.Pairs {
+		out.Pairs = append(out.Pairs, Pair{
+			FuncID:   funcOrig[pr.FuncID],
+			ObjectID: objOrig[pr.ObjectID],
+			Score:    pr.Score,
+		})
+	}
+	out.Stats.Pairs = int64(len(out.Pairs))
+	return out, nil
+}
+
+// IsStable verifies Definition 1 on a result: no function-object pair
+// (f, o) outside the matching where both f and o would prefer each other
+// over their assigned partners. Unassigned entities (with remaining
+// capacity) prefer anything, matching the standard blocking-pair
+// definition. Intended for tests (O(|F|·|O|)).
+func IsStable(p *Problem, pairs []Pair) error {
+	fThresh := make(map[uint64]float64) // worst score f received
+	oThresh := make(map[uint64]float64) // worst score o received
+	fUsed := make(map[uint64]int)
+	oUsed := make(map[uint64]int)
+	for _, pr := range pairs {
+		if v, ok := fThresh[pr.FuncID]; !ok || pr.Score < v {
+			fThresh[pr.FuncID] = pr.Score
+		}
+		if v, ok := oThresh[pr.ObjectID]; !ok || pr.Score < v {
+			oThresh[pr.ObjectID] = pr.Score
+		}
+		fUsed[pr.FuncID]++
+		oUsed[pr.ObjectID]++
+	}
+	const eps = 1e-9
+	for _, f := range p.Functions {
+		w := f.Effective()
+		for _, o := range p.Objects {
+			s := 0.0
+			for d, wd := range w {
+				s += wd * o.Point[d]
+			}
+			fWants := fUsed[f.ID] < f.capacity() || s > fThresh[f.ID]+eps
+			oWants := oUsed[o.ID] < o.capacity() || s > oThresh[o.ID]+eps
+			if fWants && oWants {
+				// Both prefer each other over (one of) their current
+				// partners: blocking pair — unless they are already
+				// matched together at this score.
+				matched := false
+				for _, pr := range pairs {
+					if pr.FuncID == f.ID && pr.ObjectID == o.ID {
+						matched = true
+						break
+					}
+				}
+				if !matched {
+					return fmt.Errorf("assign: blocking pair (f=%d, o=%d, score=%v)", f.ID, o.ID, s)
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,218 @@
+package assign
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"fairassign/internal/geom"
+	"fairassign/internal/metrics"
+	"fairassign/internal/rtree"
+	"fairassign/internal/skyline"
+	"fairassign/internal/ta"
+)
+
+// Progressive is the dynamic variant sketched as future work in
+// Section 8: stable pairs are emitted on demand (the SB loop runs just
+// far enough to produce the next one), and new objects may arrive
+// between pulls — a marketplace where supply is released over time.
+//
+// Semantics: every emitted pair was stable with respect to the functions
+// and objects present at the moment it was discovered; a later arrival
+// affects only pairs not yet discovered. Arrivals are folded into the
+// maintained skyline directly (Maintainer.Insert) without touching the
+// R-tree, so they cost no I/O.
+type Progressive struct {
+	dims     int
+	idx      *objectIndex
+	maint    *skyline.Maintainer
+	lists    *ta.Lists
+	searches map[uint64]*ta.Search
+	funcCaps *capTable
+	objCaps  *capTable
+	omega    int
+	objSeen  map[uint64]bool
+	buffer   []Pair
+	done     bool
+	stats    metrics.Stats
+	mem      metrics.MemTracker
+	timer    metrics.Timer
+}
+
+// NewProgressive prepares a progressive matcher over the initial problem.
+func NewProgressive(p *Problem, cfg Config) (*Progressive, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	idx, err := buildObjectIndex(p, cfg)
+	if err != nil {
+		return nil, err
+	}
+	g := &Progressive{
+		dims:     p.Dims,
+		idx:      idx,
+		searches: make(map[uint64]*ta.Search),
+		funcCaps: newFuncCaps(p.Functions),
+		objCaps:  newObjectCaps(p.Objects),
+		omega:    cfg.omegaFor(len(p.Functions)),
+		objSeen:  make(map[uint64]bool, len(p.Objects)),
+	}
+	for _, o := range p.Objects {
+		g.objSeen[o.ID] = true
+	}
+	g.timer.Start()
+	g.maint, err = skyline.NewMaintainer(idx.tree, &g.mem)
+	if err != nil {
+		return nil, err
+	}
+	g.lists, err = ta.NewLists(taFuncs(p.Functions), p.Dims)
+	if err != nil {
+		return nil, err
+	}
+	g.timer.Stop()
+	return g, nil
+}
+
+// AddObject introduces a newly released object. It becomes eligible for
+// all pairs not yet discovered.
+func (g *Progressive) AddObject(o Object) error {
+	if len(o.Point) != g.dims {
+		return fmt.Errorf("assign: object %d has %d dims, want %d", o.ID, len(o.Point), g.dims)
+	}
+	if g.objSeen[o.ID] {
+		return fmt.Errorf("assign: duplicate object id %d", o.ID)
+	}
+	g.timer.Start()
+	defer g.timer.Stop()
+	g.objSeen[o.ID] = true
+	g.objCaps.remaining[o.ID] = o.capacity()
+	g.objCaps.units += o.capacity()
+	g.objCaps.live++
+	g.done = false
+	return g.maint.Insert(rtree.Item{ID: o.ID, Point: geom.Point(o.Point).Clone()})
+}
+
+// Next returns the next stable pair, running the SB loop as needed.
+// ok is false when the matching is complete (either side exhausted);
+// a subsequent AddObject can make more pairs available again.
+func (g *Progressive) Next() (Pair, bool, error) {
+	g.timer.Start()
+	defer g.timer.Stop()
+	for len(g.buffer) == 0 {
+		if g.done || g.funcCaps.units == 0 || g.objCaps.units == 0 || g.maint.Size() == 0 {
+			g.done = true
+			return Pair{}, false, nil
+		}
+		if err := g.runLoop(); err != nil {
+			return Pair{}, false, err
+		}
+	}
+	p := g.buffer[0]
+	g.buffer = g.buffer[1:]
+	return p, true, nil
+}
+
+// Stats returns a snapshot of the work performed so far.
+func (g *Progressive) Stats() metrics.Stats {
+	s := g.stats
+	s.CPUTime = g.timer.Total
+	s.IO = *g.idx.store.IO()
+	if g.mem.Peak > s.PeakMem {
+		s.PeakMem = g.mem.Peak
+	}
+	s.TASorted = g.lists.Counters.SortedAccesses
+	s.TARandom = g.lists.Counters.RandomAccesses
+	s.NodeReads = g.maint.NodeReads
+	return s
+}
+
+// runLoop is one iteration of the optimized SB loop (Algorithm 3),
+// appending every discovered mutual pair to the buffer.
+func (g *Progressive) runLoop() error {
+	g.stats.Loops++
+	sky := g.maint.Skyline()
+	sort.Slice(sky, func(i, j int) bool { return sky[i].ID < sky[j].ID })
+
+	type bestFunc struct {
+		fid   uint64
+		score float64
+	}
+	oBest := make(map[uint64]bestFunc, len(sky))
+	for _, o := range sky {
+		s := g.searches[o.ID]
+		if s == nil {
+			s = ta.NewSearch(g.lists, o.Point, g.omega)
+			g.searches[o.ID] = s
+		}
+		fid, score, ok := s.Best()
+		g.stats.TopKRuns++
+		if !ok {
+			g.done = true
+			return nil
+		}
+		oBest[o.ID] = bestFunc{fid: fid, score: score}
+	}
+
+	type bestObj struct {
+		oid   uint64
+		score float64
+	}
+	fBest := make(map[uint64]bestObj)
+	fids := make([]uint64, 0, len(oBest))
+	for _, bf := range oBest {
+		if _, seen := fBest[bf.fid]; !seen {
+			fBest[bf.fid] = bestObj{}
+			fids = append(fids, bf.fid)
+		}
+	}
+	sort.Slice(fids, func(i, j int) bool { return fids[i] < fids[j] })
+	for _, fid := range fids {
+		w := g.lists.Weights(fid)
+		var best bestObj
+		found := false
+		for _, o := range sky {
+			s := geom.Dot(w, o.Point)
+			if !found || s > best.score || (s == best.score && o.ID < best.oid) {
+				best, found = bestObj{oid: o.ID, score: s}, true
+			}
+		}
+		fBest[fid] = best
+	}
+
+	var removedObjs []uint64
+	emitted := 0
+	for _, fid := range fids {
+		bo := fBest[fid]
+		if oBest[bo.oid].fid != fid {
+			continue
+		}
+		g.buffer = append(g.buffer, Pair{FuncID: fid, ObjectID: bo.oid, Score: bo.score})
+		g.stats.Pairs++
+		emitted++
+		if g.funcCaps.consume(fid) {
+			if err := g.lists.Remove(fid); err != nil {
+				return err
+			}
+		}
+		if g.objCaps.consume(bo.oid) {
+			removedObjs = append(removedObjs, bo.oid)
+			delete(g.searches, bo.oid)
+		}
+	}
+	if emitted == 0 {
+		return errors.New("assign: internal error: no stable pair emitted in a loop")
+	}
+	if len(removedObjs) > 0 {
+		if err := g.maint.Remove(removedObjs...); err != nil {
+			return err
+		}
+	}
+	var searchBytes int64
+	for _, s := range g.searches {
+		searchBytes += s.Footprint()
+	}
+	if cur := g.mem.Current + searchBytes; cur > g.stats.PeakMem {
+		g.stats.PeakMem = cur
+	}
+	return nil
+}

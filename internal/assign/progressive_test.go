@@ -1,0 +1,220 @@
+package assign
+
+import (
+	"math/rand"
+	"testing"
+
+	"fairassign/internal/geom"
+)
+
+func drain(t *testing.T, g *Progressive) []Pair {
+	t.Helper()
+	var out []Pair
+	for {
+		p, ok, err := g.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			return out
+		}
+		out = append(out, p)
+	}
+}
+
+func TestProgressiveMatchesSBWithoutArrivals(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	p := randProblem(rng, 40, 300, 3)
+	want, err := SB(p, testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := NewProgressive(p, testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := drain(t, g)
+	if len(got) != len(want.Pairs) {
+		t.Fatalf("progressive emitted %d pairs, SB %d", len(got), len(want.Pairs))
+	}
+	for i := range got {
+		if got[i] != want.Pairs[i] {
+			t.Fatalf("pair %d: progressive %+v, SB %+v", i, got[i], want.Pairs[i])
+		}
+	}
+	if g.Stats().Pairs != int64(len(got)) {
+		t.Error("stats.Pairs mismatch")
+	}
+}
+
+func TestProgressiveArrivalIsMatchable(t *testing.T) {
+	// One function, one poor object; a far better object arrives before
+	// the matching is pulled — the function must get the new object.
+	p := &Problem{
+		Dims:      2,
+		Objects:   []Object{{ID: 1, Point: geom.Point{0.1, 0.1}}},
+		Functions: []Function{{ID: 1, Weights: []float64{0.5, 0.5}}},
+	}
+	g, err := NewProgressive(p, testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddObject(Object{ID: 2, Point: geom.Point{0.9, 0.9}}); err != nil {
+		t.Fatal(err)
+	}
+	pair, ok, err := g.Next()
+	if err != nil || !ok {
+		t.Fatal(err)
+	}
+	if pair.ObjectID != 2 {
+		t.Fatalf("function should win the arrival: got o%d", pair.ObjectID)
+	}
+	if _, ok, _ := g.Next(); ok {
+		t.Fatal("single function: matching should be complete")
+	}
+}
+
+func TestProgressiveArrivalReopensMatching(t *testing.T) {
+	// Two functions, one object: after draining, one function is left
+	// unassigned. A new arrival lets Next produce another pair.
+	p := &Problem{
+		Dims:    2,
+		Objects: []Object{{ID: 1, Point: geom.Point{0.6, 0.6}}},
+		Functions: []Function{
+			{ID: 1, Weights: []float64{0.9, 0.1}},
+			{ID: 2, Weights: []float64{0.1, 0.9}},
+		},
+	}
+	g, err := NewProgressive(p, testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := drain(t, g)
+	if len(first) != 1 {
+		t.Fatalf("expected 1 initial pair, got %d", len(first))
+	}
+	if err := g.AddObject(Object{ID: 7, Point: geom.Point{0.5, 0.5}}); err != nil {
+		t.Fatal(err)
+	}
+	second := drain(t, g)
+	if len(second) != 1 || second[0].ObjectID != 7 {
+		t.Fatalf("arrival should produce one more pair for o7, got %v", second)
+	}
+	assignedFuncs := map[uint64]bool{first[0].FuncID: true, second[0].FuncID: true}
+	if len(assignedFuncs) != 2 {
+		t.Fatal("both functions should end up assigned")
+	}
+}
+
+func TestProgressiveMidStreamArrivalAffectsLaterPairsOnly(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	p := randProblem(rng, 30, 200, 3)
+	g, err := NewProgressive(p, testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var early []Pair
+	for i := 0; i < 10; i++ {
+		pr, ok, err := g.Next()
+		if err != nil || !ok {
+			t.Fatal(err)
+		}
+		early = append(early, pr)
+	}
+	// A dominating object arrives mid-stream.
+	super := Object{ID: 9999, Point: geom.Point{0.99, 0.99, 0.99}}
+	if err := g.AddObject(super); err != nil {
+		t.Fatal(err)
+	}
+	rest := drain(t, g)
+	all := append(early, rest...)
+	if len(all) != 30 {
+		t.Fatalf("total pairs %d, want 30", len(all))
+	}
+	// The super object must have been assigned to exactly one function,
+	// and not to one already matched before its arrival.
+	superCount := 0
+	for _, pr := range early {
+		if pr.ObjectID == super.ID {
+			t.Fatal("arrival cannot appear in pairs emitted before it")
+		}
+	}
+	for _, pr := range rest {
+		if pr.ObjectID == super.ID {
+			superCount++
+		}
+	}
+	if superCount != 1 {
+		t.Fatalf("super object assigned %d times, want 1", superCount)
+	}
+	// Online stability: no function assigned after the super object's
+	// pair may form a blocking pair with it — i.e. prefer the super
+	// object over its own match while the super object's winner scored
+	// lower. (Pairs already discovered into the buffer before the arrival
+	// are exempt by the documented commit-at-discovery semantics.)
+	funcByID := map[uint64]Function{}
+	for _, f := range p.Functions {
+		funcByID[f.ID] = f
+	}
+	superIdx := -1
+	var superScore float64
+	for i, pr := range rest {
+		if pr.ObjectID == super.ID {
+			superIdx, superScore = i, pr.Score
+			break
+		}
+	}
+	for _, pr := range rest[superIdx+1:] {
+		fs := funcByID[pr.FuncID].Score(super.Point)
+		if fs > pr.Score+1e-9 && fs > superScore+1e-9 {
+			t.Fatalf("blocking pair: f%d scores %v on the super object but got %v, super winner scored %v",
+				pr.FuncID, fs, pr.Score, superScore)
+		}
+	}
+}
+
+func TestProgressiveValidation(t *testing.T) {
+	p := &Problem{
+		Dims:      2,
+		Objects:   []Object{{ID: 1, Point: geom.Point{0.5, 0.5}}},
+		Functions: []Function{{ID: 1, Weights: []float64{0.5, 0.5}}},
+	}
+	g, err := NewProgressive(p, testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddObject(Object{ID: 1, Point: geom.Point{0.2, 0.2}}); err == nil {
+		t.Error("duplicate object id should be rejected")
+	}
+	if err := g.AddObject(Object{ID: 2, Point: geom.Point{0.2}}); err == nil {
+		t.Error("wrong dimensionality should be rejected")
+	}
+}
+
+func TestProgressiveCapacitatedArrivals(t *testing.T) {
+	p := &Problem{
+		Dims: 2,
+		Objects: []Object{
+			{ID: 1, Point: geom.Point{0.4, 0.4}},
+		},
+		Functions: []Function{
+			{ID: 1, Weights: []float64{0.5, 0.5}, Capacity: 3},
+		},
+	}
+	g, err := NewProgressive(p, testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddObject(Object{ID: 2, Point: geom.Point{0.7, 0.7}, Capacity: 2}); err != nil {
+		t.Fatal(err)
+	}
+	pairs := drain(t, g)
+	// Function has capacity 3; objects supply 1 + 2 units.
+	if len(pairs) != 3 {
+		t.Fatalf("pairs = %d, want 3", len(pairs))
+	}
+	// The better (new) object's two units go first.
+	if pairs[0].ObjectID != 2 || pairs[1].ObjectID != 2 || pairs[2].ObjectID != 1 {
+		t.Fatalf("capacity order wrong: %v", pairs)
+	}
+}

@@ -1,0 +1,212 @@
+package assign
+
+import (
+	"errors"
+	"sort"
+
+	"fairassign/internal/geom"
+	"fairassign/internal/metrics"
+	"fairassign/internal/rtree"
+	"fairassign/internal/skyline"
+	"fairassign/internal/ta"
+)
+
+// skylineDriver abstracts the two maintenance strategies (UpdateSkyline
+// and DeltaSky) behind the SB loop.
+type skylineDriver interface {
+	Skyline() []rtree.Item
+	Remove(ids ...uint64) error
+	Size() int
+}
+
+// sbMode selects the SB variant of Figure 8.
+type sbMode int
+
+const (
+	modeOptimized sbMode = iota // Algorithm 3: resume + multi-pair + UpdateSkyline
+	modeBasic                   // Algorithm 1 + UpdateSkyline, fresh TA, one pair/loop
+	modeDeltaSky                // Algorithm 1 + DeltaSky, fresh TA, one pair/loop
+)
+
+// SB runs the fully optimized skyline-based stable assignment
+// (Algorithm 3): I/O-optimal incremental skyline maintenance, resumable
+// Ω-bounded TA search per skyline object, and emission of every mutual
+// best pair in each loop.
+func SB(p *Problem, cfg Config) (*Result, error) {
+	return runSkylineBased(p, cfg, modeOptimized)
+}
+
+// SBBasic runs Algorithm 1 with the UpdateSkyline module but none of the
+// Section 5.1/5.3 CPU optimizations ("SB-UpdateSkyline" in Figure 8).
+func SBBasic(p *Problem, cfg Config) (*Result, error) {
+	return runSkylineBased(p, cfg, modeBasic)
+}
+
+// SBDeltaSky runs Algorithm 1 with DeltaSky skyline maintenance
+// ("SB-DeltaSky" in Figure 8).
+func SBDeltaSky(p *Problem, cfg Config) (*Result, error) {
+	return runSkylineBased(p, cfg, modeDeltaSky)
+}
+
+func runSkylineBased(p *Problem, cfg Config, mode sbMode) (*Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	idx, err := buildObjectIndex(p, cfg)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{}
+	var timer metrics.Timer
+	timer.Start()
+
+	lists, err := ta.NewLists(taFuncs(p.Functions), p.Dims)
+	if err != nil {
+		return nil, err
+	}
+	var mem metrics.MemTracker
+	var driver skylineDriver
+	var maintReads *int64
+	switch mode {
+	case modeDeltaSky:
+		d, err := skyline.NewDeltaSky(idx.tree, &mem)
+		if err != nil {
+			return nil, err
+		}
+		driver, maintReads = d, &d.NodeReads
+	default:
+		m, err := skyline.NewMaintainer(idx.tree, &mem)
+		if err != nil {
+			return nil, err
+		}
+		driver, maintReads = m, &m.NodeReads
+	}
+
+	funcCaps := newFuncCaps(p.Functions)
+	objCaps := newObjectCaps(p.Objects)
+	omega := cfg.omegaFor(len(p.Functions))
+	searches := make(map[uint64]*ta.Search)
+
+	for funcCaps.units > 0 && objCaps.units > 0 && driver.Size() > 0 {
+		res.Stats.Loops++
+		sky := driver.Skyline()
+		sort.Slice(sky, func(i, j int) bool { return sky[i].ID < sky[j].ID })
+
+		// Step 1 (Lines 9–11): for every skyline object, the best live
+		// function.
+		type bestFunc struct {
+			fid   uint64
+			score float64
+		}
+		oBest := make(map[uint64]bestFunc, len(sky))
+		noFuncs := false
+		for _, o := range sky {
+			var fid uint64
+			var score float64
+			var ok bool
+			if mode == modeOptimized {
+				s := searches[o.ID]
+				if s == nil {
+					s = ta.NewSearch(lists, o.Point, omega)
+					searches[o.ID] = s
+				}
+				fid, score, ok = s.Best()
+			} else {
+				// Fresh, unbounded TA run per object per loop.
+				s := ta.NewSearch(lists, o.Point, len(p.Functions))
+				fid, score, ok = s.Best()
+			}
+			res.Stats.TopKRuns++
+			if !ok {
+				noFuncs = true
+				break
+			}
+			oBest[o.ID] = bestFunc{fid: fid, score: score}
+		}
+		if noFuncs {
+			break
+		}
+
+		// Step 2 (Lines 12–13): for every function in Fbest, its best
+		// skyline object.
+		type bestObj struct {
+			oid   uint64
+			score float64
+		}
+		fBest := make(map[uint64]bestObj)
+		fids := make([]uint64, 0, len(oBest))
+		for _, bf := range oBest {
+			if _, seen := fBest[bf.fid]; seen {
+				continue
+			}
+			fBest[bf.fid] = bestObj{}
+			fids = append(fids, bf.fid)
+		}
+		sort.Slice(fids, func(i, j int) bool { return fids[i] < fids[j] })
+		for _, fid := range fids {
+			w := lists.Weights(fid)
+			best := bestObj{}
+			found := false
+			for _, o := range sky {
+				s := geom.Dot(w, o.Point)
+				if !found || s > best.score || (s == best.score && o.ID < best.oid) {
+					best, found = bestObj{oid: o.ID, score: s}, true
+				}
+			}
+			fBest[fid] = best
+		}
+
+		// Step 3 (Lines 14–17): emit every mutual best pair.
+		var removedObjs []uint64
+		emitted := 0
+		for _, fid := range fids {
+			bo := fBest[fid]
+			if oBest[bo.oid].fid != fid {
+				continue
+			}
+			res.Pairs = append(res.Pairs, Pair{FuncID: fid, ObjectID: bo.oid, Score: bo.score})
+			emitted++
+			if funcCaps.consume(fid) {
+				if err := lists.Remove(fid); err != nil {
+					return nil, err
+				}
+			}
+			if objCaps.consume(bo.oid) {
+				removedObjs = append(removedObjs, bo.oid)
+				delete(searches, bo.oid)
+			}
+			if mode != modeOptimized {
+				break // Algorithm 1 emits a single pair per loop
+			}
+		}
+		if emitted == 0 {
+			return nil, errors.New("assign: internal error: no stable pair emitted in a loop")
+		}
+		if len(removedObjs) > 0 {
+			if err := driver.Remove(removedObjs...); err != nil {
+				return nil, err
+			}
+		}
+
+		// Memory metric: maintainer structures plus live TA states.
+		var searchBytes int64
+		for _, s := range searches {
+			searchBytes += s.Footprint()
+		}
+		if cur := mem.Current + searchBytes; cur > res.Stats.PeakMem {
+			res.Stats.PeakMem = cur
+		}
+	}
+
+	timer.Stop()
+	res.Stats.CPUTime = timer.Total
+	res.Stats.IO = *idx.store.IO()
+	res.Stats.Pairs = int64(len(res.Pairs))
+	res.Stats.TASorted = lists.Counters.SortedAccesses
+	res.Stats.TARandom = lists.Counters.RandomAccesses
+	res.Stats.NodeReads = *maintReads
+	if mem.Peak > res.Stats.PeakMem {
+		res.Stats.PeakMem = mem.Peak
+	}
+	return res, nil
+}

@@ -1,0 +1,178 @@
+package assign
+
+import (
+	"errors"
+	"sort"
+
+	"fairassign/internal/geom"
+	"fairassign/internal/metrics"
+	"fairassign/internal/pagestore"
+	"fairassign/internal/skyline"
+	"fairassign/internal/ta"
+)
+
+// SBAlt is the Section 7.6 variant for the setting where F does not fit
+// in memory: the D coefficient lists are materialized on disk and, at
+// every loop, the best functions for all current skyline objects are
+// found in a single block-wise batch pass over the lists. No per-object
+// TA state is kept (searches are not resumed), trading a little CPU for
+// reading each list page at most once per loop regardless of |Osky| —
+// the large I/O saving of Figure 17.
+func SBAlt(p *Problem, cfg Config) (*Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	idx, err := buildObjectIndex(p, cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	// Materialize the coefficient lists on their own simulated disk; the
+	// build is setup cost (like index construction) and is not charged.
+	fstore := pagestore.NewMemStore(cfg.pageSize())
+	fpool := pagestore.NewBufferPool(fstore, 1<<20)
+	dl, err := ta.BuildDiskLists(fpool, taFuncs(p.Functions), p.Dims)
+	if err != nil {
+		return nil, err
+	}
+	if err := fpool.Resize(pagestore.CapacityFromFraction(dl.NumPages(), cfg.funcBufferFrac())); err != nil {
+		return nil, err
+	}
+	if err := fpool.Clear(); err != nil {
+		return nil, err
+	}
+	fstore.IO().Reset()
+
+	res := &Result{}
+	var timer metrics.Timer
+	timer.Start()
+
+	var mem metrics.MemTracker
+	maint, err := skyline.NewMaintainer(idx.tree, &mem)
+	if err != nil {
+		return nil, err
+	}
+	funcCaps := newFuncCaps(p.Functions)
+	objCaps := newObjectCaps(p.Objects)
+
+	// An object's cached best function stays valid until that function is
+	// assigned away (only removals ever happen), so each loop batch-
+	// searches only the objects whose cache was invalidated — the paper's
+	// "skip this object in the following iterations".
+	bestCache := make(map[uint64]ta.BatchResult)
+
+	for funcCaps.units > 0 && objCaps.units > 0 && maint.Size() > 0 {
+		res.Stats.Loops++
+		sky := maint.Skyline()
+		sort.Slice(sky, func(i, j int) bool { return sky[i].ID < sky[j].ID })
+
+		var batch []ta.BatchObject
+		for _, o := range sky {
+			if r, ok := bestCache[o.ID]; ok && r.OK && !dl.Removed(r.FuncID) {
+				continue
+			}
+			batch = append(batch, ta.BatchObject{ID: o.ID, Point: o.Point})
+		}
+		if len(batch) > 0 {
+			found, err := dl.BatchSearch(batch)
+			if err != nil {
+				return nil, err
+			}
+			res.Stats.TopKRuns++
+			for id, r := range found {
+				bestCache[id] = r
+			}
+		}
+
+		type bestFunc struct {
+			fid   uint64
+			score float64
+		}
+		oBest := make(map[uint64]bestFunc, len(sky))
+		noFuncs := false
+		for _, o := range sky {
+			r := bestCache[o.ID]
+			if !r.OK {
+				noFuncs = true
+				break
+			}
+			oBest[o.ID] = bestFunc{fid: r.FuncID, score: r.Score}
+		}
+		if noFuncs {
+			break
+		}
+
+		type bestObj struct {
+			oid   uint64
+			score float64
+		}
+		fBest := make(map[uint64]bestObj)
+		fids := make([]uint64, 0, len(oBest))
+		for _, bf := range oBest {
+			if _, seen := fBest[bf.fid]; !seen {
+				fBest[bf.fid] = bestObj{}
+				fids = append(fids, bf.fid)
+			}
+		}
+		sort.Slice(fids, func(i, j int) bool { return fids[i] < fids[j] })
+		for _, fid := range fids {
+			w, err := dl.WeightsOf(fid)
+			if err != nil {
+				return nil, err
+			}
+			best := bestObj{}
+			foundBest := false
+			for _, o := range sky {
+				s := geom.Dot(w, o.Point)
+				if !foundBest || s > best.score || (s == best.score && o.ID < best.oid) {
+					best, foundBest = bestObj{oid: o.ID, score: s}, true
+				}
+			}
+			fBest[fid] = best
+		}
+
+		var removedObjs []uint64
+		emitted := 0
+		for _, fid := range fids {
+			bo := fBest[fid]
+			if oBest[bo.oid].fid != fid {
+				continue
+			}
+			res.Pairs = append(res.Pairs, Pair{FuncID: fid, ObjectID: bo.oid, Score: bo.score})
+			emitted++
+			if funcCaps.consume(fid) {
+				if err := dl.Remove(fid); err != nil {
+					return nil, err
+				}
+			}
+			if objCaps.consume(bo.oid) {
+				removedObjs = append(removedObjs, bo.oid)
+				delete(bestCache, bo.oid)
+			}
+		}
+		if emitted == 0 {
+			return nil, errors.New("assign: internal error: no stable pair emitted in a loop")
+		}
+		if len(removedObjs) > 0 {
+			if err := maint.Remove(removedObjs...); err != nil {
+				return nil, err
+			}
+		}
+		if cur := mem.Current + int64(len(sky))*48; cur > res.Stats.PeakMem {
+			res.Stats.PeakMem = cur
+		}
+	}
+
+	timer.Stop()
+	res.Stats.CPUTime = timer.Total
+	res.Stats.IO = *idx.store.IO()
+	res.Stats.IO.Add(*fstore.IO())
+	res.Stats.Pairs = int64(len(res.Pairs))
+	res.Stats.TASorted = dl.Counters.SortedAccesses
+	res.Stats.TARandom = dl.Counters.RandomAccesses
+	res.Stats.NodeReads = maint.NodeReads
+	if mem.Peak > res.Stats.PeakMem {
+		res.Stats.PeakMem = mem.Peak
+	}
+	return res, nil
+}

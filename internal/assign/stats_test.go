@@ -1,0 +1,123 @@
+package assign
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestDeterminism: identical inputs must produce byte-identical outputs
+// and identical cost counters across repeated runs, for every algorithm.
+func TestDeterminism(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	p := randProblem(rng, 50, 400, 3)
+	for _, alg := range allAlgorithms {
+		a, err := alg.run(p, testCfg())
+		if err != nil {
+			t.Fatalf("%s: %v", alg.name, err)
+		}
+		b, err := alg.run(p, testCfg())
+		if err != nil {
+			t.Fatalf("%s: %v", alg.name, err)
+		}
+		if len(a.Pairs) != len(b.Pairs) {
+			t.Fatalf("%s: pair counts differ across runs", alg.name)
+		}
+		for i := range a.Pairs {
+			if a.Pairs[i] != b.Pairs[i] {
+				t.Fatalf("%s: pair %d differs across runs: %+v vs %+v",
+					alg.name, i, a.Pairs[i], b.Pairs[i])
+			}
+		}
+		if a.Stats.IO.Accesses() != b.Stats.IO.Accesses() {
+			t.Fatalf("%s: I/O differs across runs: %d vs %d",
+				alg.name, a.Stats.IO.Accesses(), b.Stats.IO.Accesses())
+		}
+		if a.Stats.Loops != b.Stats.Loops {
+			t.Fatalf("%s: loops differ across runs", alg.name)
+		}
+	}
+}
+
+// TestOmegaTradeoff: a smaller Ω must never change the matching, only
+// force more TA restarts (the Section 5.1 memory/time trade-off).
+func TestOmegaTradeoff(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	p := randProblem(rng, 80, 500, 3)
+	big, err := SB(p, Config{PageSize: 512, BufferFrac: 0.1, OmegaFrac: 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	small, err := SB(p, Config{PageSize: 512, BufferFrac: 0.1, OmegaFrac: 0.002})
+	if err != nil {
+		t.Fatal(err)
+	}
+	samePairs(t, "omega", small.Pairs, big.Pairs)
+	if small.Stats.TASorted < big.Stats.TASorted {
+		t.Errorf("small Ω should not reduce sorted accesses: %d vs %d",
+			small.Stats.TASorted, big.Stats.TASorted)
+	}
+}
+
+// TestBufferSizeDoesNotChangeSBIO: Theorem 1 at the algorithm level —
+// SB's I/O is identical for any buffer size, because no node is ever
+// read twice.
+func TestBufferSizeDoesNotChangeSBIO(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	p := randProblem(rng, 60, 1500, 3)
+	var baseline int64 = -1
+	for _, frac := range []float64{-1, 0.01, 0.05, 0.5} {
+		res, err := SB(p, Config{PageSize: 512, BufferFrac: frac})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if baseline == -1 {
+			baseline = res.Stats.IO.Accesses()
+			continue
+		}
+		if res.Stats.IO.Accesses() != baseline {
+			t.Errorf("buffer %v: SB I/O = %d, want %d (buffer-independent)",
+				frac, res.Stats.IO.Accesses(), baseline)
+		}
+	}
+}
+
+// TestBruteForceMemoryExceedsSB reproduces the Figure 9 memory ordering
+// at test scale.
+func TestBruteForceMemoryExceedsSB(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	p := randProblem(rng, 150, 2000, 3)
+	cfg := Config{PageSize: 512, BufferFrac: 0.02}
+	sb, err := SB(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bf, err := BruteForce(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bf.Stats.PeakMem <= sb.Stats.PeakMem {
+		t.Errorf("BruteForce memory (%d) should exceed SB (%d): it holds one search heap per function",
+			bf.Stats.PeakMem, sb.Stats.PeakMem)
+	}
+}
+
+// TestChainCostsMoreIOThanBruteForce: every Chain probe is a fresh
+// root-to-leaf top-1 search, while Brute Force resumes retained heaps —
+// so Chain pays more object-index I/O (the Figure 9 ordering).
+func TestChainCostsMoreIOThanBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(59))
+	p := randProblem(rng, 100, 1000, 3)
+	cfg := Config{PageSize: 512, BufferFrac: 0.02}
+	bf, err := BruteForce(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, err := Chain(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ch.Stats.IO.Accesses() <= bf.Stats.IO.Accesses() {
+		t.Errorf("Chain I/O (%d) should exceed Brute Force I/O (%d)",
+			ch.Stats.IO.Accesses(), bf.Stats.IO.Accesses())
+	}
+}

@@ -1,0 +1,161 @@
+package assign
+
+import (
+	"errors"
+	"sort"
+
+	"fairassign/internal/geom"
+	"fairassign/internal/metrics"
+	"fairassign/internal/rtree"
+	"fairassign/internal/skyline"
+)
+
+// SBTwoSkylines is the prioritized variant of Section 6.2: alongside the
+// object skyline, a skyline is maintained over the functions' effective
+// coefficient vectors (α'_i = α_i·γ). A function dominated coefficient-
+// wise by another can never win any object, so the best pairs always lie
+// in Fsky × Osky, and with γ-scaled weights Fsky is small. Best pairs are
+// then found by exhaustive scan of the two skylines — faster than TA
+// whose threshold goes loose for mixed priorities, and cheaper in memory
+// (no TA states are kept), matching Figure 15.
+func SBTwoSkylines(p *Problem, cfg Config) (*Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	idx, err := buildObjectIndex(p, cfg)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{}
+	var timer metrics.Timer
+	timer.Start()
+
+	var mem metrics.MemTracker
+	maint, err := skyline.NewMaintainer(idx.tree, &mem)
+	if err != nil {
+		return nil, err
+	}
+	funcCaps := newFuncCaps(p.Functions)
+	objCaps := newObjectCaps(p.Objects)
+
+	// Live functions as weight-space points; Fsky recomputed with SFS
+	// whenever a skyline function is assigned away (deletions are the
+	// only updates, but removing a skyline function can surface functions
+	// it was dominating).
+	weights := make(map[uint64][]float64, len(p.Functions))
+	liveFuncs := make([]rtree.Item, 0, len(p.Functions))
+	for _, f := range p.Functions {
+		w := f.Effective()
+		weights[f.ID] = w
+		liveFuncs = append(liveFuncs, rtree.Item{ID: f.ID, Point: w})
+	}
+	fsky := skyline.SFS(liveFuncs)
+	fskyStale := false
+
+	for funcCaps.units > 0 && objCaps.units > 0 && maint.Size() > 0 && len(liveFuncs) > 0 {
+		res.Stats.Loops++
+		if fskyStale {
+			fsky = skyline.SFS(liveFuncs)
+			fskyStale = false
+		}
+		sky := maint.Skyline()
+		sort.Slice(sky, func(i, j int) bool { return sky[i].ID < sky[j].ID })
+		sort.Slice(fsky, func(i, j int) bool { return fsky[i].ID < fsky[j].ID })
+
+		// Best function in Fsky for every skyline object, and the
+		// reverse, by exhaustive scan of the (small) cross product.
+		type bestFunc struct {
+			fid   uint64
+			score float64
+		}
+		oBest := make(map[uint64]bestFunc, len(sky))
+		for _, o := range sky {
+			var bf bestFunc
+			found := false
+			for _, f := range fsky {
+				s := geom.Dot(f.Point, o.Point)
+				if !found || s > bf.score || (s == bf.score && f.ID < bf.fid) {
+					bf, found = bestFunc{fid: f.ID, score: s}, true
+				}
+			}
+			if !found {
+				break
+			}
+			oBest[o.ID] = bf
+		}
+		type bestObj struct {
+			oid   uint64
+			score float64
+		}
+		fBest := make(map[uint64]bestObj)
+		fids := make([]uint64, 0, len(oBest))
+		for _, bf := range oBest {
+			if _, seen := fBest[bf.fid]; !seen {
+				fBest[bf.fid] = bestObj{}
+				fids = append(fids, bf.fid)
+			}
+		}
+		sort.Slice(fids, func(i, j int) bool { return fids[i] < fids[j] })
+		for _, fid := range fids {
+			w := weights[fid]
+			var bo bestObj
+			found := false
+			for _, o := range sky {
+				s := geom.Dot(w, o.Point)
+				if !found || s > bo.score || (s == bo.score && o.ID < bo.oid) {
+					bo, found = bestObj{oid: o.ID, score: s}, true
+				}
+			}
+			fBest[fid] = bo
+		}
+
+		var removedObjs []uint64
+		removedFuncs := make(map[uint64]bool)
+		emitted := 0
+		for _, fid := range fids {
+			bo := fBest[fid]
+			if oBest[bo.oid].fid != fid {
+				continue
+			}
+			res.Pairs = append(res.Pairs, Pair{FuncID: fid, ObjectID: bo.oid, Score: bo.score})
+			emitted++
+			if funcCaps.consume(fid) {
+				removedFuncs[fid] = true
+			}
+			if objCaps.consume(bo.oid) {
+				removedObjs = append(removedObjs, bo.oid)
+			}
+		}
+		if emitted == 0 {
+			return nil, errors.New("assign: internal error: no stable pair emitted in a loop")
+		}
+		if len(removedFuncs) > 0 {
+			keep := liveFuncs[:0]
+			for _, f := range liveFuncs {
+				if !removedFuncs[f.ID] {
+					keep = append(keep, f)
+				}
+			}
+			liveFuncs = keep
+			fskyStale = true
+		}
+		if len(removedObjs) > 0 {
+			if err := maint.Remove(removedObjs...); err != nil {
+				return nil, err
+			}
+		}
+		if cur := mem.Current + int64(len(fsky)+len(sky))*48; cur > res.Stats.PeakMem {
+			res.Stats.PeakMem = cur
+		}
+	}
+
+	timer.Stop()
+	res.Stats.CPUTime = timer.Total
+	res.Stats.IO = *idx.store.IO()
+	res.Stats.Pairs = int64(len(res.Pairs))
+	res.Stats.NodeReads = maint.NodeReads
+	if mem.Peak > res.Stats.PeakMem {
+		res.Stats.PeakMem = mem.Peak
+	}
+	return res, nil
+}

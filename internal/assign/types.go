@@ -1,0 +1,230 @@
+// Package assign implements the paper's core contribution: computing the
+// stable 1-1 matching between a set of preference functions F and a set
+// of multidimensional objects O (Sections 3–6).
+//
+// Algorithms provided:
+//
+//   - SB            — the fully optimized skyline-based algorithm
+//     (Algorithm 3): I/O-optimal UpdateSkyline maintenance, resumable
+//     Ω-bounded TA best-function search, multi-pair emission per loop;
+//   - SBBasic       — Algorithm 1 with UpdateSkyline but fresh TA per
+//     object and one pair per loop ("SB-UpdateSkyline" in Fig. 8);
+//   - SBDeltaSky    — Algorithm 1 with DeltaSky skyline maintenance
+//     ("SB-DeltaSky" in Fig. 8);
+//   - BruteForce    — one resumable BRS top-1 searcher per function
+//     (Section 4.1);
+//   - Chain         — the adaptation of the spatial Chain algorithm with
+//     a main-memory function R-tree (Sections 2.1, 7);
+//   - SBAlt         — SB with disk-resident coefficient lists and batch
+//     best-pair search (Section 7.6);
+//   - SBTwoSkylines — the prioritized variant computing a skyline on both
+//     sides (Section 6.2);
+//   - Oracle        — the definitional greedy over all |F|·|O| scored
+//     pairs, and GaleShapley — classic SMP; both used to verify
+//     stability.
+//
+// Capacities (Section 6.1) and priorities γ (Section 6.2) are supported
+// by every algorithm.
+package assign
+
+import (
+	"fmt"
+
+	"fairassign/internal/geom"
+	"fairassign/internal/metrics"
+)
+
+// Object is a database object: a D-dimensional feature vector with an
+// optional capacity (number of identical instances, Section 6.1).
+type Object struct {
+	ID       uint64
+	Point    geom.Point
+	Capacity int // <= 0 means 1
+}
+
+func (o Object) capacity() int {
+	if o.Capacity <= 0 {
+		return 1
+	}
+	return o.Capacity
+}
+
+// Function is a user preference: normalized weights (Σα = 1), an optional
+// priority γ (Section 6.2, 0 means 1), and an optional capacity.
+type Function struct {
+	ID       uint64
+	Weights  []float64
+	Gamma    float64 // priority; <= 0 means 1
+	Capacity int     // <= 0 means 1
+}
+
+func (f Function) gamma() float64 {
+	if f.Gamma <= 0 {
+		return 1
+	}
+	return f.Gamma
+}
+
+func (f Function) capacity() int {
+	if f.Capacity <= 0 {
+		return 1
+	}
+	return f.Capacity
+}
+
+// Effective returns the effective coefficients α'_i = α_i·γ used
+// throughout search (Equation 2 reduces to Equation 1 when γ = 1).
+func (f Function) Effective() []float64 {
+	g := f.gamma()
+	w := make([]float64, len(f.Weights))
+	for i, a := range f.Weights {
+		w[i] = a * g
+	}
+	return w
+}
+
+// Score returns f(o) including the priority factor.
+func (f Function) Score(o geom.Point) float64 {
+	return f.gamma() * geom.Dot(f.Weights, o)
+}
+
+// Pair is one unit of assignment: function FuncID gets one instance of
+// object ObjectID at the given score.
+type Pair struct {
+	FuncID   uint64
+	ObjectID uint64
+	Score    float64
+}
+
+// Problem bundles one assignment instance.
+type Problem struct {
+	Dims      int
+	Objects   []Object
+	Functions []Function
+}
+
+// Validate checks structural consistency.
+func (p *Problem) Validate() error {
+	if p.Dims < 1 {
+		return fmt.Errorf("assign: dims must be >= 1, got %d", p.Dims)
+	}
+	seenO := make(map[uint64]bool, len(p.Objects))
+	for _, o := range p.Objects {
+		if len(o.Point) != p.Dims {
+			return fmt.Errorf("assign: object %d has %d dims, want %d", o.ID, len(o.Point), p.Dims)
+		}
+		if seenO[o.ID] {
+			return fmt.Errorf("assign: duplicate object id %d", o.ID)
+		}
+		seenO[o.ID] = true
+	}
+	seenF := make(map[uint64]bool, len(p.Functions))
+	for _, f := range p.Functions {
+		if len(f.Weights) != p.Dims {
+			return fmt.Errorf("assign: function %d has %d weights, want %d", f.ID, len(f.Weights), p.Dims)
+		}
+		for _, w := range f.Weights {
+			if w < 0 {
+				return fmt.Errorf("assign: function %d has negative weight", f.ID)
+			}
+		}
+		if seenF[f.ID] {
+			return fmt.Errorf("assign: duplicate function id %d", f.ID)
+		}
+		seenF[f.ID] = true
+	}
+	return nil
+}
+
+// TotalFunctionCapacity sums function capacities (the number of pairs
+// demanded by F).
+func (p *Problem) TotalFunctionCapacity() int {
+	n := 0
+	for _, f := range p.Functions {
+		n += f.capacity()
+	}
+	return n
+}
+
+// TotalObjectCapacity sums object capacities (the supply in O).
+func (p *Problem) TotalObjectCapacity() int {
+	n := 0
+	for _, o := range p.Objects {
+		n += o.capacity()
+	}
+	return n
+}
+
+// Config tunes the execution environment of the disk-based algorithms.
+type Config struct {
+	// PageSize of the simulated disk (default 4096, the paper's setting).
+	PageSize int
+	// BufferFrac sizes the object-index LRU buffer as a fraction of the
+	// index pages (default 0.02, the paper's 2 %). Negative means zero
+	// buffering; zero means default.
+	BufferFrac float64
+	// OmegaFrac is ω: the TA candidate queue holds Ω = ω·|F| entries
+	// (default 0.025, the paper's tuned 2.5 %).
+	OmegaFrac float64
+	// TreeFill is the STR bulk-load occupancy (default 0.9).
+	TreeFill float64
+	// FuncBufferFrac sizes the buffer over disk-resident function lists
+	// for SBAlt (default = BufferFrac).
+	FuncBufferFrac float64
+}
+
+func (c Config) pageSize() int {
+	if c.PageSize <= 0 {
+		return 4096
+	}
+	return c.PageSize
+}
+
+func (c Config) bufferFrac() float64 {
+	if c.BufferFrac == 0 {
+		return 0.02
+	}
+	if c.BufferFrac < 0 {
+		return 0
+	}
+	return c.BufferFrac
+}
+
+func (c Config) omegaFrac() float64 {
+	if c.OmegaFrac <= 0 {
+		return 0.025
+	}
+	return c.OmegaFrac
+}
+
+func (c Config) treeFill() float64 {
+	if c.TreeFill <= 0 || c.TreeFill > 1 {
+		return 0.9
+	}
+	return c.TreeFill
+}
+
+func (c Config) funcBufferFrac() float64 {
+	if c.FuncBufferFrac == 0 {
+		return c.bufferFrac()
+	}
+	if c.FuncBufferFrac < 0 {
+		return 0
+	}
+	return c.FuncBufferFrac
+}
+
+// Result is the output of one algorithm run.
+type Result struct {
+	Pairs []Pair
+	Stats metrics.Stats
+}
+
+// omegaFor computes Ω for a function-set size.
+func (c Config) omegaFor(numFuncs int) int {
+	om := int(c.omegaFrac() * float64(numFuncs))
+	if om < 1 {
+		om = 1
+	}
+	return om
+}

@@ -1,0 +1,318 @@
+// Package datagen produces the paper's experimental workloads
+// (Section 7): independent, correlated and anti-correlated object sets
+// following the Börzsönyi et al. methodology; uniformly random and
+// clustered (Gaussian around C centers, σ = 0.05) normalized preference
+// functions; and synthetic stand-ins for the two real datasets (Zillow
+// and NBA) that reproduce their documented shape — size, dimensionality,
+// skew, and inter-attribute correlation. All generators are
+// deterministic given a seed.
+package datagen
+
+import (
+	"math"
+	"math/rand"
+
+	"fairassign/internal/assign"
+	"fairassign/internal/geom"
+)
+
+// Kind selects the synthetic object distribution.
+type Kind int
+
+const (
+	// Independent: attribute values uniform and independent.
+	Independent Kind = iota
+	// Correlated: objects good in one dimension are likely good in all.
+	Correlated
+	// AntiCorrelated: objects good in one dimension are likely poor in
+	// the others — the hardest case, with large skylines.
+	AntiCorrelated
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case Independent:
+		return "independent"
+	case Correlated:
+		return "correlated"
+	case AntiCorrelated:
+		return "anti-correlated"
+	default:
+		return "unknown"
+	}
+}
+
+// Objects generates n objects of the given distribution in [0,1]^dims.
+func Objects(kind Kind, n, dims int, seed int64) []assign.Object {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]assign.Object, n)
+	for i := 0; i < n; i++ {
+		var p geom.Point
+		switch kind {
+		case Correlated:
+			p = correlatedPoint(rng, dims)
+		case AntiCorrelated:
+			p = antiCorrelatedPoint(rng, dims)
+		default:
+			p = independentPoint(rng, dims)
+		}
+		out[i] = assign.Object{ID: uint64(i + 1), Point: p}
+	}
+	return out
+}
+
+func independentPoint(rng *rand.Rand, dims int) geom.Point {
+	p := make(geom.Point, dims)
+	for d := range p {
+		p[d] = rng.Float64()
+	}
+	return p
+}
+
+// correlatedPoint places a point near the main diagonal: a base value
+// drawn toward the middle of the range plus small per-dimension jitter.
+// Out-of-range draws are rejected and redrawn (as in the Börzsönyi
+// methodology) rather than clamped: clamping would pile up exact
+// duplicates at the corners of the space and manufacture score ties.
+func correlatedPoint(rng *rand.Rand, dims int) geom.Point {
+	for {
+		base := 0.5 + 0.2*rng.NormFloat64()
+		if base < 0 || base > 1 {
+			continue
+		}
+		p := make(geom.Point, dims)
+		ok := true
+		for d := range p {
+			v := base + 0.05*rng.NormFloat64()
+			if v < 0 || v > 1 {
+				ok = false
+				break
+			}
+			p[d] = v
+		}
+		if ok {
+			return p
+		}
+	}
+}
+
+// antiCorrelatedPoint places a point near the anti-diagonal hyperplane
+// Σx ≈ dims/2: good values in one dimension trade against the others.
+// The point starts at the plane's center and mass is shifted between
+// random dimension pairs, which keeps every coordinate strictly inside
+// [0,1] (no clamping, hence no manufactured duplicates) while preserving
+// the coordinate sum.
+func antiCorrelatedPoint(rng *rand.Rand, dims int) geom.Point {
+	base := 0.5 + 0.05*rng.NormFloat64()
+	if base < 0.05 {
+		base = 0.05
+	}
+	if base > 0.95 {
+		base = 0.95
+	}
+	p := make(geom.Point, dims)
+	for d := range p {
+		p[d] = base
+	}
+	for k := 0; k < 4*dims; k++ {
+		i, j := rng.Intn(dims), rng.Intn(dims)
+		if i == j {
+			continue
+		}
+		room := p[i]
+		if 1-p[j] < room {
+			room = 1 - p[j]
+		}
+		delta := rng.Float64() * room * 0.9
+		p[i] -= delta
+		p[j] += delta
+	}
+	return p
+}
+
+// Functions generates n normalized linear preference functions with
+// independently drawn weights (the paper's default).
+func Functions(n, dims int, seed int64) []assign.Function {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]assign.Function, n)
+	for i := 0; i < n; i++ {
+		out[i] = assign.Function{ID: uint64(i + 1), Weights: randomWeights(rng, dims)}
+	}
+	return out
+}
+
+func randomWeights(rng *rand.Rand, dims int) []float64 {
+	w := make([]float64, dims)
+	sum := 0.0
+	for d := range w {
+		w[d] = rng.Float64()
+		sum += w[d]
+	}
+	for d := range w {
+		w[d] /= sum
+	}
+	return w
+}
+
+// ClusteredFunctions generates functions whose weights cluster around c
+// random centers with Gaussian spread sd (σ = 0.05 in Figure 12), then
+// renormalizes to Σα = 1.
+func ClusteredFunctions(n, dims, c int, sd float64, seed int64) []assign.Function {
+	rng := rand.New(rand.NewSource(seed))
+	if c < 1 {
+		c = 1
+	}
+	centers := make([][]float64, c)
+	for i := range centers {
+		centers[i] = randomWeights(rng, dims)
+	}
+	out := make([]assign.Function, n)
+	for i := 0; i < n; i++ {
+		ctr := centers[rng.Intn(c)]
+		w := make([]float64, dims)
+		sum := 0.0
+		for d := range w {
+			v := ctr[d] + sd*rng.NormFloat64()
+			if v < 1e-9 {
+				v = 1e-9
+			}
+			w[d] = v
+			sum += v
+		}
+		for d := range w {
+			w[d] /= sum
+		}
+		out[i] = assign.Function{ID: uint64(i + 1), Weights: w}
+	}
+	return out
+}
+
+// WithFunctionCapacity returns a copy of funcs with every capacity set
+// to k (Section 6.1).
+func WithFunctionCapacity(funcs []assign.Function, k int) []assign.Function {
+	out := make([]assign.Function, len(funcs))
+	copy(out, funcs)
+	for i := range out {
+		out[i].Capacity = k
+	}
+	return out
+}
+
+// WithObjectCapacity returns a copy of objs with every capacity set to k.
+func WithObjectCapacity(objs []assign.Object, k int) []assign.Object {
+	out := make([]assign.Object, len(objs))
+	copy(out, objs)
+	for i := range out {
+		out[i].Capacity = k
+	}
+	return out
+}
+
+// WithRandomGamma returns a copy of funcs with priorities drawn uniformly
+// from {1, ..., maxGamma} (Section 7.4).
+func WithRandomGamma(funcs []assign.Function, maxGamma int, seed int64) []assign.Function {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]assign.Function, len(funcs))
+	copy(out, funcs)
+	for i := range out {
+		out[i].Gamma = float64(1 + rng.Intn(maxGamma))
+	}
+	return out
+}
+
+// WithRandomFunctionCapacity returns a copy with capacities drawn
+// uniformly from {1, ..., maxK} (used by the NBA experiment).
+func WithRandomFunctionCapacity(funcs []assign.Function, maxK int, seed int64) []assign.Function {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]assign.Function, len(funcs))
+	copy(out, funcs)
+	for i := range out {
+		out[i].Capacity = 1 + rng.Intn(maxK)
+	}
+	return out
+}
+
+// ZillowLike synthesizes a real-estate dataset shaped like the paper's
+// Zillow crawl: five attributes (bathrooms, bedrooms, living area, price
+// attractiveness, lot area), heavy log-normal skew on the size/price
+// columns and strong positive correlation between living area, bathroom
+// count and price. Values are min-max normalized to [0,1] with "larger is
+// better" orientation (price enters as affordability so that cheap,
+// large, well-equipped homes dominate).
+func ZillowLike(n int, seed int64) []assign.Object {
+	rng := rand.New(rand.NewSource(seed))
+	rows := make([][5]float64, n)
+	for i := 0; i < n; i++ {
+		// Latent "home size" factor drives most attributes.
+		size := math.Exp(0.5 * rng.NormFloat64()) // log-normal around 1
+		baths := math.Max(1, math.Round(1.5*size+0.7*rng.NormFloat64()))
+		beds := math.Max(1, math.Round(2.5*size+0.9*rng.NormFloat64()))
+		living := 900 * size * math.Exp(0.25*rng.NormFloat64())
+		price := 150000 * size * math.Exp(0.45*rng.NormFloat64())
+		lot := 3000 * math.Exp(0.9*rng.NormFloat64()) * (0.5 + 0.5*size)
+		// Affordability: inverted price so larger = better everywhere.
+		rows[i] = [5]float64{baths, beds, living, 1 / price, lot}
+	}
+	return normalizeRows(rows)
+}
+
+// NBALike synthesizes a player-statistics dataset shaped like the NBA
+// set used in Section 7.5: 12,278 players × five attributes (points,
+// rebounds, assists, steals, blocks). A latent log-normal "ability"
+// factor induces the heavy skew (few stars) and positive correlation
+// among the stat lines; role variation (guards vs. centers) adds the
+// rebounds/assists trade-off present in real rosters.
+func NBALike(seed int64) []assign.Object {
+	return NBALikeN(12278, seed)
+}
+
+// NBALikeN is NBALike with a custom row count (for scaled-down tests).
+func NBALikeN(n int, seed int64) []assign.Object {
+	rng := rand.New(rand.NewSource(seed))
+	rows := make([][5]float64, n)
+	for i := 0; i < n; i++ {
+		ability := math.Exp(0.8*rng.NormFloat64() - 0.8)
+		role := rng.Float64() // 0 = guard, 1 = big man
+		points := 8 * ability * math.Exp(0.3*rng.NormFloat64())
+		rebounds := 4 * ability * (0.4 + 1.2*role) * math.Exp(0.3*rng.NormFloat64())
+		assists := 3 * ability * (1.6 - 1.2*role) * math.Exp(0.3*rng.NormFloat64())
+		steals := 0.8 * ability * math.Exp(0.4*rng.NormFloat64())
+		blocks := 0.5 * ability * (0.3 + 1.4*role) * math.Exp(0.5*rng.NormFloat64())
+		rows[i] = [5]float64{points, rebounds, assists, steals, blocks}
+	}
+	return normalizeRows(rows)
+}
+
+// normalizeRows min-max scales every column to [0,1] and wraps the rows
+// as objects.
+func normalizeRows(rows [][5]float64) []assign.Object {
+	if len(rows) == 0 {
+		return nil
+	}
+	var lo, hi [5]float64
+	for d := 0; d < 5; d++ {
+		lo[d], hi[d] = math.Inf(1), math.Inf(-1)
+	}
+	for _, r := range rows {
+		for d := 0; d < 5; d++ {
+			if r[d] < lo[d] {
+				lo[d] = r[d]
+			}
+			if r[d] > hi[d] {
+				hi[d] = r[d]
+			}
+		}
+	}
+	out := make([]assign.Object, len(rows))
+	for i, r := range rows {
+		p := make(geom.Point, 5)
+		for d := 0; d < 5; d++ {
+			if hi[d] > lo[d] {
+				p[d] = (r[d] - lo[d]) / (hi[d] - lo[d])
+			}
+		}
+		out[i] = assign.Object{ID: uint64(i + 1), Point: p}
+	}
+	return out
+}

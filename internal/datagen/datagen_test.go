@@ -1,0 +1,242 @@
+package datagen
+
+import (
+	"math"
+	"testing"
+
+	"fairassign/internal/assign"
+	"fairassign/internal/rtree"
+	"fairassign/internal/skyline"
+)
+
+func pearson(objs []assign.Object, d1, d2 int) float64 {
+	n := float64(len(objs))
+	var sx, sy, sxx, syy, sxy float64
+	for _, o := range objs {
+		x, y := o.Point[d1], o.Point[d2]
+		sx += x
+		sy += y
+		sxx += x * x
+		syy += y * y
+		sxy += x * y
+	}
+	cov := sxy/n - (sx/n)*(sy/n)
+	vx := sxx/n - (sx/n)*(sx/n)
+	vy := syy/n - (sy/n)*(sy/n)
+	return cov / math.Sqrt(vx*vy)
+}
+
+func inUnitBox(t *testing.T, objs []assign.Object, dims int) {
+	t.Helper()
+	for _, o := range objs {
+		if len(o.Point) != dims {
+			t.Fatalf("object %d has %d dims, want %d", o.ID, len(o.Point), dims)
+		}
+		for d, v := range o.Point {
+			if v < 0 || v > 1 || math.IsNaN(v) {
+				t.Fatalf("object %d dim %d = %v out of [0,1]", o.ID, d, v)
+			}
+		}
+	}
+}
+
+func TestObjectsDeterministic(t *testing.T) {
+	for _, k := range []Kind{Independent, Correlated, AntiCorrelated} {
+		a := Objects(k, 100, 4, 42)
+		b := Objects(k, 100, 4, 42)
+		for i := range a {
+			if !a[i].Point.Equal(b[i].Point) {
+				t.Fatalf("%v: object %d differs between runs", k, i)
+			}
+		}
+		c := Objects(k, 100, 4, 43)
+		same := 0
+		for i := range a {
+			if a[i].Point.Equal(c[i].Point) {
+				same++
+			}
+		}
+		if same == len(a) {
+			t.Fatalf("%v: different seeds produced identical data", k)
+		}
+	}
+}
+
+func TestObjectsInRangeAllKinds(t *testing.T) {
+	for _, k := range []Kind{Independent, Correlated, AntiCorrelated} {
+		for _, dims := range []int{2, 3, 6} {
+			inUnitBox(t, Objects(k, 500, dims, 1), dims)
+		}
+	}
+}
+
+func TestCorrelationSigns(t *testing.T) {
+	n := 5000
+	corr := Objects(Correlated, n, 3, 7)
+	anti := Objects(AntiCorrelated, n, 3, 7)
+	indep := Objects(Independent, n, 3, 7)
+	if r := pearson(corr, 0, 1); r < 0.5 {
+		t.Errorf("correlated data: r(0,1) = %v, want strongly positive", r)
+	}
+	if r := pearson(anti, 0, 1); r > -0.1 {
+		t.Errorf("anti-correlated data: r(0,1) = %v, want negative", r)
+	}
+	if r := pearson(indep, 0, 1); math.Abs(r) > 0.1 {
+		t.Errorf("independent data: r(0,1) = %v, want near zero", r)
+	}
+}
+
+func skylineSize(t *testing.T, objs []assign.Object) int {
+	t.Helper()
+	items := make([]rtree.Item, len(objs))
+	for i, o := range objs {
+		items[i] = rtree.Item{ID: o.ID, Point: o.Point}
+	}
+	return len(skyline.SFS(items))
+}
+
+func TestSkylineSizeOrdering(t *testing.T) {
+	// The defining property of the three distributions (Section 7):
+	// |sky(anti)| > |sky(indep)| > |sky(corr)|.
+	n := 4000
+	sAnti := skylineSize(t, Objects(AntiCorrelated, n, 4, 3))
+	sInd := skylineSize(t, Objects(Independent, n, 4, 3))
+	sCorr := skylineSize(t, Objects(Correlated, n, 4, 3))
+	if !(sAnti > sInd && sInd > sCorr) {
+		t.Errorf("skyline sizes anti=%d indep=%d corr=%d violate expected ordering", sAnti, sInd, sCorr)
+	}
+}
+
+func TestFunctionsNormalized(t *testing.T) {
+	funcs := Functions(300, 5, 11)
+	for _, f := range funcs {
+		sum := 0.0
+		for _, w := range f.Weights {
+			if w < 0 {
+				t.Fatalf("function %d has negative weight", f.ID)
+			}
+			sum += w
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("function %d weights sum to %v", f.ID, sum)
+		}
+	}
+}
+
+func TestClusteredFunctions(t *testing.T) {
+	funcs := ClusteredFunctions(2000, 4, 3, 0.05, 13)
+	if len(funcs) != 2000 {
+		t.Fatalf("len = %d", len(funcs))
+	}
+	for _, f := range funcs {
+		sum := 0.0
+		for _, w := range f.Weights {
+			sum += w
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("clustered function %d not normalized: %v", f.ID, sum)
+		}
+	}
+	// With a single cluster and σ=0.05, weights should be far more
+	// concentrated than with nine clusters.
+	spread := func(fs []assign.Function) float64 {
+		var mean, m2 float64
+		for _, f := range fs {
+			mean += f.Weights[0]
+		}
+		mean /= float64(len(fs))
+		for _, f := range fs {
+			d := f.Weights[0] - mean
+			m2 += d * d
+		}
+		return m2 / float64(len(fs))
+	}
+	one := ClusteredFunctions(2000, 4, 1, 0.05, 17)
+	nine := ClusteredFunctions(2000, 4, 9, 0.05, 17)
+	if spread(one) > spread(nine) {
+		t.Errorf("C=1 spread %v should be below C=9 spread %v", spread(one), spread(nine))
+	}
+}
+
+func TestCapacityAndGammaHelpers(t *testing.T) {
+	funcs := Functions(50, 3, 19)
+	capped := WithFunctionCapacity(funcs, 4)
+	for _, f := range capped {
+		if f.Capacity != 4 {
+			t.Fatal("capacity not applied")
+		}
+	}
+	if funcs[0].Capacity == 4 {
+		t.Fatal("WithFunctionCapacity must not mutate input")
+	}
+	objs := Objects(Independent, 50, 3, 19)
+	oc := WithObjectCapacity(objs, 8)
+	if oc[0].Capacity != 8 || objs[0].Capacity == 8 {
+		t.Fatal("WithObjectCapacity wrong")
+	}
+	pri := WithRandomGamma(funcs, 16, 3)
+	seen := map[float64]bool{}
+	for _, f := range pri {
+		if f.Gamma < 1 || f.Gamma > 16 {
+			t.Fatalf("gamma %v out of range", f.Gamma)
+		}
+		seen[f.Gamma] = true
+	}
+	if len(seen) < 4 {
+		t.Errorf("gamma values not spread: %v", seen)
+	}
+	rc := WithRandomFunctionCapacity(funcs, 9, 5)
+	for _, f := range rc {
+		if f.Capacity < 1 || f.Capacity > 9 {
+			t.Fatalf("capacity %d out of range", f.Capacity)
+		}
+	}
+}
+
+func TestZillowLikeShape(t *testing.T) {
+	objs := ZillowLike(5000, 23)
+	if len(objs) != 5000 {
+		t.Fatalf("len = %d", len(objs))
+	}
+	inUnitBox(t, objs, 5)
+	// Heavy positive skew on the living-area column (index 2): the mean
+	// sits well below the midpoint after min-max scaling.
+	var mean float64
+	for _, o := range objs {
+		mean += o.Point[2]
+	}
+	mean /= float64(len(objs))
+	if mean > 0.35 {
+		t.Errorf("living area mean %v — expected log-normal skew toward 0", mean)
+	}
+	// Bathrooms and living area correlate (both driven by home size).
+	if r := pearson(objs, 0, 2); r < 0.3 {
+		t.Errorf("bath/living correlation %v, want positive", r)
+	}
+}
+
+func TestNBALikeShape(t *testing.T) {
+	objs := NBALike(29)
+	if len(objs) != 12278 {
+		t.Fatalf("NBA dataset must have 12278 rows, got %d", len(objs))
+	}
+	inUnitBox(t, objs, 5)
+	// Stats correlate positively through the ability factor.
+	if r := pearson(objs, 0, 3); r < 0.2 {
+		t.Errorf("points/steals correlation %v, want positive", r)
+	}
+	// Role trade-off: rebounds vs assists correlate less than
+	// points vs steals.
+	if pearson(objs, 1, 2) > pearson(objs, 0, 3) {
+		t.Errorf("rebounds/assists should correlate weaker than points/steals")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Independent.String() != "independent" ||
+		Correlated.String() != "correlated" ||
+		AntiCorrelated.String() != "anti-correlated" ||
+		Kind(99).String() != "unknown" {
+		t.Error("Kind.String broken")
+	}
+}

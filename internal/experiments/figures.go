@@ -1,0 +1,316 @@
+package experiments
+
+import (
+	"fmt"
+
+	"fairassign/internal/assign"
+	"fairassign/internal/datagen"
+)
+
+// Fig8 — effect of the Section 5 optimizations (anti-correlated data,
+// |F| = 1000): SB vs SB-UpdateSkyline vs SB-DeltaSky over D ∈ 3..5.
+// Expected shape: UpdateSkyline ≈ an order of magnitude fewer I/Os than
+// DeltaSky; full SB far faster in CPU at identical I/O.
+func Fig8(p Params) ([]*Result, error) {
+	res := &Result{
+		Figure:   "Figure 8",
+		Title:    "Effect of optimization techniques (anti-correlated, |F|=1000)",
+		XLabel:   "D",
+		AlgOrder: names([]algorithm{algSBDel, algSBUpd, algSB}),
+	}
+	nf, no := p.scaled(1000), p.scaled(defaultObjects)
+	for _, dims := range []int{3, 4, 5} {
+		objs := datagen.Objects(datagen.AntiCorrelated, no, dims, p.Seed+int64(dims))
+		funcs := datagen.Functions(nf, dims, p.Seed+100+int64(dims))
+		prob := &assign.Problem{Dims: dims, Objects: objs, Functions: funcs}
+		outcomes, err := runPoint(prob, defaultCfg(), []algorithm{algSBDel, algSBUpd, algSB})
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, Row{X: fmt.Sprintf("%d", dims), Outcomes: outcomes})
+	}
+	return []*Result{res}, nil
+}
+
+// Fig9 — effect of dimensionality D for the three synthetic
+// distributions: SB vs Brute Force vs Chain (I/O, CPU, memory).
+func Fig9(p Params) ([]*Result, error) {
+	var out []*Result
+	kinds := []datagen.Kind{datagen.Independent, datagen.Correlated, datagen.AntiCorrelated}
+	nf, no := p.scaled(defaultFuncs), p.scaled(defaultObjects)
+	for _, kind := range kinds {
+		res := &Result{
+			Figure:   "Figure 9",
+			Title:    fmt.Sprintf("Effect of dimensionality (%s)", kind),
+			XLabel:   "D",
+			AlgOrder: names([]algorithm{algBF, algChain, algSB}),
+		}
+		for _, dims := range []int{3, 4, 5, 6} {
+			objs := datagen.Objects(kind, no, dims, p.Seed+int64(dims)*10+int64(kind))
+			funcs := datagen.Functions(nf, dims, p.Seed+500+int64(dims))
+			prob := &assign.Problem{Dims: dims, Objects: objs, Functions: funcs}
+			outcomes, err := runPoint(prob, defaultCfg(), []algorithm{algBF, algChain, algSB})
+			if err != nil {
+				return nil, err
+			}
+			res.Rows = append(res.Rows, Row{X: fmt.Sprintf("%d", dims), Outcomes: outcomes})
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// Fig10 — effect of the function cardinality |F| (anti-correlated).
+func Fig10(p Params) ([]*Result, error) {
+	res := &Result{
+		Figure:   "Figure 10",
+		Title:    "Effect of function cardinality |F| (anti-correlated)",
+		XLabel:   "|F|",
+		AlgOrder: names([]algorithm{algBF, algChain, algSB}),
+	}
+	no := p.scaled(defaultObjects)
+	objs := datagen.Objects(datagen.AntiCorrelated, no, defaultDims, p.Seed+1)
+	for _, nfBase := range []int{1000, 2500, 5000, 10000, 20000} {
+		nf := p.scaled(nfBase)
+		funcs := datagen.Functions(nf, defaultDims, p.Seed+600+int64(nfBase))
+		prob := &assign.Problem{Dims: defaultDims, Objects: objs, Functions: funcs}
+		outcomes, err := runPoint(prob, defaultCfg(), []algorithm{algBF, algChain, algSB})
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, Row{X: fmt.Sprintf("%d", nf), Outcomes: outcomes})
+	}
+	return []*Result{res}, nil
+}
+
+// Fig11 — effect of the object cardinality |O| (anti-correlated).
+func Fig11(p Params) ([]*Result, error) {
+	res := &Result{
+		Figure:   "Figure 11",
+		Title:    "Effect of object cardinality |O| (anti-correlated)",
+		XLabel:   "|O|",
+		AlgOrder: names([]algorithm{algBF, algChain, algSB}),
+	}
+	nf := p.scaled(defaultFuncs)
+	funcs := datagen.Functions(nf, defaultDims, p.Seed+2)
+	for _, noBase := range []int{10000, 50000, 100000, 200000, 400000} {
+		no := p.scaled(noBase)
+		objs := datagen.Objects(datagen.AntiCorrelated, no, defaultDims, p.Seed+700+int64(noBase))
+		prob := &assign.Problem{Dims: defaultDims, Objects: objs, Functions: funcs}
+		outcomes, err := runPoint(prob, defaultCfg(), []algorithm{algBF, algChain, algSB})
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, Row{X: fmt.Sprintf("%d", no), Outcomes: outcomes})
+	}
+	return []*Result{res}, nil
+}
+
+// Fig12 — effect of the preference-weight distribution: functions
+// clustered around C Gaussian centers (σ = 0.05), D = 4.
+func Fig12(p Params) ([]*Result, error) {
+	res := &Result{
+		Figure:   "Figure 12",
+		Title:    "Effect of function distribution (clustered weights, anti-correlated)",
+		XLabel:   "clusters C",
+		AlgOrder: names([]algorithm{algBF, algChain, algSB}),
+	}
+	nf, no := p.scaled(defaultFuncs), p.scaled(defaultObjects)
+	objs := datagen.Objects(datagen.AntiCorrelated, no, defaultDims, p.Seed+3)
+	for _, c := range []int{1, 3, 5, 7, 9} {
+		funcs := datagen.ClusteredFunctions(nf, defaultDims, c, 0.05, p.Seed+800+int64(c))
+		prob := &assign.Problem{Dims: defaultDims, Objects: objs, Functions: funcs}
+		outcomes, err := runPoint(prob, defaultCfg(), []algorithm{algBF, algChain, algSB})
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, Row{X: fmt.Sprintf("%d", c), Outcomes: outcomes})
+	}
+	return []*Result{res}, nil
+}
+
+// Fig13 — effect of the LRU buffer size (0–10 % of the object index).
+// SB's I/O must stay flat (its skyline maintenance never re-reads a
+// node), while the competitors benefit from larger buffers.
+func Fig13(p Params) ([]*Result, error) {
+	res := &Result{
+		Figure:   "Figure 13",
+		Title:    "Effect of buffer size (anti-correlated)",
+		XLabel:   "buffer",
+		AlgOrder: names([]algorithm{algBF, algChain, algSB}),
+	}
+	nf, no := p.scaled(defaultFuncs), p.scaled(defaultObjects)
+	objs := datagen.Objects(datagen.AntiCorrelated, no, defaultDims, p.Seed+4)
+	funcs := datagen.Functions(nf, defaultDims, p.Seed+5)
+	for _, frac := range []float64{-1, 0.01, 0.02, 0.05, 0.10} {
+		cfg := defaultCfg()
+		cfg.BufferFrac = frac // -1 encodes the paper's 0 % buffer
+		prob := &assign.Problem{Dims: defaultDims, Objects: objs, Functions: funcs}
+		outcomes, err := runPoint(prob, cfg, []algorithm{algBF, algChain, algSB})
+		if err != nil {
+			return nil, err
+		}
+		label := fmt.Sprintf("%.0f%%", frac*100)
+		if frac < 0 {
+			label = "0%"
+		}
+		res.Rows = append(res.Rows, Row{X: label, Outcomes: outcomes})
+	}
+	return []*Result{res}, nil
+}
+
+// Fig14 — capacitated assignment: function capacities (panels a, b) and
+// object capacities (panels c, d).
+func Fig14(p Params) ([]*Result, error) {
+	nf, no := p.scaled(defaultFuncs), p.scaled(defaultObjects)
+	objs := datagen.Objects(datagen.AntiCorrelated, no, defaultDims, p.Seed+6)
+	funcs := datagen.Functions(nf, defaultDims, p.Seed+7)
+
+	fcap := &Result{
+		Figure:   "Figure 14(a,b)",
+		Title:    "Effect of function capacity k (anti-correlated)",
+		XLabel:   "function capacity k",
+		AlgOrder: names([]algorithm{algBF, algChain, algSB}),
+	}
+	for _, k := range []int{2, 4, 8, 16} {
+		prob := &assign.Problem{
+			Dims:      defaultDims,
+			Objects:   objs,
+			Functions: datagen.WithFunctionCapacity(funcs, k),
+		}
+		outcomes, err := runPoint(prob, defaultCfg(), []algorithm{algBF, algChain, algSB})
+		if err != nil {
+			return nil, err
+		}
+		fcap.Rows = append(fcap.Rows, Row{X: fmt.Sprintf("%d", k), Outcomes: outcomes})
+	}
+
+	ocap := &Result{
+		Figure:   "Figure 14(c,d)",
+		Title:    "Effect of object capacity k (anti-correlated)",
+		XLabel:   "object capacity k",
+		AlgOrder: names([]algorithm{algBF, algChain, algSB}),
+	}
+	for _, k := range []int{2, 4, 8, 16} {
+		prob := &assign.Problem{
+			Dims:      defaultDims,
+			Objects:   datagen.WithObjectCapacity(objs, k),
+			Functions: funcs,
+		}
+		outcomes, err := runPoint(prob, defaultCfg(), []algorithm{algBF, algChain, algSB})
+		if err != nil {
+			return nil, err
+		}
+		ocap.Rows = append(ocap.Rows, Row{X: fmt.Sprintf("%d", k), Outcomes: outcomes})
+	}
+	return []*Result{fcap, ocap}, nil
+}
+
+// Fig15 — prioritized assignment: priorities drawn from [1..γ],
+// including the two-skyline variant of Section 6.2.
+func Fig15(p Params) ([]*Result, error) {
+	res := &Result{
+		Figure:   "Figure 15",
+		Title:    "Effect of function priorities γ (anti-correlated)",
+		XLabel:   "max priority γ",
+		AlgOrder: names([]algorithm{algBF, algChain, algSB, algTwoSk}),
+	}
+	nf, no := p.scaled(defaultFuncs), p.scaled(defaultObjects)
+	objs := datagen.Objects(datagen.AntiCorrelated, no, defaultDims, p.Seed+8)
+	base := datagen.Functions(nf, defaultDims, p.Seed+9)
+	for _, g := range []int{2, 4, 8, 16} {
+		funcs := datagen.WithRandomGamma(base, g, p.Seed+900+int64(g))
+		prob := &assign.Problem{Dims: defaultDims, Objects: objs, Functions: funcs}
+		outcomes, err := runPoint(prob, defaultCfg(), []algorithm{algBF, algChain, algSB, algTwoSk})
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, Row{X: fmt.Sprintf("%d", g), Outcomes: outcomes})
+	}
+	return []*Result{res}, nil
+}
+
+// Fig16 — real datasets: the Zillow-like object sweep (panels a, b) and
+// the NBA-like capacitated assignment (panels c, d). The synthetic
+// stand-ins reproduce the documented skew/correlation of the originals
+// (see DESIGN.md).
+func Fig16(p Params) ([]*Result, error) {
+	zillow := &Result{
+		Figure:   "Figure 16(a,b)",
+		Title:    "Zillow-like real-estate data: effect of |O|",
+		XLabel:   "|O|",
+		AlgOrder: names([]algorithm{algBF, algChain, algSB}),
+		Notes:    "synthetic stand-in for the Zillow crawl (skewed, correlated, 5 attrs)",
+	}
+	nf := p.scaled(defaultFuncs)
+	funcs5 := datagen.Functions(nf, 5, p.Seed+10)
+	for _, noBase := range []int{10000, 50000, 100000, 200000, 400000} {
+		no := p.scaled(noBase)
+		objs := datagen.ZillowLike(no, p.Seed+1000+int64(noBase))
+		prob := &assign.Problem{Dims: 5, Objects: objs, Functions: funcs5}
+		outcomes, err := runPoint(prob, defaultCfg(), []algorithm{algBF, algChain, algSB})
+		if err != nil {
+			return nil, err
+		}
+		zillow.Rows = append(zillow.Rows, Row{X: fmt.Sprintf("%d", no), Outcomes: outcomes})
+	}
+
+	nba := &Result{
+		Figure:   "Figure 16(c,d)",
+		Title:    "NBA-like player data: capacitated assignment",
+		XLabel:   "function capacity k",
+		AlgOrder: names([]algorithm{algBF, algChain, algSB}),
+		Notes:    "synthetic stand-in for NBA Statistics v2.1 (12278 players, 5 attrs)",
+	}
+	nbaObjs := datagen.NBALikeN(p.scaled(12278), p.Seed+11)
+	nbaFuncs := datagen.Functions(p.scaled(1000), 5, p.Seed+12)
+	for _, k := range []int{1, 5, 9, 12} {
+		prob := &assign.Problem{
+			Dims:      5,
+			Objects:   nbaObjs,
+			Functions: datagen.WithFunctionCapacity(nbaFuncs, k),
+		}
+		outcomes, err := runPoint(prob, defaultCfg(), []algorithm{algBF, algChain, algSB})
+		if err != nil {
+			return nil, err
+		}
+		nba.Rows = append(nba.Rows, Row{X: fmt.Sprintf("%d", k), Outcomes: outcomes})
+	}
+	return []*Result{zillow, nba}, nil
+}
+
+// Fig17 — the disk-resident-F storage setting (Section 7.6): function
+// and object cardinalities swapped, O fully memory-resident, every
+// function-side access charged as I/O. SB-alt's batch search saves
+// orders of magnitude of I/O.
+func Fig17(p Params) ([]*Result, error) {
+	var out []*Result
+	algs := []algorithm{algBFDkF, algChDkF, algSBDkF, algSBAlt}
+	// Swapped cardinalities: |F| takes the object default, |O| the
+	// function default.
+	nf, no := p.scaled(defaultObjects), p.scaled(defaultFuncs)
+	for _, kind := range []datagen.Kind{datagen.Independent, datagen.AntiCorrelated} {
+		res := &Result{
+			Figure:   "Figure 17",
+			Title:    fmt.Sprintf("F on disk, O in memory (%s)", kind),
+			XLabel:   "D",
+			AlgOrder: []string{"BruteForce", "Chain", "SB", "SB-alt"},
+			Notes:    "function-side page accesses charged as I/O; object index memory-resident",
+		}
+		for _, dims := range []int{3, 4, 5, 6} {
+			objs := datagen.Objects(kind, no, dims, p.Seed+1100+int64(dims)*10+int64(kind))
+			funcs := datagen.Functions(nf, dims, p.Seed+1200+int64(dims))
+			prob := &assign.Problem{Dims: dims, Objects: objs, Functions: funcs}
+			cfg := defaultCfg()
+			cfg.BufferFrac = 1.0 // object side memory-resident
+			cfg.FuncBufferFrac = defaultBuffer
+			outcomes, err := runPoint(prob, cfg, algs)
+			if err != nil {
+				return nil, err
+			}
+			res.Rows = append(res.Rows, Row{X: fmt.Sprintf("%d", dims), Outcomes: outcomes})
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}

@@ -1,0 +1,109 @@
+// Package metrics collects the three evaluation axes used throughout the
+// paper's experiments: I/O accesses (buffer misses on the simulated disk),
+// CPU time, and the peak memory held by algorithm-owned search structures
+// (priority queues, pruned lists, TA states).
+package metrics
+
+import (
+	"fmt"
+	"time"
+)
+
+// IOCounter tallies page-level activity. Logical counts every page
+// request; Physical counts only the requests that missed the buffer pool
+// and therefore hit the (simulated) disk. The paper's "I/O accesses"
+// metric corresponds to Physical reads plus writes.
+type IOCounter struct {
+	LogicalReads   int64
+	PhysicalReads  int64
+	LogicalWrites  int64
+	PhysicalWrites int64
+}
+
+// Reset zeroes all counters.
+func (c *IOCounter) Reset() { *c = IOCounter{} }
+
+// Accesses returns the paper's I/O metric: physical reads + writes.
+func (c *IOCounter) Accesses() int64 { return c.PhysicalReads + c.PhysicalWrites }
+
+// Add accumulates another counter into c.
+func (c *IOCounter) Add(o IOCounter) {
+	c.LogicalReads += o.LogicalReads
+	c.PhysicalReads += o.PhysicalReads
+	c.LogicalWrites += o.LogicalWrites
+	c.PhysicalWrites += o.PhysicalWrites
+}
+
+func (c *IOCounter) String() string {
+	return fmt.Sprintf("io{phys=%d logical=%d}", c.Accesses(), c.LogicalReads+c.LogicalWrites)
+}
+
+// MemTracker records the current and peak number of bytes held in search
+// structures. Algorithms report growth/shrink analytically (entry count ×
+// entry size), mirroring how the paper measures "maximum memory consumed
+// by search structures during execution".
+type MemTracker struct {
+	Current int64
+	Peak    int64
+}
+
+// Grow adds n bytes to the current footprint and updates the peak.
+func (m *MemTracker) Grow(n int64) {
+	m.Current += n
+	if m.Current > m.Peak {
+		m.Peak = m.Current
+	}
+}
+
+// Shrink removes n bytes from the current footprint.
+func (m *MemTracker) Shrink(n int64) {
+	m.Current -= n
+	if m.Current < 0 {
+		m.Current = 0
+	}
+}
+
+// Reset zeroes the tracker.
+func (m *MemTracker) Reset() { *m = MemTracker{} }
+
+// Stats aggregates everything a single algorithm run produces.
+type Stats struct {
+	IO        IOCounter
+	CPUTime   time.Duration
+	PeakMem   int64 // bytes, high-water mark of search structures
+	Loops     int64 // outer iterations (SB loops, chain steps, ...)
+	Pairs     int64 // stable pairs emitted
+	TopKRuns  int64 // number of top-1 / TA searches issued
+	TASorted  int64 // sorted accesses performed by TA
+	TARandom  int64 // random accesses performed by TA
+	NodeReads int64 // R-tree nodes visited (logical)
+}
+
+func (s *Stats) String() string {
+	return fmt.Sprintf("stats{io=%d cpu=%v mem=%dB loops=%d pairs=%d}",
+		s.IO.Accesses(), s.CPUTime, s.PeakMem, s.Loops, s.Pairs)
+}
+
+// Timer measures wall-clock CPU time of a run. Use Start/Stop around the
+// measured region; nested Stop calls accumulate.
+type Timer struct {
+	start   time.Time
+	running bool
+	Total   time.Duration
+}
+
+// Start begins (or resumes) timing.
+func (t *Timer) Start() {
+	if !t.running {
+		t.start = time.Now()
+		t.running = true
+	}
+}
+
+// Stop pauses timing and accumulates the elapsed interval.
+func (t *Timer) Stop() {
+	if t.running {
+		t.Total += time.Since(t.start)
+		t.running = false
+	}
+}

@@ -1,0 +1,85 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestIOCounter(t *testing.T) {
+	var c IOCounter
+	c.PhysicalReads = 3
+	c.PhysicalWrites = 2
+	c.LogicalReads = 10
+	if got := c.Accesses(); got != 5 {
+		t.Errorf("Accesses = %d, want 5", got)
+	}
+	var d IOCounter
+	d.PhysicalReads = 1
+	d.LogicalWrites = 4
+	c.Add(d)
+	if c.PhysicalReads != 4 || c.LogicalWrites != 4 {
+		t.Errorf("Add failed: %+v", c)
+	}
+	if !strings.Contains(c.String(), "io{") {
+		t.Error("String format broken")
+	}
+	c.Reset()
+	if c.Accesses() != 0 || c.LogicalReads != 0 {
+		t.Error("Reset failed")
+	}
+}
+
+func TestMemTracker(t *testing.T) {
+	var m MemTracker
+	m.Grow(100)
+	m.Grow(50)
+	if m.Current != 150 || m.Peak != 150 {
+		t.Errorf("after grows: %+v", m)
+	}
+	m.Shrink(120)
+	if m.Current != 30 || m.Peak != 150 {
+		t.Errorf("after shrink: %+v", m)
+	}
+	m.Grow(10)
+	if m.Peak != 150 {
+		t.Errorf("peak should persist: %+v", m)
+	}
+	m.Shrink(1000)
+	if m.Current != 0 {
+		t.Errorf("current should floor at 0: %+v", m)
+	}
+	m.Reset()
+	if m.Peak != 0 {
+		t.Error("Reset failed")
+	}
+}
+
+func TestTimerAccumulates(t *testing.T) {
+	var tm Timer
+	tm.Start()
+	time.Sleep(5 * time.Millisecond)
+	tm.Stop()
+	first := tm.Total
+	if first < 4*time.Millisecond {
+		t.Errorf("first interval = %v", first)
+	}
+	tm.Start()
+	time.Sleep(5 * time.Millisecond)
+	tm.Stop()
+	if tm.Total <= first {
+		t.Errorf("Total should accumulate: %v then %v", first, tm.Total)
+	}
+	// Redundant stops/starts are safe.
+	tm.Stop()
+	tm.Start()
+	tm.Start()
+	tm.Stop()
+}
+
+func TestStatsString(t *testing.T) {
+	s := Stats{Loops: 3, Pairs: 7}
+	if !strings.Contains(s.String(), "loops=3") || !strings.Contains(s.String(), "pairs=7") {
+		t.Errorf("Stats.String = %q", s.String())
+	}
+}

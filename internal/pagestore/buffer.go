@@ -1,0 +1,205 @@
+package pagestore
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+)
+
+// BufferPool is a write-back LRU page cache in front of a Store. All index
+// traversal goes through the pool; a Get that finds the page cached is a
+// pure memory access, while a miss triggers one physical read (and
+// possibly one physical write to evict a dirty victim). Capacity 0 means
+// "no buffering": every access is a miss, as in the paper's 0 % buffer
+// experiment.
+type BufferPool struct {
+	mu       sync.Mutex
+	store    Store
+	capacity int
+	frames   map[PageID]*list.Element
+	lru      *list.List // front = most recently used
+}
+
+type frame struct {
+	id    PageID
+	data  []byte
+	dirty bool
+}
+
+// NewBufferPool wraps store with an LRU cache holding up to capacity pages.
+func NewBufferPool(store Store, capacity int) *BufferPool {
+	if capacity < 0 {
+		capacity = 0
+	}
+	return &BufferPool{
+		store:    store,
+		capacity: capacity,
+		frames:   make(map[PageID]*list.Element),
+		lru:      list.New(),
+	}
+}
+
+// CapacityFromFraction sizes a buffer pool as a fraction of an index's
+// page count, the way the paper expresses buffer sizes ("2 % of the tree
+// size"). It always grants at least one page for fractions > 0.
+func CapacityFromFraction(numPages int, frac float64) int {
+	if frac <= 0 {
+		return 0
+	}
+	c := int(frac * float64(numPages))
+	if c < 1 {
+		c = 1
+	}
+	return c
+}
+
+// Store returns the underlying physical store.
+func (b *BufferPool) Store() Store { return b.store }
+
+// Capacity returns the pool's frame count.
+func (b *BufferPool) Capacity() int { return b.capacity }
+
+// PageSize returns the page size of the underlying store.
+func (b *BufferPool) PageSize() int { return b.store.PageSize() }
+
+// Resize changes the pool capacity, evicting (and flushing) LRU victims if
+// the pool shrinks.
+func (b *BufferPool) Resize(capacity int) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if capacity < 0 {
+		capacity = 0
+	}
+	b.capacity = capacity
+	for b.lru.Len() > b.capacity {
+		if err := b.evictLocked(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Get returns the contents of a page. The returned slice is owned by the
+// pool and must not be retained across further pool calls; copy it if
+// needed. The store's logical-read counter always advances; the physical
+// counter advances only on a miss.
+func (b *BufferPool) Get(id PageID) ([]byte, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.store.IO().LogicalReads++
+	if el, ok := b.frames[id]; ok {
+		b.lru.MoveToFront(el)
+		return el.Value.(*frame).data, nil
+	}
+	data := make([]byte, b.store.PageSize())
+	if err := b.store.ReadPage(id, data); err != nil {
+		return nil, err
+	}
+	if b.capacity == 0 {
+		return data, nil
+	}
+	if err := b.insertLocked(&frame{id: id, data: data}); err != nil {
+		return nil, err
+	}
+	return data, nil
+}
+
+// Put writes a page through the pool. The page becomes dirty in cache and
+// reaches the store on eviction or Flush. With capacity 0 it is written
+// straight through. The logical-write counter always advances.
+func (b *BufferPool) Put(id PageID, data []byte) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.store.IO().LogicalWrites++
+	if len(data) > b.store.PageSize() {
+		return ErrPageSize
+	}
+	if b.capacity == 0 {
+		return b.store.WritePage(id, data)
+	}
+	if el, ok := b.frames[id]; ok {
+		f := el.Value.(*frame)
+		copy(f.data, data)
+		for i := len(data); i < len(f.data); i++ {
+			f.data[i] = 0
+		}
+		f.dirty = true
+		b.lru.MoveToFront(el)
+		return nil
+	}
+	page := make([]byte, b.store.PageSize())
+	copy(page, data)
+	return b.insertLocked(&frame{id: id, data: page, dirty: true})
+}
+
+// Invalidate drops a page from the cache without flushing (used after
+// Free). It is a no-op if the page is not cached.
+func (b *BufferPool) Invalidate(id PageID) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if el, ok := b.frames[id]; ok {
+		b.lru.Remove(el)
+		delete(b.frames, id)
+	}
+}
+
+// Flush writes all dirty frames to the store, keeping them cached.
+func (b *BufferPool) Flush() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for el := b.lru.Front(); el != nil; el = el.Next() {
+		f := el.Value.(*frame)
+		if f.dirty {
+			if err := b.store.WritePage(f.id, f.data); err != nil {
+				return err
+			}
+			f.dirty = false
+		}
+	}
+	return nil
+}
+
+// Clear empties the cache, flushing dirty pages first.
+func (b *BufferPool) Clear() error {
+	if err := b.Flush(); err != nil {
+		return err
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.frames = make(map[PageID]*list.Element)
+	b.lru.Init()
+	return nil
+}
+
+// Len returns the number of cached frames.
+func (b *BufferPool) Len() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.lru.Len()
+}
+
+func (b *BufferPool) insertLocked(f *frame) error {
+	for b.lru.Len() >= b.capacity {
+		if err := b.evictLocked(); err != nil {
+			return err
+		}
+	}
+	b.frames[f.id] = b.lru.PushFront(f)
+	return nil
+}
+
+func (b *BufferPool) evictLocked() error {
+	el := b.lru.Back()
+	if el == nil {
+		return fmt.Errorf("pagestore: evict from empty pool")
+	}
+	f := el.Value.(*frame)
+	if f.dirty {
+		if err := b.store.WritePage(f.id, f.data); err != nil {
+			return err
+		}
+	}
+	b.lru.Remove(el)
+	delete(b.frames, f.id)
+	return nil
+}

@@ -1,0 +1,75 @@
+package pagestore
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestBufferPoolConcurrentAccess hammers one pool from many goroutines;
+// run with -race to verify the locking discipline.
+func TestBufferPoolConcurrentAccess(t *testing.T) {
+	store := NewMemStore(64)
+	pool := NewBufferPool(store, 4)
+	var ids []PageID
+	for i := 0; i < 16; i++ {
+		id, err := store.Allocate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				id := ids[(g*31+i)%len(ids)]
+				if i%3 == 0 {
+					if err := pool.Put(id, []byte{byte(g)}); err != nil {
+						t.Error(err)
+						return
+					}
+				} else {
+					if _, err := pool.Get(id); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if err := pool.Flush(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMemStoreConcurrentAllocate checks allocation under contention.
+func TestMemStoreConcurrentAllocate(t *testing.T) {
+	store := NewMemStore(64)
+	var wg sync.WaitGroup
+	seen := make([]PageID, 64)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 8; i++ {
+				id, err := store.Allocate()
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				seen[g*8+i] = id
+			}
+		}(g)
+	}
+	wg.Wait()
+	unique := map[PageID]bool{}
+	for _, id := range seen {
+		if unique[id] {
+			t.Fatalf("page %d allocated twice", id)
+		}
+		unique[id] = true
+	}
+}

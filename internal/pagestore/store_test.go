@@ -1,0 +1,395 @@
+package pagestore
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"path/filepath"
+	"testing"
+)
+
+func testStoreRoundTrip(t *testing.T, s Store) {
+	t.Helper()
+	id, err := s.Allocate()
+	if err != nil {
+		t.Fatalf("Allocate: %v", err)
+	}
+	want := make([]byte, s.PageSize())
+	for i := range want {
+		want[i] = byte(i % 251)
+	}
+	if err := s.WritePage(id, want); err != nil {
+		t.Fatalf("WritePage: %v", err)
+	}
+	got := make([]byte, s.PageSize())
+	if err := s.ReadPage(id, got); err != nil {
+		t.Fatalf("ReadPage: %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("page contents did not round-trip")
+	}
+}
+
+func TestMemStoreRoundTrip(t *testing.T) { testStoreRoundTrip(t, NewMemStore(512)) }
+func TestFileStoreRoundTrip(t *testing.T) {
+	s, err := NewFileStore(filepath.Join(t.TempDir(), "pages.db"), 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	testStoreRoundTrip(t, s)
+}
+
+func TestMemStoreShortWriteZeroPads(t *testing.T) {
+	s := NewMemStore(64)
+	id, _ := s.Allocate()
+	if err := s.WritePage(id, bytes.Repeat([]byte{0xff}, 64)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.WritePage(id, []byte{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 64)
+	if err := s.ReadPage(id, buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] != 1 || buf[1] != 2 || buf[2] != 0 || buf[63] != 0 {
+		t.Fatalf("short write should zero-pad, got %v...", buf[:4])
+	}
+}
+
+func TestStoreErrors(t *testing.T) {
+	s := NewMemStore(64)
+	buf := make([]byte, 64)
+	if err := s.ReadPage(42, buf); !errors.Is(err, ErrPageNotFound) {
+		t.Errorf("read missing page: %v, want ErrPageNotFound", err)
+	}
+	id, _ := s.Allocate()
+	if err := s.WritePage(id, make([]byte, 65)); !errors.Is(err, ErrPageSize) {
+		t.Errorf("oversized write: %v, want ErrPageSize", err)
+	}
+	if err := s.Free(id); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ReadPage(id, buf); !errors.Is(err, ErrPageNotFound) {
+		t.Errorf("read freed page: %v, want ErrPageNotFound", err)
+	}
+	s.Close()
+	if _, err := s.Allocate(); !errors.Is(err, ErrClosed) {
+		t.Errorf("allocate after close: %v, want ErrClosed", err)
+	}
+}
+
+func TestFreeReusesPages(t *testing.T) {
+	s := NewMemStore(64)
+	a, _ := s.Allocate()
+	if err := s.Free(a); err != nil {
+		t.Fatal(err)
+	}
+	b, _ := s.Allocate()
+	if a != b {
+		t.Errorf("freed page not reused: got %d, want %d", b, a)
+	}
+	if s.NumPages() != 1 {
+		t.Errorf("NumPages = %d, want 1", s.NumPages())
+	}
+}
+
+func TestPhysicalIOCounting(t *testing.T) {
+	s := NewMemStore(64)
+	id, _ := s.Allocate()
+	buf := make([]byte, 64)
+	for i := 0; i < 3; i++ {
+		if err := s.ReadPage(id, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.WritePage(id, []byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.IO().PhysicalReads; got != 3 {
+		t.Errorf("PhysicalReads = %d, want 3", got)
+	}
+	if got := s.IO().Accesses(); got != 4 {
+		t.Errorf("Accesses = %d, want 4", got)
+	}
+}
+
+func TestBufferPoolHitsAndMisses(t *testing.T) {
+	s := NewMemStore(64)
+	bp := NewBufferPool(s, 2)
+	var ids []PageID
+	for i := 0; i < 3; i++ {
+		id, _ := s.Allocate()
+		if err := s.WritePage(id, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	s.IO().Reset()
+
+	// First touch: miss. Second touch: hit (no physical read).
+	if _, err := bp.Get(ids[0]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bp.Get(ids[0]); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.IO().PhysicalReads; got != 1 {
+		t.Fatalf("after hit: PhysicalReads = %d, want 1", got)
+	}
+	if got := s.IO().LogicalReads; got != 2 {
+		t.Fatalf("LogicalReads = %d, want 2", got)
+	}
+
+	// Fill pool beyond capacity; ids[0] becomes LRU victim.
+	if _, err := bp.Get(ids[1]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bp.Get(ids[2]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bp.Get(ids[0]); err != nil { // evicted → miss again
+		t.Fatal(err)
+	}
+	if got := s.IO().PhysicalReads; got != 4 {
+		t.Fatalf("after eviction: PhysicalReads = %d, want 4", got)
+	}
+}
+
+func TestBufferPoolLRUOrder(t *testing.T) {
+	s := NewMemStore(64)
+	bp := NewBufferPool(s, 2)
+	a, _ := s.Allocate()
+	b, _ := s.Allocate()
+	c, _ := s.Allocate()
+	for _, id := range []PageID{a, b} {
+		if _, err := bp.Get(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Touch a so b is LRU; inserting c must evict b, not a.
+	if _, err := bp.Get(a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bp.Get(c); err != nil {
+		t.Fatal(err)
+	}
+	s.IO().Reset()
+	if _, err := bp.Get(a); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.IO().PhysicalReads; got != 0 {
+		t.Errorf("a should still be cached, got %d physical reads", got)
+	}
+	if _, err := bp.Get(b); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.IO().PhysicalReads; got != 1 {
+		t.Errorf("b should have been evicted, got %d physical reads", got)
+	}
+}
+
+func TestBufferPoolWriteBack(t *testing.T) {
+	s := NewMemStore(64)
+	bp := NewBufferPool(s, 1)
+	a, _ := s.Allocate()
+	b, _ := s.Allocate()
+	if err := bp.Put(a, []byte{7}); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.IO().PhysicalWrites; got != 0 {
+		t.Fatalf("dirty page flushed too early: %d writes", got)
+	}
+	// Evict a by reading b: dirty a must be written back.
+	if _, err := bp.Get(b); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.IO().PhysicalWrites; got != 1 {
+		t.Fatalf("eviction should write back dirty page: %d writes", got)
+	}
+	buf := make([]byte, 64)
+	if err := s.ReadPage(a, buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] != 7 {
+		t.Fatal("written-back contents lost")
+	}
+}
+
+func TestBufferPoolZeroCapacityIsWriteThrough(t *testing.T) {
+	s := NewMemStore(64)
+	bp := NewBufferPool(s, 0)
+	a, _ := s.Allocate()
+	if err := bp.Put(a, []byte{9}); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.IO().PhysicalWrites; got != 1 {
+		t.Fatalf("capacity-0 Put should write through, got %d", got)
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := bp.Get(a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := s.IO().PhysicalReads; got != 2 {
+		t.Fatalf("capacity-0 Get should always miss, got %d reads", got)
+	}
+}
+
+func TestBufferPoolFlushAndClear(t *testing.T) {
+	s := NewMemStore(64)
+	bp := NewBufferPool(s, 4)
+	a, _ := s.Allocate()
+	if err := bp.Put(a, []byte{5}); err != nil {
+		t.Fatal(err)
+	}
+	if err := bp.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 64)
+	if err := s.ReadPage(a, buf); err != nil || buf[0] != 5 {
+		t.Fatalf("flush did not persist page: %v %v", err, buf[0])
+	}
+	if err := bp.Clear(); err != nil {
+		t.Fatal(err)
+	}
+	if bp.Len() != 0 {
+		t.Errorf("Clear left %d frames", bp.Len())
+	}
+}
+
+func TestBufferPoolResizeShrinkFlushes(t *testing.T) {
+	s := NewMemStore(64)
+	bp := NewBufferPool(s, 4)
+	var ids []PageID
+	for i := 0; i < 4; i++ {
+		id, _ := s.Allocate()
+		if err := bp.Put(id, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	if err := bp.Resize(1); err != nil {
+		t.Fatal(err)
+	}
+	if bp.Len() != 1 {
+		t.Fatalf("Len after shrink = %d, want 1", bp.Len())
+	}
+	buf := make([]byte, 64)
+	for i, id := range ids[:3] {
+		if err := s.ReadPage(id, buf); err != nil || buf[0] != byte(i) {
+			t.Fatalf("page %d lost on shrink", i)
+		}
+	}
+}
+
+func TestBufferPoolInvalidate(t *testing.T) {
+	s := NewMemStore(64)
+	bp := NewBufferPool(s, 4)
+	a, _ := s.Allocate()
+	if err := bp.Put(a, []byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	bp.Invalidate(a)
+	if bp.Len() != 0 {
+		t.Error("Invalidate should drop the frame")
+	}
+	// Dirty data intentionally lost; store still has zero page.
+	buf := make([]byte, 64)
+	if err := s.ReadPage(a, buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] != 0 {
+		t.Error("Invalidate must not flush")
+	}
+}
+
+func TestCapacityFromFraction(t *testing.T) {
+	cases := []struct {
+		pages int
+		frac  float64
+		want  int
+	}{
+		{1000, 0.02, 20},
+		{1000, 0, 0},
+		{10, 0.01, 1}, // rounds up to at least one page
+		{1000, 0.10, 100},
+	}
+	for _, c := range cases {
+		if got := CapacityFromFraction(c.pages, c.frac); got != c.want {
+			t.Errorf("CapacityFromFraction(%d, %v) = %d, want %d", c.pages, c.frac, got, c.want)
+		}
+	}
+}
+
+func TestBufferPoolRandomizedAgainstDirectStore(t *testing.T) {
+	// Model check: pool-mediated state must match a shadow map under a
+	// random workload of puts/gets/evictions.
+	rng := rand.New(rand.NewSource(99))
+	s := NewMemStore(32)
+	bp := NewBufferPool(s, 3)
+	shadow := map[PageID]byte{}
+	var ids []PageID
+	for i := 0; i < 8; i++ {
+		id, _ := s.Allocate()
+		ids = append(ids, id)
+		shadow[id] = 0
+	}
+	for step := 0; step < 2000; step++ {
+		id := ids[rng.Intn(len(ids))]
+		if rng.Intn(2) == 0 {
+			v := byte(rng.Intn(256))
+			if err := bp.Put(id, []byte{v}); err != nil {
+				t.Fatal(err)
+			}
+			shadow[id] = v
+		} else {
+			data, err := bp.Get(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if data[0] != shadow[id] {
+				t.Fatalf("step %d: page %d = %d, want %d", step, id, data[0], shadow[id])
+			}
+		}
+	}
+	if err := bp.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 32)
+	for id, v := range shadow {
+		if err := s.ReadPage(id, buf); err != nil {
+			t.Fatal(err)
+		}
+		if buf[0] != v {
+			t.Fatalf("after flush: page %d = %d, want %d", id, buf[0], v)
+		}
+	}
+}
+
+func TestFileStorePersistsAcrossLargeOffsets(t *testing.T) {
+	s, err := NewFileStore(filepath.Join(t.TempDir(), "big.db"), 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	var last PageID
+	for i := 0; i < 100; i++ {
+		id, err := s.Allocate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		last = id
+	}
+	if err := s.WritePage(last, []byte{0xab}); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 128)
+	if err := s.ReadPage(last, buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] != 0xab {
+		t.Fatal("high-offset page lost")
+	}
+}

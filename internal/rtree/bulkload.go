@@ -1,0 +1,150 @@
+package rtree
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"fairassign/internal/geom"
+	"fairassign/internal/pagestore"
+)
+
+// BulkLoad builds a tree from items using Sort-Tile-Recursive (STR)
+// packing, which produces well-clustered pages in O(n log n) and is how
+// the experiment harness constructs its 100k–400k object indexes.
+// fillFactor in (0,1] controls node occupancy (0.9 default when <= 0).
+func BulkLoad(pool *pagestore.BufferPool, dims int, items []Item, fillFactor float64) (*Tree, error) {
+	t, err := New(pool, dims)
+	if err != nil {
+		return nil, err
+	}
+	if len(items) == 0 {
+		return t, nil
+	}
+	if fillFactor <= 0 || fillFactor > 1 {
+		fillFactor = 0.9
+	}
+	for _, it := range items {
+		if len(it.Point) != dims {
+			return nil, fmt.Errorf("rtree: item %d has %d dims, tree has %d", it.ID, len(it.Point), dims)
+		}
+	}
+
+	leafFill := max(2, int(float64(t.maxLeaf)*fillFactor))
+	internalFill := max(2, int(float64(t.maxInternal)*fillFactor))
+
+	// Build leaf level.
+	entries := make([]Entry, len(items))
+	for i, it := range items {
+		entries[i] = Entry{Rect: geom.RectFromPoint(it.Point), ID: it.ID, Child: pagestore.InvalidPage}
+	}
+	level, err := t.packLevel(entries, true, leafFill)
+	if err != nil {
+		return nil, err
+	}
+	height := 1
+
+	// Build internal levels until a single root remains.
+	for len(level) > 1 {
+		level, err = t.packLevel(level, false, internalFill)
+		if err != nil {
+			return nil, err
+		}
+		height++
+	}
+
+	// Replace the empty root created by New.
+	oldRoot := t.root
+	rootNode, err := t.ReadNode(level[0].Child)
+	if err != nil {
+		return nil, err
+	}
+	_ = rootNode
+	if err := t.freeNode(oldRoot); err != nil {
+		return nil, err
+	}
+	t.root = level[0].Child
+	t.height = height
+	t.size = len(items)
+	return t, nil
+}
+
+// packLevel groups entries into nodes of the given occupancy using STR
+// tiling and returns the parent entries for the next level up.
+func (t *Tree) packLevel(entries []Entry, leaf bool, fill int) ([]Entry, error) {
+	groups := strTile(entries, t.dims, fill, 0)
+	parents := make([]Entry, 0, len(groups))
+	for _, g := range groups {
+		n := &Node{Leaf: leaf, Entries: g}
+		if _, err := t.allocNode(n); err != nil {
+			return nil, err
+		}
+		parents = append(parents, Entry{Rect: n.MBR(), Child: n.Page, ID: 0})
+	}
+	return parents, nil
+}
+
+// strTile recursively sorts entries by the center of dimension dim and
+// partitions them into vertical slabs, recursing on the next dimension,
+// finally chunking into groups of at most fill entries. Both slab and
+// group partitions are evenly balanced so that no group drops below half
+// the fill size — which keeps every packed node above the 40 % minimum
+// occupancy the tree enforces.
+func strTile(entries []Entry, dims, fill, dim int) [][]Entry {
+	if len(entries) <= fill {
+		return [][]Entry{entries}
+	}
+	if dim == dims-1 {
+		sortByCenter(entries, dim)
+		return evenChunks(entries, fill)
+	}
+	sortByCenter(entries, dim)
+	// Number of leaf-size groups, spread across remaining dims.
+	nGroups := int(math.Ceil(float64(len(entries)) / float64(fill)))
+	slabs := int(math.Ceil(math.Pow(float64(nGroups), 1/float64(dims-dim))))
+	if slabs < 1 {
+		slabs = 1
+	}
+	slabSize := int(math.Ceil(float64(len(entries)) / float64(slabs)))
+	if slabSize < fill {
+		slabSize = fill
+	}
+	var out [][]Entry
+	for _, slab := range evenChunks(entries, slabSize) {
+		out = append(out, strTile(slab, dims, fill, dim+1)...)
+	}
+	return out
+}
+
+// evenChunks partitions entries into ceil(n/maxSize) nearly equal chunks,
+// each of size at most maxSize and at least floor(n/k) >= maxSize/2.
+func evenChunks(entries []Entry, maxSize int) [][]Entry {
+	n := len(entries)
+	if n == 0 {
+		return nil
+	}
+	k := (n + maxSize - 1) / maxSize
+	base, extra := n/k, n%k
+	out := make([][]Entry, 0, k)
+	start := 0
+	for i := 0; i < k; i++ {
+		size := base
+		if i < extra {
+			size++
+		}
+		out = append(out, entries[start:start+size])
+		start += size
+	}
+	return out
+}
+
+func sortByCenter(entries []Entry, dim int) {
+	sort.Slice(entries, func(i, j int) bool {
+		ci := entries[i].Rect.Min[dim] + entries[i].Rect.Max[dim]
+		cj := entries[j].Rect.Min[dim] + entries[j].Rect.Max[dim]
+		if ci != cj {
+			return ci < cj
+		}
+		return entries[i].ID < entries[j].ID
+	})
+}

@@ -1,0 +1,149 @@
+package rtree
+
+import (
+	"fairassign/internal/geom"
+	"fairassign/internal/pagestore"
+)
+
+// Delete removes the item (matched by ID and point) from the tree,
+// condensing underfull nodes and reinserting their orphaned entries, as in
+// Guttman's original algorithm. It returns ErrNotFound if the item is not
+// stored.
+func (t *Tree) Delete(item Item) error {
+	path, err := t.findLeaf(t.root, item, t.height, nil)
+	if err != nil {
+		return err
+	}
+	if path == nil {
+		return ErrNotFound
+	}
+	leaf := path[len(path)-1].node
+	idx := -1
+	for i, e := range leaf.Entries {
+		if e.ID == item.ID && e.Rect.Min.Equal(item.Point) {
+			idx = i
+			break
+		}
+	}
+	if idx == -1 {
+		return ErrNotFound
+	}
+	leaf.Entries = append(leaf.Entries[:idx], leaf.Entries[idx+1:]...)
+	if err := t.condenseTree(path); err != nil {
+		return err
+	}
+	t.size--
+	return nil
+}
+
+// findLeaf locates the leaf containing the item, returning the access path
+// (root..leaf) or nil when absent. Unlike chooseSubtree it may explore
+// several branches whose MBRs contain the point.
+func (t *Tree) findLeaf(id pagestore.PageID, item Item, depth int, prefix []pathElem) ([]pathElem, error) {
+	n, err := t.ReadNode(id)
+	if err != nil {
+		return nil, err
+	}
+	path := append(append([]pathElem(nil), prefix...), pathElem{node: n})
+	if n.Leaf {
+		for _, e := range n.Entries {
+			if e.ID == item.ID && e.Rect.Min.Equal(item.Point) {
+				return path, nil
+			}
+		}
+		return nil, nil
+	}
+	for i, e := range n.Entries {
+		if !e.Rect.Contains(item.Point) {
+			continue
+		}
+		path[len(path)-1].entryIdx = i
+		found, err := t.findLeaf(e.Child, item, depth-1, path)
+		if err != nil {
+			return nil, err
+		}
+		if found != nil {
+			return found, nil
+		}
+	}
+	return nil, nil
+}
+
+// orphan is a subtree (or leaf entry) detached during condensation that
+// must be reinserted at its original level.
+type orphan struct {
+	entry Entry
+	level int // 1 = leaf entry
+}
+
+// condenseTree ascends the deletion path: underfull nodes are removed and
+// their entries queued for reinsertion; MBRs along the path shrink.
+func (t *Tree) condenseTree(path []pathElem) error {
+	var orphans []orphan
+	for i := len(path) - 1; i >= 1; i-- {
+		n := path[i].node
+		parent := path[i-1].node
+		minFill := t.minInternal
+		level := len(path) - i
+		if n.Leaf {
+			minFill = t.minLeaf
+		}
+		if len(n.Entries) < minFill {
+			// Drop n from its parent; queue entries for reinsertion.
+			pi := path[i-1].entryIdx
+			parent.Entries = append(parent.Entries[:pi], parent.Entries[pi+1:]...)
+			for _, e := range n.Entries {
+				orphans = append(orphans, orphan{entry: e, level: level})
+			}
+			if err := t.freeNode(n.Page); err != nil {
+				return err
+			}
+		} else {
+			if err := t.writeNode(n); err != nil {
+				return err
+			}
+			parent.Entries[path[i-1].entryIdx].Rect = n.MBR()
+		}
+	}
+	root := path[0].node
+	if err := t.writeNode(root); err != nil {
+		return err
+	}
+
+	// Shrink the root while it is an internal node with a single child.
+	for {
+		rn, err := t.ReadNode(t.root)
+		if err != nil {
+			return err
+		}
+		if rn.Leaf || len(rn.Entries) != 1 {
+			break
+		}
+		child := rn.Entries[0].Child
+		if err := t.freeNode(rn.Page); err != nil {
+			return err
+		}
+		t.root = child
+		t.height--
+	}
+
+	// Reinsert orphans. Leaf entries go back as normal inserts; subtree
+	// entries are inserted at their original level, adjusted for any root
+	// shrinking that happened above.
+	for _, o := range orphans {
+		level := o.level
+		if level > t.height {
+			level = t.height
+		}
+		if err := t.insertEntry(o.entry, level); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DeletePoint removes the first item found with the given ID at the given
+// point. It is a convenience wrapper mirroring Delete.
+func (t *Tree) DeletePoint(id uint64, p geom.Point) error {
+	return t.Delete(Item{ID: id, Point: p})
+}

@@ -1,0 +1,87 @@
+package rtree
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"fairassign/internal/geom"
+	"fairassign/internal/metrics"
+	"fairassign/internal/pagestore"
+)
+
+// flakyStore injects a read failure after a countdown, exercising error
+// propagation through every tree operation.
+type flakyStore struct {
+	pagestore.Store
+	failAfter int
+	err       error
+}
+
+var errInjected = errors.New("injected disk failure")
+
+func (f *flakyStore) ReadPage(id pagestore.PageID, buf []byte) error {
+	if f.failAfter <= 0 {
+		return errInjected
+	}
+	f.failAfter--
+	return f.Store.ReadPage(id, buf)
+}
+
+func (f *flakyStore) IO() *metrics.IOCounter { return f.Store.IO() }
+
+func TestReadFailurePropagates(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	items := randItems(rng, 500, 2)
+
+	// Build on a healthy store first.
+	healthy := pagestore.NewMemStore(512)
+	pool := pagestore.NewBufferPool(healthy, 1<<20)
+	tr, err := BulkLoad(pool, 2, items, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Persist the tree, then rewire traversal through a failing wrapper
+	// with an empty cache.
+	if err := pool.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	flaky := &flakyStore{Store: healthy, failAfter: 3}
+	tr.pool = pagestore.NewBufferPool(flaky, 0)
+
+	q := geom.Rect{Min: geom.Point{0, 0}, Max: geom.Point{1, 1}}
+	err = tr.Search(q, func(Item) bool { return true })
+	if !errors.Is(err, errInjected) {
+		t.Fatalf("Search should surface the injected failure, got %v", err)
+	}
+
+	err = tr.Insert(Item{ID: 9999, Point: geom.Point{0.5, 0.5}})
+	if !errors.Is(err, errInjected) {
+		t.Fatalf("Insert should surface the injected failure, got %v", err)
+	}
+
+	err = tr.Delete(items[0])
+	if !errors.Is(err, errInjected) {
+		t.Fatalf("Delete should surface the injected failure, got %v", err)
+	}
+
+	if err := tr.CheckInvariants(); !errors.Is(err, errInjected) {
+		t.Fatalf("CheckInvariants should surface the injected failure, got %v", err)
+	}
+}
+
+func TestDecodeCorruptPage(t *testing.T) {
+	// A page whose entry count exceeds what fits must be rejected, not
+	// sliced out of bounds.
+	buf := make([]byte, 64)
+	buf[0] = 1 // leaf
+	buf[1] = 0xff
+	buf[2] = 0xff // count = 65535
+	if _, err := decodeNode(1, buf, 2); err == nil {
+		t.Fatal("decoding a corrupt page should fail")
+	}
+	if _, err := decodeNode(1, []byte{1}, 2); err == nil {
+		t.Fatal("decoding a truncated page should fail")
+	}
+}

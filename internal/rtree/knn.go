@@ -1,0 +1,129 @@
+package rtree
+
+import (
+	"container/heap"
+	"math"
+
+	"fairassign/internal/geom"
+	"fairassign/internal/pagestore"
+)
+
+// Nearest-neighbor search. Not used by the assignment algorithms (they
+// rank by linear score, not distance — see topk), but the original Chain
+// algorithm operates on spatial NN queries, and a general R-tree library
+// is expected to provide k-NN. Implemented as classic best-first search
+// on squared Euclidean distance.
+
+type nnEntry struct {
+	child pagestore.PageID
+	id    uint64
+	point geom.Point
+	dist  float64
+}
+
+func (e nnEntry) isPoint() bool { return e.child == pagestore.InvalidPage }
+
+type nnHeap []nnEntry
+
+func (h nnHeap) Len() int { return len(h) }
+func (h nnHeap) Less(i, j int) bool {
+	if h[i].dist != h[j].dist {
+		return h[i].dist < h[j].dist
+	}
+	if h[i].isPoint() != h[j].isPoint() {
+		return h[i].isPoint()
+	}
+	return h[i].id < h[j].id
+}
+func (h nnHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *nnHeap) Push(x any)   { *h = append(*h, x.(nnEntry)) }
+func (h *nnHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// minDistSq returns the squared Euclidean distance from q to the nearest
+// point of r (zero when q is inside r).
+func minDistSq(q geom.Point, r geom.Rect) float64 {
+	d := 0.0
+	for i := range q {
+		switch {
+		case q[i] < r.Min[i]:
+			v := r.Min[i] - q[i]
+			d += v * v
+		case q[i] > r.Max[i]:
+			v := q[i] - r.Max[i]
+			d += v * v
+		}
+	}
+	return d
+}
+
+func distSq(a, b geom.Point) float64 {
+	d := 0.0
+	for i := range a {
+		v := a[i] - b[i]
+		d += v * v
+	}
+	return d
+}
+
+// NearestNeighbors returns the k stored items closest to q in Euclidean
+// distance, nearest first. Items for which skip returns true are passed
+// over.
+func (t *Tree) NearestNeighbors(q geom.Point, k int, skip func(uint64) bool) ([]Item, []float64, error) {
+	if k <= 0 || t.size == 0 {
+		return nil, nil, nil
+	}
+	h := &nnHeap{}
+	root, err := t.ReadNode(t.root)
+	if err != nil {
+		return nil, nil, err
+	}
+	pushNN(h, root, q)
+	var items []Item
+	var dists []float64
+	for h.Len() > 0 && len(items) < k {
+		e := heap.Pop(h).(nnEntry)
+		if e.isPoint() {
+			if skip != nil && skip(e.id) {
+				continue
+			}
+			items = append(items, Item{ID: e.id, Point: e.point})
+			dists = append(dists, math.Sqrt(e.dist))
+			continue
+		}
+		n, err := t.ReadNode(e.child)
+		if err != nil {
+			return nil, nil, err
+		}
+		pushNN(h, n, q)
+	}
+	return items, dists, nil
+}
+
+// NearestNeighbor returns the closest stored item to q.
+func (t *Tree) NearestNeighbor(q geom.Point, skip func(uint64) bool) (Item, float64, bool, error) {
+	items, dists, err := t.NearestNeighbors(q, 1, skip)
+	if err != nil || len(items) == 0 {
+		return Item{}, 0, false, err
+	}
+	return items[0], dists[0], true, nil
+}
+
+func pushNN(h *nnHeap, n *Node, q geom.Point) {
+	for _, ne := range n.Entries {
+		e := nnEntry{child: ne.Child, id: ne.ID}
+		if n.Leaf {
+			e.point = ne.Rect.Min
+			e.child = pagestore.InvalidPage
+			e.dist = distSq(q, e.point)
+		} else {
+			e.dist = minDistSq(q, ne.Rect)
+		}
+		heap.Push(h, e)
+	}
+}

@@ -1,0 +1,113 @@
+package rtree
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"fairassign/internal/geom"
+)
+
+func TestNearestNeighborsMatchLinearScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, dims := range []int{2, 4} {
+		tr := newTestTree(t, dims, 512, 1024)
+		items := randItems(rng, 400, dims)
+		for _, it := range items {
+			if err := tr.Insert(it); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for trial := 0; trial < 25; trial++ {
+			q := make(geom.Point, dims)
+			for d := range q {
+				q[d] = rng.Float64()
+			}
+			k := 1 + rng.Intn(10)
+			got, dists, err := tr.NearestNeighbors(q, k, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			type nd struct {
+				id uint64
+				d  float64
+			}
+			want := make([]nd, len(items))
+			for i, it := range items {
+				want[i] = nd{it.ID, math.Sqrt(distSq(q, it.Point))}
+			}
+			sort.Slice(want, func(i, j int) bool {
+				if want[i].d != want[j].d {
+					return want[i].d < want[j].d
+				}
+				return want[i].id < want[j].id
+			})
+			if len(got) != k {
+				t.Fatalf("got %d neighbors, want %d", len(got), k)
+			}
+			for i := range got {
+				if math.Abs(dists[i]-want[i].d) > 1e-9 {
+					t.Fatalf("dims=%d trial %d rank %d: dist %v (id %d), want %v (id %d)",
+						dims, trial, i, dists[i], got[i].ID, want[i].d, want[i].id)
+				}
+			}
+		}
+	}
+}
+
+func TestNearestNeighborWithSkip(t *testing.T) {
+	tr := newTestTree(t, 2, 512, 64)
+	pts := []geom.Point{{0.5, 0.5}, {0.52, 0.5}, {0.9, 0.9}}
+	for i, p := range pts {
+		if err := tr.Insert(Item{ID: uint64(i + 1), Point: p}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q := geom.Point{0.5, 0.5}
+	it, d, ok, err := tr.NearestNeighbor(q, nil)
+	if err != nil || !ok || it.ID != 1 || d != 0 {
+		t.Fatalf("NN = %v %v %v %v", it, d, ok, err)
+	}
+	skip := func(id uint64) bool { return id == 1 }
+	it, _, ok, err = tr.NearestNeighbor(q, skip)
+	if err != nil || !ok || it.ID != 2 {
+		t.Fatalf("NN with skip = %v %v %v", it, ok, err)
+	}
+}
+
+func TestNearestNeighborsEdgeCases(t *testing.T) {
+	tr := newTestTree(t, 2, 512, 64)
+	if items, _, err := tr.NearestNeighbors(geom.Point{0.5, 0.5}, 3, nil); err != nil || len(items) != 0 {
+		t.Fatalf("empty tree: %v %v", items, err)
+	}
+	if err := tr.Insert(Item{ID: 1, Point: geom.Point{0.1, 0.1}}); err != nil {
+		t.Fatal(err)
+	}
+	items, _, err := tr.NearestNeighbors(geom.Point{0.9, 0.9}, 10, nil)
+	if err != nil || len(items) != 1 {
+		t.Fatalf("k > size: %v %v", items, err)
+	}
+	if items, _, err := tr.NearestNeighbors(geom.Point{0.9, 0.9}, 0, nil); err != nil || items != nil {
+		t.Fatalf("k=0: %v %v", items, err)
+	}
+}
+
+func TestMinDistSq(t *testing.T) {
+	r := geom.Rect{Min: geom.Point{0.2, 0.2}, Max: geom.Point{0.4, 0.4}}
+	cases := []struct {
+		q    geom.Point
+		want float64
+	}{
+		{geom.Point{0.3, 0.3}, 0},           // inside
+		{geom.Point{0.2, 0.2}, 0},           // corner
+		{geom.Point{0.0, 0.3}, 0.04},        // left of box
+		{geom.Point{0.5, 0.5}, 0.01 + 0.01}, // beyond max corner
+		{geom.Point{0.0, 0.0}, 0.04 + 0.04}, // beyond min corner
+	}
+	for i, c := range cases {
+		if got := minDistSq(c.q, r); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("case %d: minDistSq = %v, want %v", i, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,115 @@
+package rtree
+
+import (
+	"fmt"
+
+	"fairassign/internal/geom"
+	"fairassign/internal/pagestore"
+)
+
+// Search visits every item whose point lies inside rect, calling fn for
+// each. Returning false from fn stops the search early.
+func (t *Tree) Search(rect geom.Rect, fn func(Item) bool) error {
+	_, err := t.search(t.root, rect, fn)
+	return err
+}
+
+func (t *Tree) search(id pagestore.PageID, rect geom.Rect, fn func(Item) bool) (bool, error) {
+	n, err := t.ReadNode(id)
+	if err != nil {
+		return false, err
+	}
+	for _, e := range n.Entries {
+		if !rect.Intersects(e.Rect) {
+			continue
+		}
+		if n.Leaf {
+			if !fn(Item{ID: e.ID, Point: e.Rect.Min}) {
+				return false, nil
+			}
+		} else {
+			cont, err := t.search(e.Child, rect, fn)
+			if err != nil || !cont {
+				return cont, err
+			}
+		}
+	}
+	return true, nil
+}
+
+// All visits every stored item (in page order). Returning false stops.
+func (t *Tree) All(fn func(Item) bool) error {
+	if t.size == 0 {
+		return nil
+	}
+	r, err := t.RootRect()
+	if err != nil {
+		return err
+	}
+	return t.Search(r, fn)
+}
+
+// Items returns every stored item as a slice (intended for tests and small
+// trees).
+func (t *Tree) Items() ([]Item, error) {
+	out := make([]Item, 0, t.size)
+	err := t.All(func(it Item) bool {
+		out = append(out, Item{ID: it.ID, Point: it.Point.Clone()})
+		return true
+	})
+	return out, err
+}
+
+// CheckInvariants walks the whole tree verifying structural invariants:
+// entry MBRs contained in parent MBRs, uniform leaf depth, occupancy
+// bounds, and the stored item count. It is used heavily by tests.
+func (t *Tree) CheckInvariants() error {
+	count, _, err := t.checkNode(t.root, t.height, t.height)
+	if err != nil {
+		return err
+	}
+	if count != t.size {
+		return fmtErr("item count %d != recorded size %d", count, t.size)
+	}
+	return nil
+}
+
+func (t *Tree) checkNode(id pagestore.PageID, depth, height int) (int, geom.Rect, error) {
+	n, err := t.ReadNode(id)
+	if err != nil {
+		return 0, geom.Rect{}, err
+	}
+	if n.Leaf != (depth == 1) {
+		return 0, geom.Rect{}, fmtErr("page %d: leaf flag %v at depth %d (height %d)", id, n.Leaf, depth, height)
+	}
+	capacity, minFill := t.maxInternal, t.minInternal
+	if n.Leaf {
+		capacity, minFill = t.maxLeaf, t.minLeaf
+	}
+	if len(n.Entries) > capacity {
+		return 0, geom.Rect{}, fmtErr("page %d: %d entries exceed capacity %d", id, len(n.Entries), capacity)
+	}
+	isRoot := depth == height
+	if !isRoot && len(n.Entries) < minFill {
+		return 0, geom.Rect{}, fmtErr("page %d: %d entries below min fill %d", id, len(n.Entries), minFill)
+	}
+	if n.Leaf {
+		return len(n.Entries), n.MBR(), nil
+	}
+	total := 0
+	for i, e := range n.Entries {
+		cnt, childMBR, err := t.checkNode(e.Child, depth-1, height)
+		if err != nil {
+			return 0, geom.Rect{}, err
+		}
+		if !e.Rect.ContainsRect(childMBR) {
+			return 0, geom.Rect{}, fmtErr("page %d entry %d: MBR %v does not contain child MBR %v", id, i, e.Rect, childMBR)
+		}
+		total += cnt
+	}
+	return total, n.MBR(), nil
+}
+
+func fmtErr(format string, args ...any) error {
+	return fmt.Errorf("rtree: invariant violated: "+format, args...)
+}

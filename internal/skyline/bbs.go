@@ -1,0 +1,204 @@
+// Package skyline implements skyline computation and maintenance over
+// R-tree indexed object sets:
+//
+//   - BBS (branch-and-bound skyline, Papadias et al.) for the initial
+//     skyline, extended to keep each pruned entry in the pruned list
+//     ("plist") of exactly one dominating skyline object (Section 5.2 of
+//     the paper);
+//   - UpdateSkyline (Algorithm 2): the paper's I/O-optimal incremental
+//     maintenance under deletions of skyline objects — no R-tree node is
+//     ever read twice across the entire assignment run (Theorem 1);
+//   - DeltaSky: the state-of-the-art baseline that re-traverses the tree
+//     once per deletion, used by the Fig. 8 comparison;
+//   - BNL and SFS in-memory skylines, used as oracles and for the
+//     function-side skyline of the prioritized variant (Section 6.2).
+//
+// All dominance tests use the strict definition (Section 2.2): p dominates
+// q iff p >= q in every dimension and p != q; coincident duplicates are
+// both on the skyline.
+package skyline
+
+import (
+	"container/heap"
+	"sort"
+
+	"fairassign/internal/geom"
+	"fairassign/internal/metrics"
+	"fairassign/internal/pagestore"
+	"fairassign/internal/rtree"
+)
+
+// entry is a heap element: either an R-tree node reference or a data
+// point, ordered by descending coordinate sum of its top corner —
+// equivalent to BBS's ascending L1 distance from the sky point.
+type entry struct {
+	rect  geom.Rect
+	child pagestore.PageID // InvalidPage for data points
+	id    uint64           // object ID for data points
+	key   float64          // sum of top-corner coordinates
+}
+
+func (e entry) isPoint() bool { return e.child == pagestore.InvalidPage }
+
+func topCornerSum(r geom.Rect) float64 {
+	s := 0.0
+	for _, v := range r.Max {
+		s += v
+	}
+	return s
+}
+
+// entryHeap is a max-heap on key (closest to the sky point first).
+type entryHeap []entry
+
+func (h entryHeap) Len() int           { return len(h) }
+func (h entryHeap) Less(i, j int) bool { return h[i].key > h[j].key }
+func (h entryHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *entryHeap) Push(x any)        { *h = append(*h, x.(entry)) }
+func (h *entryHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// approximate per-entry memory footprint for the paper's memory metric.
+func entryBytes(dims int) int64 { return int64(2*8*dims + 32) }
+
+// Compute runs plain BBS over the tree and returns the skyline. It visits
+// the minimum possible set of nodes (I/O-optimal for a single skyline
+// computation). Deleted object IDs in skip are ignored.
+func Compute(t *rtree.Tree, skip map[uint64]bool) ([]rtree.Item, error) {
+	if t.Len() == 0 {
+		return nil, nil
+	}
+	var sky []rtree.Item
+	h := &entryHeap{}
+	root, err := t.ReadNode(t.Root())
+	if err != nil {
+		return nil, err
+	}
+	pushNodeEntries(h, root)
+	for h.Len() > 0 {
+		e := heap.Pop(h).(entry)
+		if dominatedByAny(sky, e) {
+			continue
+		}
+		if e.isPoint() {
+			if skip != nil && skip[e.id] {
+				continue
+			}
+			sky = append(sky, rtree.Item{ID: e.id, Point: e.rect.Min})
+			continue
+		}
+		n, err := t.ReadNode(e.child)
+		if err != nil {
+			return nil, err
+		}
+		pushNodeEntries(h, n)
+	}
+	return sky, nil
+}
+
+func pushNodeEntries(h *entryHeap, n *rtree.Node) {
+	for _, ne := range n.Entries {
+		heap.Push(h, entry{
+			rect:  ne.Rect,
+			child: ne.Child,
+			id:    ne.ID,
+			key:   topCornerSum(ne.Rect),
+		})
+	}
+}
+
+// dominatedByAny reports whether e is strictly dominated by one of the
+// skyline items: a node entry is prunable when its best corner is
+// dominated; a point entry when the point itself is.
+func dominatedByAny(sky []rtree.Item, e entry) bool {
+	for _, s := range sky {
+		if s.Point.Dominates(e.rect.Max) {
+			return true
+		}
+	}
+	return false
+}
+
+// BNL computes the skyline of an in-memory point set with the
+// block-nested-loops algorithm (Börzsönyi et al.). O(n²) worst case; used
+// as a test oracle and for small function-side skylines.
+func BNL(items []rtree.Item) []rtree.Item {
+	var window []rtree.Item
+	for _, it := range items {
+		dominated := false
+		keep := window[:0]
+		for _, w := range window {
+			if w.Point.Dominates(it.Point) {
+				dominated = true
+			}
+			if !it.Point.Dominates(w.Point) {
+				keep = append(keep, w)
+			}
+		}
+		if dominated {
+			// restore pruned window (it cannot have dominated anything
+			// if it is itself dominated, but keep is already correct)
+			window = keep
+			continue
+		}
+		window = append(keep, it)
+	}
+	return window
+}
+
+// SFS computes the skyline with sort-filter-skyline: items are sorted by
+// descending coordinate sum (a topological order of dominance), after
+// which each item needs comparing only against the accumulated skyline.
+func SFS(items []rtree.Item) []rtree.Item {
+	sorted := make([]rtree.Item, len(items))
+	copy(sorted, items)
+	sortBySumDesc(sorted)
+	var sky []rtree.Item
+	for _, it := range sorted {
+		dominated := false
+		for _, s := range sky {
+			if s.Point.Dominates(it.Point) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			sky = append(sky, it)
+		}
+	}
+	return sky
+}
+
+func sortBySumDesc(items []rtree.Item) {
+	sum := func(p geom.Point) float64 {
+		s := 0.0
+		for _, v := range p {
+			s += v
+		}
+		return s
+	}
+	sort.Slice(items, func(i, j int) bool {
+		si, sj := sum(items[i].Point), sum(items[j].Point)
+		if si != sj {
+			return si > sj
+		}
+		return items[i].ID < items[j].ID
+	})
+}
+
+// trackMem grows/shrinks a tracker when one is attached.
+func trackMem(m *metrics.MemTracker, delta int64) {
+	if m == nil {
+		return
+	}
+	if delta >= 0 {
+		m.Grow(delta)
+	} else {
+		m.Shrink(-delta)
+	}
+}

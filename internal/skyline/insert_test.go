@@ -1,0 +1,133 @@
+package skyline
+
+import (
+	"math/rand"
+	"testing"
+
+	"fairassign/internal/geom"
+	"fairassign/internal/rtree"
+)
+
+func TestInsertIntoSkyline(t *testing.T) {
+	items := []rtree.Item{
+		{ID: 1, Point: geom.Point{0.5, 0.5}},
+		{ID: 2, Point: geom.Point{0.2, 0.8}},
+	}
+	tr := buildTree(t, items, 2)
+	m, err := NewMaintainer(tr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// New non-dominated object joins the skyline.
+	if err := m.Insert(rtree.Item{ID: 10, Point: geom.Point{0.8, 0.2}}); err != nil {
+		t.Fatal(err)
+	}
+	if !m.Contains(10) || m.Size() != 3 {
+		t.Fatalf("insert failed: size %d", m.Size())
+	}
+	// Dominated arrival is parked, not exposed.
+	if err := m.Insert(rtree.Item{ID: 11, Point: geom.Point{0.1, 0.1}}); err != nil {
+		t.Fatal(err)
+	}
+	if m.Contains(11) {
+		t.Fatal("dominated arrival should not join the skyline")
+	}
+	// It resurfaces once its dominator goes away (whoever parked it).
+	for _, id := range []uint64{1, 2, 10} {
+		if m.Contains(11) {
+			break
+		}
+		if err := m.Remove(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !m.Contains(11) {
+		t.Fatal("parked arrival should resurface after dominators leave")
+	}
+}
+
+func TestInsertDominatingDemotesSkyline(t *testing.T) {
+	items := []rtree.Item{
+		{ID: 1, Point: geom.Point{0.5, 0.5}},
+		{ID: 2, Point: geom.Point{0.2, 0.8}},
+		{ID: 3, Point: geom.Point{0.4, 0.4}}, // dominated by 1
+	}
+	tr := buildTree(t, items, 2)
+	m, err := NewMaintainer(tr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A new super-object dominates everything.
+	if err := m.Insert(rtree.Item{ID: 99, Point: geom.Point{0.9, 0.9}}); err != nil {
+		t.Fatal(err)
+	}
+	if m.Size() != 1 || !m.Contains(99) {
+		t.Fatalf("super-object should be the whole skyline: %v", idsOf(m.Skyline()))
+	}
+	// Removing it restores the previous skyline (1 and 2; 3 stays hidden
+	// under 1).
+	if err := m.Remove(99); err != nil {
+		t.Fatal(err)
+	}
+	got := idsOf(m.Skyline())
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("after removing super-object: %v, want [1 2]", got)
+	}
+}
+
+func TestInsertDuplicateSkylineIDRejected(t *testing.T) {
+	items := []rtree.Item{{ID: 1, Point: geom.Point{0.5, 0.5}}}
+	m, err := NewMaintainer(buildTree(t, items, 2), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Insert(rtree.Item{ID: 1, Point: geom.Point{0.6, 0.6}}); err == nil {
+		t.Fatal("duplicate skyline id should be rejected")
+	}
+}
+
+func TestRandomInsertRemoveMatchesNaive(t *testing.T) {
+	// Interleave removals of skyline objects with arrivals of new ones;
+	// the maintained skyline must always equal the naive skyline of the
+	// live set.
+	rng := rand.New(rand.NewSource(123))
+	initial := randItems(rng, 150, 3)
+	tr := buildTree(t, initial, 3)
+	m, err := NewMaintainer(tr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	live := map[uint64]rtree.Item{}
+	for _, it := range initial {
+		live[it.ID] = it
+	}
+	nextID := uint64(10000)
+	for step := 0; step < 300 && len(live) > 0; step++ {
+		if rng.Intn(3) == 0 {
+			p := make(geom.Point, 3)
+			for d := range p {
+				p[d] = rng.Float64()
+			}
+			it := rtree.Item{ID: nextID, Point: p}
+			nextID++
+			// Only non-skyline-duplicate IDs arrive; Insert handles both
+			// dominated and dominating cases.
+			if err := m.Insert(it); err != nil {
+				t.Fatal(err)
+			}
+			live[it.ID] = it
+		} else {
+			sky := m.Skyline()
+			victim := sky[rng.Intn(len(sky))]
+			if err := m.Remove(victim.ID); err != nil {
+				t.Fatal(err)
+			}
+			delete(live, victim.ID)
+		}
+		var rem []rtree.Item
+		for _, it := range live {
+			rem = append(rem, it)
+		}
+		sameIDs(t, m.Skyline(), naiveSkyline(rem), "insert/remove step")
+	}
+}

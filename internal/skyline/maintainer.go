@@ -1,0 +1,220 @@
+package skyline
+
+import (
+	"container/heap"
+	"fmt"
+
+	"fairassign/internal/geom"
+	"fairassign/internal/metrics"
+	"fairassign/internal/pagestore"
+	"fairassign/internal/rtree"
+)
+
+// Maintainer implements the paper's incremental skyline maintenance
+// (Section 5.2, Algorithm 2). During the initial BBS pass every pruned
+// entry (node or object) is stored in the pruned list of exactly one
+// dominating skyline object. When skyline objects are removed, their
+// pruned lists are redistributed: entries dominated by a surviving
+// skyline object move to that object's plist, the rest are re-examined by
+// resuming the branch-and-bound search. Theorem 1: no R-tree node is read
+// twice across the lifetime of the maintainer.
+type Maintainer struct {
+	tree *rtree.Tree
+	sky  map[uint64]*skyObj
+	mem  *metrics.MemTracker
+
+	// lastDom caches the most recent successful dominator: consecutive
+	// heap entries are spatially close, so the same skyline object
+	// usually prunes runs of them, turning the O(|sky|) scan into O(D).
+	lastDom *skyObj
+
+	// NodeReads counts R-tree node visits performed by this maintainer
+	// (used by tests to verify I/O optimality).
+	NodeReads int64
+}
+
+type skyObj struct {
+	item  rtree.Item
+	plist []entry
+}
+
+// NewMaintainer computes the initial skyline of the tree with a
+// plist-tracking BBS and returns a maintainer ready for removals. mem may
+// be nil; when set, plist and heap footprints are tracked for the paper's
+// memory metric.
+func NewMaintainer(t *rtree.Tree, mem *metrics.MemTracker) (*Maintainer, error) {
+	m := &Maintainer{tree: t, sky: make(map[uint64]*skyObj), mem: mem}
+	if t.Len() == 0 {
+		return m, nil
+	}
+	h := &entryHeap{}
+	root, err := m.readNode(t.Root())
+	if err != nil {
+		return nil, err
+	}
+	m.pushChildren(h, root)
+	if err := m.resume(h); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// Skyline returns the current skyline objects (unspecified order).
+func (m *Maintainer) Skyline() []rtree.Item {
+	out := make([]rtree.Item, 0, len(m.sky))
+	for _, s := range m.sky {
+		out = append(out, s.item)
+	}
+	return out
+}
+
+// Size returns the number of current skyline objects.
+func (m *Maintainer) Size() int { return len(m.sky) }
+
+// Contains reports whether the object is currently on the skyline.
+func (m *Maintainer) Contains(id uint64) bool {
+	_, ok := m.sky[id]
+	return ok
+}
+
+// PlistLen returns the pruned-list length of a skyline object (tests).
+func (m *Maintainer) PlistLen(id uint64) int {
+	if s, ok := m.sky[id]; ok {
+		return len(s.plist)
+	}
+	return 0
+}
+
+// Insert adds a newly arrived object to the maintained set (the dynamic
+// scenario sketched as future work in Section 8, using the insertion
+// rule of Section 2.2). If the object is dominated by a current skyline
+// object it is parked in that object's pruned list and will resurface if
+// its dominator is ever removed. Otherwise it joins the skyline, and any
+// skyline objects it dominates are demoted into its pruned list together
+// with their own pruned entries (everything they dominated is
+// transitively dominated by the new object). No R-tree access is needed.
+func (m *Maintainer) Insert(it rtree.Item) error {
+	if _, dup := m.sky[it.ID]; dup {
+		return fmt.Errorf("skyline: object %d already on the skyline", it.ID)
+	}
+	e := entry{
+		rect:  geom.RectFromPoint(it.Point),
+		child: pagestore.InvalidPage,
+		id:    it.ID,
+		key:   topCornerSum(geom.RectFromPoint(it.Point)),
+	}
+	if o := m.dominator(e); o != nil {
+		o.plist = append(o.plist, e)
+		trackMem(m.mem, entryBytes(m.tree.Dims()))
+		return nil
+	}
+	obj := &skyObj{item: rtree.Item{ID: it.ID, Point: it.Point.Clone()}}
+	for id, s := range m.sky {
+		if it.Point.Dominates(s.item.Point) {
+			demoted := entry{
+				rect:  geom.RectFromPoint(s.item.Point),
+				child: pagestore.InvalidPage,
+				id:    s.item.ID,
+				key:   topCornerSum(geom.RectFromPoint(s.item.Point)),
+			}
+			obj.plist = append(obj.plist, demoted)
+			obj.plist = append(obj.plist, s.plist...)
+			trackMem(m.mem, entryBytes(m.tree.Dims()))
+			delete(m.sky, id)
+		}
+	}
+	m.sky[it.ID] = obj
+	return nil
+}
+
+// Remove deletes the given skyline objects (they have been assigned) and
+// incrementally restores the skyline of the remaining data, per
+// Algorithm 2. It is an error to remove an object that is not currently
+// on the skyline.
+func (m *Maintainer) Remove(ids ...uint64) error {
+	if len(ids) == 0 {
+		return nil
+	}
+	// Collect pruned lists of all removed objects, then drop the objects.
+	var orphans []entry
+	for _, id := range ids {
+		s, ok := m.sky[id]
+		if !ok {
+			return fmt.Errorf("skyline: object %d is not on the skyline", id)
+		}
+		orphans = append(orphans, s.plist...)
+		delete(m.sky, id)
+	}
+
+	// Line 1 of UpdateSkyline: entries dominated by a surviving skyline
+	// object migrate to that object's plist; the rest form Scand.
+	h := &entryHeap{}
+	for _, e := range orphans {
+		if o := m.dominator(e); o != nil {
+			o.plist = append(o.plist, e)
+			continue
+		}
+		heap.Push(h, e)
+	}
+	// Memory neutral so far (entries moved between structures).
+	return m.resume(h)
+}
+
+// resume is ResumeSkyline (Algorithm 2): branch-and-bound over the
+// candidate heap against the current skyline, storing pruned entries in
+// plists and visiting child nodes only when not dominated.
+func (m *Maintainer) resume(h *entryHeap) error {
+	for h.Len() > 0 {
+		e := heap.Pop(h).(entry)
+		trackMem(m.mem, -entryBytes(m.tree.Dims()))
+		if o := m.dominator(e); o != nil {
+			o.plist = append(o.plist, e)
+			trackMem(m.mem, entryBytes(m.tree.Dims()))
+			continue
+		}
+		if e.isPoint() {
+			m.sky[e.id] = &skyObj{item: rtree.Item{ID: e.id, Point: e.rect.Min}}
+			continue
+		}
+		n, err := m.readNode(e.child)
+		if err != nil {
+			return err
+		}
+		m.pushChildren(h, n)
+	}
+	return nil
+}
+
+// dominator returns a skyline object strictly dominating e's top corner,
+// or nil. Entries are kept in the plist of exactly one dominator.
+func (m *Maintainer) dominator(e entry) *skyObj {
+	if d := m.lastDom; d != nil {
+		if _, live := m.sky[d.item.ID]; live && d.item.Point.Dominates(e.rect.Max) {
+			return d
+		}
+	}
+	for _, s := range m.sky {
+		if s.item.Point.Dominates(e.rect.Max) {
+			m.lastDom = s
+			return s
+		}
+	}
+	return nil
+}
+
+func (m *Maintainer) readNode(id pagestore.PageID) (*rtree.Node, error) {
+	m.NodeReads++
+	return m.tree.ReadNode(id)
+}
+
+func (m *Maintainer) pushChildren(h *entryHeap, n *rtree.Node) {
+	for _, ne := range n.Entries {
+		heap.Push(h, entry{
+			rect:  ne.Rect,
+			child: ne.Child,
+			id:    ne.ID,
+			key:   topCornerSum(ne.Rect),
+		})
+		trackMem(m.mem, entryBytes(m.tree.Dims()))
+	}
+}

@@ -1,0 +1,440 @@
+package skyline
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"fairassign/internal/geom"
+	"fairassign/internal/metrics"
+	"fairassign/internal/pagestore"
+	"fairassign/internal/rtree"
+)
+
+func randItems(rng *rand.Rand, n, dims int) []rtree.Item {
+	items := make([]rtree.Item, n)
+	for i := range items {
+		p := make(geom.Point, dims)
+		for d := range p {
+			p[d] = rng.Float64()
+		}
+		items[i] = rtree.Item{ID: uint64(i + 1), Point: p}
+	}
+	return items
+}
+
+// antiItems generates anti-correlated points (the paper's hardest case:
+// large skylines).
+func antiItems(rng *rand.Rand, n, dims int) []rtree.Item {
+	items := make([]rtree.Item, n)
+	for i := range items {
+		p := make(geom.Point, dims)
+		c := 0.5 + 0.15*rng.NormFloat64()
+		for d := range p {
+			v := c + 0.3*(rng.Float64()-0.5)
+			if v < 0 {
+				v = 0
+			}
+			if v > 1 {
+				v = 1
+			}
+			p[d] = v
+		}
+		// rotate mass so dimensions anti-correlate
+		s := 0.0
+		for _, v := range p {
+			s += v
+		}
+		for d := range p {
+			p[d] = p[d] * float64(dims) * c / (s + 1e-9)
+			if p[d] > 1 {
+				p[d] = 1
+			}
+		}
+		items[i] = rtree.Item{ID: uint64(i + 1), Point: p}
+	}
+	return items
+}
+
+func buildTree(t *testing.T, items []rtree.Item, dims int) *rtree.Tree {
+	t.Helper()
+	store := pagestore.NewMemStore(512)
+	pool := pagestore.NewBufferPool(store, 1<<20)
+	tr, err := rtree.BulkLoad(pool, dims, items, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+// naiveSkyline is the O(n²) oracle.
+func naiveSkyline(items []rtree.Item) []rtree.Item {
+	var out []rtree.Item
+	for _, a := range items {
+		dominated := false
+		for _, b := range items {
+			if b.Point.Dominates(a.Point) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+func idsOf(items []rtree.Item) []uint64 {
+	ids := make([]uint64, len(items))
+	for i, it := range items {
+		ids[i] = it.ID
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+func sameIDs(t *testing.T, got, want []rtree.Item, context string) {
+	t.Helper()
+	g, w := idsOf(got), idsOf(want)
+	if len(g) != len(w) {
+		t.Fatalf("%s: skyline size %d, want %d (got %v want %v)", context, len(g), len(w), g, w)
+	}
+	for i := range g {
+		if g[i] != w[i] {
+			t.Fatalf("%s: skyline ids %v, want %v", context, g, w)
+		}
+	}
+}
+
+func TestComputeMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, dims := range []int{2, 3, 4} {
+		for _, n := range []int{1, 10, 200, 1000} {
+			items := randItems(rng, n, dims)
+			tr := buildTree(t, items, dims)
+			got, err := Compute(tr, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameIDs(t, got, naiveSkyline(items), "Compute")
+		}
+	}
+}
+
+func TestComputeAntiCorrelated(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	items := antiItems(rng, 800, 3)
+	tr := buildTree(t, items, 3)
+	got, err := Compute(tr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameIDs(t, got, naiveSkyline(items), "Compute/anti")
+	if len(got) < 5 {
+		t.Fatalf("anti-correlated skyline suspiciously small: %d", len(got))
+	}
+}
+
+func TestComputeWithSkipSet(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	items := randItems(rng, 300, 2)
+	tr := buildTree(t, items, 2)
+	full, err := Compute(tr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	skip := map[uint64]bool{full[0].ID: true}
+	got, err := Compute(tr, skip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var remaining []rtree.Item
+	for _, it := range items {
+		if !skip[it.ID] {
+			remaining = append(remaining, it)
+		}
+	}
+	sameIDs(t, got, naiveSkyline(remaining), "Compute/skip")
+}
+
+func TestBNLAndSFSMatchNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 30; trial++ {
+		dims := 2 + rng.Intn(4)
+		n := 1 + rng.Intn(400)
+		items := randItems(rng, n, dims)
+		want := naiveSkyline(items)
+		sameIDs(t, BNL(items), want, "BNL")
+		sameIDs(t, SFS(items), want, "SFS")
+	}
+}
+
+func TestDuplicatePointsBothOnSkyline(t *testing.T) {
+	items := []rtree.Item{
+		{ID: 1, Point: geom.Point{0.9, 0.9}},
+		{ID: 2, Point: geom.Point{0.9, 0.9}},
+		{ID: 3, Point: geom.Point{0.5, 0.5}},
+	}
+	want := []rtree.Item{items[0], items[1]}
+	sameIDs(t, BNL(items), want, "BNL/dup")
+	sameIDs(t, SFS(items), want, "SFS/dup")
+	tr := buildTree(t, items, 2)
+	got, err := Compute(tr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameIDs(t, got, want, "Compute/dup")
+}
+
+func TestEmptyTree(t *testing.T) {
+	store := pagestore.NewMemStore(512)
+	pool := pagestore.NewBufferPool(store, 64)
+	tr, err := rtree.New(pool, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Compute(tr, nil)
+	if err != nil || len(got) != 0 {
+		t.Fatalf("empty skyline: %v %v", got, err)
+	}
+	m, err := NewMaintainer(tr, nil)
+	if err != nil || m.Size() != 0 {
+		t.Fatalf("empty maintainer: %v", err)
+	}
+	d, err := NewDeltaSky(tr, nil)
+	if err != nil || d.Size() != 0 {
+		t.Fatalf("empty deltasky: %v", err)
+	}
+}
+
+// skylineDriver abstracts the two maintainers for shared correctness tests.
+type skylineDriver interface {
+	Skyline() []rtree.Item
+	Remove(ids ...uint64) error
+	Size() int
+}
+
+func runRemovalSequence(t *testing.T, mk func(*rtree.Tree) skylineDriver, items []rtree.Item, dims int, batch int, seed int64) {
+	t.Helper()
+	tr := buildTree(t, items, dims)
+	drv := mk(tr)
+	remaining := make(map[uint64]rtree.Item, len(items))
+	for _, it := range items {
+		remaining[it.ID] = it
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for len(remaining) > 0 {
+		var rem []rtree.Item
+		for _, it := range remaining {
+			rem = append(rem, it)
+		}
+		want := naiveSkyline(rem)
+		sameIDs(t, drv.Skyline(), want, "removal sequence")
+
+		// Remove up to `batch` random skyline objects.
+		sky := drv.Skyline()
+		rng.Shuffle(len(sky), func(i, j int) { sky[i], sky[j] = sky[j], sky[i] })
+		k := batch
+		if k > len(sky) {
+			k = len(sky)
+		}
+		var ids []uint64
+		for _, s := range sky[:k] {
+			ids = append(ids, s.ID)
+			delete(remaining, s.ID)
+		}
+		if err := drv.Remove(ids...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if drv.Size() != 0 {
+		t.Fatalf("skyline should be empty at the end, has %d", drv.Size())
+	}
+}
+
+func TestMaintainerFullDrain(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	items := randItems(rng, 400, 2)
+	runRemovalSequence(t, func(tr *rtree.Tree) skylineDriver {
+		m, err := NewMaintainer(tr, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}, items, 2, 1, 50)
+}
+
+func TestMaintainerBatchedRemovals(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	items := antiItems(rng, 300, 3)
+	runRemovalSequence(t, func(tr *rtree.Tree) skylineDriver {
+		m, err := NewMaintainer(tr, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}, items, 3, 4, 60)
+}
+
+func TestDeltaSkyFullDrain(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	items := randItems(rng, 250, 2)
+	runRemovalSequence(t, func(tr *rtree.Tree) skylineDriver {
+		d, err := NewDeltaSky(tr, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}, items, 2, 1, 70)
+}
+
+func TestDeltaSkyBatchedRemovals(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	items := antiItems(rng, 200, 3)
+	runRemovalSequence(t, func(tr *rtree.Tree) skylineDriver {
+		d, err := NewDeltaSky(tr, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}, items, 3, 3, 80)
+}
+
+func TestTheorem1NodeReadsBounded(t *testing.T) {
+	// Theorem 1: across the entire maintenance lifetime, UpdateSkyline
+	// never reads an R-tree node twice, so total node visits <= pages.
+	rng := rand.New(rand.NewSource(9))
+	items := antiItems(rng, 2000, 3)
+	tr := buildTree(t, items, 3)
+	pages := tr.NumPages()
+	m, err := NewMaintainer(tr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for m.Size() > 0 {
+		sky := m.Skyline()
+		if err := m.Remove(sky[0].ID); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m.NodeReads > int64(pages) {
+		t.Fatalf("maintainer read %d nodes, tree has only %d pages — Theorem 1 violated", m.NodeReads, pages)
+	}
+}
+
+func TestDeltaSkyReadsMoreNodesThanMaintainer(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	items := antiItems(rng, 1500, 3)
+
+	trA := buildTree(t, items, 3)
+	m, err := NewMaintainer(trA, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for m.Size() > 0 {
+		if err := m.Remove(m.Skyline()[0].ID); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	trB := buildTree(t, items, 3)
+	d, err := NewDeltaSky(trB, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for d.Size() > 0 {
+		if err := d.Remove(d.Skyline()[0].ID); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	if d.NodeReads < m.NodeReads {
+		t.Fatalf("DeltaSky reads (%d) should not be fewer than UpdateSkyline reads (%d)",
+			d.NodeReads, m.NodeReads)
+	}
+	if d.NodeReads < 2*m.NodeReads {
+		t.Logf("note: DeltaSky/maintainer node-read ratio = %.1f (paper reports ~10x on I/O)",
+			float64(d.NodeReads)/float64(m.NodeReads))
+	}
+}
+
+func TestRemoveNonSkylineObjectFails(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	items := randItems(rng, 100, 2)
+	tr := buildTree(t, items, 2)
+	m, err := NewMaintainer(tr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Remove(999999); err == nil {
+		t.Fatal("removing unknown id should fail")
+	}
+	d, err := NewDeltaSky(buildTree(t, items, 2), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Remove(999999); err == nil {
+		t.Fatal("removing unknown id should fail (deltasky)")
+	}
+}
+
+func TestMaintainerMemTracking(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	items := antiItems(rng, 500, 3)
+	tr := buildTree(t, items, 3)
+	var mem metrics.MemTracker
+	m, err := NewMaintainer(tr, &mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mem.Peak == 0 {
+		t.Fatal("memory tracker should record heap/plist growth")
+	}
+	_ = m
+}
+
+func TestMaintainerPaperExampleShape(t *testing.T) {
+	// A layout mirroring Figure 4: e dominates most of the space; after
+	// removing e, the points it was hiding (c, d, i) surface alongside a.
+	pts := map[string]geom.Point{
+		"a": {0.15, 0.95},
+		"e": {0.80, 0.80},
+		"c": {0.55, 0.75}, // dominated by e only
+		"d": {0.70, 0.60}, // dominated by e only
+		"i": {0.80, 0.40}, // dominated by e only wait: e=(0.8,0.8) dominates (0.8,0.4)
+		"j": {0.50, 0.50}, // dominated by e and c/d
+	}
+	names := []string{"a", "e", "c", "d", "i", "j"}
+	var items []rtree.Item
+	id := map[string]uint64{}
+	for i, n := range names {
+		id[n] = uint64(i + 1)
+		items = append(items, rtree.Item{ID: uint64(i + 1), Point: pts[n]})
+	}
+	tr := buildTree(t, items, 2)
+	m, err := NewMaintainer(tr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sky0 := idsOf(m.Skyline())
+	want0 := []uint64{id["a"], id["e"]}
+	if len(sky0) != 2 || sky0[0] != want0[0] || sky0[1] != want0[1] {
+		t.Fatalf("initial skyline = %v, want %v", sky0, want0)
+	}
+	if err := m.Remove(id["e"]); err != nil {
+		t.Fatal(err)
+	}
+	got := idsOf(m.Skyline())
+	want := idsOf([]rtree.Item{
+		{ID: id["a"]}, {ID: id["c"]}, {ID: id["d"]}, {ID: id["i"]},
+	})
+	if len(got) != len(want) {
+		t.Fatalf("after removing e: skyline = %v, want %v", got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("after removing e: skyline = %v, want %v", got, want)
+		}
+	}
+}

@@ -1,0 +1,157 @@
+package ta
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"fairassign/internal/geom"
+	"fairassign/internal/pagestore"
+)
+
+// TestDiskSearchMatchesMemorySearch runs the same resumable reverse
+// top-1 workload over in-memory lists and disk-resident lists: results
+// must be identical step for step (only the I/O accounting differs).
+func TestDiskSearchMatchesMemorySearch(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	dims := 4
+	funcs := randFuncs(rng, 250, dims)
+	mem, err := NewLists(funcs, dims)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := pagestore.NewMemStore(256)
+	pool := pagestore.NewBufferPool(store, 8)
+	disk, err := BuildDiskLists(pool, funcs, dims)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	o := randPoint(rng, dims)
+	ms := NewSearch(mem, o, 12)
+	ds := NewDiskSearch(disk, o, 12)
+	for i := 0; i < 250; i++ {
+		mid, mscore, mok := ms.Best()
+		did, dscore, dok := ds.Best()
+		if err := ds.Err(); err != nil {
+			t.Fatal(err)
+		}
+		if mok != dok {
+			t.Fatalf("step %d: ok mismatch %v vs %v", i, mok, dok)
+		}
+		if !mok {
+			break
+		}
+		if mid != did || math.Abs(mscore-dscore) > 1e-12 {
+			t.Fatalf("step %d: memory (%d, %v) vs disk (%d, %v)", i, mid, mscore, did, dscore)
+		}
+		if err := mem.Remove(mid); err != nil {
+			t.Fatal(err)
+		}
+		if err := disk.Remove(did); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestThresholdMonotoneInLastSeen verifies the knapsack bound shrinks (or
+// stays) as the scan descends the lists — the property TA termination
+// depends on.
+func TestThresholdMonotoneInLastSeen(t *testing.T) {
+	f := func(rawO, rawA, rawB []float64) bool {
+		dims := 3
+		norm := func(raw []float64, i int) float64 {
+			if i >= len(raw) {
+				return 0.5
+			}
+			v := math.Abs(raw[i])
+			for v > 1 {
+				v /= 10
+			}
+			return v
+		}
+		o := make(geom.Point, dims)
+		hi := make([]float64, dims)
+		lo := make([]float64, dims)
+		for d := 0; d < dims; d++ {
+			o[d] = norm(rawO, d)
+			a, b := norm(rawA, d), norm(rawB, d)
+			if a < b {
+				a, b = b, a
+			}
+			hi[d], lo[d] = a, b // lo <= hi pointwise: deeper in the scan
+		}
+		return TightThreshold(o, lo, 1.0) <= TightThreshold(o, hi, 1.0)+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestThresholdNeverBelowBestPossible: the bound with untouched lists
+// (lastSeen = B everywhere) dominates every admissible function's score.
+func TestThresholdInitialIsGlobalBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 200; trial++ {
+		dims := 2 + rng.Intn(4)
+		o := randPoint(rng, dims)
+		lastSeen := make([]float64, dims)
+		for d := range lastSeen {
+			lastSeen[d] = 1.0
+		}
+		T := TightThreshold(o, lastSeen, 1.0)
+		f := randFuncs(rng, 1, dims)[0]
+		if s := f.Score(o); s > T+1e-12 {
+			t.Fatalf("normalized function scored %v above initial bound %v", s, T)
+		}
+	}
+}
+
+// TestSearchStatsAdvance ensures the counters move, so the experiment
+// harness measures real work.
+func TestSearchStatsAdvance(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	funcs := randFuncs(rng, 100, 3)
+	l, err := NewLists(funcs, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSearch(l, randPoint(rng, 3), 5)
+	if _, _, ok := s.Best(); !ok {
+		t.Fatal("Best failed")
+	}
+	if l.Counters.SortedAccesses == 0 || l.Counters.RandomAccesses == 0 {
+		t.Errorf("counters did not advance: %+v", l.Counters)
+	}
+	if s.Footprint() <= 0 {
+		t.Error("Footprint should be positive")
+	}
+}
+
+// TestDiskSearchSurfacesIOErrors injects a store failure and checks the
+// search reports it instead of silently returning !ok.
+func TestDiskSearchSurfacesIOErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	funcs := randFuncs(rng, 64, 2)
+	store := pagestore.NewMemStore(256)
+	pool := pagestore.NewBufferPool(store, 8)
+	dl, err := BuildDiskLists(pool, funcs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Free a list page behind the search's back.
+	if err := pool.Clear(); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Free(dl.pages[0][0]); err != nil {
+		t.Fatal(err)
+	}
+	s := NewDiskSearch(dl, geom.Point{0.9, 0.1}, 4)
+	if _, _, ok := s.Best(); ok {
+		t.Fatal("search over corrupted lists should not succeed")
+	}
+	if s.Err() == nil {
+		t.Fatal("Err should report the underlying I/O failure")
+	}
+}

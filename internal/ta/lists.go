@@ -1,0 +1,200 @@
+// Package ta implements the paper's reverse top-1 search (Section 5.1):
+// given an object o, find the preference function f maximizing f(o) by
+// adapting Fagin's Threshold Algorithm over D sorted coefficient lists.
+//
+// The package provides:
+//
+//   - Lists: in-memory per-dimension sorted lists over a function set with
+//     tombstoned deletion;
+//   - the tight threshold T_tight computed by fractional knapsack, valid
+//     for normalized functions (Σα = 1) and prioritized functions
+//     (Σα' = γ ≤ B);
+//   - biased list probing (probe the list with the highest l_i·o_i);
+//   - Search: a per-object resumable TA state whose candidate queue is
+//     capped at Ω = ω·|F| entries, restarting from scratch when the
+//     guarantee budget is exhausted (the paper's memory/time trade-off);
+//   - DiskLists + BatchSearch: the Section 7.6 variant for disk-resident
+//     F, scanning the lists block-wise and amortizing one pass over all
+//     current skyline objects (used by SB-alt).
+package ta
+
+import (
+	"fmt"
+	"sort"
+
+	"fairassign/internal/geom"
+)
+
+// Func is a preference function as seen by the search structures: the
+// weights are the effective coefficients α'_i = α_i·γ (γ = 1 for the
+// standard normalized problem).
+type Func struct {
+	ID      uint64
+	Weights []float64
+}
+
+// Score returns f(o) = Σ α'_i · o_i (Equations 1 and 2).
+func (f Func) Score(o geom.Point) float64 { return geom.Dot(f.Weights, o) }
+
+type listEntry struct {
+	coef float64
+	id   uint64
+	idx  int // dense function index (position in a canonical order)
+}
+
+// Counters tallies TA work for the experiment harness.
+type Counters struct {
+	SortedAccesses int64 // entries popped from sorted lists
+	RandomAccesses int64 // full-weight lookups
+	Restarts       int64 // Ω-exhaustion restarts
+}
+
+// Lists indexes a function set as D descending-sorted coefficient lists
+// plus a random-access table, supporting tombstoned removal of assigned
+// functions.
+type Lists struct {
+	dimCount int
+	lists    [][]listEntry
+	funcs    map[uint64][]float64
+	index    map[uint64]int // function ID -> dense index
+	byIdx    [][]float64    // dense index -> weights
+	removed  []bool         // dense index -> tombstone
+	live     int
+	maxB     float64 // max Σ weights over all functions (1 when normalized)
+
+	Counters Counters
+}
+
+// NewLists builds the sorted lists. All functions must share the given
+// dimensionality.
+func NewLists(funcs []Func, dims int) (*Lists, error) {
+	l := &Lists{
+		dimCount: dims,
+		lists:    make([][]listEntry, dims),
+		funcs:    make(map[uint64][]float64, len(funcs)),
+		index:    make(map[uint64]int, len(funcs)),
+		byIdx:    make([][]float64, len(funcs)),
+		removed:  make([]bool, len(funcs)),
+		live:     len(funcs),
+	}
+	for i, f := range funcs {
+		if len(f.Weights) != dims {
+			return nil, fmt.Errorf("ta: function %d has %d weights, want %d", f.ID, len(f.Weights), dims)
+		}
+		if _, dup := l.funcs[f.ID]; dup {
+			return nil, fmt.Errorf("ta: duplicate function id %d", f.ID)
+		}
+		l.funcs[f.ID] = f.Weights
+		l.index[f.ID] = i
+		l.byIdx[i] = f.Weights
+		sum := 0.0
+		for _, w := range f.Weights {
+			if w < 0 {
+				return nil, fmt.Errorf("ta: function %d has negative weight", f.ID)
+			}
+			sum += w
+		}
+		if sum > l.maxB {
+			l.maxB = sum
+		}
+	}
+	for d := 0; d < dims; d++ {
+		col := make([]listEntry, 0, len(funcs))
+		for i, f := range funcs {
+			col = append(col, listEntry{coef: f.Weights[d], id: f.ID, idx: i})
+		}
+		sort.Slice(col, func(i, j int) bool {
+			if col[i].coef != col[j].coef {
+				return col[i].coef > col[j].coef
+			}
+			return col[i].id < col[j].id
+		})
+		l.lists[d] = col
+	}
+	return l, nil
+}
+
+// Dims returns the dimensionality.
+func (l *Lists) Dims() int { return l.dimCount }
+
+// Live returns the number of unassigned functions.
+func (l *Lists) Live() int { return l.live }
+
+// MaxB returns the knapsack budget: the maximum Σ weights over all
+// functions (kept at its initial value, a valid upper bound as functions
+// are only removed).
+func (l *Lists) MaxB() float64 { return l.maxB }
+
+// Weights returns the weight vector of a live function (nil if removed or
+// unknown).
+func (l *Lists) Weights(id uint64) []float64 {
+	i, ok := l.index[id]
+	if !ok || l.removed[i] {
+		return nil
+	}
+	return l.byIdx[i]
+}
+
+// Removed reports whether the function has been tombstoned.
+func (l *Lists) Removed(id uint64) bool {
+	i, ok := l.index[id]
+	return ok && l.removed[i]
+}
+
+// Remove tombstones an assigned function; subsequent searches skip it.
+func (l *Lists) Remove(id uint64) error {
+	i, ok := l.index[id]
+	if !ok {
+		return fmt.Errorf("ta: unknown function id %d", id)
+	}
+	if l.removed[i] {
+		return fmt.Errorf("ta: function %d already removed", id)
+	}
+	l.removed[i] = true
+	l.live--
+	return nil
+}
+
+// TightThreshold computes T_tight for object o given the last coefficient
+// seen in each list (lastSeen) and budget B: the fractional-knapsack
+// maximum of Σ β_i·o_i subject to Σβ = B, 0 ≤ β_i ≤ lastSeen_i
+// (Section 5.1). It upper-bounds f(o) for every function not yet
+// encountered in any list.
+func TightThreshold(o geom.Point, lastSeen []float64, B float64) float64 {
+	type dimVal struct {
+		o float64
+		l float64
+	}
+	dims := make([]dimVal, len(o))
+	for i := range o {
+		dims[i] = dimVal{o: o[i], l: lastSeen[i]}
+	}
+	sort.Slice(dims, func(i, j int) bool { return dims[i].o > dims[j].o })
+	t := 0.0
+	for _, dv := range dims {
+		if B <= 0 {
+			break
+		}
+		beta := dv.l
+		if beta > B {
+			beta = B
+		}
+		t += beta * dv.o
+		B -= beta
+	}
+	return t
+}
+
+// ExhaustiveBest scans a slice of functions and returns the one
+// maximizing f(o) (ties: lowest ID). Used for small function sets such as
+// the function skyline of the prioritized variant (Section 6.2). ok is
+// false when funcs is empty.
+func ExhaustiveBest(funcs []Func, o geom.Point) (best Func, score float64, ok bool) {
+	for _, f := range funcs {
+		s := f.Score(o)
+		if !ok || s > score || (s == score && f.ID < best.ID) {
+			best, score, ok = f, s, true
+		}
+	}
+	return best, score, ok
+}

@@ -1,0 +1,256 @@
+package ta
+
+import (
+	"sort"
+
+	"fairassign/internal/geom"
+)
+
+// listSource abstracts where the sorted coefficient lists live: in memory
+// (Lists) or on the simulated disk (DiskLists). Search runs unchanged
+// over either, which is how the Section 7.6 experiment puts SB's
+// per-object resumable searches on top of disk-resident F.
+type listSource interface {
+	dims() int
+	maxBudget() float64
+	listLength(d int) int
+	funcCount() int
+	// entryAt returns entry i of list d (I/O-counted for disk lists).
+	entryAt(d, i int) (listEntry, error)
+	// weightsAt returns the weight vector of the function with the given
+	// dense index; hintDim's coefficient hintCoef was already read from
+	// the scanned list.
+	weightsAt(idx int, id uint64, hintDim int, hintCoef float64) ([]float64, error)
+	removedAt(idx int) bool
+	liveCount() int
+	counters() *Counters
+}
+
+// Lists implements listSource.
+func (l *Lists) dims() int            { return l.dimCount }
+func (l *Lists) maxBudget() float64   { return l.maxB }
+func (l *Lists) listLength(d int) int { return len(l.lists[d]) }
+func (l *Lists) funcCount() int       { return len(l.byIdx) }
+func (l *Lists) entryAt(d, i int) (listEntry, error) {
+	l.Counters.SortedAccesses++
+	return l.lists[d][i], nil
+}
+func (l *Lists) weightsAt(idx int, _ uint64, _ int, _ float64) ([]float64, error) {
+	l.Counters.RandomAccesses++
+	return l.byIdx[idx], nil
+}
+func (l *Lists) removedAt(idx int) bool { return l.removed[idx] }
+func (l *Lists) liveCount() int         { return l.live }
+func (l *Lists) counters() *Counters    { return &l.Counters }
+
+// Search is the resumable reverse top-1 state kept per skyline object
+// (Section 5.1, "Resuming search"). It scans the sorted coefficient lists
+// with biased probing, maintains the top-Ω candidate functions seen so
+// far, and can resume where it stopped when the object's previous best
+// function is assigned elsewhere. Each pop consumes one unit of the Ω
+// guarantee budget; when the budget is spent the search restarts from
+// scratch (the paper's memory/time trade-off knob ω).
+type Search struct {
+	l         listSource
+	obj       geom.Point
+	dimOrder  []int // dimensions sorted by descending object value
+	pos       []int // next index per list
+	lastSeen  []float64
+	seen      []uint32 // epoch-stamped visited marks, by dense index
+	epoch     uint32
+	queue     []cand // sorted desc by (score, -id); top-Ω of seen, unpopped
+	guarantee int
+	omega     int
+	err       error
+}
+
+type cand struct {
+	id    uint64
+	idx   int
+	score float64
+}
+
+// NewSearch creates a resumable search for object o over in-memory lists.
+// omega is the candidate-queue capacity Ω (at least 1); the paper sets
+// Ω = ω·|F| with ω ≈ 2.5 %.
+func NewSearch(l *Lists, o geom.Point, omega int) *Search {
+	return newSearch(l, o, omega)
+}
+
+// NewDiskSearch creates a resumable search for object o over
+// disk-resident lists (Section 7.6: plain SB with F on disk).
+func NewDiskSearch(l *DiskLists, o geom.Point, omega int) *Search {
+	return newSearch(l, o, omega)
+}
+
+func newSearch(l listSource, o geom.Point, omega int) *Search {
+	if omega < 1 {
+		omega = 1
+	}
+	s := &Search{l: l, obj: o, omega: omega, dimOrder: dimOrderFor(o)}
+	s.epoch = 0
+	s.reset()
+	return s
+}
+
+// dimOrderFor returns dimension indexes sorted by descending object
+// value — the fixed greedy order of the fractional knapsack for this
+// object.
+func dimOrderFor(o geom.Point) []int {
+	order := make([]int, len(o))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(i, j int) bool { return o[order[i]] > o[order[j]] })
+	return order
+}
+
+func (s *Search) reset() {
+	if s.pos == nil {
+		s.pos = make([]int, s.l.dims())
+		s.lastSeen = make([]float64, s.l.dims())
+		s.seen = make([]uint32, s.l.funcCount())
+	} else {
+		for i := range s.pos {
+			s.pos[i] = 0
+		}
+	}
+	for i := range s.lastSeen {
+		s.lastSeen[i] = s.l.maxBudget()
+	}
+	s.epoch++ // invalidates all seen marks without clearing
+	s.queue = s.queue[:0]
+	s.guarantee = s.omega
+}
+
+// Footprint approximates the bytes held by this search state, for the
+// paper's memory metric.
+func (s *Search) Footprint() int64 {
+	return int64(len(s.seen))*4 + int64(len(s.queue))*24 + int64(s.l.dims())*16 + 64
+}
+
+// Err returns the first I/O error encountered (disk-backed sources only).
+func (s *Search) Err() error { return s.err }
+
+// Best returns the live function maximizing f(obj), resuming the previous
+// scan when possible. ok is false when no live functions remain or an
+// I/O error occurred (check Err).
+func (s *Search) Best() (id uint64, score float64, ok bool) {
+	if s.l.liveCount() == 0 || s.err != nil {
+		return 0, 0, false
+	}
+	for {
+		// Lazily discard queue heads that were assigned elsewhere; each
+		// discard consumes guarantee budget.
+		for len(s.queue) > 0 && s.l.removedAt(s.queue[0].idx) {
+			s.queue = s.queue[1:]
+			s.guarantee--
+		}
+		if s.guarantee <= 0 {
+			s.l.counters().Restarts++
+			s.reset()
+			continue
+		}
+		exhausted := s.exhausted()
+		if len(s.queue) > 0 {
+			top := s.queue[0]
+			if exhausted || top.score >= s.threshold() {
+				return top.id, top.score, true
+			}
+		} else if exhausted {
+			// Everything scanned but the queue is empty: candidates were
+			// lost to pops after overflow. Restart rebuilds them.
+			s.l.counters().Restarts++
+			s.reset()
+			continue
+		}
+		if !s.step() {
+			return 0, 0, false
+		}
+	}
+}
+
+// threshold returns T_tight for the current cursor positions, walking
+// the precomputed greedy dimension order (equivalent to TightThreshold
+// but allocation-free — this runs once per sorted access).
+func (s *Search) threshold() float64 {
+	b := s.l.maxBudget()
+	t := 0.0
+	for _, d := range s.dimOrder {
+		if b <= 0 {
+			break
+		}
+		beta := s.lastSeen[d]
+		if beta > b {
+			beta = b
+		}
+		t += beta * s.obj[d]
+		b -= beta
+	}
+	return t
+}
+
+func (s *Search) exhausted() bool {
+	for d := 0; d < s.l.dims(); d++ {
+		if s.pos[d] < s.l.listLength(d) {
+			return false
+		}
+	}
+	return true
+}
+
+// step performs one sorted access on the most promising list (biased
+// probing: maximize lastSeen_i · o_i) plus the random accesses needed to
+// score a newly seen function. It returns false on I/O error.
+func (s *Search) step() bool {
+	best, bestVal := -1, -1.0
+	for d := 0; d < s.l.dims(); d++ {
+		if s.pos[d] >= s.l.listLength(d) {
+			continue
+		}
+		if v := s.lastSeen[d] * s.obj[d]; v > bestVal {
+			best, bestVal = d, v
+		}
+	}
+	if best == -1 {
+		return true
+	}
+	e, err := s.l.entryAt(best, s.pos[best])
+	if err != nil {
+		s.err = err
+		return false
+	}
+	s.pos[best]++
+	s.lastSeen[best] = e.coef
+	if s.seen[e.idx] == s.epoch {
+		return true
+	}
+	s.seen[e.idx] = s.epoch
+	if s.l.removedAt(e.idx) {
+		return true
+	}
+	w, err := s.l.weightsAt(e.idx, e.id, best, e.coef)
+	if err != nil {
+		s.err = err
+		return false
+	}
+	s.insert(cand{id: e.id, idx: e.idx, score: geom.Dot(w, s.obj)})
+	return true
+}
+
+// insert places c into the descending queue, keeping at most omega
+// entries (dropping the worst preserves the top-Ω property).
+func (s *Search) insert(c cand) {
+	i := sort.Search(len(s.queue), func(i int) bool {
+		if s.queue[i].score != c.score {
+			return s.queue[i].score < c.score
+		}
+		return s.queue[i].id > c.id
+	})
+	s.queue = append(s.queue, cand{})
+	copy(s.queue[i+1:], s.queue[i:])
+	s.queue[i] = c
+	if len(s.queue) > s.omega {
+		s.queue = s.queue[:s.omega]
+	}
+}

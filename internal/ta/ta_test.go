@@ -1,0 +1,406 @@
+package ta
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"fairassign/internal/geom"
+	"fairassign/internal/pagestore"
+)
+
+// randFuncs generates n normalized linear functions over dims dimensions.
+func randFuncs(rng *rand.Rand, n, dims int) []Func {
+	funcs := make([]Func, n)
+	for i := range funcs {
+		w := make([]float64, dims)
+		sum := 0.0
+		for d := range w {
+			w[d] = rng.Float64()
+			sum += w[d]
+		}
+		for d := range w {
+			w[d] /= sum
+		}
+		funcs[i] = Func{ID: uint64(i + 1), Weights: w}
+	}
+	return funcs
+}
+
+func randPoint(rng *rand.Rand, dims int) geom.Point {
+	p := make(geom.Point, dims)
+	for d := range p {
+		p[d] = rng.Float64()
+	}
+	return p
+}
+
+// bruteBest is the oracle: scan all live functions.
+func bruteBest(l *Lists, funcs []Func, o geom.Point) (uint64, float64, bool) {
+	var bestID uint64
+	bestScore := math.Inf(-1)
+	found := false
+	for _, f := range funcs {
+		if l.Removed(f.ID) {
+			continue
+		}
+		s := f.Score(o)
+		if !found || s > bestScore || (s == bestScore && f.ID < bestID) {
+			bestID, bestScore, found = f.ID, s, true
+		}
+	}
+	return bestID, bestScore, found
+}
+
+func TestTightThresholdPaperExample(t *testing.T) {
+	// Section 5.1 worked example: o = (10, 6, 8), last seen
+	// l = (0.8, 0.8, 0.9) → β = (0.8, 0, 0.2), T = 9.6.
+	o := geom.Point{10, 6, 8}
+	got := TightThreshold(o, []float64{0.8, 0.8, 0.9}, 1.0)
+	if math.Abs(got-9.6) > 1e-12 {
+		t.Errorf("T_tight = %v, want 9.6", got)
+	}
+	// After reading fc from L1: l = (0.5, 0.8, 0.9) → T = 0.5·10 + 0.5·8 = 9.
+	got = TightThreshold(o, []float64{0.5, 0.8, 0.9}, 1.0)
+	if math.Abs(got-9.0) > 1e-12 {
+		t.Errorf("T_tight after fc = %v, want 9", got)
+	}
+}
+
+func TestTightThresholdBudgetZeroAndLargeB(t *testing.T) {
+	o := geom.Point{1, 2}
+	if got := TightThreshold(o, []float64{0.5, 0.5}, 0); got != 0 {
+		t.Errorf("B=0: T = %v, want 0", got)
+	}
+	// B larger than Σ lastSeen: every β_i = lastSeen_i.
+	got := TightThreshold(o, []float64{0.5, 0.5}, 10)
+	if math.Abs(got-1.5) > 1e-12 {
+		t.Errorf("large B: T = %v, want 1.5", got)
+	}
+}
+
+func TestTightThresholdIsValidUpperBound(t *testing.T) {
+	// Property: for any function whose coefficients are pointwise below
+	// lastSeen and sum to <= B, its score never exceeds the threshold.
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 2000; trial++ {
+		dims := 2 + rng.Intn(4)
+		o := randPoint(rng, dims)
+		lastSeen := make([]float64, dims)
+		for d := range lastSeen {
+			lastSeen[d] = rng.Float64()
+		}
+		// Build a random admissible function.
+		w := make([]float64, dims)
+		budget := 1.0
+		for d := range w {
+			w[d] = rng.Float64() * lastSeen[d]
+			if w[d] > budget {
+				w[d] = budget
+			}
+			budget -= w[d]
+		}
+		T := TightThreshold(o, lastSeen, 1.0)
+		if s := geom.Dot(w, o); s > T+1e-9 {
+			t.Fatalf("score %v exceeds threshold %v (o=%v lastSeen=%v w=%v)", s, T, o, lastSeen, w)
+		}
+	}
+}
+
+func TestSearchMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 20; trial++ {
+		dims := 2 + rng.Intn(4)
+		funcs := randFuncs(rng, 200, dims)
+		l, err := NewLists(funcs, dims)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for q := 0; q < 20; q++ {
+			o := randPoint(rng, dims)
+			s := NewSearch(l, o, 20)
+			id, score, ok := s.Best()
+			wid, wscore, wok := bruteBest(l, funcs, o)
+			if ok != wok || math.Abs(score-wscore) > 1e-12 {
+				t.Fatalf("Best = (%d, %v, %v), want (%d, %v, %v)", id, score, ok, wid, wscore, wok)
+			}
+		}
+	}
+}
+
+func TestSearchResumeAfterRemovals(t *testing.T) {
+	// Repeatedly take the best function, remove it, and resume the same
+	// search state — must track the brute-force oracle the whole way.
+	rng := rand.New(rand.NewSource(3))
+	dims := 3
+	funcs := randFuncs(rng, 150, dims)
+	l, err := NewLists(funcs, dims)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := randPoint(rng, dims)
+	s := NewSearch(l, o, 10) // small omega to exercise restarts
+	for i := 0; i < 150; i++ {
+		id, score, ok := s.Best()
+		wid, wscore, wok := bruteBest(l, funcs, o)
+		if !ok || !wok {
+			t.Fatalf("step %d: ok=%v wok=%v", i, ok, wok)
+		}
+		if math.Abs(score-wscore) > 1e-12 {
+			t.Fatalf("step %d: score %v, want %v (id %d vs %d)", i, score, wscore, id, wid)
+		}
+		if err := l.Remove(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, _, ok := s.Best(); ok {
+		t.Fatal("Best should report no live functions")
+	}
+	if l.Counters.Restarts == 0 {
+		t.Error("expected at least one Ω-exhaustion restart with omega=10 and 150 removals")
+	}
+}
+
+func TestSearchOmegaOne(t *testing.T) {
+	// The degenerate Ω=1 queue must still be correct (restarting often).
+	rng := rand.New(rand.NewSource(4))
+	funcs := randFuncs(rng, 60, 2)
+	l, err := NewLists(funcs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := randPoint(rng, 2)
+	s := NewSearch(l, o, 1)
+	for i := 0; i < 60; i++ {
+		id, score, ok := s.Best()
+		_, wscore, wok := bruteBest(l, funcs, o)
+		if !ok || !wok || math.Abs(score-wscore) > 1e-12 {
+			t.Fatalf("step %d: (%d,%v,%v) want score %v", i, id, score, ok, wscore)
+		}
+		if err := l.Remove(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestSearchBiasedProbingBeatsExhaustiveAccesses(t *testing.T) {
+	// TA must terminate after far fewer random accesses than |F| for a
+	// skewed object (the whole point of the threshold).
+	rng := rand.New(rand.NewSource(5))
+	funcs := randFuncs(rng, 5000, 4)
+	l, err := NewLists(funcs, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := geom.Point{0.99, 0.01, 0.01, 0.01}
+	s := NewSearch(l, o, 125)
+	if _, _, ok := s.Best(); !ok {
+		t.Fatal("Best failed")
+	}
+	if l.Counters.RandomAccesses > 2500 {
+		t.Errorf("TA performed %d random accesses on 5000 functions — threshold not effective",
+			l.Counters.RandomAccesses)
+	}
+}
+
+func TestPrioritizedFunctionsThresholdUsesMaxGamma(t *testing.T) {
+	// Effective weights scaled by γ ∈ {1,2,4}: maxB must reflect the max
+	// priority and Best must still match brute force.
+	rng := rand.New(rand.NewSource(6))
+	dims := 3
+	funcs := randFuncs(rng, 120, dims)
+	gammas := []float64{1, 2, 4}
+	for i := range funcs {
+		g := gammas[rng.Intn(len(gammas))]
+		for d := range funcs[i].Weights {
+			funcs[i].Weights[d] *= g
+		}
+	}
+	l, err := NewLists(funcs, dims)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.MaxB() < 2 {
+		t.Fatalf("MaxB = %v, want close to max γ = 4", l.MaxB())
+	}
+	for q := 0; q < 30; q++ {
+		o := randPoint(rng, dims)
+		s := NewSearch(l, o, 12)
+		id, score, ok := s.Best()
+		wid, wscore, wok := bruteBest(l, funcs, o)
+		if ok != wok || math.Abs(score-wscore) > 1e-12 {
+			t.Fatalf("prioritized Best = (%d,%v), want (%d,%v)", id, score, wid, wscore)
+		}
+	}
+}
+
+func TestListsValidation(t *testing.T) {
+	if _, err := NewLists([]Func{{ID: 1, Weights: []float64{0.5}}}, 2); err == nil {
+		t.Error("dimension mismatch should fail")
+	}
+	if _, err := NewLists([]Func{
+		{ID: 1, Weights: []float64{0.5, 0.5}},
+		{ID: 1, Weights: []float64{0.3, 0.7}},
+	}, 2); err == nil {
+		t.Error("duplicate IDs should fail")
+	}
+	if _, err := NewLists([]Func{{ID: 1, Weights: []float64{-0.5, 1.5}}}, 2); err == nil {
+		t.Error("negative weights should fail")
+	}
+	l, err := NewLists(randFuncs(rand.New(rand.NewSource(7)), 5, 2), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Remove(99); err == nil {
+		t.Error("removing unknown id should fail")
+	}
+	if err := l.Remove(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Remove(1); err == nil {
+		t.Error("double removal should fail")
+	}
+	if l.Live() != 4 {
+		t.Errorf("Live = %d, want 4", l.Live())
+	}
+}
+
+func TestExhaustiveBest(t *testing.T) {
+	funcs := []Func{
+		{ID: 1, Weights: []float64{0.8, 0.2}},
+		{ID: 2, Weights: []float64{0.2, 0.8}},
+		{ID: 3, Weights: []float64{0.5, 0.5}},
+	}
+	// Figure 1: object c = (0.8, 0.2) is best for f1.
+	best, score, ok := ExhaustiveBest(funcs, geom.Point{0.8, 0.2})
+	if !ok || best.ID != 1 || math.Abs(score-0.68) > 1e-12 {
+		t.Errorf("ExhaustiveBest = (%d, %v, %v), want (1, 0.68, true)", best.ID, score, ok)
+	}
+	if _, _, ok := ExhaustiveBest(nil, geom.Point{1, 1}); ok {
+		t.Error("empty function set should report !ok")
+	}
+}
+
+func newDiskLists(t *testing.T, funcs []Func, dims, pageSize, bufPages int) (*DiskLists, *pagestore.MemStore) {
+	t.Helper()
+	store := pagestore.NewMemStore(pageSize)
+	pool := pagestore.NewBufferPool(store, bufPages)
+	dl, err := BuildDiskLists(pool, funcs, dims)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dl, store
+}
+
+func TestDiskListsBatchMatchesBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	dims := 3
+	funcs := randFuncs(rng, 300, dims)
+	dl, _ := newDiskLists(t, funcs, dims, 256, 64)
+	l, err := NewLists(funcs, dims) // only for the brute oracle's removal view
+	if err != nil {
+		t.Fatal(err)
+	}
+	var objs []BatchObject
+	for i := 0; i < 25; i++ {
+		objs = append(objs, BatchObject{ID: uint64(i + 1), Point: randPoint(rng, dims)})
+	}
+	res, err := dl.BatchSearch(objs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range objs {
+		wid, wscore, _ := bruteBest(l, funcs, o.Point)
+		r := res[o.ID]
+		if !r.OK || math.Abs(r.Score-wscore) > 1e-12 {
+			t.Fatalf("obj %d: batch = (%d, %v, %v), want (%d, %v)", o.ID, r.FuncID, r.Score, r.OK, wid, wscore)
+		}
+	}
+}
+
+func TestDiskListsBatchWithRemovals(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	dims := 4
+	funcs := randFuncs(rng, 200, dims)
+	dl, _ := newDiskLists(t, funcs, dims, 256, 64)
+	l, _ := NewLists(funcs, dims)
+	// Remove a third of the functions from both structures.
+	for i := 0; i < 70; i++ {
+		id := funcs[i*2%len(funcs)].ID
+		if dl.removed[id] {
+			continue
+		}
+		if err := dl.Remove(id); err != nil {
+			t.Fatal(err)
+		}
+		if err := l.Remove(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	objs := []BatchObject{{ID: 1, Point: randPoint(rng, dims)}, {ID: 2, Point: randPoint(rng, dims)}}
+	res, err := dl.BatchSearch(objs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range objs {
+		_, wscore, wok := bruteBest(l, funcs, o.Point)
+		r := res[o.ID]
+		if r.OK != wok || math.Abs(r.Score-wscore) > 1e-12 {
+			t.Fatalf("obj %d: batch = %+v, want score %v", o.ID, r, wscore)
+		}
+	}
+}
+
+func TestDiskListsAllRemoved(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	funcs := randFuncs(rng, 10, 2)
+	dl, _ := newDiskLists(t, funcs, 2, 256, 16)
+	for _, f := range funcs {
+		if err := dl.Remove(f.ID); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := dl.BatchSearch([]BatchObject{{ID: 1, Point: geom.Point{0.5, 0.5}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[1].OK {
+		t.Error("no live functions: result should be !OK")
+	}
+}
+
+func TestDiskListsBatchIOBounded(t *testing.T) {
+	// One batch call must read each list page at most once for scanning
+	// plus at most one random access per function per other list —
+	// independent of the number of objects.
+	rng := rand.New(rand.NewSource(11))
+	dims := 3
+	n := 500
+	funcs := randFuncs(rng, n, dims)
+	dl, store := newDiskLists(t, funcs, dims, 256, 0) // no buffering: every access counted
+	var objs []BatchObject
+	for i := 0; i < 40; i++ {
+		objs = append(objs, BatchObject{ID: uint64(i + 1), Point: randPoint(rng, dims)})
+	}
+	store.IO().Reset()
+	if _, err := dl.BatchSearch(objs); err != nil {
+		t.Fatal(err)
+	}
+	perPage := 256 / diskEntrySize
+	scanPages := dims * ((n + perPage - 1) / perPage)
+	maxIO := int64(scanPages + n*(dims-1))
+	if got := store.IO().PhysicalReads; got > maxIO {
+		t.Errorf("batch read %d pages, bound is %d", got, maxIO)
+	}
+}
+
+func TestDiskListsNumPages(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	funcs := randFuncs(rng, 64, 2)
+	dl, _ := newDiskLists(t, funcs, 2, 256, 16)
+	perPage := 256 / diskEntrySize // 16 entries
+	want := 2 * ((64 + perPage - 1) / perPage)
+	if got := dl.NumPages(); got != want {
+		t.Errorf("NumPages = %d, want %d", got, want)
+	}
+}

@@ -1,0 +1,165 @@
+// Package topk implements BRS (branch-and-bound ranked search, Tao et
+// al.) over an R-tree: an I/O-optimal incremental top-k iterator for
+// monotone linear preference functions (Section 2.3 of the paper).
+//
+// The Brute Force baseline keeps one Searcher alive per preference
+// function so that its top-1 scan can resume after its previous best
+// object is assigned elsewhere; the Chain baseline issues fresh top-1
+// searches. Both tombstone assigned objects through a skip filter instead
+// of physically deleting them, which keeps the retained heaps valid while
+// producing the identical visit order.
+package topk
+
+import (
+	"container/heap"
+
+	"fairassign/internal/geom"
+	"fairassign/internal/pagestore"
+	"fairassign/internal/rtree"
+)
+
+// brsEntry is a heap element: an R-tree node or data point keyed by
+// maxscore (the function score of the rectangle's best corner).
+type brsEntry struct {
+	rect  geom.Rect
+	child pagestore.PageID
+	id    uint64
+	key   float64
+}
+
+func (e brsEntry) isPoint() bool { return e.child == pagestore.InvalidPage }
+
+type brsHeap []brsEntry
+
+func (h brsHeap) Len() int { return len(h) }
+func (h brsHeap) Less(i, j int) bool {
+	if h[i].key != h[j].key {
+		return h[i].key > h[j].key
+	}
+	// Deterministic tie-break: points before nodes, then lower ID.
+	if h[i].isPoint() != h[j].isPoint() {
+		return h[i].isPoint()
+	}
+	return h[i].id < h[j].id
+}
+func (h brsHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *brsHeap) Push(x any)   { *h = append(*h, x.(brsEntry)) }
+func (h *brsHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Searcher is an incremental BRS iterator. Objects for which skip returns
+// true are passed over (used to tombstone already-assigned objects).
+type Searcher struct {
+	tree    *rtree.Tree
+	weights []float64
+	h       brsHeap
+	skip    func(uint64) bool
+	started bool
+
+	// NodeReads counts R-tree node visits by this searcher.
+	NodeReads int64
+}
+
+// NewSearcher creates an iterator for the linear function with the given
+// weights. The root node is read lazily on the first Next call.
+func NewSearcher(t *rtree.Tree, weights []float64, skip func(uint64) bool) *Searcher {
+	return &Searcher{tree: t, weights: weights, skip: skip}
+}
+
+// Next returns the highest-scoring remaining object, or ok == false when
+// the tree is exhausted. Successive calls enumerate objects in
+// non-increasing score order, skipping tombstoned ones at pop time.
+func (s *Searcher) Next() (item rtree.Item, score float64, ok bool, err error) {
+	if !s.started {
+		s.started = true
+		if s.tree.Len() > 0 {
+			root, err := s.readNode(s.tree.Root())
+			if err != nil {
+				return rtree.Item{}, 0, false, err
+			}
+			s.pushNode(root)
+		}
+	}
+	for s.h.Len() > 0 {
+		e := heap.Pop(&s.h).(brsEntry)
+		if e.isPoint() {
+			if s.skip != nil && s.skip(e.id) {
+				continue
+			}
+			return rtree.Item{ID: e.id, Point: e.rect.Min}, e.key, true, nil
+		}
+		n, err := s.readNode(e.child)
+		if err != nil {
+			return rtree.Item{}, 0, false, err
+		}
+		s.pushNode(n)
+	}
+	return rtree.Item{}, 0, false, nil
+}
+
+// Peek returns the next result without consuming it.
+func (s *Searcher) Peek() (rtree.Item, float64, bool, error) {
+	it, score, ok, err := s.Next()
+	if err != nil || !ok {
+		return rtree.Item{}, 0, false, err
+	}
+	// Push the point back; it will pop first again (max key, point first).
+	heap.Push(&s.h, brsEntry{
+		rect:  geom.RectFromPoint(it.Point),
+		child: pagestore.InvalidPage,
+		id:    it.ID,
+		key:   score,
+	})
+	return it, score, true, nil
+}
+
+// Footprint approximates heap memory for the paper's memory metric.
+func (s *Searcher) Footprint() int64 {
+	return int64(len(s.h))*int64(2*8*s.tree.Dims()+32) + 64
+}
+
+func (s *Searcher) pushNode(n *rtree.Node) {
+	for _, ne := range n.Entries {
+		heap.Push(&s.h, brsEntry{
+			rect:  ne.Rect,
+			child: ne.Child,
+			id:    ne.ID,
+			key:   ne.Rect.MaxScore(s.weights),
+		})
+	}
+}
+
+func (s *Searcher) readNode(id pagestore.PageID) (*rtree.Node, error) {
+	s.NodeReads++
+	return s.tree.ReadNode(id)
+}
+
+// Top1 runs a fresh top-1 query and returns the best non-skipped object.
+func Top1(t *rtree.Tree, weights []float64, skip func(uint64) bool) (rtree.Item, float64, bool, error) {
+	s := NewSearcher(t, weights, skip)
+	return s.Next()
+}
+
+// TopK collects the k best non-skipped objects in score order.
+func TopK(t *rtree.Tree, weights []float64, k int, skip func(uint64) bool) ([]rtree.Item, []float64, error) {
+	s := NewSearcher(t, weights, skip)
+	var items []rtree.Item
+	var scores []float64
+	for len(items) < k {
+		it, sc, ok, err := s.Next()
+		if err != nil {
+			return nil, nil, err
+		}
+		if !ok {
+			break
+		}
+		items = append(items, it)
+		scores = append(scores, sc)
+	}
+	return items, scores, nil
+}

@@ -1,0 +1,98 @@
+package fairassign
+
+import (
+	"testing"
+)
+
+func TestProgressiveMatcherBasics(t *testing.T) {
+	objects := GenerateObjects(Independent, 50, 3, 61)
+	functions := GenerateFunctions(80, 3, 62)
+	m, err := NewProgressiveMatcher(objects, functions, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	matched := map[uint64]bool{}
+	count := 0
+	for {
+		p, ok, err := m.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		if matched[p.ObjectID] {
+			t.Fatalf("object %d assigned twice", p.ObjectID)
+		}
+		matched[p.ObjectID] = true
+		count++
+	}
+	if count != 50 {
+		t.Fatalf("matched %d pairs, want 50 (objects are the scarce side)", count)
+	}
+
+	// Releasing more stock reopens the matching for the 30 unmatched
+	// functions.
+	extra := GenerateObjects(Independent, 40, 3, 63)
+	for i := range extra {
+		extra[i].ID += 1000
+	}
+	for _, o := range extra {
+		if err := m.AddObject(o); err != nil {
+			t.Fatal(err)
+		}
+	}
+	more := 0
+	for {
+		_, ok, err := m.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		more++
+	}
+	if more != 30 {
+		t.Fatalf("after release: matched %d more, want 30 (functions now scarce)", more)
+	}
+	if s := m.Stats(); s.Loops == 0 || s.CPUTime <= 0 {
+		t.Errorf("stats not tracked: %+v", s)
+	}
+}
+
+func TestProgressiveMatcherAgreesWithSolver(t *testing.T) {
+	objects := GenerateObjects(AntiCorrelated, 200, 3, 71)
+	functions := GenerateFunctions(60, 3, 72)
+	solver, err := NewSolver(objects, functions, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := solver.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewProgressiveMatcher(objects, functions, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []Pair
+	for {
+		p, ok, err := m.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		got = append(got, p)
+	}
+	if len(got) != len(want.Pairs) {
+		t.Fatalf("progressive %d pairs, solver %d", len(got), len(want.Pairs))
+	}
+	for i := range got {
+		if got[i] != want.Pairs[i] {
+			t.Fatalf("pair %d: %+v vs %+v", i, got[i], want.Pairs[i])
+		}
+	}
+}

@@ -1,0 +1,144 @@
+package fairassign
+
+import (
+	"fmt"
+	"sort"
+
+	"fairassign/internal/assign"
+	"fairassign/internal/geom"
+	"fairassign/internal/pagestore"
+	"fairassign/internal/rtree"
+	"fairassign/internal/skyline"
+	"fairassign/internal/topk"
+)
+
+// This file exposes the paper's two query substrates as standalone
+// library features: skyline queries (which objects are candidates for
+// anyone) and top-k preference queries (what a single user would get),
+// both over the same disk-simulated R-tree used by the solver.
+
+// Skyline returns the objects not dominated by any other object
+// ("larger is better" in every attribute) — exactly the candidate set
+// the SB algorithm maintains. For object sets that fit comfortably in
+// memory this uses the sort-filter-skyline algorithm.
+func Skyline(objects []Object) []Object {
+	items := make([]rtree.Item, len(objects))
+	byID := make(map[uint64]Object, len(objects))
+	for i, o := range objects {
+		items[i] = rtree.Item{ID: o.ID, Point: geom.Point(o.Attributes)}
+		byID[o.ID] = o
+	}
+	sky := skyline.SFS(items)
+	out := make([]Object, len(sky))
+	for i, s := range sky {
+		out[i] = byID[s.ID]
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Skyband returns the k-skyband: every object dominated by fewer than k
+// others. For any monotone preference the top-k results lie inside the
+// k-skyband, so it generalizes Skyline (k = 1) the way top-k generalizes
+// top-1.
+func Skyband(objects []Object, k int) []Object {
+	items := make([]rtree.Item, len(objects))
+	byID := make(map[uint64]Object, len(objects))
+	for i, o := range objects {
+		items[i] = rtree.Item{ID: o.ID, Point: geom.Point(o.Attributes)}
+		byID[o.ID] = o
+	}
+	band := skyline.SkybandMem(items, k)
+	out := make([]Object, len(band))
+	for i, s := range band {
+		out[i] = byID[s.ID]
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Ranked holds one top-k result.
+type Ranked struct {
+	Object Object
+	Score  float64
+}
+
+// TopK returns the k objects the given preference function ranks highest
+// (the single-user query of Section 2.3, evaluated with BRS over an
+// R-tree). Weights are normalized unless skipNormalization.
+func TopK(objects []Object, f Function, k int, skipNormalization bool) ([]Ranked, error) {
+	if k <= 0 {
+		return nil, nil
+	}
+	if len(objects) == 0 {
+		return nil, nil
+	}
+	dims := len(objects[0].Attributes)
+	if len(f.Weights) != dims {
+		return nil, fmt.Errorf("fairassign: function has %d weights, objects have %d attributes",
+			len(f.Weights), dims)
+	}
+	w := make([]float64, dims)
+	copy(w, f.Weights)
+	if !skipNormalization {
+		sum := 0.0
+		for _, v := range w {
+			if v < 0 {
+				return nil, fmt.Errorf("fairassign: negative weight")
+			}
+			sum += v
+		}
+		if sum <= 0 {
+			return nil, fmt.Errorf("fairassign: zero weights")
+		}
+		for i := range w {
+			w[i] /= sum
+		}
+	}
+	if f.Gamma > 0 {
+		for i := range w {
+			w[i] *= f.Gamma
+		}
+	}
+
+	store := pagestore.NewMemStore(pagestore.DefaultPageSize)
+	pool := pagestore.NewBufferPool(store, 1<<20)
+	items := make([]rtree.Item, len(objects))
+	byID := make(map[uint64]Object, len(objects))
+	for i, o := range objects {
+		items[i] = rtree.Item{ID: o.ID, Point: geom.Point(o.Attributes)}
+		byID[o.ID] = o
+	}
+	tree, err := rtree.BulkLoad(pool, dims, items, 0.9)
+	if err != nil {
+		return nil, err
+	}
+	found, scores, err := topk.TopK(tree, w, k, nil)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Ranked, len(found))
+	for i := range found {
+		out[i] = Ranked{Object: byID[found[i].ID], Score: scores[i]}
+	}
+	return out, nil
+}
+
+// StableOracle computes the stable matching by the definitional greedy
+// over all |F|·|O| pairs — O(n·m·log(nm)), intended for audits and small
+// instances where an independent, obviously-correct answer is wanted.
+func StableOracle(objects []Object, functions []Function) ([]Pair, error) {
+	solver, err := NewSolver(objects, functions, Options{})
+	if err != nil {
+		return nil, err
+	}
+	res, err := assign.Oracle(solver.problem)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Pair, len(res.Pairs))
+	for i, p := range res.Pairs {
+		out[i] = Pair{FunctionID: p.FuncID, ObjectID: p.ObjectID, Score: p.Score}
+	}
+	return out, nil
+}

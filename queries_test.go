@@ -1,0 +1,179 @@
+package fairassign
+
+import (
+	"math"
+	"sort"
+	"testing"
+)
+
+func TestSkylinePublicAPI(t *testing.T) {
+	objects := []Object{
+		{ID: 1, Attributes: []float64{0.5, 0.6}}, // a — skyline
+		{ID: 2, Attributes: []float64{0.2, 0.7}}, // b — skyline
+		{ID: 3, Attributes: []float64{0.8, 0.2}}, // c — skyline
+		{ID: 4, Attributes: []float64{0.4, 0.4}}, // d — dominated by a
+	}
+	sky := Skyline(objects)
+	if len(sky) != 3 {
+		t.Fatalf("skyline size = %d, want 3", len(sky))
+	}
+	for _, o := range sky {
+		if o.ID == 4 {
+			t.Fatal("dominated object d must not be on the skyline")
+		}
+	}
+}
+
+func TestSkylineBrute(t *testing.T) {
+	objects := GenerateObjects(AntiCorrelated, 500, 3, 91)
+	sky := Skyline(objects)
+	onSky := map[uint64]bool{}
+	for _, s := range sky {
+		onSky[s.ID] = true
+	}
+	dominates := func(a, b Object) bool {
+		strictly := false
+		for d := range a.Attributes {
+			if a.Attributes[d] < b.Attributes[d] {
+				return false
+			}
+			if a.Attributes[d] > b.Attributes[d] {
+				strictly = true
+			}
+		}
+		return strictly
+	}
+	for _, o := range objects {
+		dominated := false
+		for _, p := range objects {
+			if dominates(p, o) {
+				dominated = true
+				break
+			}
+		}
+		if dominated == onSky[o.ID] {
+			t.Fatalf("object %d: dominated=%v but onSkyline=%v", o.ID, dominated, onSky[o.ID])
+		}
+	}
+}
+
+func TestSkybandPublicAPI(t *testing.T) {
+	objects := GenerateObjects(Independent, 200, 3, 92)
+	sky := Skyline(objects)
+	band1 := Skyband(objects, 1)
+	if len(band1) != len(sky) {
+		t.Fatalf("1-skyband (%d) must equal skyline (%d)", len(band1), len(sky))
+	}
+	band3 := Skyband(objects, 3)
+	if len(band3) < len(band1) {
+		t.Fatal("3-skyband cannot be smaller than the skyline")
+	}
+	// Every skyline object is in every band.
+	in3 := map[uint64]bool{}
+	for _, o := range band3 {
+		in3[o.ID] = true
+	}
+	for _, o := range sky {
+		if !in3[o.ID] {
+			t.Fatalf("skyline object %d missing from 3-skyband", o.ID)
+		}
+	}
+}
+
+func TestTopKPublicAPI(t *testing.T) {
+	objects := GenerateObjects(Independent, 300, 3, 93)
+	f := Function{ID: 1, Weights: []float64{3, 1, 1}} // normalized internally
+	got, err := TopK(objects, f, 5, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 5 {
+		t.Fatalf("TopK returned %d", len(got))
+	}
+	// Against a linear scan.
+	w := []float64{0.6, 0.2, 0.2}
+	scores := make([]float64, len(objects))
+	for i, o := range objects {
+		for d := range w {
+			scores[i] += w[d] * o.Attributes[d]
+		}
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(scores)))
+	for i := range got {
+		if math.Abs(got[i].Score-scores[i]) > 1e-12 {
+			t.Fatalf("rank %d: score %v, want %v", i, got[i].Score, scores[i])
+		}
+	}
+	// Non-increasing order.
+	for i := 1; i < len(got); i++ {
+		if got[i].Score > got[i-1].Score+1e-12 {
+			t.Fatal("TopK order violated")
+		}
+	}
+}
+
+func TestTopKValidation(t *testing.T) {
+	objects := GenerateObjects(Independent, 10, 2, 95)
+	if _, err := TopK(objects, Function{Weights: []float64{1, 2, 3}}, 3, false); err == nil {
+		t.Error("dimension mismatch should fail")
+	}
+	if _, err := TopK(objects, Function{Weights: []float64{-1, 1}}, 3, false); err == nil {
+		t.Error("negative weight should fail")
+	}
+	if got, err := TopK(objects, Function{Weights: []float64{1, 1}}, 0, false); err != nil || got != nil {
+		t.Error("k=0 should return nothing")
+	}
+	if got, err := TopK(nil, Function{Weights: []float64{1, 1}}, 3, false); err != nil || got != nil {
+		t.Error("no objects should return nothing")
+	}
+}
+
+func TestTopKGammaScalesScores(t *testing.T) {
+	objects := GenerateObjects(Independent, 50, 2, 97)
+	base, err := TopK(objects, Function{Weights: []float64{1, 1}}, 3, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	boosted, err := TopK(objects, Function{Weights: []float64{1, 1}, Gamma: 4}, 3, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range base {
+		if math.Abs(boosted[i].Score-4*base[i].Score) > 1e-9 {
+			t.Fatalf("gamma should scale scores: %v vs %v", boosted[i].Score, base[i].Score)
+		}
+		if boosted[i].Object.ID != base[i].Object.ID {
+			t.Fatal("gamma must not change the ranking")
+		}
+	}
+}
+
+func TestStableOracleMatchesSolver(t *testing.T) {
+	objects := GenerateObjects(Independent, 60, 3, 99)
+	functions := GenerateFunctions(25, 3, 100)
+	oracle, err := StableOracle(objects, functions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	solver, err := NewSolver(objects, functions, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := solver.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(oracle) != len(res.Pairs) {
+		t.Fatalf("oracle %d pairs, solver %d", len(oracle), len(res.Pairs))
+	}
+	key := func(p Pair) [2]uint64 { return [2]uint64{p.FunctionID, p.ObjectID} }
+	want := map[[2]uint64]bool{}
+	for _, p := range oracle {
+		want[key(p)] = true
+	}
+	for _, p := range res.Pairs {
+		if !want[key(p)] {
+			t.Fatalf("solver pair %+v missing from oracle", p)
+		}
+	}
+}
