@@ -80,6 +80,51 @@ func BenchmarkAlgorithms(b *testing.B) {
 	}
 }
 
+// BenchmarkSBWorkers compares the sequential engine against the worker
+// pool on the large anti-correlated configuration (big skylines, so the
+// per-object TA searches dominate). The parallel rows must beat
+// Workers=1 wall-clock on any machine with GOMAXPROCS >= 4.
+func BenchmarkSBWorkers(b *testing.B) {
+	p := benchProblem(2000, 10000, 4)
+	for _, workers := range []int{1, 2, 4, -1} {
+		name := fmt.Sprintf("workers=%d", workers)
+		if workers == -1 {
+			name = "workers=GOMAXPROCS"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := assign.SB(p, assign.Config{Workers: workers}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSolveBatch measures multi-tenant throughput: many independent
+// problems solved sequentially vs concurrently.
+func BenchmarkSolveBatch(b *testing.B) {
+	items := make([]BatchItem, 8)
+	for i := range items {
+		seed := int64(300 + i)
+		items[i] = BatchItem{
+			Objects:   GenerateObjects(AntiCorrelated, 2000, 4, seed),
+			Functions: GenerateFunctions(300, 4, seed+1),
+		}
+	}
+	for _, par := range []int{1, 4} {
+		b.Run(fmt.Sprintf("parallelism=%d", par), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				for j, r := range SolveBatch(items, BatchOptions{Parallelism: par}) {
+					if r.Err != nil {
+						b.Fatalf("item %d: %v", j, r.Err)
+					}
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkAblationOmega sweeps the Ω knob of the resumable TA search
 // (Section 5.1): smaller queues save memory but force restarts.
 func BenchmarkAblationOmega(b *testing.B) {

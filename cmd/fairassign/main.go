@@ -46,8 +46,8 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  fairassign solve -objects o.csv -functions f.csv [-algorithm sb|bruteforce|chain|sbalt|twoskylines] [-max 0]
-  fairassign demo  [-objects 2000] [-functions 200] [-dims 4] [-kind independent|correlated|anti] [-algorithm sb]
+  fairassign solve -objects o.csv -functions f.csv [-algorithm sb|bruteforce|chain|sbalt|twoskylines] [-workers 1] [-max 0]
+  fairassign demo  [-objects 2000] [-functions 200] [-dims 4] [-kind independent|correlated|anti] [-algorithm sb] [-workers 1]
   fairassign gen   -out data.csv [-n 10000] [-dims 4] [-kind anti] [-seed 1]`)
 }
 
@@ -56,6 +56,7 @@ func cmdSolve(args []string) error {
 	objPath := fs.String("objects", "", "object CSV path (id,attr1..attrD[,capacity])")
 	funcPath := fs.String("functions", "", "function CSV path (id,w1..wD[,gamma[,capacity]])")
 	alg := fs.String("algorithm", "sb", "algorithm: sb, bruteforce, chain, sbalt, twoskylines")
+	workers := fs.Int("workers", 1, "worker goroutines for the search phases (-1 = all CPUs)")
 	maxPrint := fs.Int("max", 20, "max pairs to print (0 = all)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -73,6 +74,7 @@ func cmdSolve(args []string) error {
 	}
 	solver, err := fairassign.NewSolver(objects, functions, fairassign.Options{
 		Algorithm: fairassign.Algorithm(*alg),
+		Workers:   *workers,
 	})
 	if err != nil {
 		return err
@@ -92,6 +94,7 @@ func cmdDemo(args []string) error {
 	dims := fs.Int("dims", 4, "dimensionality")
 	kind := fs.String("kind", "anti", "object distribution: independent, correlated, anti")
 	alg := fs.String("algorithm", "sb", "algorithm")
+	workers := fs.Int("workers", 1, "worker goroutines for the search phases (-1 = all CPUs)")
 	seed := fs.Int64("seed", 1, "random seed")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -100,6 +103,7 @@ func cmdDemo(args []string) error {
 	functions := fairassign.GenerateFunctions(*nFunc, *dims, *seed+1)
 	solver, err := fairassign.NewSolver(objects, functions, fairassign.Options{
 		Algorithm: fairassign.Algorithm(*alg),
+		Workers:   *workers,
 	})
 	if err != nil {
 		return err

@@ -3,9 +3,24 @@ package fairassign
 import (
 	"encoding/csv"
 	"fmt"
+	"math"
 	"os"
 	"strconv"
 )
+
+// parseFinite parses a float cell, rejecting NaN and ±Inf: the solver's
+// score arithmetic, normalization, and index structures all assume finite
+// inputs, so non-finite values are input errors, not data.
+func parseFinite(cell string) (float64, error) {
+	v, err := strconv.ParseFloat(cell, 64)
+	if err != nil {
+		return 0, err
+	}
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0, fmt.Errorf("non-finite value %q", cell)
+	}
+	return v, nil
+}
 
 // LoadObjectsCSV reads objects from a headerless CSV file with rows of
 // the form id,attr1,...,attrD[,capacity]. Whether the trailing column is
@@ -31,7 +46,7 @@ func LoadObjectsCSV(path string) ([]Object, error) {
 		}
 		attrs := make([]float64, 0, len(row)-1)
 		for _, cell := range row[1:] {
-			v, err := strconv.ParseFloat(cell, 64)
+			v, err := parseFinite(cell)
 			if err != nil {
 				return nil, fmt.Errorf("fairassign: %s row %d: bad value %q", path, i+1, cell)
 			}
@@ -75,7 +90,7 @@ func LoadFunctionsCSVExt(path string, extras int) ([]Function, error) {
 		weightCells := row[1 : len(row)-extras]
 		w := make([]float64, 0, len(weightCells))
 		for _, cell := range weightCells {
-			v, err := strconv.ParseFloat(cell, 64)
+			v, err := parseFinite(cell)
 			if err != nil {
 				return nil, fmt.Errorf("fairassign: %s row %d: bad weight %q", path, i+1, cell)
 			}
@@ -83,7 +98,7 @@ func LoadFunctionsCSVExt(path string, extras int) ([]Function, error) {
 		}
 		f := Function{ID: id, Weights: w}
 		if extras >= 1 {
-			g, err := strconv.ParseFloat(row[len(row)-extras], 64)
+			g, err := parseFinite(row[len(row)-extras])
 			if err != nil {
 				return nil, fmt.Errorf("fairassign: %s row %d: bad gamma", path, i+1)
 			}

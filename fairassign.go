@@ -27,6 +27,13 @@
 // prioritized two-skyline variant (TwoSkylines) are selectable through
 // Options.Algorithm for comparison studies; all produce the identical
 // stable matching and differ only in cost.
+//
+// Concurrency. Options.Workers parallelizes the search phases inside a
+// single solve (byte-identical output to the sequential run — see the
+// Workers field), and SolveBatch runs many independent problems
+// concurrently for multi-tenant serving. The two compose: a batch of B
+// problems at Parallelism P with W workers each uses up to P·W
+// goroutines.
 package fairassign
 
 import (
@@ -117,6 +124,15 @@ type Options struct {
 	// NormalizeWeights rescales every function's weights to sum to 1
 	// (default true via zero value: set SkipNormalization to opt out).
 	SkipNormalization bool
+	// Workers sets the number of goroutines used inside each solve for
+	// the per-object search phases of the skyline-based algorithms (SB,
+	// TwoSkylines). 0 and 1 run sequentially; n > 1 uses n workers;
+	// negative uses one worker per available CPU. Determinism guarantee:
+	// the emitted matching — pair set, emission order, and every score
+	// bit — is identical for every Workers value; only wall-clock time
+	// changes. Algorithms that do not use the engine (BruteForce, Chain,
+	// SBAlt) ignore the setting.
+	Workers int
 }
 
 // Solver holds a validated problem instance.
@@ -207,6 +223,7 @@ func (s *Solver) Solve() (*Result, error) {
 		PageSize:   s.opts.PageSize,
 		BufferFrac: s.opts.BufferFraction,
 		OmegaFrac:  s.opts.OmegaFraction,
+		Workers:    s.opts.Workers,
 	}
 	r, err := s.run(s.problem, cfg)
 	if err != nil {

@@ -1,0 +1,99 @@
+package fairassign
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// writeFuzzFile materializes fuzz input as a CSV file for the loaders.
+func writeFuzzFile(t *testing.T, data string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "in.csv")
+	if err := os.WriteFile(path, []byte(data), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// FuzzLoadObjectsCSV drives the object loader with arbitrary bytes. The
+// loader must never panic, and any objects it accepts must satisfy the
+// invariant downstream code relies on: finite attribute values.
+func FuzzLoadObjectsCSV(f *testing.F) {
+	f.Add("1,0.5,0.25\n2,0.1,0.9\n")            // well-formed
+	f.Add("id,a,b\n1,0.5,0.25\n")               // header row
+	f.Add("1,NaN,0.5\n")                        // NaN attribute
+	f.Add("1,+Inf,0.5\n2,-Inf,1\n")             // infinite attributes
+	f.Add("1\n")                                // too few columns
+	f.Add("abc,def\n")                          // non-numeric everywhere
+	f.Add("1,0.5\n2,0.1,0.9\n")                 // ragged rows
+	f.Add("18446744073709551615,1e308,2e308\n") // max id, overflow value
+	f.Add("\"1\",\"0.5\",\"0.25\"\n")           // quoted cells
+	f.Add("1,0.5,0.25")                         // no trailing newline
+	f.Add("")                                   // empty file
+	f.Fuzz(func(t *testing.T, data string) {
+		objs, err := LoadObjectsCSV(writeFuzzFile(t, data))
+		if err != nil {
+			return
+		}
+		for _, o := range objs {
+			for _, v := range o.Attributes {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					t.Fatalf("loader accepted non-finite attribute %v in object %d", v, o.ID)
+				}
+			}
+		}
+	})
+}
+
+// FuzzLoadFunctionsCSV drives the function loader (including the gamma
+// and capacity extras) plus NewSolver's normalization on whatever the
+// loader accepts: neither stage may panic, and every function a solver
+// accepts must have finite normalized weights (non-normalized α in the
+// input is normalized, never propagated raw).
+func FuzzLoadFunctionsCSV(f *testing.F) {
+	f.Add("1,0.5,0.5\n", 0)            // well-formed, normalized
+	f.Add("1,3,1\n2,10,30\n", 0)       // non-normalized α
+	f.Add("1,NaN,0.5\n", 0)            // NaN weight
+	f.Add("1,Inf,0.5\n", 0)            // Inf weight
+	f.Add("1,-1,2\n", 0)               // negative weight
+	f.Add("1,0,0\n", 0)                // zero weights (normalization divides)
+	f.Add("1,0.5,0.5,2\n", 1)          // gamma extra
+	f.Add("1,0.5,0.5,2,3\n", 2)        // gamma + capacity extras
+	f.Add("1,0.5,0.5,NaN\n", 1)        // NaN gamma
+	f.Add("1,0.5,0.5,2,notanint\n", 2) // bad capacity
+	f.Add("id,w1,w2\n1,0.5,0.5\n", 0)  // header row
+	f.Add("1,1e-320,1e-320\n", 0)      // subnormal weights
+	f.Add("", 3)                       // extras out of range
+	f.Fuzz(func(t *testing.T, data string, extras int) {
+		funcs, err := LoadFunctionsCSVExt(writeFuzzFile(t, data), extras)
+		if err != nil {
+			return
+		}
+		for _, fn := range funcs {
+			for _, v := range fn.Weights {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					t.Fatalf("loader accepted non-finite weight %v in function %d", v, fn.ID)
+				}
+			}
+			if math.IsNaN(fn.Gamma) || math.IsInf(fn.Gamma, 0) {
+				t.Fatalf("loader accepted non-finite gamma %v in function %d", fn.Gamma, fn.ID)
+			}
+		}
+		if len(funcs) == 0 || len(funcs) > 64 {
+			return // keep the solver stage cheap
+		}
+		solver, err := NewSolver(nil, funcs, Options{})
+		if err != nil {
+			return // invalid inputs must fail cleanly, not panic
+		}
+		for _, fn := range solver.problem.Functions {
+			for _, w := range fn.Weights {
+				if math.IsNaN(w) || math.IsInf(w, 0) {
+					t.Fatalf("solver accepted non-finite normalized weight %v in function %d", w, fn.ID)
+				}
+			}
+		}
+	})
+}

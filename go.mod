@@ -1,0 +1,3 @@
+module fairassign
+
+go 1.24

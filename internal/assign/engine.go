@@ -1,0 +1,218 @@
+package assign
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"fairassign/internal/geom"
+	"fairassign/internal/rtree"
+	"fairassign/internal/ta"
+)
+
+// bestFunc is the outcome of one per-object reverse top-1 search
+// (Lines 9–11 of Algorithms 1/3): the best live preference function for a
+// skyline object. ok is false when no live function remains.
+type bestFunc struct {
+	fid   uint64
+	score float64
+	ok    bool
+}
+
+// bestObj is the outcome of one per-function best-object scan
+// (Lines 12–13): the skyline object maximizing the function's score.
+type bestObj struct {
+	oid   uint64
+	score float64
+}
+
+// searchEngine abstracts how the two search phases inside each SB loop
+// execute. Both phases are embarrassingly parallel — every slot of the
+// output slice depends only on its own input and on list/skyline state
+// that is frozen for the duration of the phase (tombstoning and skyline
+// maintenance happen strictly between phases). Implementations therefore
+// agree bit-for-bit on their outputs, and the emitted stable matching is
+// identical whichever engine runs.
+type searchEngine interface {
+	// bestFunctions fills out[i] with the best live function for sky[i].
+	bestFunctions(sky []rtree.Item, out []bestFunc)
+	// bestObjects fills out[i] with the best skyline object for fids[i].
+	bestObjects(fids []uint64, sky []rtree.Item, out []bestObj)
+}
+
+// engineCtx is the state shared by the engine implementations: the
+// coefficient lists, the resumable per-object search states of the
+// optimized mode, and the search knobs.
+type engineCtx struct {
+	lists    *ta.Lists
+	searches map[uint64]*ta.Search
+	omega    int
+	numFuncs int
+	resume   bool // optimized mode: persistent Ω-bounded searches
+}
+
+func newEngineCtx(lists *ta.Lists, mode sbMode, numFuncs, omega int) *engineCtx {
+	return &engineCtx{
+		lists:    lists,
+		searches: make(map[uint64]*ta.Search),
+		omega:    omega,
+		numFuncs: numFuncs,
+		resume:   mode == modeOptimized,
+	}
+}
+
+// ensureSearch returns the resumable search for an object, creating it on
+// first use. Only called from the coordinating goroutine (map writes are
+// not concurrency-safe).
+func (c *engineCtx) ensureSearch(o rtree.Item) *ta.Search {
+	s := c.searches[o.ID]
+	if s == nil {
+		s = ta.NewSearch(c.lists, o.Point, c.omega)
+		c.searches[o.ID] = s
+	}
+	return s
+}
+
+// bestFunctionOf runs one reverse top-1 search. In optimized mode the
+// object's persistent search resumes; otherwise a fresh unbounded TA run
+// is used (Algorithm 1 semantics).
+func (c *engineCtx) bestFunctionOf(o rtree.Item) bestFunc {
+	var s *ta.Search
+	if c.resume {
+		s = c.searches[o.ID]
+	} else {
+		s = ta.NewSearch(c.lists, o.Point, c.numFuncs)
+	}
+	fid, score, ok := s.Best()
+	return bestFunc{fid: fid, score: score, ok: ok}
+}
+
+// bestObjectOf scans the skyline for the object maximizing fid's score
+// (ties: lowest object ID).
+func (c *engineCtx) bestObjectOf(fid uint64, sky []rtree.Item) bestObj {
+	w := c.lists.Weights(fid)
+	var best bestObj
+	found := false
+	for _, o := range sky {
+		s := geom.Dot(w, o.Point)
+		if !found || s > best.score || (s == best.score && o.ID < best.oid) {
+			best, found = bestObj{oid: o.ID, score: s}, true
+		}
+	}
+	return best
+}
+
+// dropSearch discards the resumable state of an assigned object.
+func (c *engineCtx) dropSearch(oid uint64) { delete(c.searches, oid) }
+
+// searchFootprint sums the live resumable-search state for the memory
+// metric.
+func (c *engineCtx) searchFootprint() int64 {
+	var n int64
+	for _, s := range c.searches {
+		n += s.Footprint()
+	}
+	return n
+}
+
+// seqEngine runs both phases on the calling goroutine, exactly as the
+// pre-engine code did.
+type seqEngine struct{ *engineCtx }
+
+func (e seqEngine) bestFunctions(sky []rtree.Item, out []bestFunc) {
+	for i, o := range sky {
+		if e.resume {
+			e.ensureSearch(o)
+		}
+		out[i] = e.bestFunctionOf(o)
+	}
+}
+
+func (e seqEngine) bestObjects(fids []uint64, sky []rtree.Item, out []bestObj) {
+	for i, fid := range fids {
+		out[i] = e.bestObjectOf(fid, sky)
+	}
+}
+
+// poolEngine fans each phase out over a fixed-size worker pool. Work is
+// claimed by atomic index so the division of labor adapts to uneven
+// search costs; results land in their input slot, which makes the merge
+// deterministic regardless of completion order. Search states are created
+// before fan-out (the map is not written concurrently), and each state is
+// touched by exactly one worker per phase.
+type poolEngine struct {
+	*engineCtx
+	workers int
+}
+
+func (e poolEngine) bestFunctions(sky []rtree.Item, out []bestFunc) {
+	if e.resume {
+		for _, o := range sky {
+			e.ensureSearch(o)
+		}
+	}
+	ParallelFor(len(sky), e.workers, func(i int) {
+		out[i] = e.bestFunctionOf(sky[i])
+	})
+}
+
+func (e poolEngine) bestObjects(fids []uint64, sky []rtree.Item, out []bestObj) {
+	ParallelFor(len(fids), e.workers, func(i int) {
+		out[i] = e.bestObjectOf(fids[i], sky)
+	})
+}
+
+// engine picks the execution strategy for a run: the pool engine when
+// the config asks for more than one worker, the sequential engine
+// otherwise.
+func (c *engineCtx) engine(cfg Config) searchEngine {
+	if w := cfg.workerCount(); w > 1 {
+		return poolEngine{engineCtx: c, workers: w}
+	}
+	return seqEngine{c}
+}
+
+// ParallelFor runs fn(0..n-1) over min(workers, n) goroutines. It returns
+// once every index has been processed.
+func ParallelFor(n, workers int, fn func(i int)) {
+	if n == 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for k := 0; k < workers; k++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// workerCount resolves Config.Workers: 0 and 1 mean sequential, n > 1
+// means n workers, negative means one worker per available CPU.
+func (c Config) workerCount() int {
+	if c.Workers < 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	if c.Workers == 0 {
+		return 1
+	}
+	return c.Workers
+}

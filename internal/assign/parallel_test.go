@@ -1,0 +1,140 @@
+package assign
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// identicalRun asserts two results are byte-identical: same pairs in the
+// same emission order with bit-equal scores. This is the determinism
+// guarantee of the engine split — the pool engine must not merely produce
+// an equivalent matching, but the exact sequential output.
+func identicalRun(t *testing.T, name string, got, want *Result) {
+	t.Helper()
+	if len(got.Pairs) != len(want.Pairs) {
+		t.Fatalf("%s: %d pairs, want %d", name, len(got.Pairs), len(want.Pairs))
+	}
+	for i := range got.Pairs {
+		g, w := got.Pairs[i], want.Pairs[i]
+		if g.FuncID != w.FuncID || g.ObjectID != w.ObjectID ||
+			math.Float64bits(g.Score) != math.Float64bits(w.Score) {
+			t.Fatalf("%s: pair %d = (f%d,o%d,%v), want (f%d,o%d,%v)",
+				name, i, g.FuncID, g.ObjectID, g.Score, w.FuncID, w.ObjectID, w.Score)
+		}
+	}
+	if got.Stats.Loops != want.Stats.Loops {
+		t.Errorf("%s: %d loops, want %d", name, got.Stats.Loops, want.Stats.Loops)
+	}
+}
+
+func TestParallelSBIdenticalToSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for _, dims := range []int{2, 4} {
+		p := randProblem(rng, 60, 300, dims)
+		seq, err := SB(p, testCfg())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{2, 4, -1} {
+			cfg := testCfg()
+			cfg.Workers = workers
+			par, err := SB(p, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			identicalRun(t, "SB", par, seq)
+		}
+	}
+}
+
+func TestParallelSBVariantsIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(78))
+	p := randProblem(rng, 25, 150, 3)
+	for _, alg := range []struct {
+		name string
+		run  func(*Problem, Config) (*Result, error)
+	}{
+		{"SBBasic", SBBasic},
+		{"SBDeltaSky", SBDeltaSky},
+	} {
+		seq, err := alg.run(p, testCfg())
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := testCfg()
+		cfg.Workers = 4
+		par, err := alg.run(p, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		identicalRun(t, alg.name, par, seq)
+	}
+}
+
+func TestParallelSBWithCapacitiesAndPriorities(t *testing.T) {
+	rng := rand.New(rand.NewSource(79))
+	p := randProblem(rng, 30, 200, 3)
+	for i := range p.Functions {
+		p.Functions[i].Capacity = 1 + rng.Intn(3)
+		p.Functions[i].Gamma = float64(1 + rng.Intn(4))
+	}
+	for i := range p.Objects {
+		p.Objects[i].Capacity = 1 + rng.Intn(2)
+	}
+	seq, err := SB(p, testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testCfg()
+	cfg.Workers = 4
+	par, err := SB(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	identicalRun(t, "SB+caps+gamma", par, seq)
+	if err := IsStable(p, par.Pairs); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParallelProgressiveIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(80))
+	p := randProblem(rng, 20, 120, 3)
+	collect := func(workers int) []Pair {
+		cfg := testCfg()
+		cfg.Workers = workers
+		g, err := NewProgressive(p, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var pairs []Pair
+		for {
+			pr, ok, err := g.Next()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok {
+				break
+			}
+			pairs = append(pairs, pr)
+		}
+		return pairs
+	}
+	seq, par := collect(0), collect(4)
+	identicalRun(t, "Progressive", &Result{Pairs: par}, &Result{Pairs: seq})
+}
+
+func TestParallelForCoversAllIndices(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 100} {
+		for _, workers := range []int{1, 3, 8, 200} {
+			hit := make([]int32, n)
+			ParallelFor(n, workers, func(i int) { hit[i]++ })
+			for i, h := range hit {
+				if h != 1 {
+					t.Fatalf("n=%d workers=%d: index %d hit %d times", n, workers, i, h)
+				}
+			}
+		}
+	}
+}

@@ -3,6 +3,7 @@ package assign
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 
 	"fairassign/internal/geom"
@@ -22,17 +23,36 @@ import (
 // affects only pairs not yet discovered. Arrivals are folded into the
 // maintained skyline directly (Maintainer.Insert) without touching the
 // R-tree, so they cost no I/O.
+//
+// Ordering guarantee: between arrivals, pairs stream in non-increasing
+// score order — the order of the definitional greedy. SB's loops can
+// discover a lower-scored mutual pair before a higher-scored one of a
+// later loop, so discovered pairs are held in a pending buffer and
+// released only once their score is at least the ceiling on every
+// not-yet-discovered pair. That ceiling is the maximum best-function
+// score over the current skyline: the globally best remaining pair
+// always involves a skyline object (a dominated object scores no better
+// than its dominator under any non-negative weights). An AddObject call
+// starts a new ordering epoch: pairs discovered before the arrival are
+// flushed first, and the guarantee restarts after them.
 type Progressive struct {
 	dims     int
 	idx      *objectIndex
 	maint    *skyline.Maintainer
 	lists    *ta.Lists
-	searches map[uint64]*ta.Search
+	ctx      *engineCtx
+	eng      searchEngine
 	funcCaps *capTable
 	objCaps  *capTable
-	omega    int
 	objSeen  map[uint64]bool
-	buffer   []Pair
+	pending  []Pair // discovered, held for score ordering (sorted desc)
+	ready    []Pair // cleared for emission, in final order
+	// Cached step-1 results of the upcoming loop, produced while
+	// computing the release ceiling so the next runLoop does not repeat
+	// the searches.
+	nextSky  []rtree.Item
+	nextBest []bestFunc
+	haveNext bool
 	done     bool
 	stats    metrics.Stats
 	mem      metrics.MemTracker
@@ -51,10 +71,8 @@ func NewProgressive(p *Problem, cfg Config) (*Progressive, error) {
 	g := &Progressive{
 		dims:     p.Dims,
 		idx:      idx,
-		searches: make(map[uint64]*ta.Search),
 		funcCaps: newFuncCaps(p.Functions),
 		objCaps:  newObjectCaps(p.Objects),
-		omega:    cfg.omegaFor(len(p.Functions)),
 		objSeen:  make(map[uint64]bool, len(p.Objects)),
 	}
 	for _, o := range p.Objects {
@@ -69,12 +87,15 @@ func NewProgressive(p *Problem, cfg Config) (*Progressive, error) {
 	if err != nil {
 		return nil, err
 	}
+	g.ctx = newEngineCtx(g.lists, modeOptimized, len(p.Functions), cfg.omegaFor(len(p.Functions)))
+	g.eng = g.ctx.engine(cfg)
 	g.timer.Stop()
 	return g, nil
 }
 
 // AddObject introduces a newly released object. It becomes eligible for
-// all pairs not yet discovered.
+// all pairs not yet discovered. Pairs discovered before the arrival are
+// released for emission ahead of anything the arrival can influence.
 func (g *Progressive) AddObject(o Object) error {
 	if len(o.Point) != g.dims {
 		return fmt.Errorf("assign: object %d has %d dims, want %d", o.ID, len(o.Point), g.dims)
@@ -84,6 +105,8 @@ func (g *Progressive) AddObject(o Object) error {
 	}
 	g.timer.Start()
 	defer g.timer.Stop()
+	g.flushPending()
+	g.haveNext = false // the skyline is about to change
 	g.objSeen[o.ID] = true
 	g.objCaps.remaining[o.ID] = o.capacity()
 	g.objCaps.units += o.capacity()
@@ -98,18 +121,39 @@ func (g *Progressive) AddObject(o Object) error {
 func (g *Progressive) Next() (Pair, bool, error) {
 	g.timer.Start()
 	defer g.timer.Stop()
-	for len(g.buffer) == 0 {
+	for len(g.ready) == 0 {
 		if g.done || g.funcCaps.units == 0 || g.objCaps.units == 0 || g.maint.Size() == 0 {
 			g.done = true
-			return Pair{}, false, nil
+			if len(g.pending) == 0 {
+				return Pair{}, false, nil
+			}
+			g.flushPending()
+			break
 		}
 		if err := g.runLoop(); err != nil {
 			return Pair{}, false, err
 		}
 	}
-	p := g.buffer[0]
-	g.buffer = g.buffer[1:]
+	p := g.ready[0]
+	g.ready = g.ready[1:]
 	return p, true, nil
+}
+
+// flushPending releases every held pair in order.
+func (g *Progressive) flushPending() {
+	g.ready = append(g.ready, g.pending...)
+	g.pending = g.pending[:0]
+}
+
+// stepOne runs the per-object best-function phase over the current
+// skyline (Lines 9–11) through the engine.
+func (g *Progressive) stepOne() ([]rtree.Item, []bestFunc) {
+	sky := g.maint.Skyline()
+	sort.Slice(sky, func(i, j int) bool { return sky[i].ID < sky[j].ID })
+	byObj := make([]bestFunc, len(sky))
+	g.eng.bestFunctions(sky, byObj)
+	g.stats.TopKRuns += int64(len(sky))
+	return sky, byObj
 }
 
 // Stats returns a snapshot of the work performed so far.
@@ -127,56 +171,43 @@ func (g *Progressive) Stats() metrics.Stats {
 }
 
 // runLoop is one iteration of the optimized SB loop (Algorithm 3),
-// appending every discovered mutual pair to the buffer.
+// adding every discovered mutual pair to the pending buffer and
+// releasing the prefix that can no longer be outranked. The search
+// phases run through the same engine as the batch solver, so a Workers
+// setting in the config parallelizes them here too.
 func (g *Progressive) runLoop() error {
 	g.stats.Loops++
-	sky := g.maint.Skyline()
-	sort.Slice(sky, func(i, j int) bool { return sky[i].ID < sky[j].ID })
-
-	type bestFunc struct {
-		fid   uint64
-		score float64
+	var sky []rtree.Item
+	var byObj []bestFunc
+	if g.haveNext {
+		sky, byObj, g.haveNext = g.nextSky, g.nextBest, false
+	} else {
+		sky, byObj = g.stepOne()
 	}
 	oBest := make(map[uint64]bestFunc, len(sky))
-	for _, o := range sky {
-		s := g.searches[o.ID]
-		if s == nil {
-			s = ta.NewSearch(g.lists, o.Point, g.omega)
-			g.searches[o.ID] = s
-		}
-		fid, score, ok := s.Best()
-		g.stats.TopKRuns++
-		if !ok {
+	for i, o := range sky {
+		if !byObj[i].ok {
 			g.done = true
+			g.flushPending()
 			return nil
 		}
-		oBest[o.ID] = bestFunc{fid: fid, score: score}
+		oBest[o.ID] = byObj[i]
 	}
 
-	type bestObj struct {
-		oid   uint64
-		score float64
-	}
-	fBest := make(map[uint64]bestObj)
-	fids := make([]uint64, 0, len(oBest))
-	for _, bf := range oBest {
-		if _, seen := fBest[bf.fid]; !seen {
-			fBest[bf.fid] = bestObj{}
+	fids := make([]uint64, 0, len(sky))
+	seen := make(map[uint64]bool, len(sky))
+	for _, bf := range byObj {
+		if !seen[bf.fid] {
+			seen[bf.fid] = true
 			fids = append(fids, bf.fid)
 		}
 	}
 	sort.Slice(fids, func(i, j int) bool { return fids[i] < fids[j] })
-	for _, fid := range fids {
-		w := g.lists.Weights(fid)
-		var best bestObj
-		found := false
-		for _, o := range sky {
-			s := geom.Dot(w, o.Point)
-			if !found || s > best.score || (s == best.score && o.ID < best.oid) {
-				best, found = bestObj{oid: o.ID, score: s}, true
-			}
-		}
-		fBest[fid] = best
+	byFunc := make([]bestObj, len(fids))
+	g.eng.bestObjects(fids, sky, byFunc)
+	fBest := make(map[uint64]bestObj, len(fids))
+	for i, fid := range fids {
+		fBest[fid] = byFunc[i]
 	}
 
 	var removedObjs []uint64
@@ -186,7 +217,7 @@ func (g *Progressive) runLoop() error {
 		if oBest[bo.oid].fid != fid {
 			continue
 		}
-		g.buffer = append(g.buffer, Pair{FuncID: fid, ObjectID: bo.oid, Score: bo.score})
+		g.pending = append(g.pending, Pair{FuncID: fid, ObjectID: bo.oid, Score: bo.score})
 		g.stats.Pairs++
 		emitted++
 		if g.funcCaps.consume(fid) {
@@ -196,7 +227,7 @@ func (g *Progressive) runLoop() error {
 		}
 		if g.objCaps.consume(bo.oid) {
 			removedObjs = append(removedObjs, bo.oid)
-			delete(g.searches, bo.oid)
+			g.ctx.dropSearch(bo.oid)
 		}
 	}
 	if emitted == 0 {
@@ -207,11 +238,57 @@ func (g *Progressive) runLoop() error {
 			return err
 		}
 	}
-	var searchBytes int64
-	for _, s := range g.searches {
-		searchBytes += s.Footprint()
+	// Keep the held pairs in the definitional greedy order: descending
+	// score, ties by ascending IDs.
+	sort.Slice(g.pending, func(i, j int) bool {
+		a, b := g.pending[i], g.pending[j]
+		if a.Score != b.Score {
+			return a.Score > b.Score
+		}
+		if a.FuncID != b.FuncID {
+			return a.FuncID < b.FuncID
+		}
+		return a.ObjectID < b.ObjectID
+	})
+
+	// Release gate: once a side is exhausted nothing more can be
+	// discovered, so everything held is final. Otherwise run the next
+	// loop's step 1 now — its maximum best-function score is the ceiling
+	// on every future pair — and release the pending prefix at or above
+	// it. The step-1 results are cached for the next runLoop.
+	if g.funcCaps.units == 0 || g.objCaps.units == 0 || g.maint.Size() == 0 {
+		g.flushPending()
+	} else {
+		sky2, byObj2 := g.stepOne()
+		ceiling := math.Inf(-1)
+		allOK := true
+		for _, bf := range byObj2 {
+			if !bf.ok {
+				allOK = false
+				break
+			}
+			if bf.score > ceiling {
+				ceiling = bf.score
+			}
+		}
+		if !allOK {
+			g.done = true
+			g.flushPending()
+		} else {
+			g.nextSky, g.nextBest, g.haveNext = sky2, byObj2, true
+			// Strictly above the ceiling: a pair tied with it could also
+			// tie with a future pair, and the tie must be broken by IDs
+			// once both sit in pending together.
+			n := 0
+			for n < len(g.pending) && g.pending[n].Score > ceiling {
+				n++
+			}
+			g.ready = append(g.ready, g.pending[:n]...)
+			g.pending = append(g.pending[:0], g.pending[n:]...)
+		}
 	}
-	if cur := g.mem.Current + searchBytes; cur > g.stats.PeakMem {
+
+	if cur := g.mem.Current + g.ctx.searchFootprint(); cur > g.stats.PeakMem {
 		g.stats.PeakMem = cur
 	}
 	return nil

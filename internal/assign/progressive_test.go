@@ -2,6 +2,7 @@ package assign
 
 import (
 	"math/rand"
+	"sort"
 	"testing"
 
 	"fairassign/internal/geom"
@@ -22,6 +23,23 @@ func drain(t *testing.T, g *Progressive) []Pair {
 	}
 }
 
+// greedyOrder sorts pairs the way the definitional greedy emits them:
+// descending score, ties by ascending IDs.
+func greedyOrder(pairs []Pair) []Pair {
+	out := make([]Pair, len(pairs))
+	copy(out, pairs)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		if out[i].FuncID != out[j].FuncID {
+			return out[i].FuncID < out[j].FuncID
+		}
+		return out[i].ObjectID < out[j].ObjectID
+	})
+	return out
+}
+
 func TestProgressiveMatchesSBWithoutArrivals(t *testing.T) {
 	rng := rand.New(rand.NewSource(31))
 	p := randProblem(rng, 40, 300, 3)
@@ -34,12 +52,21 @@ func TestProgressiveMatchesSBWithoutArrivals(t *testing.T) {
 		t.Fatal(err)
 	}
 	got := drain(t, g)
-	if len(got) != len(want.Pairs) {
-		t.Fatalf("progressive emitted %d pairs, SB %d", len(got), len(want.Pairs))
+	// Same matching as batch SB, streamed in the definitional greedy
+	// order: the progressive output must equal the greedy-sorted batch
+	// result element for element.
+	sorted := greedyOrder(want.Pairs)
+	if len(got) != len(sorted) {
+		t.Fatalf("progressive emitted %d pairs, SB %d", len(got), len(sorted))
 	}
 	for i := range got {
-		if got[i] != want.Pairs[i] {
-			t.Fatalf("pair %d: progressive %+v, SB %+v", i, got[i], want.Pairs[i])
+		if got[i] != sorted[i] {
+			t.Fatalf("pair %d: progressive %+v, greedy-ordered SB %+v", i, got[i], sorted[i])
+		}
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].Score > got[i-1].Score {
+			t.Fatalf("score order violated at %d: %v after %v", i, got[i].Score, got[i-1].Score)
 		}
 	}
 	if g.Stats().Pairs != int64(len(got)) {

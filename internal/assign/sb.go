@@ -4,7 +4,6 @@ import (
 	"errors"
 	"sort"
 
-	"fairassign/internal/geom"
 	"fairassign/internal/metrics"
 	"fairassign/internal/rtree"
 	"fairassign/internal/skyline"
@@ -85,7 +84,8 @@ func runSkylineBased(p *Problem, cfg Config, mode sbMode) (*Result, error) {
 	funcCaps := newFuncCaps(p.Functions)
 	objCaps := newObjectCaps(p.Objects)
 	omega := cfg.omegaFor(len(p.Functions))
-	searches := make(map[uint64]*ta.Search)
+	ctx := newEngineCtx(lists, mode, len(p.Functions), omega)
+	eng := ctx.engine(cfg)
 
 	for funcCaps.units > 0 && objCaps.units > 0 && driver.Size() > 0 {
 		res.Stats.Loops++
@@ -93,35 +93,19 @@ func runSkylineBased(p *Problem, cfg Config, mode sbMode) (*Result, error) {
 		sort.Slice(sky, func(i, j int) bool { return sky[i].ID < sky[j].ID })
 
 		// Step 1 (Lines 9–11): for every skyline object, the best live
-		// function.
-		type bestFunc struct {
-			fid   uint64
-			score float64
-		}
+		// function. The engine may fan the searches out over workers;
+		// results come back in skyline order either way.
+		byObj := make([]bestFunc, len(sky))
+		eng.bestFunctions(sky, byObj)
+		res.Stats.TopKRuns += int64(len(sky))
 		oBest := make(map[uint64]bestFunc, len(sky))
 		noFuncs := false
-		for _, o := range sky {
-			var fid uint64
-			var score float64
-			var ok bool
-			if mode == modeOptimized {
-				s := searches[o.ID]
-				if s == nil {
-					s = ta.NewSearch(lists, o.Point, omega)
-					searches[o.ID] = s
-				}
-				fid, score, ok = s.Best()
-			} else {
-				// Fresh, unbounded TA run per object per loop.
-				s := ta.NewSearch(lists, o.Point, len(p.Functions))
-				fid, score, ok = s.Best()
-			}
-			res.Stats.TopKRuns++
-			if !ok {
+		for i, o := range sky {
+			if !byObj[i].ok {
 				noFuncs = true
 				break
 			}
-			oBest[o.ID] = bestFunc{fid: fid, score: score}
+			oBest[o.ID] = byObj[i]
 		}
 		if noFuncs {
 			break
@@ -129,31 +113,20 @@ func runSkylineBased(p *Problem, cfg Config, mode sbMode) (*Result, error) {
 
 		// Step 2 (Lines 12–13): for every function in Fbest, its best
 		// skyline object.
-		type bestObj struct {
-			oid   uint64
-			score float64
-		}
-		fBest := make(map[uint64]bestObj)
-		fids := make([]uint64, 0, len(oBest))
-		for _, bf := range oBest {
-			if _, seen := fBest[bf.fid]; seen {
-				continue
+		fids := make([]uint64, 0, len(sky))
+		seen := make(map[uint64]bool, len(sky))
+		for _, bf := range byObj {
+			if !seen[bf.fid] {
+				seen[bf.fid] = true
+				fids = append(fids, bf.fid)
 			}
-			fBest[bf.fid] = bestObj{}
-			fids = append(fids, bf.fid)
 		}
 		sort.Slice(fids, func(i, j int) bool { return fids[i] < fids[j] })
-		for _, fid := range fids {
-			w := lists.Weights(fid)
-			best := bestObj{}
-			found := false
-			for _, o := range sky {
-				s := geom.Dot(w, o.Point)
-				if !found || s > best.score || (s == best.score && o.ID < best.oid) {
-					best, found = bestObj{oid: o.ID, score: s}, true
-				}
-			}
-			fBest[fid] = best
+		byFunc := make([]bestObj, len(fids))
+		eng.bestObjects(fids, sky, byFunc)
+		fBest := make(map[uint64]bestObj, len(fids))
+		for i, fid := range fids {
+			fBest[fid] = byFunc[i]
 		}
 
 		// Step 3 (Lines 14–17): emit every mutual best pair.
@@ -173,7 +146,7 @@ func runSkylineBased(p *Problem, cfg Config, mode sbMode) (*Result, error) {
 			}
 			if objCaps.consume(bo.oid) {
 				removedObjs = append(removedObjs, bo.oid)
-				delete(searches, bo.oid)
+				ctx.dropSearch(bo.oid)
 			}
 			if mode != modeOptimized {
 				break // Algorithm 1 emits a single pair per loop
@@ -189,10 +162,7 @@ func runSkylineBased(p *Problem, cfg Config, mode sbMode) (*Result, error) {
 		}
 
 		// Memory metric: maintainer structures plus live TA states.
-		var searchBytes int64
-		for _, s := range searches {
-			searchBytes += s.Footprint()
-		}
+		searchBytes := ctx.searchFootprint()
 		if cur := mem.Current + searchBytes; cur > res.Stats.PeakMem {
 			res.Stats.PeakMem = cur
 		}

@@ -51,6 +51,7 @@ func SBTwoSkylines(p *Problem, cfg Config) (*Result, error) {
 	}
 	fsky := skyline.SFS(liveFuncs)
 	fskyStale := false
+	workers := cfg.workerCount()
 
 	for funcCaps.units > 0 && objCaps.units > 0 && maint.Size() > 0 && len(liveFuncs) > 0 {
 		res.Stats.Loops++
@@ -63,41 +64,40 @@ func SBTwoSkylines(p *Problem, cfg Config) (*Result, error) {
 		sort.Slice(fsky, func(i, j int) bool { return fsky[i].ID < fsky[j].ID })
 
 		// Best function in Fsky for every skyline object, and the
-		// reverse, by exhaustive scan of the (small) cross product.
-		type bestFunc struct {
-			fid   uint64
-			score float64
-		}
-		oBest := make(map[uint64]bestFunc, len(sky))
-		for _, o := range sky {
+		// reverse, by exhaustive scan of the (small) cross product. Both
+		// scans fan out over the worker pool; each slot depends only on
+		// its own input, so the merge is deterministic.
+		byObj := make([]bestFunc, len(sky))
+		ParallelFor(len(sky), workers, func(i int) {
+			o := sky[i]
 			var bf bestFunc
-			found := false
 			for _, f := range fsky {
 				s := geom.Dot(f.Point, o.Point)
-				if !found || s > bf.score || (s == bf.score && f.ID < bf.fid) {
-					bf, found = bestFunc{fid: f.ID, score: s}, true
+				if !bf.ok || s > bf.score || (s == bf.score && f.ID < bf.fid) {
+					bf = bestFunc{fid: f.ID, score: s, ok: true}
 				}
 			}
-			if !found {
+			byObj[i] = bf
+		})
+		oBest := make(map[uint64]bestFunc, len(sky))
+		for i, o := range sky {
+			if !byObj[i].ok {
 				break
 			}
-			oBest[o.ID] = bf
+			oBest[o.ID] = byObj[i]
 		}
-		type bestObj struct {
-			oid   uint64
-			score float64
-		}
-		fBest := make(map[uint64]bestObj)
-		fids := make([]uint64, 0, len(oBest))
-		for _, bf := range oBest {
-			if _, seen := fBest[bf.fid]; !seen {
-				fBest[bf.fid] = bestObj{}
+		fids := make([]uint64, 0, len(sky))
+		seen := make(map[uint64]bool, len(sky))
+		for _, bf := range byObj {
+			if bf.ok && !seen[bf.fid] {
+				seen[bf.fid] = true
 				fids = append(fids, bf.fid)
 			}
 		}
 		sort.Slice(fids, func(i, j int) bool { return fids[i] < fids[j] })
-		for _, fid := range fids {
-			w := weights[fid]
+		byFunc := make([]bestObj, len(fids))
+		ParallelFor(len(fids), workers, func(i int) {
+			w := weights[fids[i]]
 			var bo bestObj
 			found := false
 			for _, o := range sky {
@@ -106,7 +106,11 @@ func SBTwoSkylines(p *Problem, cfg Config) (*Result, error) {
 					bo, found = bestObj{oid: o.ID, score: s}, true
 				}
 			}
-			fBest[fid] = bo
+			byFunc[i] = bo
+		})
+		fBest := make(map[uint64]bestObj, len(fids))
+		for i, fid := range fids {
+			fBest[fid] = byFunc[i]
 		}
 
 		var removedObjs []uint64

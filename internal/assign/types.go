@@ -171,6 +171,13 @@ type Config struct {
 	// FuncBufferFrac sizes the buffer over disk-resident function lists
 	// for SBAlt (default = BufferFrac).
 	FuncBufferFrac float64
+	// Workers sets the number of goroutines the skyline-based algorithms
+	// use for the per-object reverse top-1 searches and the per-function
+	// best-object scans inside each loop. 0 and 1 run sequentially; n > 1
+	// uses n workers; negative uses one worker per available CPU. The
+	// emitted matching is identical for every setting — only wall-clock
+	// changes.
+	Workers int
 }
 
 func (c Config) pageSize() int {

@@ -1,0 +1,75 @@
+package conformance
+
+import (
+	"testing"
+
+	"fairassign/internal/assign"
+	"fairassign/internal/datagen"
+)
+
+// TestDifferentialStandardSweep is the acceptance gate for every solver
+// in the repository: all eight algorithms must produce the oracle
+// matching on every cell of the distribution × dimension × capacity ×
+// priority grid, and parallel SB must be byte-identical to sequential
+// SB. Failures print the offending spec, which reproduces the case
+// deterministically.
+func TestDifferentialStandardSweep(t *testing.T) {
+	specs := StandardSweep(3)
+	if len(specs) < 200 {
+		t.Fatalf("sweep has %d cases, want >= 200", len(specs))
+	}
+	for _, spec := range specs {
+		spec := spec
+		t.Run(spec.String(), func(t *testing.T) {
+			t.Parallel()
+			if err := Verify(spec); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestParallelWorkerCountSweep locks the determinism guarantee across
+// worker counts, including over-subscription (more workers than skyline
+// objects).
+func TestParallelWorkerCountSweep(t *testing.T) {
+	spec := Spec{Seed: 99, Kind: datagen.AntiCorrelated, Dims: 4, FuncCaps: true, ObjCaps: true, Gammas: true}
+	p := Generate(spec)
+	seq, err := assign.SB(p, config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 3, 8, 64, -1} {
+		cfg := config()
+		cfg.Workers = workers
+		par, err := assign.SB(p, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := identicalRun(par.Pairs, seq.Pairs); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+	}
+}
+
+// TestSpecReproducibility makes sure Generate is a pure function of the
+// spec — the property that makes printed failures replayable.
+func TestSpecReproducibility(t *testing.T) {
+	spec := Spec{Seed: 4242, Kind: datagen.Correlated, Dims: 3, Gammas: true}
+	a, b := Generate(spec), Generate(spec)
+	if len(a.Objects) != len(b.Objects) || len(a.Functions) != len(b.Functions) {
+		t.Fatal("sizes differ between generations")
+	}
+	for i := range a.Objects {
+		for d := range a.Objects[i].Point {
+			if a.Objects[i].Point[d] != b.Objects[i].Point[d] {
+				t.Fatal("object coordinates differ between generations")
+			}
+		}
+	}
+	for i := range a.Functions {
+		if a.Functions[i].Gamma != b.Functions[i].Gamma {
+			t.Fatal("gammas differ between generations")
+		}
+	}
+}

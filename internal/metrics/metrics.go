@@ -6,6 +6,7 @@ package metrics
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 )
 
@@ -13,6 +14,12 @@ import (
 // request; Physical counts only the requests that missed the buffer pool
 // and therefore hit the (simulated) disk. The paper's "I/O accesses"
 // metric corresponds to Physical reads plus writes.
+//
+// Increments go through the Inc methods, which are atomic, so one counter
+// may be shared by concurrent readers of a store (the parallel solver
+// engine and SolveBatch). Aggregate reads (Accesses, Snapshot, String)
+// are likewise atomic; direct field access remains valid for
+// single-threaded code and existing tests.
 type IOCounter struct {
 	LogicalReads   int64
 	PhysicalReads  int64
@@ -20,22 +27,52 @@ type IOCounter struct {
 	PhysicalWrites int64
 }
 
+// IncLogicalRead atomically counts one logical page read.
+func (c *IOCounter) IncLogicalRead() { atomic.AddInt64(&c.LogicalReads, 1) }
+
+// IncPhysicalRead atomically counts one physical page read.
+func (c *IOCounter) IncPhysicalRead() { atomic.AddInt64(&c.PhysicalReads, 1) }
+
+// IncLogicalWrite atomically counts one logical page write.
+func (c *IOCounter) IncLogicalWrite() { atomic.AddInt64(&c.LogicalWrites, 1) }
+
+// IncPhysicalWrite atomically counts one physical page write.
+func (c *IOCounter) IncPhysicalWrite() { atomic.AddInt64(&c.PhysicalWrites, 1) }
+
 // Reset zeroes all counters.
-func (c *IOCounter) Reset() { *c = IOCounter{} }
+func (c *IOCounter) Reset() {
+	atomic.StoreInt64(&c.LogicalReads, 0)
+	atomic.StoreInt64(&c.PhysicalReads, 0)
+	atomic.StoreInt64(&c.LogicalWrites, 0)
+	atomic.StoreInt64(&c.PhysicalWrites, 0)
+}
+
+// Snapshot returns an atomically read copy, safe while writers are live.
+func (c *IOCounter) Snapshot() IOCounter {
+	return IOCounter{
+		LogicalReads:   atomic.LoadInt64(&c.LogicalReads),
+		PhysicalReads:  atomic.LoadInt64(&c.PhysicalReads),
+		LogicalWrites:  atomic.LoadInt64(&c.LogicalWrites),
+		PhysicalWrites: atomic.LoadInt64(&c.PhysicalWrites),
+	}
+}
 
 // Accesses returns the paper's I/O metric: physical reads + writes.
-func (c *IOCounter) Accesses() int64 { return c.PhysicalReads + c.PhysicalWrites }
+func (c *IOCounter) Accesses() int64 {
+	return atomic.LoadInt64(&c.PhysicalReads) + atomic.LoadInt64(&c.PhysicalWrites)
+}
 
 // Add accumulates another counter into c.
 func (c *IOCounter) Add(o IOCounter) {
-	c.LogicalReads += o.LogicalReads
-	c.PhysicalReads += o.PhysicalReads
-	c.LogicalWrites += o.LogicalWrites
-	c.PhysicalWrites += o.PhysicalWrites
+	atomic.AddInt64(&c.LogicalReads, o.LogicalReads)
+	atomic.AddInt64(&c.PhysicalReads, o.PhysicalReads)
+	atomic.AddInt64(&c.LogicalWrites, o.LogicalWrites)
+	atomic.AddInt64(&c.PhysicalWrites, o.PhysicalWrites)
 }
 
 func (c *IOCounter) String() string {
-	return fmt.Sprintf("io{phys=%d logical=%d}", c.Accesses(), c.LogicalReads+c.LogicalWrites)
+	s := c.Snapshot()
+	return fmt.Sprintf("io{phys=%d logical=%d}", s.PhysicalReads+s.PhysicalWrites, s.LogicalReads+s.LogicalWrites)
 }
 
 // MemTracker records the current and peak number of bytes held in search

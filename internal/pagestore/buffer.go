@@ -86,7 +86,7 @@ func (b *BufferPool) Resize(capacity int) error {
 func (b *BufferPool) Get(id PageID) ([]byte, error) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	b.store.IO().LogicalReads++
+	b.store.IO().IncLogicalRead()
 	if el, ok := b.frames[id]; ok {
 		b.lru.MoveToFront(el)
 		return el.Value.(*frame).data, nil
@@ -110,7 +110,7 @@ func (b *BufferPool) Get(id PageID) ([]byte, error) {
 func (b *BufferPool) Put(id PageID, data []byte) error {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	b.store.IO().LogicalWrites++
+	b.store.IO().IncLogicalWrite()
 	if len(data) > b.store.PageSize() {
 		return ErrPageSize
 	}

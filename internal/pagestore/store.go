@@ -112,7 +112,7 @@ func (s *MemStore) ReadPage(id PageID, buf []byte) error {
 	if !ok {
 		return fmt.Errorf("%w: %d", ErrPageNotFound, id)
 	}
-	s.io.PhysicalReads++
+	s.io.IncPhysicalRead()
 	copy(buf, p)
 	return nil
 }
@@ -131,7 +131,7 @@ func (s *MemStore) WritePage(id PageID, data []byte) error {
 	if !ok {
 		return fmt.Errorf("%w: %d", ErrPageNotFound, id)
 	}
-	s.io.PhysicalWrites++
+	s.io.IncPhysicalWrite()
 	copy(p, data)
 	for i := len(data); i < s.pageSize; i++ {
 		p[i] = 0
@@ -233,7 +233,7 @@ func (s *FileStore) ReadPage(id PageID, buf []byte) error {
 	if id < 0 || id >= s.next {
 		return fmt.Errorf("%w: %d", ErrPageNotFound, id)
 	}
-	s.io.PhysicalReads++
+	s.io.IncPhysicalRead()
 	_, err := s.f.ReadAt(buf[:s.pageSize], int64(id)*int64(s.pageSize))
 	if err != nil {
 		return fmt.Errorf("pagestore: read page %d: %w", id, err)
@@ -254,7 +254,7 @@ func (s *FileStore) WritePage(id PageID, data []byte) error {
 	if id < 0 || id >= s.next {
 		return fmt.Errorf("%w: %d", ErrPageNotFound, id)
 	}
-	s.io.PhysicalWrites++
+	s.io.IncPhysicalWrite()
 	page := make([]byte, s.pageSize)
 	copy(page, data)
 	if _, err := s.f.WriteAt(page, int64(id)*int64(s.pageSize)); err != nil {

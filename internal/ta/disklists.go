@@ -119,7 +119,7 @@ func (dl *DiskLists) maxBudget() float64   { return dl.maxB }
 func (dl *DiskLists) listLength(d int) int { return dl.listLen }
 func (dl *DiskLists) funcCount() int       { return dl.listLen }
 func (dl *DiskLists) entryAt(d, i int) (listEntry, error) {
-	dl.Counters.SortedAccesses++
+	dl.Counters.addSorted()
 	e, err := dl.readEntry(d, i)
 	if err != nil {
 		return listEntry{}, err
@@ -193,7 +193,7 @@ func (dl *DiskLists) randomWeights(id uint64, d0 int, coef0 float64) (geom.Point
 		if d == d0 {
 			continue
 		}
-		dl.Counters.RandomAccesses++
+		dl.Counters.addRandom()
 		e, err := dl.readEntry(d, dl.slot[d][id])
 		if err != nil {
 			return nil, err
@@ -211,7 +211,7 @@ func (dl *DiskLists) WeightsOf(id uint64) (geom.Point, error) {
 	}
 	w := make(geom.Point, dl.dimCount)
 	for d := 0; d < dl.dimCount; d++ {
-		dl.Counters.RandomAccesses++
+		dl.Counters.addRandom()
 		e, err := dl.readEntry(d, dl.slot[d][id])
 		if err != nil {
 			return nil, err
@@ -300,7 +300,7 @@ func (dl *DiskLists) BatchSearch(objs []BatchObject) (map[uint64]BatchResult, er
 			}
 			blockIdx[d]++
 			for i := start; i < end; i++ {
-				dl.Counters.SortedAccesses++
+				dl.Counters.addSorted()
 				e, err := dl.readEntry(d, i)
 				if err != nil {
 					return nil, err

@@ -21,6 +21,7 @@ package ta
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"fairassign/internal/geom"
 )
@@ -42,12 +43,19 @@ type listEntry struct {
 	idx  int // dense function index (position in a canonical order)
 }
 
-// Counters tallies TA work for the experiment harness.
+// Counters tallies TA work for the experiment harness. Increments go
+// through atomic adds so that many Searches may run concurrently over one
+// shared list source (the parallel SB engine); plain field reads are safe
+// once the concurrent phase has completed.
 type Counters struct {
 	SortedAccesses int64 // entries popped from sorted lists
 	RandomAccesses int64 // full-weight lookups
 	Restarts       int64 // Ω-exhaustion restarts
 }
+
+func (c *Counters) addSorted()  { atomic.AddInt64(&c.SortedAccesses, 1) }
+func (c *Counters) addRandom()  { atomic.AddInt64(&c.RandomAccesses, 1) }
+func (c *Counters) addRestart() { atomic.AddInt64(&c.Restarts, 1) }
 
 // Lists indexes a function set as D descending-sorted coefficient lists
 // plus a random-access table, supporting tombstoned removal of assigned

@@ -32,11 +32,11 @@ func (l *Lists) maxBudget() float64   { return l.maxB }
 func (l *Lists) listLength(d int) int { return len(l.lists[d]) }
 func (l *Lists) funcCount() int       { return len(l.byIdx) }
 func (l *Lists) entryAt(d, i int) (listEntry, error) {
-	l.Counters.SortedAccesses++
+	l.Counters.addSorted()
 	return l.lists[d][i], nil
 }
 func (l *Lists) weightsAt(idx int, _ uint64, _ int, _ float64) ([]float64, error) {
-	l.Counters.RandomAccesses++
+	l.Counters.addRandom()
 	return l.byIdx[idx], nil
 }
 func (l *Lists) removedAt(idx int) bool { return l.removed[idx] }
@@ -147,7 +147,7 @@ func (s *Search) Best() (id uint64, score float64, ok bool) {
 			s.guarantee--
 		}
 		if s.guarantee <= 0 {
-			s.l.counters().Restarts++
+			s.l.counters().addRestart()
 			s.reset()
 			continue
 		}
@@ -160,7 +160,7 @@ func (s *Search) Best() (id uint64, score float64, ok bool) {
 		} else if exhausted {
 			// Everything scanned but the queue is empty: candidates were
 			// lost to pops after overflow. Restart rebuilds them.
-			s.l.counters().Restarts++
+			s.l.counters().addRestart()
 			s.reset()
 			continue
 		}

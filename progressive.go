@@ -26,6 +26,7 @@ func NewProgressiveMatcher(objects []Object, functions []Function, opts Options)
 		BufferFraction:    opts.BufferFraction,
 		OmegaFraction:     opts.OmegaFraction,
 		SkipNormalization: opts.SkipNormalization,
+		Workers:           opts.Workers,
 	})
 	if err != nil {
 		return nil, err
@@ -34,6 +35,7 @@ func NewProgressiveMatcher(objects []Object, functions []Function, opts Options)
 		PageSize:   opts.PageSize,
 		BufferFrac: opts.BufferFraction,
 		OmegaFrac:  opts.OmegaFraction,
+		Workers:    opts.Workers,
 	})
 	if err != nil {
 		return nil, err

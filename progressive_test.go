@@ -1,8 +1,62 @@
 package fairassign
 
 import (
+	"sort"
 	"testing"
 )
+
+// drainMatcher pulls every available pair from a progressive matcher.
+func drainMatcher(t *testing.T, m *ProgressiveMatcher) []Pair {
+	t.Helper()
+	var out []Pair
+	for {
+		p, ok, err := m.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			return out
+		}
+		out = append(out, p)
+	}
+}
+
+// assertNonIncreasingScores checks the streaming-order guarantee.
+func assertNonIncreasingScores(t *testing.T, pairs []Pair) {
+	t.Helper()
+	for i := 1; i < len(pairs); i++ {
+		if pairs[i].Score > pairs[i-1].Score {
+			t.Fatalf("score order violated at %d: %v emitted after %v",
+				i, pairs[i].Score, pairs[i-1].Score)
+		}
+	}
+}
+
+// assertMatchesBatch checks that a progressive stream equals the batch
+// Solve result element for element once the batch result is put in the
+// greedy emission order (descending score, ties by ascending IDs).
+func assertMatchesBatch(t *testing.T, got []Pair, batch *Result) {
+	t.Helper()
+	want := make([]Pair, len(batch.Pairs))
+	copy(want, batch.Pairs)
+	sort.Slice(want, func(i, j int) bool {
+		if want[i].Score != want[j].Score {
+			return want[i].Score > want[j].Score
+		}
+		if want[i].FunctionID != want[j].FunctionID {
+			return want[i].FunctionID < want[j].FunctionID
+		}
+		return want[i].ObjectID < want[j].ObjectID
+	})
+	if len(got) != len(want) {
+		t.Fatalf("progressive %d pairs, batch %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("pair %d: progressive %+v, batch %+v", i, got[i], want[i])
+		}
+	}
+}
 
 func TestProgressiveMatcherBasics(t *testing.T) {
 	objects := GenerateObjects(Independent, 50, 3, 61)
@@ -76,23 +130,91 @@ func TestProgressiveMatcherAgreesWithSolver(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var got []Pair
-	for {
-		p, ok, err := m.Next()
+	got := drainMatcher(t, m)
+	assertNonIncreasingScores(t, got)
+	assertMatchesBatch(t, got, want)
+}
+
+// TestProgressiveMatcherScoreOrderAcrossDistributions locks the
+// streaming-order guarantee on every object distribution.
+func TestProgressiveMatcherScoreOrderAcrossDistributions(t *testing.T) {
+	for _, kind := range []Distribution{Independent, Correlated, AntiCorrelated} {
+		t.Run(string(kind), func(t *testing.T) {
+			objects := GenerateObjects(kind, 150, 4, 81)
+			functions := GenerateFunctions(40, 4, 82)
+			solver, err := NewSolver(objects, functions, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := solver.Solve()
+			if err != nil {
+				t.Fatal(err)
+			}
+			m, err := NewProgressiveMatcher(objects, functions, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := drainMatcher(t, m)
+			assertNonIncreasingScores(t, got)
+			assertMatchesBatch(t, got, want)
+		})
+	}
+}
+
+// TestProgressiveMatcherCapacitated checks both halves of the streaming
+// contract under capacities on both sides: non-increasing score order
+// and agreement with the capacitated batch result.
+func TestProgressiveMatcherCapacitated(t *testing.T) {
+	objects := GenerateObjects(Independent, 120, 3, 91)
+	for i := range objects {
+		objects[i].Capacity = 1 + i%3
+	}
+	functions := GenerateFunctions(50, 3, 92)
+	for i := range functions {
+		functions[i].Capacity = 1 + i%4
+	}
+	solver, err := NewSolver(objects, functions, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := solver.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewProgressiveMatcher(objects, functions, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := drainMatcher(t, m)
+	if len(got) == 0 {
+		t.Fatal("no pairs streamed")
+	}
+	assertNonIncreasingScores(t, got)
+	assertMatchesBatch(t, got, want)
+	if err := solver.Verify(got); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestProgressiveMatcherWorkers checks the stream is unchanged when the
+// engine runs parallel.
+func TestProgressiveMatcherWorkers(t *testing.T) {
+	objects := GenerateObjects(AntiCorrelated, 150, 3, 93)
+	functions := GenerateFunctions(40, 3, 94)
+	run := func(workers int) []Pair {
+		m, err := NewProgressiveMatcher(objects, functions, Options{Workers: workers})
 		if err != nil {
 			t.Fatal(err)
 		}
-		if !ok {
-			break
-		}
-		got = append(got, p)
+		return drainMatcher(t, m)
 	}
-	if len(got) != len(want.Pairs) {
-		t.Fatalf("progressive %d pairs, solver %d", len(got), len(want.Pairs))
+	seq, par := run(0), run(4)
+	if len(seq) != len(par) {
+		t.Fatalf("%d pairs sequential, %d parallel", len(seq), len(par))
 	}
-	for i := range got {
-		if got[i] != want.Pairs[i] {
-			t.Fatalf("pair %d: %+v vs %+v", i, got[i], want.Pairs[i])
+	for i := range seq {
+		if seq[i] != par[i] {
+			t.Fatalf("pair %d differs: %+v vs %+v", i, seq[i], par[i])
 		}
 	}
 }
