@@ -1,0 +1,155 @@
+// Command bench is the reproducible hot-path benchmark pipeline: it
+// measures warm node reads, BBS, kNN, TA top-1, full SB solves, and a
+// SolveBatch workload with the decoded-node cache disabled ("cold": the
+// pre-cache behaviour) and enabled ("warm"), and writes the comparison as
+// machine-readable JSON so every future PR has a perf trajectory to beat.
+//
+// Before measuring anything it runs the conformance harness as a
+// pre-flight check (the cached paths must produce the oracle matching on
+// the full differential sweep), and it fails if cold and warm runs ever
+// diverge in matching or physical I/O.
+//
+// Usage:
+//
+//	bench [-out BENCH_hotpath.json] [-sizes 2000,10000] [-dims 2,4]
+//	      [-budget 200ms] [-seed 20090824] [-preflight 1] [-quick]
+//
+// -preflight sets the conformance seeds per grid cell (0 skips the
+// sweep); -quick is a CI smoke preset (tiny sizes, short budget, one-cell
+// preflight).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"fairassign/internal/bench"
+	"fairassign/internal/conformance"
+)
+
+func main() {
+	out := flag.String("out", "BENCH_hotpath.json", "output JSON path")
+	sizes := flag.String("sizes", "2000,10000", "comma-separated object counts")
+	dims := flag.String("dims", "2,4", "comma-separated dimensionalities")
+	budget := flag.Duration("budget", 200*time.Millisecond, "time budget per measurement")
+	seed := flag.Int64("seed", 20090824, "random seed for data generation")
+	preflight := flag.Int("preflight", 1, "conformance seeds per grid cell (0 skips the sweep)")
+	quick := flag.Bool("quick", false, "CI smoke preset: tiny sizes, short budget")
+	baseline := flag.String("baseline", "", "prior report (e.g. BENCH_main.json) to compute before/after deltas against")
+	flag.Parse()
+
+	opts := bench.Options{
+		Seed:   *seed,
+		Sizes:  parseInts(*sizes),
+		Dims:   parseInts(*dims),
+		Budget: *budget,
+	}
+	if *quick {
+		opts.Sizes = []int{1000}
+		opts.Dims = []int{3}
+		opts.Budget = 50 * time.Millisecond
+	}
+
+	confSummary := "skipped"
+	if *preflight > 0 {
+		specs := conformance.StandardSweep(*preflight)
+		if *quick && len(specs) > 16 {
+			// Smoke preset: a slice of the grid, not the full sweep.
+			specs = specs[:16]
+		}
+		fmt.Printf("pre-flight: conformance sweep, %d cases... ", len(specs))
+		start := time.Now()
+		for _, spec := range specs {
+			if err := conformance.Verify(spec); err != nil {
+				fmt.Fprintf(os.Stderr, "\nbench: conformance pre-flight failed: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		confSummary = fmt.Sprintf("passed (%d cases)", len(specs))
+		fmt.Printf("ok (%v)\n", time.Since(start).Round(time.Millisecond))
+	}
+
+	rep, err := bench.Run(opts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+		os.Exit(1)
+	}
+	rep.Conformance = confSummary
+
+	if *baseline != "" {
+		data, err := os.ReadFile(*baseline)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bench: read baseline: %v\n", err)
+			os.Exit(1)
+		}
+		var base bench.Report
+		if err := json.Unmarshal(data, &base); err != nil {
+			fmt.Fprintf(os.Stderr, "bench: parse baseline: %v\n", err)
+			os.Exit(1)
+		}
+		bench.ApplyBaseline(rep, &base)
+	}
+
+	diverged := false
+	for _, c := range rep.Cases {
+		iox := "io=identical"
+		if !c.IOIdentical {
+			iox = "IO DIVERGED"
+		}
+		fmt.Printf("%-14s n=%-6d d=%d  cold %10d ns/op %7d allocs/op | warm %10d ns/op %7d allocs/op | allocs -%5.1f%% ns -%5.1f%% %s\n",
+			c.Name, c.N, c.Dims,
+			c.Cold.NsPerOp, c.Cold.AllocsPerOp,
+			c.Warm.NsPerOp, c.Warm.AllocsPerOp,
+			c.AllocsReductionPct, c.NsReductionPct, iox)
+		if c.VsBaseline != nil {
+			fmt.Printf("%-14s %-12s vs baseline: allocs %d -> %d (-%.1f%%), ns %d -> %d (-%.1f%%)\n",
+				"", "",
+				c.VsBaseline.BaselineAllocsPerOp, c.Warm.AllocsPerOp, c.VsBaseline.AllocsReductionPct,
+				c.VsBaseline.BaselineNsPerOp, c.Warm.NsPerOp, c.VsBaseline.NsReductionPct)
+		}
+		if !c.IOIdentical {
+			diverged = true
+			fmt.Fprintf(os.Stderr, "bench: %s(n=%d,dims=%d): cold/warm I/O diverged (cold %d/%d, warm %d/%d)\n",
+				c.Name, c.N, c.Dims, c.Cold.LogicalReads, c.Cold.PhysicalIO, c.Warm.LogicalReads, c.Warm.PhysicalIO)
+		}
+	}
+
+	// Write the report even on divergence — the JSON is the evidence
+	// needed to debug it.
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s (%d cases, conformance: %s)\n", *out, len(rep.Cases), rep.Conformance)
+	if diverged {
+		os.Exit(1)
+	}
+}
+
+func parseInts(s string) []int {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.Atoi(part)
+		if err != nil || v <= 0 {
+			fmt.Fprintf(os.Stderr, "bench: bad integer list entry %q\n", part)
+			os.Exit(2)
+		}
+		out = append(out, v)
+	}
+	return out
+}

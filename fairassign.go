@@ -133,6 +133,11 @@ type Options struct {
 	// changes. Algorithms that do not use the engine (BruteForce, Chain,
 	// SBAlt) ignore the setting.
 	Workers int
+	// DisableNodeCache turns off the decoded-node cache tier of the
+	// object index's buffer pool, re-parsing page bytes on every node
+	// access. Results and I/O counts are identical either way; the knob
+	// exists so the benchmark pipeline can measure the cache's effect.
+	DisableNodeCache bool
 }
 
 // Solver holds a validated problem instance.
@@ -220,10 +225,11 @@ func (s *Solver) Dims() int { return s.problem.Dims }
 // Solve computes the stable assignment.
 func (s *Solver) Solve() (*Result, error) {
 	cfg := assign.Config{
-		PageSize:   s.opts.PageSize,
-		BufferFrac: s.opts.BufferFraction,
-		OmegaFrac:  s.opts.OmegaFraction,
-		Workers:    s.opts.Workers,
+		PageSize:         s.opts.PageSize,
+		BufferFrac:       s.opts.BufferFraction,
+		OmegaFrac:        s.opts.OmegaFraction,
+		Workers:          s.opts.Workers,
+		DisableNodeCache: s.opts.DisableNodeCache,
 	}
 	r, err := s.run(s.problem, cfg)
 	if err != nil {

@@ -1,8 +1,7 @@
 package assign
 
 import (
-	"container/heap"
-
+	"fairassign/internal/heaputil"
 	"fairassign/internal/metrics"
 	"fairassign/internal/rtree"
 	"fairassign/internal/topk"
@@ -78,7 +77,7 @@ func bruteForceLoop(p *Problem, idx *objectIndex, touchState func(uint64) error)
 		}
 		st.top, st.score, st.alive = it, sc, true
 		states[f.ID] = st
-		heap.Push(h, funcScoreElem{fid: f.ID, score: sc})
+		h.push(funcScoreElem{fid: f.ID, score: sc})
 	}
 
 	trackPeak := func() {
@@ -97,7 +96,7 @@ func bruteForceLoop(p *Problem, idx *objectIndex, touchState func(uint64) error)
 
 	for funcCaps.units > 0 && objCaps.units > 0 && h.Len() > 0 {
 		res.Stats.Loops++
-		e := heap.Pop(h).(funcScoreElem)
+		e := h.pop()
 		st, ok := states[e.fid]
 		if !ok || !st.alive {
 			continue
@@ -121,7 +120,7 @@ func bruteForceLoop(p *Problem, idx *objectIndex, touchState func(uint64) error)
 				continue
 			}
 			st.top, st.score = it, sc
-			heap.Push(h, funcScoreElem{fid: e.fid, score: sc})
+			h.push(funcScoreElem{fid: e.fid, score: sc})
 			continue
 		}
 		// Valid top with the globally highest score: stable pair.
@@ -148,7 +147,7 @@ func bruteForceLoop(p *Problem, idx *objectIndex, touchState func(uint64) error)
 				}
 				st.top, st.score = it, sc
 			}
-			heap.Push(h, funcScoreElem{fid: e.fid, score: st.score})
+			h.push(funcScoreElem{fid: e.fid, score: st.score})
 		}
 		if res.Stats.Loops%64 == 0 {
 			trackPeak()
@@ -170,21 +169,18 @@ type funcScoreElem struct {
 	score float64
 }
 
+// funcScoreHeap is a boxing-free max-heap on (score, lower fid).
 type funcScoreHeap []funcScoreElem
 
-func (h funcScoreHeap) Len() int { return len(h) }
-func (h funcScoreHeap) Less(i, j int) bool {
-	if h[i].score != h[j].score {
-		return h[i].score > h[j].score
+func lessFuncScore(a, b funcScoreElem) bool {
+	if a.score != b.score {
+		return a.score > b.score
 	}
-	return h[i].fid < h[j].fid
+	return a.fid < b.fid
 }
-func (h funcScoreHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *funcScoreHeap) Push(x any)   { *h = append(*h, x.(funcScoreElem)) }
-func (h *funcScoreHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
+
+func (h *funcScoreHeap) push(e funcScoreElem) { heaputil.Push((*[]funcScoreElem)(h), lessFuncScore, e) }
+func (h *funcScoreHeap) pop() funcScoreElem {
+	return heaputil.Pop((*[]funcScoreElem)(h), lessFuncScore)
 }
+func (h *funcScoreHeap) Len() int { return len(*h) }

@@ -81,7 +81,11 @@ func (c *engineCtx) bestFunctionOf(o rtree.Item) bestFunc {
 	if c.resume {
 		s = c.searches[o.ID]
 	} else {
+		// Fresh unbounded search per call (Algorithm 1 semantics); its
+		// buffers go back to the pool immediately, so the per-loop cost
+		// is near allocation-free.
 		s = ta.NewSearch(c.lists, o.Point, c.numFuncs)
+		defer s.Release()
 	}
 	fid, score, ok := s.Best()
 	return bestFunc{fid: fid, score: score, ok: ok}
@@ -102,8 +106,22 @@ func (c *engineCtx) bestObjectOf(fid uint64, sky []rtree.Item) bestObj {
 	return best
 }
 
-// dropSearch discards the resumable state of an assigned object.
-func (c *engineCtx) dropSearch(oid uint64) { delete(c.searches, oid) }
+// dropSearch discards the resumable state of an assigned object,
+// recycling its buffers. Only called from the coordinating goroutine.
+func (c *engineCtx) dropSearch(oid uint64) {
+	if s := c.searches[oid]; s != nil {
+		s.Release()
+	}
+	delete(c.searches, oid)
+}
+
+// releaseAll recycles every remaining search state at the end of a run.
+func (c *engineCtx) releaseAll() {
+	for oid, s := range c.searches {
+		s.Release()
+		delete(c.searches, oid)
+	}
+}
 
 // searchFootprint sums the live resumable-search state for the memory
 // metric.

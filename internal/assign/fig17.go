@@ -2,7 +2,7 @@ package assign
 
 import (
 	"errors"
-	"sort"
+	"slices"
 
 	"fairassign/internal/geom"
 	"fairassign/internal/metrics"
@@ -69,11 +69,16 @@ func SBDiskFuncs(p *Problem, cfg Config) (*Result, error) {
 	objCaps := newObjectCaps(p.Objects)
 	omega := cfg.omegaFor(len(p.Functions))
 	searches := make(map[uint64]*ta.Search)
+	defer func() {
+		for _, s := range searches {
+			s.Release()
+		}
+	}()
 
 	for funcCaps.units > 0 && objCaps.units > 0 && maint.Size() > 0 {
 		res.Stats.Loops++
 		sky := maint.Skyline()
-		sort.Slice(sky, func(i, j int) bool { return sky[i].ID < sky[j].ID })
+		sortItemsByID(sky)
 
 		type bestFunc struct {
 			fid   uint64
@@ -114,7 +119,7 @@ func SBDiskFuncs(p *Problem, cfg Config) (*Result, error) {
 				fids = append(fids, bf.fid)
 			}
 		}
-		sort.Slice(fids, func(i, j int) bool { return fids[i] < fids[j] })
+		slices.Sort(fids)
 		for _, fid := range fids {
 			w, err := dl.WeightsOf(fid)
 			if err != nil {
@@ -147,6 +152,9 @@ func SBDiskFuncs(p *Problem, cfg Config) (*Result, error) {
 			}
 			if objCaps.consume(bo.oid) {
 				removedObjs = append(removedObjs, bo.oid)
+				if s := searches[bo.oid]; s != nil {
+					s.Release()
+				}
 				delete(searches, bo.oid)
 			}
 		}

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"slices"
 	"sort"
 
 	"fairassign/internal/geom"
@@ -149,7 +150,7 @@ func (g *Progressive) flushPending() {
 // skyline (Lines 9–11) through the engine.
 func (g *Progressive) stepOne() ([]rtree.Item, []bestFunc) {
 	sky := g.maint.Skyline()
-	sort.Slice(sky, func(i, j int) bool { return sky[i].ID < sky[j].ID })
+	sortItemsByID(sky)
 	byObj := make([]bestFunc, len(sky))
 	g.eng.bestFunctions(sky, byObj)
 	g.stats.TopKRuns += int64(len(sky))
@@ -202,7 +203,7 @@ func (g *Progressive) runLoop() error {
 			fids = append(fids, bf.fid)
 		}
 	}
-	sort.Slice(fids, func(i, j int) bool { return fids[i] < fids[j] })
+	slices.Sort(fids)
 	byFunc := make([]bestObj, len(fids))
 	g.eng.bestObjects(fids, sky, byFunc)
 	fBest := make(map[uint64]bestObj, len(fids))

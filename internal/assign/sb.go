@@ -2,7 +2,7 @@ package assign
 
 import (
 	"errors"
-	"sort"
+	"slices"
 
 	"fairassign/internal/metrics"
 	"fairassign/internal/rtree"
@@ -85,12 +85,13 @@ func runSkylineBased(p *Problem, cfg Config, mode sbMode) (*Result, error) {
 	objCaps := newObjectCaps(p.Objects)
 	omega := cfg.omegaFor(len(p.Functions))
 	ctx := newEngineCtx(lists, mode, len(p.Functions), omega)
+	defer ctx.releaseAll()
 	eng := ctx.engine(cfg)
 
 	for funcCaps.units > 0 && objCaps.units > 0 && driver.Size() > 0 {
 		res.Stats.Loops++
 		sky := driver.Skyline()
-		sort.Slice(sky, func(i, j int) bool { return sky[i].ID < sky[j].ID })
+		sortItemsByID(sky)
 
 		// Step 1 (Lines 9–11): for every skyline object, the best live
 		// function. The engine may fan the searches out over workers;
@@ -121,7 +122,7 @@ func runSkylineBased(p *Problem, cfg Config, mode sbMode) (*Result, error) {
 				fids = append(fids, bf.fid)
 			}
 		}
-		sort.Slice(fids, func(i, j int) bool { return fids[i] < fids[j] })
+		slices.Sort(fids)
 		byFunc := make([]bestObj, len(fids))
 		eng.bestObjects(fids, sky, byFunc)
 		fBest := make(map[uint64]bestObj, len(fids))

@@ -2,7 +2,7 @@ package assign
 
 import (
 	"errors"
-	"sort"
+	"slices"
 
 	"fairassign/internal/geom"
 	"fairassign/internal/metrics"
@@ -64,7 +64,7 @@ func SBAlt(p *Problem, cfg Config) (*Result, error) {
 	for funcCaps.units > 0 && objCaps.units > 0 && maint.Size() > 0 {
 		res.Stats.Loops++
 		sky := maint.Skyline()
-		sort.Slice(sky, func(i, j int) bool { return sky[i].ID < sky[j].ID })
+		sortItemsByID(sky)
 
 		var batch []ta.BatchObject
 		for _, o := range sky {
@@ -114,7 +114,7 @@ func SBAlt(p *Problem, cfg Config) (*Result, error) {
 				fids = append(fids, bf.fid)
 			}
 		}
-		sort.Slice(fids, func(i, j int) bool { return fids[i] < fids[j] })
+		slices.Sort(fids)
 		for _, fid := range fids {
 			w, err := dl.WeightsOf(fid)
 			if err != nil {

@@ -1,10 +1,27 @@
 package assign
 
 import (
+	"slices"
+
 	"fairassign/internal/pagestore"
 	"fairassign/internal/rtree"
 	"fairassign/internal/ta"
 )
+
+// sortItemsByID orders items by ascending ID. IDs are unique per side,
+// so the result is a total order; the generic sort avoids the reflection
+// swapper sort.Slice allocates on every call of the per-loop hot path.
+func sortItemsByID(items []rtree.Item) {
+	slices.SortFunc(items, func(a, b rtree.Item) int {
+		switch {
+		case a.ID < b.ID:
+			return -1
+		case a.ID > b.ID:
+			return 1
+		}
+		return 0
+	})
+}
 
 // objectIndex is the disk-resident R-tree over O shared by all
 // algorithms. The index is bulk-loaded, then the buffer is cleared and
@@ -22,6 +39,9 @@ func buildObjectIndex(p *Problem, cfg Config) (*objectIndex, error) {
 	// Load with a generous temporary buffer, then shrink to the
 	// experiment's fraction.
 	pool := pagestore.NewBufferPool(store, 1<<20)
+	if cfg.DisableNodeCache {
+		pool.SetDecodedCache(false)
+	}
 	items := make([]rtree.Item, len(p.Objects))
 	for i, o := range p.Objects {
 		items[i] = rtree.Item{ID: o.ID, Point: o.Point}
@@ -44,11 +64,22 @@ func buildObjectIndex(p *Problem, cfg Config) (*objectIndex, error) {
 }
 
 // taFuncs converts functions to their TA representation (effective
-// weights).
+// weights). All weight vectors share one contiguous backing array — one
+// allocation instead of one per function.
 func taFuncs(funcs []Function) []ta.Func {
 	out := make([]ta.Func, len(funcs))
+	if len(funcs) == 0 {
+		return out
+	}
+	dims := len(funcs[0].Weights)
+	backing := make([]float64, len(funcs)*dims)
 	for i, f := range funcs {
-		out[i] = ta.Func{ID: f.ID, Weights: f.Effective()}
+		w := backing[i*dims : (i+1)*dims : (i+1)*dims]
+		g := f.gamma()
+		for d, a := range f.Weights {
+			w[d] = a * g
+		}
+		out[i] = ta.Func{ID: f.ID, Weights: w}
 	}
 	return out
 }

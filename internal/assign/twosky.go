@@ -2,7 +2,7 @@ package assign
 
 import (
 	"errors"
-	"sort"
+	"slices"
 
 	"fairassign/internal/geom"
 	"fairassign/internal/metrics"
@@ -60,8 +60,8 @@ func SBTwoSkylines(p *Problem, cfg Config) (*Result, error) {
 			fskyStale = false
 		}
 		sky := maint.Skyline()
-		sort.Slice(sky, func(i, j int) bool { return sky[i].ID < sky[j].ID })
-		sort.Slice(fsky, func(i, j int) bool { return fsky[i].ID < fsky[j].ID })
+		sortItemsByID(sky)
+		sortItemsByID(fsky)
 
 		// Best function in Fsky for every skyline object, and the
 		// reverse, by exhaustive scan of the (small) cross product. Both
@@ -94,7 +94,7 @@ func SBTwoSkylines(p *Problem, cfg Config) (*Result, error) {
 				fids = append(fids, bf.fid)
 			}
 		}
-		sort.Slice(fids, func(i, j int) bool { return fids[i] < fids[j] })
+		slices.Sort(fids)
 		byFunc := make([]bestObj, len(fids))
 		ParallelFor(len(fids), workers, func(i int) {
 			w := weights[fids[i]]

@@ -178,6 +178,12 @@ type Config struct {
 	// emitted matching is identical for every setting — only wall-clock
 	// changes.
 	Workers int
+	// DisableNodeCache turns off the buffer pool's decoded-node tier for
+	// the object index, forcing every node access to re-parse its page
+	// bytes. The matching and all I/O counts are identical either way —
+	// only CPU time and allocations change. Used by the benchmark
+	// pipeline to measure the cache's effect.
+	DisableNodeCache bool
 }
 
 func (c Config) pageSize() int {

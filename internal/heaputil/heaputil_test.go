@@ -1,0 +1,82 @@
+package heaputil
+
+import (
+	"container/heap"
+	"math/rand"
+	"testing"
+)
+
+// elem carries a sequence number so ties on key expose ordering
+// differences between implementations.
+type elem struct {
+	key int
+	seq int
+}
+
+func lessElem(a, b elem) bool { return a.key < b.key }
+
+type stdHeap []elem
+
+func (h stdHeap) Len() int           { return len(h) }
+func (h stdHeap) Less(i, j int) bool { return lessElem(h[i], h[j]) }
+func (h stdHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *stdHeap) Push(x any)        { *h = append(*h, x.(elem)) }
+func (h *stdHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// TestMirrorsContainerHeap drives random interleaved push/pop sequences
+// through both implementations and requires bit-identical pop results —
+// including the order of equal keys, which depends on internal layout.
+func TestMirrorsContainerHeap(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		var ours []elem
+		var std stdHeap
+		seq := 0
+		for op := 0; op < 500; op++ {
+			if len(ours) == 0 || rng.Float64() < 0.6 {
+				e := elem{key: rng.Intn(20), seq: seq} // few keys: many ties
+				seq++
+				Push(&ours, lessElem, e)
+				heap.Push(&std, e)
+			} else {
+				got := Pop(&ours, lessElem)
+				want := heap.Pop(&std).(elem)
+				if got != want {
+					t.Fatalf("trial %d op %d: popped %+v, container/heap popped %+v", trial, op, got, want)
+				}
+			}
+		}
+		for len(ours) > 0 {
+			got := Pop(&ours, lessElem)
+			want := heap.Pop(&std).(elem)
+			if got != want {
+				t.Fatalf("trial %d drain: popped %+v, want %+v", trial, got, want)
+			}
+		}
+	}
+}
+
+func TestPushPopAllocs(t *testing.T) {
+	var h []elem
+	for i := 0; i < 1024; i++ { // pre-grow the backing array
+		Push(&h, lessElem, elem{key: i})
+	}
+	h = h[:0]
+	allocs := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 64; i++ {
+			Push(&h, lessElem, elem{key: 64 - i})
+		}
+		for i := 0; i < 64; i++ {
+			Pop(&h, lessElem)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("push/pop allocates %.1f per run, want 0", allocs)
+	}
+}

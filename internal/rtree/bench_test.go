@@ -1,0 +1,84 @@
+package rtree
+
+import (
+	"math/rand"
+	"testing"
+
+	"fairassign/internal/geom"
+	"fairassign/internal/pagestore"
+)
+
+// benchTree bulk-loads n random points into a tree whose pool holds the
+// whole index (warm-cache regime) and returns it with the counters reset.
+func benchTree(b *testing.B, n, dims int, cache bool) *Tree {
+	b.Helper()
+	store := pagestore.NewMemStore(4096)
+	pool := pagestore.NewBufferPool(store, 1<<20)
+	pool.SetDecodedCache(cache)
+	rng := rand.New(rand.NewSource(42))
+	items := make([]Item, n)
+	for i := range items {
+		p := make(geom.Point, dims)
+		for d := range p {
+			p[d] = rng.Float64()
+		}
+		items[i] = Item{ID: uint64(i), Point: p}
+	}
+	tr, err := BulkLoad(pool, dims, items, 0.9)
+	if err != nil {
+		b.Fatal(err)
+	}
+	store.IO().Reset()
+	return tr
+}
+
+// BenchmarkReadNodeWarm measures one warm node access — the single
+// hottest operation of every traversal. With the decoded-node cache it is
+// a pure map/LRU hit and must not allocate.
+func BenchmarkReadNodeWarm(b *testing.B) {
+	for _, cache := range []bool{true, false} {
+		name := "cache=on"
+		if !cache {
+			name = "cache=off"
+		}
+		b.Run(name, func(b *testing.B) {
+			tr := benchTree(b, 5000, 3, cache)
+			root := tr.Root()
+			if _, err := tr.ReadNode(root); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := tr.ReadNode(root); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkKNN measures a warm 10-NN search over 5k points.
+func BenchmarkKNN(b *testing.B) {
+	for _, cache := range []bool{true, false} {
+		name := "cache=on"
+		if !cache {
+			name = "cache=off"
+		}
+		b.Run(name, func(b *testing.B) {
+			tr := benchTree(b, 5000, 3, cache)
+			rng := rand.New(rand.NewSource(7))
+			queries := make([]geom.Point, 64)
+			for i := range queries {
+				queries[i] = geom.Point{rng.Float64(), rng.Float64(), rng.Float64()}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := tr.NearestNeighbors(queries[i%len(queries)], 10, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -33,10 +33,12 @@ func BulkLoad(pool *pagestore.BufferPool, dims int, items []Item, fillFactor flo
 	leafFill := max(2, int(float64(t.maxLeaf)*fillFactor))
 	internalFill := max(2, int(float64(t.maxInternal)*fillFactor))
 
-	// Build leaf level.
+	// Build leaf level. The degenerate leaf rectangles alias the item
+	// points directly (no clones): entries only live until their page is
+	// encoded, and nothing on the build path writes through Min/Max.
 	entries := make([]Entry, len(items))
 	for i, it := range items {
-		entries[i] = Entry{Rect: geom.RectFromPoint(it.Point), ID: it.ID, Child: pagestore.InvalidPage}
+		entries[i] = Entry{Rect: geom.Rect{Min: it.Point, Max: it.Point}, ID: it.ID, Child: pagestore.InvalidPage}
 	}
 	level, err := t.packLevel(entries, true, leafFill)
 	if err != nil {
@@ -55,15 +57,13 @@ func BulkLoad(pool *pagestore.BufferPool, dims int, items []Item, fillFactor flo
 
 	// Replace the empty root created by New.
 	oldRoot := t.root
-	rootNode, err := t.ReadNode(level[0].Child)
-	if err != nil {
+	if _, err := t.ReadNode(level[0].Child); err != nil {
 		return nil, err
 	}
-	_ = rootNode
 	if err := t.freeNode(oldRoot); err != nil {
 		return nil, err
 	}
-	t.root = level[0].Child
+	t.setRoot(level[0].Child)
 	t.height = height
 	t.size = len(items)
 	return t, nil

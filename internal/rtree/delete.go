@@ -40,7 +40,8 @@ func (t *Tree) Delete(item Item) error {
 // (root..leaf) or nil when absent. Unlike chooseSubtree it may explore
 // several branches whose MBRs contain the point.
 func (t *Tree) findLeaf(id pagestore.PageID, item Item, depth int, prefix []pathElem) ([]pathElem, error) {
-	n, err := t.ReadNode(id)
+	// Path nodes are mutated during condensation — use private copies.
+	n, err := t.readNodeForUpdate(id)
 	if err != nil {
 		return nil, err
 	}
@@ -123,7 +124,7 @@ func (t *Tree) condenseTree(path []pathElem) error {
 		if err := t.freeNode(rn.Page); err != nil {
 			return err
 		}
-		t.root = child
+		t.setRoot(child)
 		t.height--
 	}
 

@@ -1,10 +1,11 @@
 package rtree
 
 import (
-	"container/heap"
 	"math"
+	"sync"
 
 	"fairassign/internal/geom"
+	"fairassign/internal/heaputil"
 	"fairassign/internal/pagestore"
 )
 
@@ -23,26 +24,17 @@ type nnEntry struct {
 
 func (e nnEntry) isPoint() bool { return e.child == pagestore.InvalidPage }
 
+// nnHeap is a boxing-free min-heap on (dist, point-first, id).
 type nnHeap []nnEntry
 
-func (h nnHeap) Len() int { return len(h) }
-func (h nnHeap) Less(i, j int) bool {
-	if h[i].dist != h[j].dist {
-		return h[i].dist < h[j].dist
+func lessNN(a, b nnEntry) bool {
+	if a.dist != b.dist {
+		return a.dist < b.dist
 	}
-	if h[i].isPoint() != h[j].isPoint() {
-		return h[i].isPoint()
+	if a.isPoint() != b.isPoint() {
+		return a.isPoint()
 	}
-	return h[i].id < h[j].id
-}
-func (h nnHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *nnHeap) Push(x any)   { *h = append(*h, x.(nnEntry)) }
-func (h *nnHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
+	return a.id < b.id
 }
 
 // minDistSq returns the squared Euclidean distance from q to the nearest
@@ -71,6 +63,10 @@ func distSq(a, b geom.Point) float64 {
 	return d
 }
 
+// nnHeapPool recycles search heaps across NearestNeighbors calls; heaps
+// are scrubbed before being returned so no node memory is retained.
+var nnHeapPool = sync.Pool{New: func() any { return new(nnHeap) }}
+
 // NearestNeighbors returns the k stored items closest to q in Euclidean
 // distance, nearest first. Items for which skip returns true are passed
 // over.
@@ -78,7 +74,12 @@ func (t *Tree) NearestNeighbors(q geom.Point, k int, skip func(uint64) bool) ([]
 	if k <= 0 || t.size == 0 {
 		return nil, nil, nil
 	}
-	h := &nnHeap{}
+	h := nnHeapPool.Get().(*nnHeap)
+	defer func() {
+		clear((*h)[:cap(*h)])
+		*h = (*h)[:0]
+		nnHeapPool.Put(h)
+	}()
 	root, err := t.ReadNode(t.root)
 	if err != nil {
 		return nil, nil, err
@@ -86,8 +87,8 @@ func (t *Tree) NearestNeighbors(q geom.Point, k int, skip func(uint64) bool) ([]
 	pushNN(h, root, q)
 	var items []Item
 	var dists []float64
-	for h.Len() > 0 && len(items) < k {
-		e := heap.Pop(h).(nnEntry)
+	for len(*h) > 0 && len(items) < k {
+		e := heaputil.Pop((*[]nnEntry)(h), lessNN)
 		if e.isPoint() {
 			if skip != nil && skip(e.id) {
 				continue
@@ -124,6 +125,6 @@ func pushNN(h *nnHeap, n *Node, q geom.Point) {
 		} else {
 			e.dist = minDistSq(q, ne.Rect)
 		}
-		heap.Push(h, e)
+		heaputil.Push((*[]nnEntry)(h), lessNN, e)
 	}
 }

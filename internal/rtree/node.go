@@ -32,7 +32,10 @@ type Item struct {
 	Point geom.Point
 }
 
-// Node is the decoded form of one tree page.
+// Node is the decoded form of one tree page. Nodes returned by
+// Tree.ReadNode are shared via the buffer pool's decoded-node cache and
+// must be treated as immutable; update paths obtain private copies
+// through readNodeForUpdate.
 type Node struct {
 	Page    pagestore.PageID
 	Leaf    bool
@@ -117,37 +120,45 @@ func encodeNode(n *Node, pageSize, dims int) ([]byte, error) {
 	return buf, nil
 }
 
-// decodeNode parses a page image into a Node.
+// decodeNode parses a page image into a Node. All entry coordinates share
+// one contiguous backing array (one allocation per node instead of one to
+// two per entry); leaf entries are degenerate rectangles, so their Min and
+// Max alias the same D floats. Decoded nodes are treated as immutable
+// everywhere — mutation paths work on copies (see readNodeForUpdate) and
+// replace whole Rect values rather than writing through Min/Max — so the
+// sharing is safe, and so is caching the node across traversals.
 func decodeNode(page pagestore.PageID, buf []byte, dims int) (*Node, error) {
 	if len(buf) < nodeHeaderSize {
 		return nil, fmt.Errorf("rtree: page %d too small to decode", page)
 	}
 	n := &Node{Page: page, Leaf: buf[0]&1 == 1}
 	count := int(binary.LittleEndian.Uint16(buf[1:3]))
-	var esz int
+	var esz, perEntry int
 	if n.Leaf {
-		esz = leafEntrySize(dims)
+		esz, perEntry = leafEntrySize(dims), dims
 	} else {
-		esz = internalEntrySize(dims)
+		esz, perEntry = internalEntrySize(dims), 2*dims
 	}
 	if nodeHeaderSize+count*esz > len(buf) {
 		return nil, fmt.Errorf("rtree: page %d corrupt: count %d exceeds page", page, count)
 	}
 	n.Entries = make([]Entry, count)
+	coords := make([]float64, count*perEntry)
 	off := nodeHeaderSize
 	for i := 0; i < count; i++ {
 		var e Entry
+		base := i * perEntry
 		if n.Leaf {
-			p := make(geom.Point, dims)
+			p := geom.Point(coords[base : base+dims : base+dims])
 			for d := 0; d < dims; d++ {
 				p[d] = getFloat(buf[off+8*d:])
 			}
-			e.Rect = geom.Rect{Min: p, Max: p.Clone()}
+			e.Rect = geom.Rect{Min: p, Max: p}
 			e.ID = binary.LittleEndian.Uint64(buf[off+8*dims:])
 			e.Child = pagestore.InvalidPage
 		} else {
-			min := make(geom.Point, dims)
-			max := make(geom.Point, dims)
+			min := geom.Point(coords[base : base+dims : base+dims])
+			max := geom.Point(coords[base+dims : base+2*dims : base+2*dims])
 			for d := 0; d < dims; d++ {
 				min[d] = getFloat(buf[off+8*d:])
 				max[d] = getFloat(buf[off+8*(dims+d):])

@@ -23,6 +23,10 @@ type Tree struct {
 	maxInternal int
 	minLeaf     int
 	minInternal int
+
+	// decode adapts decodeNode to the pool's decoded-cache hook; built
+	// once so warm reads allocate nothing.
+	decode func(pagestore.PageID, []byte) (any, error)
 }
 
 // ErrNotFound is returned by Delete when the item is absent.
@@ -36,7 +40,10 @@ func New(pool *pagestore.BufferPool, dims int) (*Tree, error) {
 	if dims < 1 {
 		return nil, fmt.Errorf("rtree: invalid dimensionality %d", dims)
 	}
-	t := &Tree{pool: pool, dims: dims}
+	t := &Tree{pool: pool, dims: dims, root: pagestore.InvalidPage}
+	t.decode = func(id pagestore.PageID, data []byte) (any, error) {
+		return decodeNode(id, data, t.dims)
+	}
 	t.maxLeaf = leafCapacity(pool.PageSize(), dims)
 	t.maxInternal = internalCapacity(pool.PageSize(), dims)
 	if t.maxLeaf < 2 || t.maxInternal < 2 {
@@ -49,9 +56,26 @@ func New(pool *pagestore.BufferPool, dims int) (*Tree, error) {
 	if err != nil {
 		return nil, err
 	}
-	t.root = id
+	t.setRoot(id)
 	t.height = 1
 	return t, nil
+}
+
+// setRoot moves the root pointer, keeping the root page pinned in the
+// pool's decoded-node cache: every traversal starts at the root, so its
+// decoded form is kept through evictions (re-reads are still physically
+// performed and counted — only the re-decode is skipped).
+func (t *Tree) setRoot(id pagestore.PageID) {
+	if t.root == id {
+		return
+	}
+	if t.root != pagestore.InvalidPage {
+		t.pool.Unpin(t.root)
+	}
+	t.root = id
+	if id != pagestore.InvalidPage {
+		t.pool.Pin(id)
+	}
 }
 
 func max(a, b int) int {
@@ -85,14 +109,32 @@ func (t *Tree) MaxLeafEntries() int { return t.maxLeaf }
 // MaxInternalEntries exposes the internal fan-out.
 func (t *Tree) MaxInternalEntries() int { return t.maxInternal }
 
-// ReadNode fetches and decodes a node, going through the buffer pool (the
-// access is I/O-counted). Callers own the returned Node.
+// ReadNode fetches a node, going through the buffer pool (the access is
+// I/O-counted). The returned Node comes from the pool's decoded-node
+// cache: it is shared, immutable, and remains valid indefinitely (cache
+// invalidation detaches it, it is never mutated in place). Callers that
+// need to modify a node must use readNodeForUpdate.
 func (t *Tree) ReadNode(id pagestore.PageID) (*Node, error) {
-	buf, err := t.pool.Get(id)
+	obj, err := t.pool.GetDecoded(id, t.decode)
 	if err != nil {
 		return nil, err
 	}
-	return decodeNode(id, buf, t.dims)
+	return obj.(*Node), nil
+}
+
+// readNodeForUpdate returns a privately owned copy of a node for the
+// insert/delete paths. The entry slice is fresh (with one spare slot, the
+// common growth); entry rectangles still alias the shared immutable
+// coordinate storage, which is safe because update paths replace whole
+// Rect values and never write through Min/Max.
+func (t *Tree) readNodeForUpdate(id pagestore.PageID) (*Node, error) {
+	n, err := t.ReadNode(id)
+	if err != nil {
+		return nil, err
+	}
+	c := &Node{Page: n.Page, Leaf: n.Leaf, Entries: make([]Entry, len(n.Entries), len(n.Entries)+1)}
+	copy(c.Entries, n.Entries)
+	return c, nil
 }
 
 // RootRect returns the MBR of the whole tree (one root access).
@@ -137,7 +179,9 @@ func (t *Tree) Insert(item Item) error {
 	if len(item.Point) != t.dims {
 		return fmt.Errorf("rtree: point has %d dims, tree has %d", len(item.Point), t.dims)
 	}
-	e := Entry{Rect: geom.RectFromPoint(item.Point), ID: item.ID, Child: pagestore.InvalidPage}
+	// One defensive clone, shared by Min and Max (degenerate rectangle).
+	p := item.Point.Clone()
+	e := Entry{Rect: geom.Rect{Min: p, Max: p}, ID: item.ID, Child: pagestore.InvalidPage}
 	if err := t.insertEntry(e, 1); err != nil {
 		return err
 	}
@@ -170,7 +214,9 @@ func (t *Tree) chooseSubtree(r geom.Rect, level int) ([]pathElem, error) {
 	path := make([]pathElem, 0, t.height)
 	id := t.root
 	for depth := t.height; ; depth-- {
-		n, err := t.ReadNode(id)
+		// Every node on the path may be mutated by adjustTree, so take
+		// private copies rather than the shared cached nodes.
+		n, err := t.readNodeForUpdate(id)
 		if err != nil {
 			return nil, err
 		}
@@ -235,7 +281,7 @@ func (t *Tree) adjustTree(path []pathElem, node *Node) error {
 		if err != nil {
 			return err
 		}
-		t.root = id
+		t.setRoot(id)
 		t.height++
 	}
 	return nil

@@ -19,10 +19,11 @@
 package skyline
 
 import (
-	"container/heap"
 	"sort"
+	"sync"
 
 	"fairassign/internal/geom"
+	"fairassign/internal/heaputil"
 	"fairassign/internal/metrics"
 	"fairassign/internal/pagestore"
 	"fairassign/internal/rtree"
@@ -48,23 +49,32 @@ func topCornerSum(r geom.Rect) float64 {
 	return s
 }
 
-// entryHeap is a max-heap on key (closest to the sky point first).
+// entryHeap is a boxing-free max-heap on key (closest to the sky point
+// first).
 type entryHeap []entry
 
-func (h entryHeap) Len() int           { return len(h) }
-func (h entryHeap) Less(i, j int) bool { return h[i].key > h[j].key }
-func (h entryHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
-func (h *entryHeap) Push(x any)        { *h = append(*h, x.(entry)) }
-func (h *entryHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
-}
+func lessEntry(a, b entry) bool { return a.key > b.key }
+
+func (h *entryHeap) push(e entry) { heaputil.Push((*[]entry)(h), lessEntry, e) }
+func (h *entryHeap) pop() entry   { return heaputil.Pop((*[]entry)(h), lessEntry) }
+func (h *entryHeap) Len() int     { return len(*h) }
 
 // approximate per-entry memory footprint for the paper's memory metric.
 func entryBytes(dims int) int64 { return int64(2*8*dims + 32) }
+
+// entryHeapPool recycles branch-and-bound heaps across skyline passes
+// (Compute calls, maintainer construction, and each Remove's resume).
+var entryHeapPool = sync.Pool{New: func() any { return new(entryHeap) }}
+
+func acquireEntryHeap() *entryHeap { return entryHeapPool.Get().(*entryHeap) }
+
+// releaseEntryHeap scrubs the heap (so no R-tree node memory is retained
+// through the pool) and returns it for reuse.
+func releaseEntryHeap(h *entryHeap) {
+	clear((*h)[:cap(*h)])
+	*h = (*h)[:0]
+	entryHeapPool.Put(h)
+}
 
 // Compute runs plain BBS over the tree and returns the skyline. It visits
 // the minimum possible set of nodes (I/O-optimal for a single skyline
@@ -74,14 +84,15 @@ func Compute(t *rtree.Tree, skip map[uint64]bool) ([]rtree.Item, error) {
 		return nil, nil
 	}
 	var sky []rtree.Item
-	h := &entryHeap{}
+	h := acquireEntryHeap()
+	defer releaseEntryHeap(h)
 	root, err := t.ReadNode(t.Root())
 	if err != nil {
 		return nil, err
 	}
 	pushNodeEntries(h, root)
-	for h.Len() > 0 {
-		e := heap.Pop(h).(entry)
+	for len(*h) > 0 {
+		e := h.pop()
 		if dominatedByAny(sky, e) {
 			continue
 		}
@@ -103,7 +114,7 @@ func Compute(t *rtree.Tree, skip map[uint64]bool) ([]rtree.Item, error) {
 
 func pushNodeEntries(h *entryHeap, n *rtree.Node) {
 	for _, ne := range n.Entries {
-		heap.Push(h, entry{
+		h.push(entry{
 			rect:  ne.Rect,
 			child: ne.Child,
 			id:    ne.ID,

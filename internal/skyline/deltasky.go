@@ -1,7 +1,6 @@
 package skyline
 
 import (
-	"container/heap"
 	"fmt"
 
 	"fairassign/internal/metrics"
@@ -39,20 +38,23 @@ func NewDeltaSky(t *rtree.Tree, mem *metrics.MemTracker) (*DeltaSky, error) {
 	if t.Len() == 0 {
 		return d, nil
 	}
-	h := &entryHeap{}
+	h := acquireEntryHeap()
+	defer releaseEntryHeap(h)
 	root, err := d.readNode(t.Root())
 	if err != nil {
 		return nil, err
 	}
 	d.pushAll(h, root)
 	for h.Len() > 0 {
-		e := heap.Pop(h).(entry)
+		e := h.pop()
 		trackMem(d.mem, -entryBytes(t.Dims()))
 		if d.dominated(e) {
 			continue
 		}
 		if e.isPoint() {
-			d.sky[e.id] = rtree.Item{ID: e.id, Point: e.rect.Min}
+			// Clone: the sky map outlives the decoded node whose
+			// coordinate array e.rect.Min aliases.
+			d.sky[e.id] = rtree.Item{ID: e.id, Point: e.rect.Min.Clone()}
 			continue
 		}
 		n, err := d.readNode(e.child)
@@ -103,14 +105,15 @@ func (d *DeltaSky) removeOne(id uint64) error {
 
 	// Constrained BBS: new skyline points must lie in the region dominated
 	// by odel, so only entries intersecting that region are followed.
-	h := &entryHeap{}
+	h := acquireEntryHeap()
+	defer releaseEntryHeap(h)
 	root, err := d.readNode(d.tree.Root())
 	if err != nil {
 		return err
 	}
 	d.pushConstrained(h, root, odel)
 	for h.Len() > 0 {
-		e := heap.Pop(h).(entry)
+		e := h.pop()
 		trackMem(d.mem, -entryBytes(d.tree.Dims()))
 		if d.dominated(e) {
 			continue
@@ -122,7 +125,7 @@ func (d *DeltaSky) removeOne(id uint64) error {
 			if _, already := d.sky[e.id]; already {
 				continue
 			}
-			d.sky[e.id] = rtree.Item{ID: e.id, Point: e.rect.Min}
+			d.sky[e.id] = rtree.Item{ID: e.id, Point: e.rect.Min.Clone()}
 			continue
 		}
 		n, err := d.readNode(e.child)
@@ -145,7 +148,7 @@ func (d *DeltaSky) dominated(e entry) bool {
 
 func (d *DeltaSky) pushAll(h *entryHeap, n *rtree.Node) {
 	for _, ne := range n.Entries {
-		heap.Push(h, entry{rect: ne.Rect, child: ne.Child, id: ne.ID, key: topCornerSum(ne.Rect)})
+		h.push(entry{rect: ne.Rect, child: ne.Child, id: ne.ID, key: topCornerSum(ne.Rect)})
 		trackMem(d.mem, entryBytes(d.tree.Dims()))
 	}
 }
@@ -155,7 +158,7 @@ func (d *DeltaSky) pushConstrained(h *entryHeap, n *rtree.Node, odel rtree.Item)
 		if !ne.Rect.IntersectsDominanceRegion(odel.Point) {
 			continue
 		}
-		heap.Push(h, entry{rect: ne.Rect, child: ne.Child, id: ne.ID, key: topCornerSum(ne.Rect)})
+		h.push(entry{rect: ne.Rect, child: ne.Child, id: ne.ID, key: topCornerSum(ne.Rect)})
 		trackMem(d.mem, entryBytes(d.tree.Dims()))
 	}
 }

@@ -1,7 +1,6 @@
 package skyline
 
 import (
-	"container/heap"
 	"fmt"
 
 	"fairassign/internal/geom"
@@ -28,9 +27,41 @@ type Maintainer struct {
 	// usually prunes runs of them, turning the O(|sky|) scan into O(D).
 	lastDom *skyObj
 
+	// free recycles skyObj slots of removed skyline objects (keeping
+	// their plist capacity), and orphans is the Remove scratch buffer;
+	// together they keep the steady-state removal loop of an assignment
+	// run nearly allocation-free.
+	free    []*skyObj
+	orphans []entry
+
 	// NodeReads counts R-tree node visits performed by this maintainer
 	// (used by tests to verify I/O optimality).
 	NodeReads int64
+}
+
+// newSkyObj takes a recycled slot when one is available.
+func (m *Maintainer) newSkyObj(it rtree.Item) *skyObj {
+	if n := len(m.free); n > 0 {
+		s := m.free[n-1]
+		m.free = m.free[:n-1]
+		s.item = it
+		return s
+	}
+	return &skyObj{item: it}
+}
+
+// recycle returns a removed skyline slot to the free list. The caller
+// must already have copied (or migrated) the plist contents; the slots
+// are scrubbed so no R-tree node memory is retained through the free
+// list.
+func (m *Maintainer) recycle(s *skyObj) {
+	if m.lastDom == s {
+		m.lastDom = nil
+	}
+	s.item = rtree.Item{}
+	clear(s.plist)
+	s.plist = s.plist[:0]
+	m.free = append(m.free, s)
 }
 
 type skyObj struct {
@@ -47,7 +78,8 @@ func NewMaintainer(t *rtree.Tree, mem *metrics.MemTracker) (*Maintainer, error) 
 	if t.Len() == 0 {
 		return m, nil
 	}
-	h := &entryHeap{}
+	h := acquireEntryHeap()
+	defer releaseEntryHeap(h)
 	root, err := m.readNode(t.Root())
 	if err != nil {
 		return nil, err
@@ -108,7 +140,7 @@ func (m *Maintainer) Insert(it rtree.Item) error {
 		trackMem(m.mem, entryBytes(m.tree.Dims()))
 		return nil
 	}
-	obj := &skyObj{item: rtree.Item{ID: it.ID, Point: it.Point.Clone()}}
+	obj := m.newSkyObj(rtree.Item{ID: it.ID, Point: it.Point.Clone()})
 	for id, s := range m.sky {
 		if it.Point.Dominates(s.item.Point) {
 			demoted := entry{
@@ -121,6 +153,7 @@ func (m *Maintainer) Insert(it rtree.Item) error {
 			obj.plist = append(obj.plist, s.plist...)
 			trackMem(m.mem, entryBytes(m.tree.Dims()))
 			delete(m.sky, id)
+			m.recycle(s)
 		}
 	}
 	m.sky[it.ID] = obj
@@ -135,27 +168,35 @@ func (m *Maintainer) Remove(ids ...uint64) error {
 	if len(ids) == 0 {
 		return nil
 	}
-	// Collect pruned lists of all removed objects, then drop the objects.
-	var orphans []entry
+	// Collect pruned lists of all removed objects, then drop the objects
+	// (their slots are recycled for future skyline arrivals).
+	orphans := m.orphans[:0]
 	for _, id := range ids {
 		s, ok := m.sky[id]
 		if !ok {
+			m.orphans = orphans
 			return fmt.Errorf("skyline: object %d is not on the skyline", id)
 		}
 		orphans = append(orphans, s.plist...)
 		delete(m.sky, id)
+		m.recycle(s)
 	}
+	m.orphans = orphans
 
 	// Line 1 of UpdateSkyline: entries dominated by a surviving skyline
 	// object migrate to that object's plist; the rest form Scand.
-	h := &entryHeap{}
+	h := acquireEntryHeap()
+	defer releaseEntryHeap(h)
 	for _, e := range orphans {
 		if o := m.dominator(e); o != nil {
 			o.plist = append(o.plist, e)
 			continue
 		}
-		heap.Push(h, e)
+		h.push(e)
 	}
+	// Scrub the scratch so it does not retain node memory between calls.
+	clear(m.orphans)
+	m.orphans = m.orphans[:0]
 	// Memory neutral so far (entries moved between structures).
 	return m.resume(h)
 }
@@ -165,7 +206,7 @@ func (m *Maintainer) Remove(ids ...uint64) error {
 // plists and visiting child nodes only when not dominated.
 func (m *Maintainer) resume(h *entryHeap) error {
 	for h.Len() > 0 {
-		e := heap.Pop(h).(entry)
+		e := h.pop()
 		trackMem(m.mem, -entryBytes(m.tree.Dims()))
 		if o := m.dominator(e); o != nil {
 			o.plist = append(o.plist, e)
@@ -173,7 +214,10 @@ func (m *Maintainer) resume(h *entryHeap) error {
 			continue
 		}
 		if e.isPoint() {
-			m.sky[e.id] = &skyObj{item: rtree.Item{ID: e.id, Point: e.rect.Min}}
+			// Clone at the long-lived retention boundary: e.rect.Min is a
+			// sub-slice of the decoded node's whole coordinate array, and
+			// skyline objects outlive the node cache.
+			m.sky[e.id] = m.newSkyObj(rtree.Item{ID: e.id, Point: e.rect.Min.Clone()})
 			continue
 		}
 		n, err := m.readNode(e.child)
@@ -209,7 +253,7 @@ func (m *Maintainer) readNode(id pagestore.PageID) (*rtree.Node, error) {
 
 func (m *Maintainer) pushChildren(h *entryHeap, n *rtree.Node) {
 	for _, ne := range n.Entries {
-		heap.Push(h, entry{
+		h.push(entry{
 			rect:  ne.Rect,
 			child: ne.Child,
 			id:    ne.ID,

@@ -1,7 +1,6 @@
 package skyline
 
 import (
-	"container/heap"
 	"sort"
 
 	"fairassign/internal/rtree"
@@ -26,14 +25,15 @@ func Skyband(t *rtree.Tree, k int) ([]rtree.Item, error) {
 		return nil, nil
 	}
 	var band []rtree.Item
-	h := &entryHeap{}
+	h := acquireEntryHeap()
+	defer releaseEntryHeap(h)
 	root, err := t.ReadNode(t.Root())
 	if err != nil {
 		return nil, err
 	}
 	pushNodeEntries(h, root)
 	for h.Len() > 0 {
-		e := heap.Pop(h).(entry)
+		e := h.pop()
 		if dominatorCount(band, e, k) >= k {
 			continue
 		}

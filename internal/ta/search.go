@@ -1,7 +1,7 @@
 package ta
 
 import (
-	"sort"
+	"sync"
 
 	"fairassign/internal/geom"
 )
@@ -58,7 +58,8 @@ type Search struct {
 	lastSeen  []float64
 	seen      []uint32 // epoch-stamped visited marks, by dense index
 	epoch     uint32
-	queue     []cand // sorted desc by (score, -id); top-Ω of seen, unpopped
+	queue     []cand // sorted desc by (score, -id); live window is queue[qhead:]
+	qhead     int    // discarded prefix length — an index, not a reslice, so the array keeps its capacity
 	guarantee int
 	omega     int
 	err       error
@@ -69,6 +70,14 @@ type cand struct {
 	idx   int
 	score float64
 }
+
+// searchPool recycles released Search states wholesale — struct and
+// buffers. The dominant cost of creating a search is the |F|-sized
+// visited-marks slice; recycling it makes the SB variants that build
+// fresh searches per loop (SBBasic, SBDeltaSky) nearly allocation-free.
+// The epoch travels with the seen slice so stale marks from a previous
+// owner can never read as visited (reset always bumps past them).
+var searchPool sync.Pool // of *Search
 
 // NewSearch creates a resumable search for object o over in-memory lists.
 // omega is the candidate-queue capacity Ω (at least 1); the paper sets
@@ -87,10 +96,52 @@ func newSearch(l listSource, o geom.Point, omega int) *Search {
 	if omega < 1 {
 		omega = 1
 	}
-	s := &Search{l: l, obj: o, omega: omega, dimOrder: dimOrderFor(o)}
-	s.epoch = 0
+	dims, nf := l.dims(), l.funcCount()
+	s, _ := searchPool.Get().(*Search)
+	if s == nil {
+		s = &Search{}
+	}
+	s.l, s.obj, s.omega, s.err = l, o, omega, nil
+	s.guarantee = 0
+	if cap(s.pos) >= dims {
+		s.pos = s.pos[:dims]
+		s.lastSeen = s.lastSeen[:dims]
+		s.dimOrder = s.dimOrder[:dims]
+	} else {
+		s.pos = make([]int, dims)
+		s.lastSeen = make([]float64, dims)
+		s.dimOrder = make([]int, dims)
+	}
+	if cap(s.seen) >= nf {
+		s.seen = s.seen[:nf]
+	} else {
+		s.seen = make([]uint32, nf)
+		s.epoch = 0
+	}
+	if cap(s.queue) < 2*omega+2 {
+		// The live window holds at most Ω entries and the discarded
+		// prefix at most Ω more before the guarantee forces a reset, so
+		// 2Ω+2 capacity means insert never reallocates.
+		s.queue = make([]cand, 0, 2*omega+2)
+	} else {
+		s.queue = s.queue[:0]
+	}
+	fillDimOrder(s.dimOrder, o)
 	s.reset()
 	return s
+}
+
+// Release returns the search — struct and buffers — to a shared pool for
+// reuse by future searches. The search must not be used afterwards.
+// Idempotent; safe to call from concurrent workers (the pool is
+// goroutine-safe).
+func (s *Search) Release() {
+	if s.l == nil {
+		return
+	}
+	s.l = nil
+	s.obj = nil
+	searchPool.Put(s)
 }
 
 // dimOrderFor returns dimension indexes sorted by descending object
@@ -98,35 +149,52 @@ func newSearch(l listSource, o geom.Point, omega int) *Search {
 // object.
 func dimOrderFor(o geom.Point) []int {
 	order := make([]int, len(o))
-	for i := range order {
-		order[i] = i
-	}
-	sort.Slice(order, func(i, j int) bool { return o[order[i]] > o[order[j]] })
+	fillDimOrder(order, o)
 	return order
 }
 
-func (s *Search) reset() {
-	if s.pos == nil {
-		s.pos = make([]int, s.l.dims())
-		s.lastSeen = make([]float64, s.l.dims())
-		s.seen = make([]uint32, s.l.funcCount())
-	} else {
-		for i := range s.pos {
-			s.pos[i] = 0
+// fillDimOrder writes the greedy dimension order into a caller-owned
+// slice (len(order) == len(o)). Insertion sort: D is small (2–5 in every
+// experiment) and sort.Slice would allocate a reflection swapper on the
+// per-search hot path.
+func fillDimOrder(order []int, o geom.Point) {
+	for i := range order {
+		d := i
+		j := i
+		for j > 0 && o[order[j-1]] < o[d] {
+			order[j] = order[j-1]
+			j--
 		}
+		order[j] = d
+	}
+}
+
+func (s *Search) reset() {
+	for i := range s.pos {
+		s.pos[i] = 0
 	}
 	for i := range s.lastSeen {
 		s.lastSeen[i] = s.l.maxBudget()
 	}
 	s.epoch++ // invalidates all seen marks without clearing
+	if s.epoch == 0 {
+		// uint32 wrap: marks from the distant past could now collide;
+		// clear once and restart the epoch sequence.
+		clear(s.seen)
+		s.epoch = 1
+	}
 	s.queue = s.queue[:0]
+	s.qhead = 0
 	s.guarantee = s.omega
 }
+
+// qlen returns the live candidate count.
+func (s *Search) qlen() int { return len(s.queue) - s.qhead }
 
 // Footprint approximates the bytes held by this search state, for the
 // paper's memory metric.
 func (s *Search) Footprint() int64 {
-	return int64(len(s.seen))*4 + int64(len(s.queue))*24 + int64(s.l.dims())*16 + 64
+	return int64(len(s.seen))*4 + int64(s.qlen())*24 + int64(s.l.dims())*16 + 64
 }
 
 // Err returns the first I/O error encountered (disk-backed sources only).
@@ -142,8 +210,8 @@ func (s *Search) Best() (id uint64, score float64, ok bool) {
 	for {
 		// Lazily discard queue heads that were assigned elsewhere; each
 		// discard consumes guarantee budget.
-		for len(s.queue) > 0 && s.l.removedAt(s.queue[0].idx) {
-			s.queue = s.queue[1:]
+		for s.qlen() > 0 && s.l.removedAt(s.queue[s.qhead].idx) {
+			s.qhead++
 			s.guarantee--
 		}
 		if s.guarantee <= 0 {
@@ -152,8 +220,8 @@ func (s *Search) Best() (id uint64, score float64, ok bool) {
 			continue
 		}
 		exhausted := s.exhausted()
-		if len(s.queue) > 0 {
-			top := s.queue[0]
+		if s.qlen() > 0 {
+			top := s.queue[s.qhead]
 			if exhausted || top.score >= s.threshold() {
 				return top.id, top.score, true
 			}
@@ -239,18 +307,31 @@ func (s *Search) step() bool {
 }
 
 // insert places c into the descending queue, keeping at most omega
-// entries (dropping the worst preserves the top-Ω property).
+// entries (dropping the worst preserves the top-Ω property). The binary
+// search is hand-rolled: a sort.Search closure would escape to the heap
+// on this per-sorted-access path.
 func (s *Search) insert(c cand) {
-	i := sort.Search(len(s.queue), func(i int) bool {
-		if s.queue[i].score != c.score {
-			return s.queue[i].score < c.score
+	lo, hi := s.qhead, len(s.queue)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		q := s.queue[mid]
+		var after bool
+		if q.score != c.score {
+			after = q.score < c.score
+		} else {
+			after = q.id > c.id
 		}
-		return s.queue[i].id > c.id
-	})
+		if after {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	i := lo
 	s.queue = append(s.queue, cand{})
 	copy(s.queue[i+1:], s.queue[i:])
 	s.queue[i] = c
-	if len(s.queue) > s.omega {
-		s.queue = s.queue[:s.omega]
+	if s.qlen() > s.omega {
+		s.queue = s.queue[:s.qhead+s.omega]
 	}
 }

@@ -11,9 +11,8 @@
 package topk
 
 import (
-	"container/heap"
-
 	"fairassign/internal/geom"
+	"fairassign/internal/heaputil"
 	"fairassign/internal/pagestore"
 	"fairassign/internal/rtree"
 )
@@ -29,28 +28,22 @@ type brsEntry struct {
 
 func (e brsEntry) isPoint() bool { return e.child == pagestore.InvalidPage }
 
+// brsHeap is a boxing-free max-heap on (key, point-first, lower ID) —
+// the deterministic tie-break keeps enumeration order stable.
 type brsHeap []brsEntry
 
-func (h brsHeap) Len() int { return len(h) }
-func (h brsHeap) Less(i, j int) bool {
-	if h[i].key != h[j].key {
-		return h[i].key > h[j].key
+func lessBRS(a, b brsEntry) bool {
+	if a.key != b.key {
+		return a.key > b.key
 	}
-	// Deterministic tie-break: points before nodes, then lower ID.
-	if h[i].isPoint() != h[j].isPoint() {
-		return h[i].isPoint()
+	if a.isPoint() != b.isPoint() {
+		return a.isPoint()
 	}
-	return h[i].id < h[j].id
+	return a.id < b.id
 }
-func (h brsHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *brsHeap) Push(x any)   { *h = append(*h, x.(brsEntry)) }
-func (h *brsHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
-}
+
+func (h *brsHeap) push(e brsEntry) { heaputil.Push((*[]brsEntry)(h), lessBRS, e) }
+func (h *brsHeap) pop() brsEntry   { return heaputil.Pop((*[]brsEntry)(h), lessBRS) }
 
 // Searcher is an incremental BRS iterator. Objects for which skip returns
 // true are passed over (used to tombstone already-assigned objects).
@@ -85,8 +78,8 @@ func (s *Searcher) Next() (item rtree.Item, score float64, ok bool, err error) {
 			s.pushNode(root)
 		}
 	}
-	for s.h.Len() > 0 {
-		e := heap.Pop(&s.h).(brsEntry)
+	for len(s.h) > 0 {
+		e := s.h.pop()
 		if e.isPoint() {
 			if s.skip != nil && s.skip(e.id) {
 				continue
@@ -109,7 +102,7 @@ func (s *Searcher) Peek() (rtree.Item, float64, bool, error) {
 		return rtree.Item{}, 0, false, err
 	}
 	// Push the point back; it will pop first again (max key, point first).
-	heap.Push(&s.h, brsEntry{
+	s.h.push(brsEntry{
 		rect:  geom.RectFromPoint(it.Point),
 		child: pagestore.InvalidPage,
 		id:    it.ID,
@@ -125,7 +118,7 @@ func (s *Searcher) Footprint() int64 {
 
 func (s *Searcher) pushNode(n *rtree.Node) {
 	for _, ne := range n.Entries {
-		heap.Push(&s.h, brsEntry{
+		s.h.push(brsEntry{
 			rect:  ne.Rect,
 			child: ne.Child,
 			id:    ne.ID,
