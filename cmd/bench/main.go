@@ -118,6 +118,18 @@ func main() {
 				c.Name, c.N, c.Dims, c.Cold.LogicalReads, c.Cold.PhysicalIO, c.Warm.LogicalReads, c.Warm.PhysicalIO)
 		}
 	}
+	for _, c := range rep.Incremental {
+		match := "matching=identical"
+		if !c.Identical {
+			match = "MATCHING DIVERGED"
+		}
+		fmt.Printf("%-22s n=%-6d d=%d  repair %10d ns/op | resolve %12d ns/op | %8.1fx faster | %.1f chain steps, %.1f searches/op %s\n",
+			c.Name, c.N, c.Dims, c.RepairNsPerOp, c.ResolveNsPerOp, c.SpeedupX, c.ChainStepsPerOp, c.SearchesPerOp, match)
+		if !c.Identical {
+			diverged = true
+			fmt.Fprintf(os.Stderr, "bench: %s(n=%d,dims=%d): repaired matching differs from a cold solve\n", c.Name, c.N, c.Dims)
+		}
+	}
 
 	// Write the report even on divergence — the JSON is the evidence
 	// needed to debug it.

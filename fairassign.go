@@ -34,6 +34,13 @@
 // concurrently for multi-tenant serving. The two compose: a batch of B
 // problems at Parallelism P with W workers each uses up to P·W
 // goroutines.
+//
+// Dynamic workloads. NewWorkspace is the long-lived incremental form of
+// the solver: it builds the index and search state once and then
+// repairs the stable matching in place as objects and functions arrive
+// or depart (AddObject, RemoveObject, AddFunction, RemoveFunction) —
+// orders of magnitude cheaper than re-solving, with the identical
+// matching. See the Workspace type.
 package fairassign
 
 import (
@@ -168,22 +175,9 @@ func NewSolver(objects []Object, functions []Function, opts Options) (*Solver, e
 		})
 	}
 	for _, f := range functions {
-		w := make([]float64, len(f.Weights))
-		copy(w, f.Weights)
-		if !opts.SkipNormalization {
-			sum := 0.0
-			for _, v := range w {
-				if v < 0 {
-					return nil, fmt.Errorf("fairassign: function %d has negative weight", f.ID)
-				}
-				sum += v
-			}
-			if sum <= 0 {
-				return nil, fmt.Errorf("fairassign: function %d has zero weights", f.ID)
-			}
-			for i := range w {
-				w[i] /= sum
-			}
+		w, err := prepareWeights(f, opts)
+		if err != nil {
+			return nil, err
 		}
 		p.Functions = append(p.Functions, assign.Function{
 			ID:       f.ID,

@@ -15,25 +15,24 @@ import (
 // pointed at it lazily resume their searchers. The per-function heaps are
 // what give Brute Force its large memory footprint in Figure 9.
 func BruteForce(p *Problem, cfg Config) (*Result, error) {
-	if err := p.Validate(); err != nil {
-		return nil, err
-	}
-	idx, err := buildObjectIndex(p, cfg)
+	st, err := newSolveState(p, cfg)
 	if err != nil {
 		return nil, err
 	}
-	res, err := bruteForceLoop(p, idx, nil)
+	defer st.release()
+	res, err := bruteForceLoop(p, st, nil)
 	if err != nil {
 		return nil, err
 	}
-	res.Stats.IO = *idx.store.IO()
+	res.Stats.IO = *st.store.IO()
 	return res, nil
 }
 
 // bruteForceLoop is the Brute Force engine. touchState, when non-nil, is
 // invoked on every per-function search operation; the disk-resident-F
 // configuration uses it to charge state-paging I/O.
-func bruteForceLoop(p *Problem, idx *objectIndex, touchState func(uint64) error) (*Result, error) {
+func bruteForceLoop(p *Problem, state *solveState, touchState func(uint64) error) (*Result, error) {
+	tree := state.tree
 	res := &Result{}
 	var timer metrics.Timer
 	timer.Start()
@@ -63,7 +62,7 @@ func bruteForceLoop(p *Problem, idx *objectIndex, touchState func(uint64) error)
 	h := &funcScoreHeap{}
 	for _, f := range p.Functions {
 		st := &fstate{f: f, weights: f.Effective()}
-		st.searcher = topk.NewSearcher(idx.tree, st.weights, skip)
+		st.searcher = topk.NewSearcher(tree, st.weights, skip)
 		if err := touch(f.ID); err != nil {
 			return nil, err
 		}

@@ -4,7 +4,6 @@ import (
 	"sort"
 
 	"fairassign/internal/metrics"
-	"fairassign/internal/pagestore"
 	"fairassign/internal/rtree"
 	"fairassign/internal/topk"
 )
@@ -20,19 +19,20 @@ import (
 // is a fresh search, which is why Chain issues even more searches than
 // Brute Force (Figure 9).
 func Chain(p *Problem, cfg Config) (*Result, error) {
-	if err := p.Validate(); err != nil {
-		return nil, err
-	}
-	idx, err := buildObjectIndex(p, cfg)
+	st, err := newSolveState(p, cfg)
 	if err != nil {
 		return nil, err
 	}
+	defer st.release()
 
 	// Main-memory R-tree over function weight vectors. Its page accesses
 	// are not charged to the I/O metric (it lives in RAM), but building
 	// and probing it is part of the CPU cost, as in the paper.
-	fstore := pagestore.NewMemStore(cfg.pageSize())
-	fpool := pagestore.NewBufferPool(fstore, 1<<20)
+	fstore, fpool, err := cfg.newFuncStore()
+	if err != nil {
+		return nil, err
+	}
+	defer fstore.Close()
 	fitems := make([]rtree.Item, len(p.Functions))
 	weights := make(map[uint64][]float64, len(p.Functions))
 	for i, f := range p.Functions {
@@ -48,11 +48,11 @@ func Chain(p *Problem, cfg Config) (*Result, error) {
 	// The function R-tree is a main-memory structure: its size is part of
 	// Chain's memory footprint (the paper's memory metric).
 	ftreeBytes := int64(ftree.NumPages()) * int64(fstore.PageSize())
-	res, err := chainLoop(p, idx, ftree, weights, ftreeBytes)
+	res, err := chainLoop(p, st, ftree, weights, ftreeBytes)
 	if err != nil {
 		return nil, err
 	}
-	res.Stats.IO = *idx.store.IO()
+	res.Stats.IO = *st.store.IO()
 	return res, nil
 }
 
@@ -60,7 +60,7 @@ func Chain(p *Problem, cfg Config) (*Result, error) {
 // disk-resident-F (ChainDiskFuncs) configurations; the callers decide
 // which stores contribute to the reported I/O. memBase is charged as the
 // resident size of the function index (zero when it lives on disk).
-func chainLoop(p *Problem, idx *objectIndex, ftree *rtree.Tree, weights map[uint64][]float64, memBase int64) (*Result, error) {
+func chainLoop(p *Problem, st *solveState, ftree *rtree.Tree, weights map[uint64][]float64, memBase int64) (*Result, error) {
 	res := &Result{}
 	var timer metrics.Timer
 	timer.Start()
@@ -118,7 +118,7 @@ func chainLoop(p *Problem, idx *objectIndex, ftree *rtree.Tree, weights map[uint
 
 		if x.isFunc {
 			f := x.id
-			o, score, ok, err := topk.Top1(idx.tree, weights[f], skipObj)
+			o, score, ok, err := topk.Top1(st.tree, weights[f], skipObj)
 			res.Stats.TopKRuns++
 			if err != nil {
 				return nil, err
@@ -150,7 +150,7 @@ func chainLoop(p *Problem, idx *objectIndex, ftree *rtree.Tree, weights map[uint
 			if !ok {
 				break
 			}
-			o2, score, ok, err := topk.Top1(idx.tree, weights[f.ID], skipObj)
+			o2, score, ok, err := topk.Top1(st.tree, weights[f.ID], skipObj)
 			res.Stats.TopKRuns++
 			if err != nil {
 				return nil, err

@@ -8,7 +8,6 @@ import (
 	"fairassign/internal/metrics"
 	"fairassign/internal/pagestore"
 	"fairassign/internal/rtree"
-	"fairassign/internal/skyline"
 	"fairassign/internal/ta"
 )
 
@@ -35,15 +34,16 @@ import (
 // SBDiskFuncs runs SB with the function coefficient lists materialized on
 // the simulated disk and per-object resumable TA searches over them.
 func SBDiskFuncs(p *Problem, cfg Config) (*Result, error) {
-	if err := p.Validate(); err != nil {
-		return nil, err
-	}
-	idx, err := buildObjectIndex(p, cfg)
+	st, err := newSolveState(p, cfg)
 	if err != nil {
 		return nil, err
 	}
-	fstore := pagestore.NewMemStore(cfg.pageSize())
-	fpool := pagestore.NewBufferPool(fstore, 1<<20)
+	defer st.release()
+	fstore, fpool, err := cfg.newFuncStore()
+	if err != nil {
+		return nil, err
+	}
+	defer fstore.Close()
 	dl, err := ta.BuildDiskLists(fpool, taFuncs(p.Functions), p.Dims)
 	if err != nil {
 		return nil, err
@@ -60,13 +60,12 @@ func SBDiskFuncs(p *Problem, cfg Config) (*Result, error) {
 	var timer metrics.Timer
 	timer.Start()
 
-	var mem metrics.MemTracker
-	maint, err := skyline.NewMaintainer(idx.tree, &mem)
+	maint, err := st.buildMaintainer()
 	if err != nil {
 		return nil, err
 	}
-	funcCaps := newFuncCaps(p.Functions)
-	objCaps := newObjectCaps(p.Objects)
+	st.buildCaps()
+	funcCaps, objCaps := st.funcCaps, st.objCaps
 	omega := cfg.omegaFor(len(p.Functions))
 	searches := make(map[uint64]*ta.Search)
 	defer func() {
@@ -170,21 +169,21 @@ func SBDiskFuncs(p *Problem, cfg Config) (*Result, error) {
 		for _, s := range searches {
 			searchBytes += s.Footprint()
 		}
-		if cur := mem.Current + searchBytes; cur > res.Stats.PeakMem {
+		if cur := st.mem.Current + searchBytes; cur > res.Stats.PeakMem {
 			res.Stats.PeakMem = cur
 		}
 	}
 
 	timer.Stop()
 	res.Stats.CPUTime = timer.Total
-	res.Stats.IO = *idx.store.IO()
+	res.Stats.IO = *st.store.IO()
 	res.Stats.IO.Add(*fstore.IO())
 	res.Stats.Pairs = int64(len(res.Pairs))
 	res.Stats.TASorted = dl.Counters.SortedAccesses
 	res.Stats.TARandom = dl.Counters.RandomAccesses
 	res.Stats.NodeReads = maint.NodeReads
-	if mem.Peak > res.Stats.PeakMem {
-		res.Stats.PeakMem = mem.Peak
+	if st.mem.Peak > res.Stats.PeakMem {
+		res.Stats.PeakMem = st.mem.Peak
 	}
 	return res, nil
 }
@@ -199,19 +198,23 @@ func ChainDiskFuncs(p *Problem, cfg Config) (*Result, error) {
 	// Object tree fully buffered: in-memory side.
 	memCfg := cfg
 	memCfg.BufferFrac = 1.0
-	idx, err := buildObjectIndex(p, memCfg)
+	st, err := newSolveState(p, memCfg)
 	if err != nil {
 		return nil, err
 	}
+	defer st.release()
 	// Warm the object pool so object-side probes cost nothing; function
 	// side is the measured disk.
-	if err := warmPool(idx.tree); err != nil {
+	if err := warmPool(st.tree); err != nil {
 		return nil, err
 	}
-	idx.store.IO().Reset()
+	st.store.IO().Reset()
 
-	fstore := pagestore.NewMemStore(cfg.pageSize())
-	fpool := pagestore.NewBufferPool(fstore, 1<<20)
+	fstore, fpool, err := cfg.newFuncStore()
+	if err != nil {
+		return nil, err
+	}
+	defer fstore.Close()
 	fitems := make([]rtree.Item, len(p.Functions))
 	weights := make(map[uint64][]float64, len(p.Functions))
 	for i, f := range p.Functions {
@@ -236,11 +239,11 @@ func ChainDiskFuncs(p *Problem, cfg Config) (*Result, error) {
 
 	// Function tree on disk: only its buffer frames are memory-resident.
 	bufBytes := int64(fpool.Capacity()) * int64(fstore.PageSize())
-	res, err := chainLoop(p, idx, ftree, weights, bufBytes)
+	res, err := chainLoop(p, st, ftree, weights, bufBytes)
 	if err != nil {
 		return nil, err
 	}
-	res.Stats.IO = *idx.store.IO()
+	res.Stats.IO = *st.store.IO()
 	res.Stats.IO.Add(*fstore.IO())
 	return res, nil
 }
@@ -254,17 +257,22 @@ func BruteForceDiskFuncs(p *Problem, cfg Config) (*Result, error) {
 	}
 	memCfg := cfg
 	memCfg.BufferFrac = 1.0
-	idx, err := buildObjectIndex(p, memCfg)
+	st, err := newSolveState(p, memCfg)
 	if err != nil {
 		return nil, err
 	}
-	if err := warmPool(idx.tree); err != nil {
+	defer st.release()
+	if err := warmPool(st.tree); err != nil {
 		return nil, err
 	}
-	idx.store.IO().Reset()
+	st.store.IO().Reset()
 
 	// One state page per function, behind a small LRU buffer.
-	fstore := pagestore.NewMemStore(cfg.pageSize())
+	fstore, err := cfg.newStore()
+	if err != nil {
+		return nil, err
+	}
+	defer fstore.Close()
 	statePage := make(map[uint64]pagestore.PageID, len(p.Functions))
 	for _, f := range p.Functions {
 		id, err := fstore.Allocate()
@@ -285,11 +293,11 @@ func BruteForceDiskFuncs(p *Problem, cfg Config) (*Result, error) {
 		return fpool.Put(pg, []byte{1})
 	}
 
-	res, err := bruteForceLoop(p, idx, touchState)
+	res, err := bruteForceLoop(p, st, touchState)
 	if err != nil {
 		return nil, err
 	}
-	res.Stats.IO = *idx.store.IO()
+	res.Stats.IO = *st.store.IO()
 	res.Stats.IO.Add(*fstore.IO())
 	return res, nil
 }

@@ -38,7 +38,7 @@ import (
 // flushed first, and the guarantee restarts after them.
 type Progressive struct {
 	dims     int
-	idx      *objectIndex
+	st       *solveState
 	maint    *skyline.Maintainer
 	lists    *ta.Lists
 	ctx      *engineCtx
@@ -62,16 +62,13 @@ type Progressive struct {
 
 // NewProgressive prepares a progressive matcher over the initial problem.
 func NewProgressive(p *Problem, cfg Config) (*Progressive, error) {
-	if err := p.Validate(); err != nil {
-		return nil, err
-	}
-	idx, err := buildObjectIndex(p, cfg)
+	st, err := newSolveState(p, cfg)
 	if err != nil {
 		return nil, err
 	}
 	g := &Progressive{
 		dims:     p.Dims,
-		idx:      idx,
+		st:       st,
 		funcCaps: newFuncCaps(p.Functions),
 		objCaps:  newObjectCaps(p.Objects),
 		objSeen:  make(map[uint64]bool, len(p.Objects)),
@@ -80,7 +77,7 @@ func NewProgressive(p *Problem, cfg Config) (*Progressive, error) {
 		g.objSeen[o.ID] = true
 	}
 	g.timer.Start()
-	g.maint, err = skyline.NewMaintainer(idx.tree, &g.mem)
+	g.maint, err = skyline.NewMaintainer(st.tree, &g.mem)
 	if err != nil {
 		return nil, err
 	}
@@ -161,7 +158,7 @@ func (g *Progressive) stepOne() ([]rtree.Item, []bestFunc) {
 func (g *Progressive) Stats() metrics.Stats {
 	s := g.stats
 	s.CPUTime = g.timer.Total
-	s.IO = *g.idx.store.IO()
+	s.IO = *g.st.store.IO()
 	if g.mem.Peak > s.PeakMem {
 		s.PeakMem = g.mem.Peak
 	}

@@ -6,8 +6,6 @@ import (
 
 	"fairassign/internal/metrics"
 	"fairassign/internal/rtree"
-	"fairassign/internal/skyline"
-	"fairassign/internal/ta"
 )
 
 // skylineDriver abstracts the two maintenance strategies (UpdateSkyline
@@ -48,41 +46,49 @@ func SBDeltaSky(p *Problem, cfg Config) (*Result, error) {
 }
 
 func runSkylineBased(p *Problem, cfg Config, mode sbMode) (*Result, error) {
-	if err := p.Validate(); err != nil {
-		return nil, err
-	}
-	idx, err := buildObjectIndex(p, cfg)
+	st, err := newSolveState(p, cfg)
 	if err != nil {
 		return nil, err
 	}
+	defer st.release()
+	return st.runSB(mode)
+}
+
+// runSB executes the skyline-based loop on the shared state. On return
+// the state reflects the completed matching: the capacity tables hold
+// the remaining units, the TA lists have assigned functions tombstoned,
+// and the maintainer (non-DeltaSky modes) holds the skyline of the
+// objects that still have capacity — which is exactly the availability
+// frontier the incremental Workspace continues from.
+func (st *solveState) runSB(mode sbMode) (*Result, error) {
+	p, cfg := st.p, st.cfg
 	res := &Result{}
 	var timer metrics.Timer
 	timer.Start()
 
-	lists, err := ta.NewLists(taFuncs(p.Functions), p.Dims)
-	if err != nil {
+	if err := st.ensureLists(); err != nil {
 		return nil, err
 	}
-	var mem metrics.MemTracker
+	lists := st.lists
 	var driver skylineDriver
 	var maintReads *int64
 	switch mode {
 	case modeDeltaSky:
-		d, err := skyline.NewDeltaSky(idx.tree, &mem)
+		d, err := st.buildDeltaSky()
 		if err != nil {
 			return nil, err
 		}
 		driver, maintReads = d, &d.NodeReads
 	default:
-		m, err := skyline.NewMaintainer(idx.tree, &mem)
+		m, err := st.buildMaintainer()
 		if err != nil {
 			return nil, err
 		}
 		driver, maintReads = m, &m.NodeReads
 	}
 
-	funcCaps := newFuncCaps(p.Functions)
-	objCaps := newObjectCaps(p.Objects)
+	st.buildCaps()
+	funcCaps, objCaps := st.funcCaps, st.objCaps
 	omega := cfg.omegaFor(len(p.Functions))
 	ctx := newEngineCtx(lists, mode, len(p.Functions), omega)
 	defer ctx.releaseAll()
@@ -164,20 +170,20 @@ func runSkylineBased(p *Problem, cfg Config, mode sbMode) (*Result, error) {
 
 		// Memory metric: maintainer structures plus live TA states.
 		searchBytes := ctx.searchFootprint()
-		if cur := mem.Current + searchBytes; cur > res.Stats.PeakMem {
+		if cur := st.mem.Current + searchBytes; cur > res.Stats.PeakMem {
 			res.Stats.PeakMem = cur
 		}
 	}
 
 	timer.Stop()
 	res.Stats.CPUTime = timer.Total
-	res.Stats.IO = *idx.store.IO()
+	res.Stats.IO = *st.store.IO()
 	res.Stats.Pairs = int64(len(res.Pairs))
 	res.Stats.TASorted = lists.Counters.SortedAccesses
 	res.Stats.TARandom = lists.Counters.RandomAccesses
 	res.Stats.NodeReads = *maintReads
-	if mem.Peak > res.Stats.PeakMem {
-		res.Stats.PeakMem = mem.Peak
+	if st.mem.Peak > res.Stats.PeakMem {
+		res.Stats.PeakMem = st.mem.Peak
 	}
 	return res, nil
 }

@@ -7,7 +7,6 @@ import (
 	"fairassign/internal/geom"
 	"fairassign/internal/metrics"
 	"fairassign/internal/pagestore"
-	"fairassign/internal/skyline"
 	"fairassign/internal/ta"
 )
 
@@ -19,18 +18,19 @@ import (
 // reading each list page at most once per loop regardless of |Osky| —
 // the large I/O saving of Figure 17.
 func SBAlt(p *Problem, cfg Config) (*Result, error) {
-	if err := p.Validate(); err != nil {
-		return nil, err
-	}
-	idx, err := buildObjectIndex(p, cfg)
+	st, err := newSolveState(p, cfg)
 	if err != nil {
 		return nil, err
 	}
+	defer st.release()
 
 	// Materialize the coefficient lists on their own simulated disk; the
 	// build is setup cost (like index construction) and is not charged.
-	fstore := pagestore.NewMemStore(cfg.pageSize())
-	fpool := pagestore.NewBufferPool(fstore, 1<<20)
+	fstore, fpool, err := cfg.newFuncStore()
+	if err != nil {
+		return nil, err
+	}
+	defer fstore.Close()
 	dl, err := ta.BuildDiskLists(fpool, taFuncs(p.Functions), p.Dims)
 	if err != nil {
 		return nil, err
@@ -47,13 +47,12 @@ func SBAlt(p *Problem, cfg Config) (*Result, error) {
 	var timer metrics.Timer
 	timer.Start()
 
-	var mem metrics.MemTracker
-	maint, err := skyline.NewMaintainer(idx.tree, &mem)
+	maint, err := st.buildMaintainer()
 	if err != nil {
 		return nil, err
 	}
-	funcCaps := newFuncCaps(p.Functions)
-	objCaps := newObjectCaps(p.Objects)
+	st.buildCaps()
+	funcCaps, objCaps := st.funcCaps, st.objCaps
 
 	// An object's cached best function stays valid until that function is
 	// assigned away (only removals ever happen), so each loop batch-
@@ -158,21 +157,21 @@ func SBAlt(p *Problem, cfg Config) (*Result, error) {
 				return nil, err
 			}
 		}
-		if cur := mem.Current + int64(len(sky))*48; cur > res.Stats.PeakMem {
+		if cur := st.mem.Current + int64(len(sky))*48; cur > res.Stats.PeakMem {
 			res.Stats.PeakMem = cur
 		}
 	}
 
 	timer.Stop()
 	res.Stats.CPUTime = timer.Total
-	res.Stats.IO = *idx.store.IO()
+	res.Stats.IO = *st.store.IO()
 	res.Stats.IO.Add(*fstore.IO())
 	res.Stats.Pairs = int64(len(res.Pairs))
 	res.Stats.TASorted = dl.Counters.SortedAccesses
 	res.Stats.TARandom = dl.Counters.RandomAccesses
 	res.Stats.NodeReads = maint.NodeReads
-	if mem.Peak > res.Stats.PeakMem {
-		res.Stats.PeakMem = mem.Peak
+	if st.mem.Peak > res.Stats.PeakMem {
+		res.Stats.PeakMem = st.mem.Peak
 	}
 	return res, nil
 }

@@ -3,7 +3,6 @@ package assign
 import (
 	"slices"
 
-	"fairassign/internal/pagestore"
 	"fairassign/internal/rtree"
 	"fairassign/internal/ta"
 )
@@ -21,46 +20,6 @@ func sortItemsByID(items []rtree.Item) {
 		}
 		return 0
 	})
-}
-
-// objectIndex is the disk-resident R-tree over O shared by all
-// algorithms. The index is bulk-loaded, then the buffer is cleared and
-// the I/O counters reset so that runs start cold and index construction
-// is not charged to the algorithm — matching the paper's setup where O is
-// a persistent indexed dataset.
-type objectIndex struct {
-	store *pagestore.MemStore
-	pool  *pagestore.BufferPool
-	tree  *rtree.Tree
-}
-
-func buildObjectIndex(p *Problem, cfg Config) (*objectIndex, error) {
-	store := pagestore.NewMemStore(cfg.pageSize())
-	// Load with a generous temporary buffer, then shrink to the
-	// experiment's fraction.
-	pool := pagestore.NewBufferPool(store, 1<<20)
-	if cfg.DisableNodeCache {
-		pool.SetDecodedCache(false)
-	}
-	items := make([]rtree.Item, len(p.Objects))
-	for i, o := range p.Objects {
-		items[i] = rtree.Item{ID: o.ID, Point: o.Point}
-	}
-	tree, err := rtree.BulkLoad(pool, p.Dims, items, cfg.treeFill())
-	if err != nil {
-		return nil, err
-	}
-	if err := pool.Flush(); err != nil {
-		return nil, err
-	}
-	if err := pool.Resize(pagestore.CapacityFromFraction(tree.NumPages(), cfg.bufferFrac())); err != nil {
-		return nil, err
-	}
-	if err := pool.Clear(); err != nil {
-		return nil, err
-	}
-	store.IO().Reset()
-	return &objectIndex{store: store, pool: pool, tree: tree}, nil
 }
 
 // taFuncs converts functions to their TA representation (effective
@@ -125,3 +84,33 @@ func (t *capTable) consume(id uint64) bool {
 }
 
 func (t *capTable) exhausted(id uint64) bool { return t.remaining[id] <= 0 }
+
+// add registers a newly arrived entity with the given capacity.
+func (t *capTable) add(id uint64, capacity int) {
+	t.remaining[id] = capacity
+	t.units += capacity
+	if capacity > 0 {
+		t.live++
+	}
+}
+
+// restore gives one unit back (a partner departed); it reports whether
+// the entity went from exhausted to live again.
+func (t *capTable) restore(id uint64) bool {
+	t.remaining[id]++
+	t.units++
+	if t.remaining[id] == 1 {
+		t.live++
+		return true
+	}
+	return false
+}
+
+// drop forgets a departing entity, discarding its remaining units.
+func (t *capTable) drop(id uint64) {
+	if r := t.remaining[id]; r > 0 {
+		t.units -= r
+		t.live--
+	}
+	delete(t.remaining, id)
+}

@@ -19,24 +19,21 @@ import (
 // whose threshold goes loose for mixed priorities, and cheaper in memory
 // (no TA states are kept), matching Figure 15.
 func SBTwoSkylines(p *Problem, cfg Config) (*Result, error) {
-	if err := p.Validate(); err != nil {
-		return nil, err
-	}
-	idx, err := buildObjectIndex(p, cfg)
+	st, err := newSolveState(p, cfg)
 	if err != nil {
 		return nil, err
 	}
+	defer st.release()
 	res := &Result{}
 	var timer metrics.Timer
 	timer.Start()
 
-	var mem metrics.MemTracker
-	maint, err := skyline.NewMaintainer(idx.tree, &mem)
+	maint, err := st.buildMaintainer()
 	if err != nil {
 		return nil, err
 	}
-	funcCaps := newFuncCaps(p.Functions)
-	objCaps := newObjectCaps(p.Objects)
+	st.buildCaps()
+	funcCaps, objCaps := st.funcCaps, st.objCaps
 
 	// Live functions as weight-space points; Fsky recomputed with SFS
 	// whenever a skyline function is assigned away (deletions are the
@@ -148,18 +145,18 @@ func SBTwoSkylines(p *Problem, cfg Config) (*Result, error) {
 				return nil, err
 			}
 		}
-		if cur := mem.Current + int64(len(fsky)+len(sky))*48; cur > res.Stats.PeakMem {
+		if cur := st.mem.Current + int64(len(fsky)+len(sky))*48; cur > res.Stats.PeakMem {
 			res.Stats.PeakMem = cur
 		}
 	}
 
 	timer.Stop()
 	res.Stats.CPUTime = timer.Total
-	res.Stats.IO = *idx.store.IO()
+	res.Stats.IO = *st.store.IO()
 	res.Stats.Pairs = int64(len(res.Pairs))
 	res.Stats.NodeReads = maint.NodeReads
-	if mem.Peak > res.Stats.PeakMem {
-		res.Stats.PeakMem = mem.Peak
+	if st.mem.Peak > res.Stats.PeakMem {
+		res.Stats.PeakMem = st.mem.Peak
 	}
 	return res, nil
 }

@@ -32,6 +32,7 @@ import (
 
 	"fairassign/internal/geom"
 	"fairassign/internal/metrics"
+	"fairassign/internal/pagestore"
 )
 
 // Object is a database object: a D-dimensional feature vector with an
@@ -178,12 +179,21 @@ type Config struct {
 	// emitted matching is identical for every setting — only wall-clock
 	// changes.
 	Workers int
-	// DisableNodeCache turns off the buffer pool's decoded-node tier for
-	// the object index, forcing every node access to re-parse its page
-	// bytes. The matching and all I/O counts are identical either way —
-	// only CPU time and allocations change. Used by the benchmark
-	// pipeline to measure the cache's effect.
+	// DisableNodeCache turns off the buffer pool's decoded-node tier on
+	// every index store (object index and function-side structures),
+	// forcing every node access to re-parse its page bytes. The matching
+	// and all I/O counts are identical either way — only CPU time and
+	// allocations change. Used by the benchmark pipeline to measure the
+	// cache's effect.
 	DisableNodeCache bool
+	// StoreFactory builds the physical page stores behind every index
+	// the solvers create (the object R-tree plus any function-side
+	// structure). Nil means in-memory simulated disks
+	// (pagestore.NewMemStore); tests substitute temp-file-backed
+	// FileStores to exercise the on-disk format end to end. The factory
+	// is called once per store; implementations returning file-backed
+	// stores must hand out distinct files per call.
+	StoreFactory func(pageSize int) (pagestore.Store, error)
 }
 
 func (c Config) pageSize() int {

@@ -1,0 +1,647 @@
+package assign
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"fairassign/internal/geom"
+	"fairassign/internal/metrics"
+	"fairassign/internal/pagestore"
+	"fairassign/internal/rtree"
+	"fairassign/internal/skyline"
+	"fairassign/internal/topk"
+)
+
+// Workspace is the long-lived incremental form of the solver: it builds
+// the shared solve state once, computes the initial stable matching with
+// SB, and then repairs the matching in place as preference functions and
+// objects arrive or depart — the dynamic regime the paper sketches as
+// future work in Section 8.
+//
+// Repair works through two bounded chain primitives, mirroring the
+// paper's Chain algorithm and its Property 2 (a mutual best pair is
+// stable):
+//
+//   - a freed function unit proposes down its preference order: it takes
+//     the best object that either has spare capacity or holds a strictly
+//     worse assignment, displacing that assignment and re-chaining the
+//     displaced function;
+//   - a freed object unit pulls the best function that strictly prefers
+//     it over its current worst assignment (or has spare capacity), and
+//     the vacancy the mover leaves behind cascades.
+//
+// Because both sides rank every pair by the same score f(o), the stable
+// matching is unique (up to score ties), so chain repair lands on
+// exactly the matching a from-scratch solve of the mutated snapshot
+// produces — the conformance mutation harness asserts this after every
+// mutation of randomized scripts.
+//
+// Exact score ties (bit-equal f(o) for different pairs — measure zero
+// for continuous data, but reachable through duplicate or diagonal
+// points) are resolved by the definitional greedy order: lower function
+// ID, then lower object ID. A one-shot SB solve resolves such ties by
+// TA scan order instead, so on tied instances the two can return
+// different — equally stable — resolutions of the tie.
+//
+// The availability frontier — the skyline of objects with remaining
+// capacity — is maintained incrementally through the Section 5.2
+// machinery (Maintainer.Insert for arrivals and revived capacity,
+// Maintainer.Discard for exhaustion and departures). Function proposals
+// scan that skyline for the best free object and use its score as a
+// ceiling for the displacement search, which then expands only the
+// index region that could beat taking a free object outright.
+type Workspace struct {
+	st  *solveState
+	cfg Config
+
+	// avail is the availability frontier: a materialized skyline
+	// maintainer over the objects with remaining capacity. It holds no
+	// R-tree references (the workspace physically mutates its trees), so
+	// arbitrary Insert/Discard traffic stays correct.
+	avail *skyline.Maintainer
+
+	// Function R-tree over effective weight vectors (as in Chain),
+	// dynamically maintained; reverse searches (best function for an
+	// object) run against it.
+	fstore pagestore.Store
+	fpool  *pagestore.BufferPool
+	ftree  *rtree.Tree
+
+	objs  map[uint64]Object
+	funcs map[uint64]Function
+	eff   map[uint64][]float64 // function ID -> effective weights (ftree points)
+
+	// The matching, indexed from both sides; one wsPair per assigned
+	// unit, present in exactly one slice of each map.
+	byObj  map[uint64][]wsPair
+	byFunc map[uint64][]wsPair
+
+	queue []repairItem // free units awaiting chain repair
+
+	closed    bool
+	mutations int64
+	chainLen  int64 // reassignments performed by repair chains
+	searches  int64 // top-1 probes issued by repair
+	resolves  int64 // full solves (the initial build)
+}
+
+// wsPair is one assigned unit of the matching.
+type wsPair struct {
+	fid   uint64
+	oid   uint64
+	score float64
+}
+
+// repairItem is a freed unit: a function unit looking for an object, or
+// an object unit looking for a function.
+type repairItem struct {
+	isFunc bool
+	id     uint64
+}
+
+// WorkspaceStats is a point-in-time summary of a workspace.
+type WorkspaceStats struct {
+	Objects       int   // live objects
+	Functions     int   // live functions
+	AssignedUnits int   // pairs in the current matching
+	SkylineSize   int   // availability frontier (objects with spare capacity)
+	Mutations     int64 // mutations applied since construction
+	ChainSteps    int64 // reassignments performed by repair chains
+	Searches      int64 // top-1 probes issued by repair
+	Resolves      int64 // from-scratch solves (1: the initial build)
+	IO            metrics.IOCounter
+}
+
+// NewWorkspace builds the shared state, solves the initial instance with
+// SB, and returns a workspace ready for mutations.
+func NewWorkspace(p *Problem, cfg Config) (*Workspace, error) {
+	st, err := newSolveState(p, cfg)
+	if err != nil {
+		return nil, err
+	}
+	res, err := st.runSB(modeOptimized)
+	if err != nil {
+		st.release()
+		return nil, err
+	}
+
+	fstore, fpool, err := cfg.newFuncStore()
+	if err != nil {
+		st.release()
+		return nil, err
+	}
+	w := &Workspace{
+		st:       st,
+		cfg:      cfg,
+		fstore:   fstore,
+		fpool:    fpool,
+		objs:     make(map[uint64]Object, len(p.Objects)),
+		funcs:    make(map[uint64]Function, len(p.Functions)),
+		eff:      make(map[uint64][]float64, len(p.Functions)),
+		byObj:    make(map[uint64][]wsPair),
+		byFunc:   make(map[uint64][]wsPair),
+		resolves: 1,
+	}
+	for _, o := range p.Objects {
+		w.objs[o.ID] = Object{ID: o.ID, Point: o.Point.Clone(), Capacity: o.Capacity}
+	}
+	fitems := make([]rtree.Item, 0, len(p.Functions))
+	for _, f := range p.Functions {
+		ew := f.Effective()
+		w.funcs[f.ID] = f
+		w.eff[f.ID] = ew
+		fitems = append(fitems, rtree.Item{ID: f.ID, Point: ew})
+	}
+	w.ftree, err = rtree.BulkLoad(fpool, p.Dims, fitems, cfg.treeFill())
+	if err != nil {
+		w.Close()
+		return nil, err
+	}
+	for _, pr := range res.Pairs {
+		w.link(wsPair{fid: pr.FuncID, oid: pr.ObjectID, score: pr.Score})
+	}
+	// Materialize the availability frontier from the post-solve capacity
+	// table. The solve's own maintainer ends in the same logical state
+	// but parks pruned subtrees by page reference, which would go stale
+	// under the physical tree mutations ahead.
+	var availItems []rtree.Item
+	for id, o := range w.objs {
+		if w.st.objCaps.remaining[id] > 0 {
+			availItems = append(availItems, rtree.Item{ID: id, Point: o.Point})
+		}
+	}
+	w.avail = skyline.NewMaintainerFromItems(p.Dims, availItems, nil)
+	// Parked entries can go stale (their object departed or exhausted —
+	// and its ID may even be reused for a different point); the oracle
+	// drops them the moment they resurface, so no tombstones accumulate.
+	w.avail.SetLiveCheck(func(id uint64, pt geom.Point) bool {
+		o, ok := w.objs[id]
+		return ok && w.st.objCaps.remaining[id] > 0 && o.Point.Equal(pt)
+	})
+	w.st.maint = nil // drop the tree-backed maintainer: it must not outlive tree mutations
+	return w, nil
+}
+
+// Dims returns the workspace dimensionality.
+func (w *Workspace) Dims() int { return w.st.p.Dims }
+
+// Close releases the page stores behind both indexes. The workspace
+// must not be used afterwards.
+func (w *Workspace) Close() {
+	if w.closed {
+		return
+	}
+	w.closed = true
+	w.st.release()
+	if w.fstore != nil {
+		w.fstore.Close()
+	}
+}
+
+// link records one assigned unit on both sides.
+func (w *Workspace) link(p wsPair) {
+	w.byObj[p.oid] = append(w.byObj[p.oid], p)
+	w.byFunc[p.fid] = append(w.byFunc[p.fid], p)
+}
+
+// unlink removes one instance of the pair from both sides.
+func (w *Workspace) unlink(p wsPair) {
+	w.byObj[p.oid] = cutPair(w.byObj[p.oid], p)
+	w.byFunc[p.fid] = cutPair(w.byFunc[p.fid], p)
+}
+
+func cutPair(ps []wsPair, p wsPair) []wsPair {
+	for i := range ps {
+		if ps[i] == p {
+			ps[i] = ps[len(ps)-1]
+			return ps[:len(ps)-1]
+		}
+	}
+	panic("assign: workspace pair index out of sync")
+}
+
+// worstOfObj returns the weakest assignment an object holds — the one a
+// stronger proposer displaces. Greedy order: lower score is worse; on a
+// tie the higher function ID lost the tiebreak, so it goes first.
+func worstOfObj(ps []wsPair) wsPair {
+	worst := ps[0]
+	for _, p := range ps[1:] {
+		if p.score < worst.score || (p.score == worst.score && p.fid > worst.fid) {
+			worst = p
+		}
+	}
+	return worst
+}
+
+// worstOfFunc is the function-side mirror: lower score is worse, ties
+// broken toward the higher object ID.
+func worstOfFunc(ps []wsPair) wsPair {
+	worst := ps[0]
+	for _, p := range ps[1:] {
+		if p.score < worst.score || (p.score == worst.score && p.oid > worst.oid) {
+			worst = p
+		}
+	}
+	return worst
+}
+
+// AddObject introduces a new object: it joins both the R-tree and the
+// availability skyline, then pulls takers for its capacity via chain
+// repair.
+func (w *Workspace) AddObject(o Object) error {
+	if err := w.live(); err != nil {
+		return err
+	}
+	if len(o.Point) != w.Dims() {
+		return fmt.Errorf("assign: object %d has %d dims, want %d", o.ID, len(o.Point), w.Dims())
+	}
+	if _, dup := w.objs[o.ID]; dup {
+		return fmt.Errorf("assign: duplicate object id %d", o.ID)
+	}
+	pt := o.Point.Clone()
+	w.objs[o.ID] = Object{ID: o.ID, Point: pt, Capacity: o.Capacity}
+	if err := w.st.tree.Insert(rtree.Item{ID: o.ID, Point: pt}); err != nil {
+		return err
+	}
+	w.st.objCaps.add(o.ID, o.capacity())
+	if err := w.avail.Insert(rtree.Item{ID: o.ID, Point: pt}); err != nil {
+		return err
+	}
+	w.pushObj(o.ID)
+	w.mutations++
+	return w.repair()
+}
+
+// RemoveObject withdraws an object. Its assigned functions are freed
+// and re-chained; the availability skyline is invalidated through
+// Discard (delta maintenance: tombstoned if the object is parked inside
+// a pruned list).
+func (w *Workspace) RemoveObject(id uint64) error {
+	if err := w.live(); err != nil {
+		return err
+	}
+	o, ok := w.objs[id]
+	if !ok {
+		return fmt.Errorf("assign: unknown object id %d", id)
+	}
+	// Invalidate the availability frontier first: an exhausted object
+	// already left it (Discarded on exhaustion), so a second Discard
+	// would only grow the tombstone set.
+	if w.st.objCaps.remaining[id] > 0 {
+		if err := w.avail.Discard(id); err != nil {
+			return err
+		}
+	}
+	for _, p := range append([]wsPair(nil), w.byObj[id]...) {
+		w.unlink(p)
+		w.st.funcCaps.restore(p.fid)
+		w.pushFunc(p.fid)
+	}
+	delete(w.byObj, id)
+	if err := w.st.tree.Delete(rtree.Item{ID: id, Point: o.Point}); err != nil {
+		return err
+	}
+	w.st.objCaps.drop(id)
+	delete(w.objs, id)
+	w.mutations++
+	return w.repair()
+}
+
+// AddFunction introduces a new preference function and runs the paper's
+// chain update: the arrival proposes down its preference order,
+// displacing strictly worse assignments along a bounded chain.
+func (w *Workspace) AddFunction(f Function) error {
+	if err := w.live(); err != nil {
+		return err
+	}
+	if len(f.Weights) != w.Dims() {
+		return fmt.Errorf("assign: function %d has %d weights, want %d", f.ID, len(f.Weights), w.Dims())
+	}
+	for _, v := range f.Weights {
+		if v < 0 {
+			return fmt.Errorf("assign: function %d has negative weight", f.ID)
+		}
+	}
+	if _, dup := w.funcs[f.ID]; dup {
+		return fmt.Errorf("assign: duplicate function id %d", f.ID)
+	}
+	weights := make([]float64, len(f.Weights))
+	copy(weights, f.Weights)
+	f.Weights = weights
+	ew := f.Effective()
+	w.funcs[f.ID] = f
+	w.eff[f.ID] = ew
+	if err := w.ftree.Insert(rtree.Item{ID: f.ID, Point: ew}); err != nil {
+		return err
+	}
+	w.st.funcCaps.add(f.ID, f.capacity())
+	w.pushFunc(f.ID)
+	w.mutations++
+	return w.repair()
+}
+
+// RemoveFunction withdraws a function; the object units it held become
+// vacancies that pull replacement functions along chains.
+func (w *Workspace) RemoveFunction(id uint64) error {
+	if err := w.live(); err != nil {
+		return err
+	}
+	if _, ok := w.funcs[id]; !ok {
+		return fmt.Errorf("assign: unknown function id %d", id)
+	}
+	for _, p := range append([]wsPair(nil), w.byFunc[id]...) {
+		w.unlink(p)
+		w.restoreObjectUnit(p.oid)
+		w.pushObj(p.oid)
+	}
+	delete(w.byFunc, id)
+	if err := w.ftree.Delete(rtree.Item{ID: id, Point: w.eff[id]}); err != nil {
+		return err
+	}
+	w.st.funcCaps.drop(id)
+	delete(w.funcs, id)
+	delete(w.eff, id)
+	w.mutations++
+	return w.repair()
+}
+
+// restoreObjectUnit gives one unit of capacity back to an object; a
+// revival (exhausted → available) re-enters the availability skyline.
+func (w *Workspace) restoreObjectUnit(oid uint64) {
+	if w.st.objCaps.restore(oid) {
+		o := w.objs[oid]
+		if err := w.avail.Insert(rtree.Item{ID: oid, Point: o.Point}); err != nil {
+			// Insert only errors on a live duplicate, which the
+			// availability bookkeeping rules out.
+			panic(fmt.Sprintf("assign: workspace availability out of sync: %v", err))
+		}
+	}
+}
+
+// consumeObjectUnit takes one unit of an object's capacity; exhaustion
+// leaves the availability skyline via Discard.
+func (w *Workspace) consumeObjectUnit(oid uint64) error {
+	if w.st.objCaps.consume(oid) {
+		return w.avail.Discard(oid)
+	}
+	return nil
+}
+
+func (w *Workspace) pushFunc(id uint64) { w.queue = append(w.queue, repairItem{isFunc: true, id: id}) }
+func (w *Workspace) pushObj(id uint64)  { w.queue = append(w.queue, repairItem{isFunc: false, id: id}) }
+
+func (w *Workspace) live() error {
+	if w.closed {
+		return fmt.Errorf("assign: workspace is closed")
+	}
+	return nil
+}
+
+// repair drains the free-unit queue. Every step either fills a free
+// slot (bounded by total capacity) or replaces an assignment with a
+// strictly better one in the greedy order, so the cascade terminates;
+// at quiescence no blocking pair remains, and with both sides ranking
+// pairs by the same score that stable matching is the greedy one.
+func (w *Workspace) repair() error {
+	for len(w.queue) > 0 {
+		it := w.queue[0]
+		w.queue = w.queue[1:]
+		var err error
+		if it.isFunc {
+			err = w.placeFunction(it.id)
+		} else {
+			err = w.fillObject(it.id)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// placeFunction runs proposal chains for every free unit of a function.
+func (w *Workspace) placeFunction(fid uint64) error {
+	if _, ok := w.funcs[fid]; !ok {
+		return nil // departed while queued
+	}
+	for w.st.funcCaps.remaining[fid] > 0 {
+		oid, score, displace, ok, err := w.bestEntry(fid)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil // no object accepts: the unit stays free
+		}
+		if displace {
+			evicted := worstOfObj(w.byObj[oid])
+			w.unlink(evicted)
+			w.st.funcCaps.restore(evicted.fid)
+			w.pushFunc(evicted.fid)
+		} else if err := w.consumeObjectUnit(oid); err != nil {
+			return err
+		}
+		w.st.funcCaps.consume(fid)
+		w.link(wsPair{fid: fid, oid: oid, score: score})
+		w.chainLen++
+	}
+	return nil
+}
+
+// bestEntry finds the best object a function unit can enter: the best
+// available object (scanned off the availability skyline, no I/O), or
+// a full object holding a strictly worse assignment. The availability
+// score is the ceiling of the displacement search.
+func (w *Workspace) bestEntry(fid uint64) (oid uint64, score float64, displace, ok bool, err error) {
+	ew := w.eff[fid]
+	availScore, availID := math.Inf(-1), uint64(0)
+	haveAvail := false
+	for _, it := range w.avail.Skyline() {
+		s := geom.Dot(ew, it.Point)
+		if !haveAvail || s > availScore || (s == availScore && it.ID < availID) {
+			availScore, availID, haveAvail = s, it.ID, true
+		}
+	}
+
+	bound := availScore
+	sr := topk.NewSearcher(w.st.tree, ew, func(cand uint64) bool {
+		return !w.displaceable(fid, ew, cand)
+	})
+	w.searches++
+	it, s, found, err := sr.NextAtLeast(bound)
+	if err != nil {
+		return 0, 0, false, false, err
+	}
+	if found && (!haveAvail || s > availScore || (s == availScore && it.ID < availID)) {
+		return it.ID, s, true, true, nil
+	}
+	if haveAvail {
+		return availID, availScore, false, true, nil
+	}
+	return 0, 0, false, false, nil
+}
+
+// displaceable reports whether a full object would evict its worst
+// assignment in favor of the proposing function (available objects are
+// handled by the skyline path and skipped here).
+func (w *Workspace) displaceable(fid uint64, ew []float64, oid uint64) bool {
+	if w.st.objCaps.remaining[oid] > 0 {
+		return false
+	}
+	worst := worstOfObj(w.byObj[oid])
+	s := geom.Dot(ew, w.objs[oid].Point)
+	return s > worst.score || (s == worst.score && fid < worst.fid)
+}
+
+// fillObject runs vacancy chains for every free unit of an object.
+func (w *Workspace) fillObject(oid uint64) error {
+	if _, ok := w.objs[oid]; !ok {
+		return nil // departed while queued
+	}
+	for w.st.objCaps.remaining[oid] > 0 {
+		gid, score, ok, err := w.bestTaker(oid)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil // nobody wants the vacancy: it stays open
+		}
+		if w.st.funcCaps.remaining[gid] > 0 {
+			w.st.funcCaps.consume(gid)
+		} else {
+			// The mover abandons its worst unit, cascading the vacancy.
+			left := worstOfFunc(w.byFunc[gid])
+			w.unlink(left)
+			w.restoreObjectUnit(left.oid)
+			w.pushObj(left.oid)
+		}
+		if err := w.consumeObjectUnit(oid); err != nil {
+			return err
+		}
+		w.link(wsPair{fid: gid, oid: oid, score: score})
+		w.chainLen++
+	}
+	return nil
+}
+
+// bestTaker finds the best function that wants a vacant object unit: a
+// function with spare capacity wants it at any score; a fully assigned
+// function wants it only above its current worst assignment. The
+// reverse search runs over the function R-tree, bounded below by the
+// weakest assignment any function holds (nothing scoring under that can
+// be wanted).
+func (w *Workspace) bestTaker(oid uint64) (gid uint64, score float64, ok bool, err error) {
+	o := w.objs[oid]
+	bound := math.Inf(1)
+	if w.st.funcCaps.live > 0 {
+		// Some function has spare capacity and wants anything: no bound.
+		bound = math.Inf(-1)
+	} else {
+		for fid := range w.funcs {
+			if worst := worstOfFunc(w.byFunc[fid]); worst.score < bound {
+				bound = worst.score
+			}
+		}
+	}
+	sr := topk.NewSearcher(w.ftree, o.Point, func(cand uint64) bool {
+		return !w.wants(cand, oid, o.Point)
+	})
+	w.searches++
+	it, s, found, err := sr.NextAtLeast(bound)
+	if err != nil || !found {
+		return 0, 0, false, err
+	}
+	return it.ID, s, true, nil
+}
+
+// wants reports whether a function prefers the vacant object over its
+// current worst assignment (or has a free unit).
+func (w *Workspace) wants(fid, oid uint64, point geom.Point) bool {
+	if w.st.funcCaps.remaining[fid] > 0 {
+		return true
+	}
+	worst := worstOfFunc(w.byFunc[fid])
+	s := geom.Dot(w.eff[fid], point)
+	return s > worst.score || (s == worst.score && oid < worst.oid)
+}
+
+// Pairs returns the current matching in the definitional greedy order:
+// descending score, ties by ascending function then object ID.
+func (w *Workspace) Pairs() []Pair {
+	out := make([]Pair, 0, len(w.byFunc))
+	for _, ps := range w.byFunc {
+		for _, p := range ps {
+			out = append(out, Pair{FuncID: p.fid, ObjectID: p.oid, Score: p.score})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Score != b.Score {
+			return a.Score > b.Score
+		}
+		if a.FuncID != b.FuncID {
+			return a.FuncID < b.FuncID
+		}
+		return a.ObjectID < b.ObjectID
+	})
+	return out
+}
+
+// ObjectPoint returns a live object's feature vector.
+func (w *Workspace) ObjectPoint(id uint64) (geom.Point, bool) {
+	o, ok := w.objs[id]
+	if !ok {
+		return nil, false
+	}
+	return o.Point, true
+}
+
+// PairsOf returns the current assignments of one function (unordered).
+func (w *Workspace) PairsOf(fid uint64) []Pair {
+	ps := w.byFunc[fid]
+	out := make([]Pair, len(ps))
+	for i, p := range ps {
+		out[i] = Pair{FuncID: p.fid, ObjectID: p.oid, Score: p.score}
+	}
+	return out
+}
+
+// Snapshot materializes the current instance as a Problem (entities
+// sorted by ID), for differential validation against one-shot solvers.
+func (w *Workspace) Snapshot() *Problem {
+	p := &Problem{Dims: w.Dims()}
+	for _, o := range w.objs {
+		p.Objects = append(p.Objects, Object{ID: o.ID, Point: o.Point.Clone(), Capacity: o.Capacity})
+	}
+	sort.Slice(p.Objects, func(i, j int) bool { return p.Objects[i].ID < p.Objects[j].ID })
+	for _, f := range w.funcs {
+		weights := make([]float64, len(f.Weights))
+		copy(weights, f.Weights)
+		p.Functions = append(p.Functions, Function{ID: f.ID, Weights: weights, Gamma: f.Gamma, Capacity: f.Capacity})
+	}
+	sort.Slice(p.Functions, func(i, j int) bool { return p.Functions[i].ID < p.Functions[j].ID })
+	return p
+}
+
+// Stats summarizes the workspace.
+func (w *Workspace) Stats() WorkspaceStats {
+	units := 0
+	for _, ps := range w.byFunc {
+		units += len(ps)
+	}
+	s := WorkspaceStats{
+		Objects:       len(w.objs),
+		Functions:     len(w.funcs),
+		AssignedUnits: units,
+		SkylineSize:   w.avail.Size(),
+		Mutations:     w.mutations,
+		ChainSteps:    w.chainLen,
+		Searches:      w.searches,
+		Resolves:      w.resolves,
+	}
+	if !w.closed {
+		s.IO = w.st.store.IO().Snapshot()
+		s.IO.Add(w.fstore.IO().Snapshot())
+	}
+	return s
+}

@@ -1,0 +1,268 @@
+package assign
+
+import (
+	"math/rand"
+	"testing"
+
+	"fairassign/internal/geom"
+)
+
+func newTestWorkspace(t *testing.T, p *Problem) *Workspace {
+	t.Helper()
+	w, err := NewWorkspace(p, testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(w.Close)
+	return w
+}
+
+// checkAgainstResolve asserts the workspace matching equals a cold SB
+// solve of the current snapshot and is stable for it.
+func checkAgainstResolve(t *testing.T, w *Workspace, label string) {
+	t.Helper()
+	snap := w.Snapshot()
+	cold, err := SB(snap, testCfg())
+	if err != nil {
+		t.Fatalf("%s: cold solve: %v", label, err)
+	}
+	samePairs(t, label, w.Pairs(), cold.Pairs)
+	if err := IsStable(snap, w.Pairs()); err != nil {
+		t.Fatalf("%s: workspace matching unstable: %v", label, err)
+	}
+}
+
+func TestWorkspaceInitialMatchesSolve(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	p := randProblem(rng, 12, 80, 3)
+	w := newTestWorkspace(t, p)
+	checkAgainstResolve(t, w, "initial")
+	st := w.Stats()
+	if st.Objects != 80 || st.Functions != 12 || st.AssignedUnits != 12 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.Resolves != 1 {
+		t.Fatalf("resolves = %d, want 1 (only the initial build)", st.Resolves)
+	}
+}
+
+func TestWorkspaceAddFunctionChains(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	p := randProblem(rng, 10, 60, 2)
+	w := newTestWorkspace(t, p)
+	// Arrivals, one at a time, each validated against a cold solve.
+	for i := 0; i < 8; i++ {
+		weights := make([]float64, 2)
+		sum := 0.0
+		for d := range weights {
+			weights[d] = rng.Float64()
+			sum += weights[d]
+		}
+		for d := range weights {
+			weights[d] /= sum
+		}
+		f := Function{ID: uint64(100 + i), Weights: weights}
+		if err := w.AddFunction(f); err != nil {
+			t.Fatal(err)
+		}
+		checkAgainstResolve(t, w, "after AddFunction")
+	}
+	if w.Stats().Resolves != 1 {
+		t.Fatal("arrivals must repair, not re-solve")
+	}
+}
+
+func TestWorkspaceRemoveObjectRechains(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	p := randProblem(rng, 15, 50, 3)
+	w := newTestWorkspace(t, p)
+	// Remove the objects that are actually assigned — each removal frees
+	// a function that must re-chain.
+	for i := 0; i < 10; i++ {
+		pairs := w.Pairs()
+		if len(pairs) == 0 {
+			break
+		}
+		if err := w.RemoveObject(pairs[0].ObjectID); err != nil {
+			t.Fatal(err)
+		}
+		checkAgainstResolve(t, w, "after RemoveObject")
+	}
+}
+
+func TestWorkspaceAddObjectFillsVacancies(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	// More functions than objects: every arrival should be taken.
+	p := randProblem(rng, 30, 20, 2)
+	w := newTestWorkspace(t, p)
+	for i := 0; i < 10; i++ {
+		pt := geom.Point{rng.Float64(), rng.Float64()}
+		if err := w.AddObject(Object{ID: uint64(1000 + i), Point: pt}); err != nil {
+			t.Fatal(err)
+		}
+		checkAgainstResolve(t, w, "after AddObject")
+	}
+	if got := w.Stats().AssignedUnits; got != 30 {
+		t.Fatalf("assigned units = %d, want 30 (functions all matched)", got)
+	}
+}
+
+func TestWorkspaceRemoveFunctionVacancyChains(t *testing.T) {
+	rng := rand.New(rand.NewSource(45))
+	p := randProblem(rng, 25, 20, 3) // oversubscribed: removals promote waiters
+	w := newTestWorkspace(t, p)
+	for i := 0; i < 12; i++ {
+		pairs := w.Pairs()
+		if len(pairs) == 0 {
+			break
+		}
+		if err := w.RemoveFunction(pairs[len(pairs)/2].FuncID); err != nil {
+			t.Fatal(err)
+		}
+		checkAgainstResolve(t, w, "after RemoveFunction")
+	}
+}
+
+func TestWorkspaceRandomizedMixedMutations(t *testing.T) {
+	rng := rand.New(rand.NewSource(46))
+	p := randProblem(rng, 10, 40, 3)
+	// Random capacities and priorities to exercise the full variant space.
+	for i := range p.Objects {
+		p.Objects[i].Capacity = 1 + rng.Intn(3)
+	}
+	for i := range p.Functions {
+		p.Functions[i].Capacity = 1 + rng.Intn(3)
+		p.Functions[i].Gamma = float64(1 + rng.Intn(3))
+	}
+	w := newTestWorkspace(t, p)
+	nextID := uint64(10_000)
+	for step := 0; step < 60; step++ {
+		switch rng.Intn(4) {
+		case 0:
+			pt := make(geom.Point, 3)
+			for d := range pt {
+				pt[d] = rng.Float64()
+			}
+			nextID++
+			if err := w.AddObject(Object{ID: nextID, Point: pt, Capacity: 1 + rng.Intn(3)}); err != nil {
+				t.Fatal(err)
+			}
+		case 1:
+			weights := make([]float64, 3)
+			sum := 0.0
+			for d := range weights {
+				weights[d] = rng.Float64()
+				sum += weights[d]
+			}
+			for d := range weights {
+				weights[d] /= sum
+			}
+			nextID++
+			if err := w.AddFunction(Function{ID: nextID, Weights: weights, Capacity: 1 + rng.Intn(3), Gamma: float64(1 + rng.Intn(3))}); err != nil {
+				t.Fatal(err)
+			}
+		case 2:
+			snap := w.Snapshot()
+			if len(snap.Objects) <= 2 {
+				continue
+			}
+			if err := w.RemoveObject(snap.Objects[rng.Intn(len(snap.Objects))].ID); err != nil {
+				t.Fatal(err)
+			}
+		default:
+			snap := w.Snapshot()
+			if len(snap.Functions) <= 1 {
+				continue
+			}
+			if err := w.RemoveFunction(snap.Functions[rng.Intn(len(snap.Functions))].ID); err != nil {
+				t.Fatal(err)
+			}
+		}
+		checkAgainstResolve(t, w, "mixed mutation")
+	}
+	if w.Stats().Mutations == 0 {
+		t.Fatal("mutations not counted")
+	}
+}
+
+// TestWorkspaceObjectIDReuseNewPoint pins a review finding: removing
+// an object and re-adding its ID at a different point must not let a
+// stale parked skyline entry resurrect the OLD coordinates onto the
+// availability frontier.
+func TestWorkspaceObjectIDReuseNewPoint(t *testing.T) {
+	rng := rand.New(rand.NewSource(48))
+	p := randProblem(rng, 6, 40, 2)
+	w := newTestWorkspace(t, p)
+	snap := w.Snapshot()
+	for round := 0; round < 25; round++ {
+		// Remove a random live object and re-add the SAME ID somewhere
+		// else, repeatedly — stale parked entries for reused IDs pile up
+		// and must never resurface with old coordinates.
+		id := snap.Objects[rng.Intn(len(snap.Objects))].ID
+		if _, ok := w.objs[id]; !ok {
+			continue
+		}
+		if err := w.RemoveObject(id); err != nil {
+			t.Fatal(err)
+		}
+		pt := geom.Point{rng.Float64(), rng.Float64()}
+		if err := w.AddObject(Object{ID: id, Point: pt}); err != nil {
+			t.Fatal(err)
+		}
+		// Churn a function too so dominator removals resurface parked
+		// entries.
+		pairs := w.Pairs()
+		if len(pairs) > 0 {
+			oid := pairs[rng.Intn(len(pairs))].ObjectID
+			if _, ok := w.objs[oid]; ok {
+				opt, _ := w.ObjectPoint(oid)
+				keep := opt.Clone()
+				if err := w.RemoveObject(oid); err != nil {
+					t.Fatal(err)
+				}
+				if err := w.AddObject(Object{ID: oid, Point: keep}); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		checkAgainstResolve(t, w, "after ID reuse")
+		// The frontier must only report current coordinates.
+		for _, it := range w.avail.Skyline() {
+			cur, ok := w.ObjectPoint(it.ID)
+			if !ok {
+				t.Fatalf("frontier holds departed object %d", it.ID)
+			}
+			if !cur.Equal(it.Point) {
+				t.Fatalf("frontier holds stale coordinates for %d: %v vs %v", it.ID, it.Point, cur)
+			}
+		}
+	}
+}
+
+func TestWorkspaceMutationErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	p := randProblem(rng, 4, 10, 2)
+	w := newTestWorkspace(t, p)
+	if err := w.AddObject(Object{ID: 1, Point: geom.Point{0.5, 0.5}}); err == nil {
+		t.Fatal("duplicate object accepted")
+	}
+	if err := w.AddObject(Object{ID: 999, Point: geom.Point{0.5}}); err == nil {
+		t.Fatal("wrong-dims object accepted")
+	}
+	if err := w.AddFunction(Function{ID: 1, Weights: []float64{0.5, 0.5}}); err == nil {
+		t.Fatal("duplicate function accepted")
+	}
+	if err := w.AddFunction(Function{ID: 999, Weights: []float64{-0.5, 1.5}}); err == nil {
+		t.Fatal("negative weight accepted")
+	}
+	if err := w.RemoveObject(424242); err == nil {
+		t.Fatal("unknown object removal accepted")
+	}
+	if err := w.RemoveFunction(424242); err == nil {
+		t.Fatal("unknown function removal accepted")
+	}
+	w.Close()
+	if err := w.AddObject(Object{ID: 5000, Point: geom.Point{0.1, 0.1}}); err == nil {
+		t.Fatal("mutation on closed workspace accepted")
+	}
+}

@@ -99,6 +99,9 @@ type Report struct {
 	// when disabled).
 	Conformance string `json:"conformance"`
 	Cases       []Case `json:"cases"`
+	// Incremental compares Workspace chain repair against from-scratch
+	// re-solves for single-mutation updates.
+	Incremental []IncrementalCase `json:"incremental,omitempty"`
 }
 
 // Options tunes a pipeline run.
@@ -260,6 +263,22 @@ func Run(opts Options) (*Report, error) {
 			}
 			rep.Cases = append(rep.Cases, cases...)
 		}
+	}
+	// Incremental scenario: repair-vs-resolve at the largest size per
+	// dimensionality (single-mutation latency is what a serving system
+	// pays; the large instance is where re-solving hurts).
+	maxN := 0
+	for _, n := range opts.Sizes {
+		if n > maxN {
+			maxN = n
+		}
+	}
+	for _, dims := range opts.Dims {
+		inc, err := runIncremental(maxN, dims, opts)
+		if err != nil {
+			return nil, err
+		}
+		rep.Incremental = append(rep.Incremental, inc...)
 	}
 	return rep, nil
 }

@@ -1,0 +1,231 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+
+	"fairassign/internal/assign"
+	"fairassign/internal/datagen"
+)
+
+// IncrementalCase compares single-mutation updates applied two ways: in
+// place on a long-lived Workspace (chain repair), and by mutating the
+// input and re-running a from-scratch SB solve — the only option the
+// one-shot API offers. Identical records that the repaired matching
+// equals a cold solve of the final snapshot, so the speedup is not
+// bought with a different answer.
+type IncrementalCase struct {
+	Name string `json:"name"`
+	N    int    `json:"n"`
+	Dims int    `json:"dims"`
+	// Repair / Resolve are ns per single-mutation update.
+	RepairNsPerOp  int64   `json:"repair_ns_per_op"`
+	ResolveNsPerOp int64   `json:"resolve_ns_per_op"`
+	SpeedupX       float64 `json:"speedup_x"`
+	RepairIters    int64   `json:"repair_iterations"`
+	ResolveIters   int64   `json:"resolve_iterations"`
+	Identical      bool    `json:"identical"`
+	// ChainSteps / Searches per op on the repair side (how much work a
+	// mutation actually costs the workspace).
+	ChainStepsPerOp float64 `json:"chain_steps_per_op"`
+	SearchesPerOp   float64 `json:"searches_per_op"`
+}
+
+// incrementalProblem builds the dynamic-workload instance: n
+// independently distributed objects, n/20 preference functions.
+// Independent (not anti-correlated) data keeps the identity gate
+// meaningful: the anti-correlated generator places a fraction of points
+// exactly on the diagonal, where hundreds of functions collide at the
+// last ulp of the score and the stable matching is no longer unique —
+// SB resolves such exact ties by TA scan order while the workspace uses
+// the definitional (score, function ID, object ID) order, so the two
+// can legitimately return different (equally stable) tie resolutions.
+func incrementalProblem(n, dims int, opts Options) *assign.Problem {
+	return &assign.Problem{
+		Dims:      dims,
+		Objects:   datagen.Objects(datagen.Independent, n, dims, opts.Seed),
+		Functions: datagen.Functions(opts.funcsFor(n), dims, opts.Seed+3),
+	}
+}
+
+// runIncremental measures the two churn scenarios for one (n, dims).
+func runIncremental(n, dims int, opts Options) ([]IncrementalCase, error) {
+	var out []IncrementalCase
+	for _, kind := range []string{"obj_churn", "func_churn"} {
+		c, err := runIncrementalCase(kind, n, dims, opts)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, c)
+	}
+	return out, nil
+}
+
+func runIncrementalCase(kind string, n, dims int, opts Options) (IncrementalCase, error) {
+	c := IncrementalCase{Name: "incremental_" + kind, N: n, Dims: dims}
+	cfg := assign.Config{}
+
+	// Repair side: one long-lived workspace absorbs every mutation.
+	base := incrementalProblem(n, dims, opts)
+	ws, err := assign.NewWorkspace(base, cfg)
+	if err != nil {
+		return c, fmt.Errorf("%s: workspace: %w", c.Name, err)
+	}
+	defer ws.Close()
+	statsBefore := ws.Stats()
+	repairOp, err := churnOp(kind, ws, base, opts)
+	if err != nil {
+		return c, err
+	}
+	repair, err := measure(opts.Budget, repairOp)
+	if err != nil {
+		return c, fmt.Errorf("%s repair: %w", c.Name, err)
+	}
+	statsAfter := ws.Stats()
+
+	// The repaired matching must equal a cold solve of the snapshot.
+	snap := ws.Snapshot()
+	cold, err := assign.SB(snap, cfg)
+	if err != nil {
+		return c, err
+	}
+	c.Identical = matchingEqual(ws.Pairs(), cold.Pairs)
+
+	// Resolve side: the same mutation stream, answered by full solves on
+	// a mirror instance.
+	mirror := incrementalProblem(n, dims, opts)
+	mirrorWS, err := assign.NewWorkspace(mirror, cfg)
+	if err != nil {
+		return c, err
+	}
+	// The mirror workspace only supplies mutation targets (kept in sync
+	// by applying the same churn); the measured work is the solve.
+	defer mirrorWS.Close()
+	churn, err := churnOp(kind, mirrorWS, mirror, opts)
+	if err != nil {
+		return c, err
+	}
+	resolveOp := func() error {
+		if err := churn(); err != nil {
+			return err
+		}
+		_, err := assign.SB(mirrorWS.Snapshot(), cfg)
+		return err
+	}
+	resolve, err := measure(opts.Budget, resolveOp)
+	if err != nil {
+		return c, fmt.Errorf("%s resolve: %w", c.Name, err)
+	}
+
+	c.RepairNsPerOp = repair.NsPerOp
+	c.ResolveNsPerOp = resolve.NsPerOp
+	c.RepairIters = repair.Iterations
+	c.ResolveIters = resolve.Iterations
+	if repair.NsPerOp > 0 {
+		c.SpeedupX = float64(resolve.NsPerOp) / float64(repair.NsPerOp)
+	}
+	ops := statsAfter.Mutations - statsBefore.Mutations
+	if ops > 0 {
+		c.ChainStepsPerOp = float64(statsAfter.ChainSteps-statsBefore.ChainSteps) / float64(ops)
+		c.SearchesPerOp = float64(statsAfter.Searches-statsBefore.Searches) / float64(ops)
+	}
+	return c, nil
+}
+
+// churnOp returns an op applying one departure + one arrival to the
+// workspace, keeping the population size constant. Object churn removes
+// the object currently assigned to a rotating function (forcing a
+// re-chain) and lists an identical replacement under a fresh ID;
+// function churn rotates a user out and back in.
+func churnOp(kind string, ws *assign.Workspace, base *assign.Problem, opts Options) (func() error, error) {
+	nextID := uint64(1 << 40)
+	switch kind {
+	case "obj_churn":
+		fids := make([]uint64, len(base.Functions))
+		for i, f := range base.Functions {
+			fids[i] = f.ID
+		}
+		i := 0
+		return func() error {
+			// Rotate over functions; churn each one's assigned object.
+			var victim uint64
+			var point []float64
+			for tries := 0; tries < len(fids); tries++ {
+				ps := ws.PairsOf(fids[i%len(fids)])
+				i++
+				if len(ps) > 0 {
+					victim = ps[0].ObjectID
+					break
+				}
+			}
+			if victim == 0 {
+				return fmt.Errorf("bench: no assigned object to churn")
+			}
+			pt, ok := ws.ObjectPoint(victim)
+			if !ok {
+				return fmt.Errorf("bench: victim %d not found", victim)
+			}
+			point = pt.Clone()
+			if err := ws.RemoveObject(victim); err != nil {
+				return err
+			}
+			nextID++
+			return ws.AddObject(assign.Object{ID: nextID, Point: point})
+		}, nil
+	case "func_churn":
+		// Cycle each function out and back in (same weights, fresh ID).
+		type slot struct {
+			id uint64
+			f  assign.Function
+		}
+		ring := make([]slot, len(base.Functions))
+		for i, f := range base.Functions {
+			ring[i] = slot{id: f.ID, f: f}
+		}
+		i := 0
+		return func() error {
+			s := &ring[i%len(ring)]
+			i++
+			if err := ws.RemoveFunction(s.id); err != nil {
+				return err
+			}
+			nextID++
+			nf := s.f
+			nf.ID = nextID
+			if err := ws.AddFunction(nf); err != nil {
+				return err
+			}
+			s.id = nextID
+			return nil
+		}, nil
+	}
+	return nil, fmt.Errorf("bench: unknown churn kind %q", kind)
+}
+
+// matchingEqual compares two matchings as (function, object) multisets
+// with scores equal to within floating-point roundoff.
+func matchingEqual(a, b []assign.Pair) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	type key struct {
+		f, o uint64
+	}
+	count := make(map[key]int, len(a))
+	score := make(map[key]float64, len(a))
+	for _, p := range b {
+		count[key{p.FuncID, p.ObjectID}]++
+		score[key{p.FuncID, p.ObjectID}] = p.Score
+	}
+	for _, p := range a {
+		k := key{p.FuncID, p.ObjectID}
+		if count[k] == 0 {
+			return false
+		}
+		count[k]--
+		if math.Abs(score[k]-p.Score) > 1e-9 {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,219 @@
+package conformance
+
+import (
+	"fmt"
+	"math/rand"
+
+	"fairassign/internal/assign"
+	"fairassign/internal/datagen"
+)
+
+// MutationSpec describes one randomized mutation script for the
+// incremental Workspace: an initial instance plus a deterministic
+// sequence of interleaved arrivals and departures on both sides.
+// Everything is derived from the fields, so a failing script reproduces
+// from its printed spec alone.
+type MutationSpec struct {
+	Seed   int64
+	Kind   datagen.Kind // object distribution (initial set and arrivals)
+	Dims   int          // 2..5 in the standard sweep
+	Caps   bool         // random capacities in [1,3] on both sides
+	Gammas bool         // random integer priorities γ in [1,4]
+	Steps  int          // number of mutations
+}
+
+func (s MutationSpec) String() string {
+	return fmt.Sprintf("mutation seed=%d kind=%s dims=%d caps=%t gammas=%t steps=%d",
+		s.Seed, s.Kind, s.Dims, s.Caps, s.Gammas, s.Steps)
+}
+
+// generateMutationBase builds the initial instance of a script. Sizes
+// stay small enough that the per-mutation cold re-solve keeps the whole
+// sweep cheap while every script still exercises multi-loop solves,
+// displacement chains, and vacancy chains.
+func generateMutationBase(spec MutationSpec, rng *rand.Rand) *assign.Problem {
+	nf := 4 + rng.Intn(10)  // 4..13 functions
+	no := 20 + rng.Intn(61) // 20..80 objects
+	objs := datagen.Objects(spec.Kind, no, spec.Dims, spec.Seed+1)
+	funcs := datagen.Functions(nf, spec.Dims, spec.Seed+2)
+	if spec.Gammas {
+		funcs = datagen.WithRandomGamma(funcs, 4, spec.Seed+3)
+	}
+	if spec.Caps {
+		funcs = datagen.WithRandomFunctionCapacity(funcs, 3, spec.Seed+4)
+		for i := range objs {
+			objs[i].Capacity = 1 + rng.Intn(3)
+		}
+	}
+	return &assign.Problem{Dims: spec.Dims, Objects: objs, Functions: funcs}
+}
+
+// checkMutated asserts that the workspace matching equals a cold SB
+// solve of the current snapshot (score-identical multiset) and is a
+// stable matching of it.
+func checkMutated(ws *assign.Workspace, spec MutationSpec, label string) error {
+	snap := ws.Snapshot()
+	cold, err := assign.SB(snap, config())
+	if err != nil {
+		return fmt.Errorf("[%s] %s: cold solve: %w", spec, label, err)
+	}
+	got := ws.Pairs()
+	if err := sameMatching(got, cold.Pairs); err != nil {
+		return fmt.Errorf("[%s] %s: workspace vs cold SB: %w", spec, label, err)
+	}
+	if err := assign.IsStable(snap, got); err != nil {
+		return fmt.Errorf("[%s] %s: workspace matching unstable: %w", spec, label, err)
+	}
+	return nil
+}
+
+// VerifyMutations runs one script end to end under the given workspace
+// config: after the initial build and after every mutation, the
+// workspace matching must be score-identical to a from-scratch SB solve
+// of the snapshot. It returns the first discrepancy, or nil.
+func VerifyMutations(spec MutationSpec, cfg assign.Config) error {
+	ws, err := runMutations(spec, cfg, func(ws *assign.Workspace, label string) error {
+		return checkMutated(ws, spec, label)
+	})
+	if err != nil {
+		return err
+	}
+	ws.Close()
+	return nil
+}
+
+// ReplayMutations applies the script without per-step validation and
+// returns the live workspace — for tests comparing end-state metrics
+// (e.g. I/O parity across store backends) after identical traffic.
+func ReplayMutations(spec MutationSpec, cfg assign.Config) (*assign.Workspace, error) {
+	return runMutations(spec, cfg, nil)
+}
+
+// runMutations builds the workspace and applies the script's mutation
+// sequence, invoking check (when non-nil) after the initial build and
+// after every mutation. On success the caller owns the workspace.
+func runMutations(spec MutationSpec, cfg assign.Config, check func(*assign.Workspace, string) error) (*assign.Workspace, error) {
+	rng := rand.New(rand.NewSource(spec.Seed))
+	p := generateMutationBase(spec, rng)
+	ws, err := assign.NewWorkspace(p, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("[%s] build: %w", spec, err)
+	}
+	fail := func(err error) (*assign.Workspace, error) {
+		ws.Close()
+		return nil, err
+	}
+	if check != nil {
+		if err := check(ws, "initial"); err != nil {
+			return fail(err)
+		}
+	}
+
+	nextID := uint64(1_000_000)
+	for step := 0; step < spec.Steps; step++ {
+		label := fmt.Sprintf("step %d", step)
+		snap := ws.Snapshot()
+		switch rng.Intn(4) {
+		case 0: // object arrival, drawn from the script's distribution
+			nextID++
+			o := datagen.Objects(spec.Kind, 1, spec.Dims, spec.Seed+101*int64(step)+7)[0]
+			o.ID = nextID
+			if spec.Caps {
+				o.Capacity = 1 + rng.Intn(3)
+			}
+			if err := ws.AddObject(o); err != nil {
+				return fail(fmt.Errorf("[%s] %s AddObject: %w", spec, label, err))
+			}
+			label += " AddObject"
+		case 1: // function arrival
+			nextID++
+			f := datagen.Functions(1, spec.Dims, spec.Seed+211*int64(step)+13)[0]
+			f.ID = nextID
+			if spec.Gammas {
+				f.Gamma = float64(1 + rng.Intn(4))
+			}
+			if spec.Caps {
+				f.Capacity = 1 + rng.Intn(3)
+			}
+			if err := ws.AddFunction(f); err != nil {
+				return fail(fmt.Errorf("[%s] %s AddFunction: %w", spec, label, err))
+			}
+			label += " AddFunction"
+		case 2: // object departure
+			if len(snap.Objects) <= 2 {
+				continue
+			}
+			id := snap.Objects[rng.Intn(len(snap.Objects))].ID
+			if err := ws.RemoveObject(id); err != nil {
+				return fail(fmt.Errorf("[%s] %s RemoveObject(%d): %w", spec, label, id, err))
+			}
+			label += " RemoveObject"
+		default: // function departure
+			if len(snap.Functions) <= 1 {
+				continue
+			}
+			id := snap.Functions[rng.Intn(len(snap.Functions))].ID
+			if err := ws.RemoveFunction(id); err != nil {
+				return fail(fmt.Errorf("[%s] %s RemoveFunction(%d): %w", spec, label, id, err))
+			}
+			label += " RemoveFunction"
+		}
+		if check != nil {
+			if err := check(ws, label); err != nil {
+				return fail(err)
+			}
+		}
+	}
+	return ws, nil
+}
+
+// MutationSweep enumerates the script grid — 3 distributions × dims
+// 2..5 × {plain, capacities} × {γ on, off} — with scriptsPerCell
+// scripts per cell. scriptsPerCell = 3 yields 144 scripts of 12
+// mutations each.
+func MutationSweep(scriptsPerCell int) []MutationSpec {
+	var specs []MutationSpec
+	seed := int64(5_000)
+	for _, kind := range []datagen.Kind{datagen.Independent, datagen.Correlated, datagen.AntiCorrelated} {
+		for dims := 2; dims <= 5; dims++ {
+			for _, caps := range []bool{false, true} {
+				for _, gammas := range []bool{false, true} {
+					for s := 0; s < scriptsPerCell; s++ {
+						specs = append(specs, MutationSpec{
+							Seed:   seed,
+							Kind:   kind,
+							Dims:   dims,
+							Caps:   caps,
+							Gammas: gammas,
+							Steps:  12,
+						})
+						seed += 11
+					}
+				}
+			}
+		}
+	}
+	return specs
+}
+
+// VerifyConfig runs the one-shot differential case of Verify but with a
+// caller-supplied execution config — used to put the whole algorithm
+// suite on a different store backend (FileStore) and to compare I/O
+// accounting across backends.
+func VerifyConfig(spec Spec, cfg assign.Config) error {
+	p := Generate(spec)
+	oracle, err := assign.Oracle(p)
+	if err != nil {
+		return fmt.Errorf("[%s] oracle: %w", spec, err)
+	}
+	for _, alg := range Algorithms() {
+		res, err := alg.Run(p, cfg)
+		if err != nil {
+			return fmt.Errorf("[%s] %s: %w", spec, alg.Name, err)
+		}
+		if err := sameMatching(res.Pairs, oracle.Pairs); err != nil {
+			return fmt.Errorf("[%s] %s vs Oracle: %w", spec, alg.Name, err)
+		}
+	}
+	return nil
+}

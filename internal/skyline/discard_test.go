@@ -1,0 +1,167 @@
+package skyline
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"fairassign/internal/geom"
+	"fairassign/internal/rtree"
+)
+
+func TestDiscardOnSkylineBehavesLikeRemove(t *testing.T) {
+	items := []rtree.Item{
+		{ID: 1, Point: geom.Point{0.5, 0.5}},
+		{ID: 2, Point: geom.Point{0.2, 0.8}},
+		{ID: 3, Point: geom.Point{0.4, 0.4}}, // dominated by 1
+	}
+	m, err := NewMaintainer(buildTree(t, items, 2), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Discard(1); err != nil {
+		t.Fatal(err)
+	}
+	got := idsOf(m.Skyline())
+	if len(got) != 2 || got[0] != 2 || got[1] != 3 {
+		t.Fatalf("after discarding 1: %v, want [2 3]", got)
+	}
+}
+
+func TestDiscardParkedObjectNeverResurfaces(t *testing.T) {
+	items := []rtree.Item{
+		{ID: 1, Point: geom.Point{0.5, 0.5}},
+		{ID: 3, Point: geom.Point{0.4, 0.4}}, // dominated by 1
+	}
+	m, err := NewMaintainer(buildTree(t, items, 2), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 is parked under 1; discard it while hidden.
+	if err := m.Discard(3); err != nil {
+		t.Fatal(err)
+	}
+	if m.Contains(3) {
+		t.Fatal("discarded object must not be on the skyline")
+	}
+	// Removing its dominator must not resurrect it.
+	if err := m.Remove(1); err != nil {
+		t.Fatal(err)
+	}
+	if m.Contains(3) {
+		t.Fatal("tombstoned object resurfaced after dominator removal")
+	}
+	if m.Size() != 0 {
+		t.Fatalf("skyline should be empty, has %v", idsOf(m.Skyline()))
+	}
+}
+
+func TestDiscardThenReinsertRevives(t *testing.T) {
+	items := []rtree.Item{
+		{ID: 1, Point: geom.Point{0.6, 0.6}},
+		{ID: 3, Point: geom.Point{0.4, 0.4}},
+	}
+	m, err := NewMaintainer(buildTree(t, items, 2), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Discard(3); err != nil { // parked: tombstone
+		t.Fatal(err)
+	}
+	// The object comes back (same ID, same point): the tombstone clears.
+	if err := m.Insert(rtree.Item{ID: 3, Point: geom.Point{0.4, 0.4}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Remove(1); err != nil {
+		t.Fatal(err)
+	}
+	if !m.Contains(3) {
+		t.Fatal("re-inserted object should resurface after dominator removal")
+	}
+	// Both the stale and the fresh parked copies of 3 pop during the
+	// resume above; the live-slot guard must keep exactly one.
+	if m.Size() != 1 {
+		t.Fatalf("skyline size %d, want 1", m.Size())
+	}
+}
+
+// TestDiscardRandomizedAgainstSFS drives a maintainer through a random
+// interleaving of discards (of arbitrary live objects) and re-arrivals,
+// checking the skyline against an SFS recomputation of the live set
+// after every step.
+func TestDiscardRandomizedAgainstSFS(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	const n = 120
+	items := make([]rtree.Item, n)
+	for i := range items {
+		items[i] = rtree.Item{ID: uint64(i + 1), Point: geom.Point{rng.Float64(), rng.Float64(), rng.Float64()}}
+	}
+	m, err := NewMaintainer(buildTree(t, items, 3), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	live := make(map[uint64]rtree.Item, n)
+	for _, it := range items {
+		live[it.ID] = it
+	}
+	check := func(step int) {
+		want := idsOf(SFS(liveItems(live)))
+		got := idsOf(m.Skyline())
+		if len(got) != len(want) {
+			t.Fatalf("step %d: skyline %v, want %v", step, got, want)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("step %d: skyline %v, want %v", step, got, want)
+			}
+		}
+	}
+	check(-1)
+	for step := 0; step < 200 && len(live) > 0; step++ {
+		if rng.Intn(4) == 0 {
+			// Revive a previously discarded object.
+			var cand []rtree.Item
+			for _, it := range items {
+				if _, ok := live[it.ID]; !ok {
+					cand = append(cand, it)
+				}
+			}
+			if len(cand) == 0 {
+				continue
+			}
+			sort.Slice(cand, func(i, j int) bool { return cand[i].ID < cand[j].ID })
+			it := cand[rng.Intn(len(cand))]
+			if !m.Contains(it.ID) {
+				if err := m.Insert(it); err != nil {
+					t.Fatalf("step %d: insert %d: %v", step, it.ID, err)
+				}
+				live[it.ID] = it
+			}
+		} else {
+			ids := liveIDs(live)
+			id := ids[rng.Intn(len(ids))]
+			if err := m.Discard(id); err != nil {
+				t.Fatalf("step %d: discard %d: %v", step, id, err)
+			}
+			delete(live, id)
+		}
+		check(step)
+	}
+}
+
+func liveItems(live map[uint64]rtree.Item) []rtree.Item {
+	out := make([]rtree.Item, 0, len(live))
+	for _, it := range live {
+		out = append(out, it)
+	}
+	return out
+}
+
+func liveIDs(live map[uint64]rtree.Item) []uint64 {
+	out := make([]uint64, 0, len(live))
+	for id := range live {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

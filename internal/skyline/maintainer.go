@@ -17,8 +17,15 @@ import (
 // skyline object move to that object's plist, the rest are re-examined by
 // resuming the branch-and-bound search. Theorem 1: no R-tree node is read
 // twice across the lifetime of the maintainer.
+//
+// A tree-backed maintainer (NewMaintainer) parks pruned subtrees by page
+// reference and therefore requires the tree to stay physically unchanged
+// for its lifetime; when the index itself absorbs inserts and deletes,
+// use NewMaintainerFromItems, which materializes every entry as a point
+// and never touches the tree again.
 type Maintainer struct {
-	tree *rtree.Tree
+	tree *rtree.Tree // nil for materialized maintainers (no node entries)
+	dims int
 	sky  map[uint64]*skyObj
 	mem  *metrics.MemTracker
 
@@ -33,6 +40,19 @@ type Maintainer struct {
 	// run nearly allocation-free.
 	free    []*skyObj
 	orphans []entry
+
+	// dead tombstones objects discarded while parked in a pruned list
+	// (Discard): their stale entries cannot be deleted in place, so they
+	// are dropped lazily if a dominator removal ever resurfaces them.
+	// With a live-check installed (SetLiveCheck) stale entries are
+	// detected directly and no tombstones accumulate.
+	dead map[uint64]bool
+
+	// liveCheck, when set, is consulted for every resurfacing point
+	// entry: an entry whose (id, point) the oracle rejects is dropped.
+	// This subsumes tombstoning — and unlike tombstones it stays correct
+	// when an ID is reused for a different point.
+	liveCheck func(id uint64, pt geom.Point) bool
 
 	// NodeReads counts R-tree node visits performed by this maintainer
 	// (used by tests to verify I/O optimality).
@@ -74,7 +94,7 @@ type skyObj struct {
 // be nil; when set, plist and heap footprints are tracked for the paper's
 // memory metric.
 func NewMaintainer(t *rtree.Tree, mem *metrics.MemTracker) (*Maintainer, error) {
-	m := &Maintainer{tree: t, sky: make(map[uint64]*skyObj), mem: mem}
+	m := &Maintainer{tree: t, dims: t.Dims(), sky: make(map[uint64]*skyObj), dead: make(map[uint64]bool), mem: mem}
 	if t.Len() == 0 {
 		return m, nil
 	}
@@ -89,6 +109,47 @@ func NewMaintainer(t *rtree.Tree, mem *metrics.MemTracker) (*Maintainer, error) 
 		return nil, err
 	}
 	return m, nil
+}
+
+// NewMaintainerFromItems builds a maintainer over an in-memory item
+// set, materializing every entry as a point. A tree-backed maintainer
+// parks whole pruned subtrees by page reference, which is I/O-optimal
+// but assumes the index never changes underneath it; a materialized
+// maintainer holds no index references at all, so it stays correct
+// while the index absorbs physical inserts and deletes — the dynamic
+// Workspace regime. Item points are aliased, not copied: callers must
+// treat them as immutable for the maintainer's lifetime.
+func NewMaintainerFromItems(dims int, items []rtree.Item, mem *metrics.MemTracker) *Maintainer {
+	m := &Maintainer{dims: dims, sky: make(map[uint64]*skyObj), dead: make(map[uint64]bool), mem: mem}
+	if len(items) == 0 {
+		return m
+	}
+	// Seed the skyline with SFS (descending corner-sum visit order means
+	// dominators precede what they dominate), then park the rest.
+	for _, it := range SFS(items) {
+		m.sky[it.ID] = m.newSkyObj(rtree.Item{ID: it.ID, Point: it.Point.Clone()})
+	}
+	for _, it := range items {
+		if _, onSky := m.sky[it.ID]; onSky {
+			continue
+		}
+		e := entry{
+			rect:  geom.RectFromPoint(it.Point),
+			child: pagestore.InvalidPage,
+			id:    it.ID,
+			key:   topCornerSum(geom.RectFromPoint(it.Point)),
+		}
+		o := m.dominator(e)
+		if o == nil {
+			// Non-strict domination ties (duplicate points) can leave an
+			// item outside both sets; it belongs on the skyline.
+			m.sky[it.ID] = m.newSkyObj(rtree.Item{ID: it.ID, Point: it.Point.Clone()})
+			continue
+		}
+		o.plist = append(o.plist, e)
+		trackMem(m.mem, entryBytes(m.dims))
+	}
+	return m
 }
 
 // Skyline returns the current skyline objects (unspecified order).
@@ -129,6 +190,10 @@ func (m *Maintainer) Insert(it rtree.Item) error {
 	if _, dup := m.sky[it.ID]; dup {
 		return fmt.Errorf("skyline: object %d already on the skyline", it.ID)
 	}
+	// A re-arrival revives a tombstoned object: any stale parked entry
+	// for the same ID now represents the same live point again, so the
+	// lazy-drop marker must go.
+	delete(m.dead, it.ID)
 	e := entry{
 		rect:  geom.RectFromPoint(it.Point),
 		child: pagestore.InvalidPage,
@@ -137,7 +202,7 @@ func (m *Maintainer) Insert(it rtree.Item) error {
 	}
 	if o := m.dominator(e); o != nil {
 		o.plist = append(o.plist, e)
-		trackMem(m.mem, entryBytes(m.tree.Dims()))
+		trackMem(m.mem, entryBytes(m.dims))
 		return nil
 	}
 	obj := m.newSkyObj(rtree.Item{ID: it.ID, Point: it.Point.Clone()})
@@ -151,7 +216,7 @@ func (m *Maintainer) Insert(it rtree.Item) error {
 			}
 			obj.plist = append(obj.plist, demoted)
 			obj.plist = append(obj.plist, s.plist...)
-			trackMem(m.mem, entryBytes(m.tree.Dims()))
+			trackMem(m.mem, entryBytes(m.dims))
 			delete(m.sky, id)
 			m.recycle(s)
 		}
@@ -165,29 +230,77 @@ func (m *Maintainer) Insert(it rtree.Item) error {
 // Algorithm 2. It is an error to remove an object that is not currently
 // on the skyline.
 func (m *Maintainer) Remove(ids ...uint64) error {
+	return m.remove(ids, false)
+}
+
+// Discard deletes objects from the maintained set wherever they
+// currently live — the general deletion the dynamic Workspace needs. An
+// object on the skyline is removed exactly as Remove would; an object
+// parked in a pruned list (or pruned away inside an unread subtree)
+// cannot be deleted in place, so it is tombstoned and dropped lazily if
+// a later dominator removal resurfaces it.
+func (m *Maintainer) Discard(ids ...uint64) error {
+	return m.remove(ids, true)
+}
+
+// SetLiveCheck installs the validity oracle. Call it before any
+// Discard traffic; installing one later does not retroactively clear
+// tombstones already taken.
+func (m *Maintainer) SetLiveCheck(fn func(id uint64, pt geom.Point) bool) {
+	m.liveCheck = fn
+}
+
+// stale reports whether a resurfacing point entry no longer represents
+// a live object: tombstoned, or rejected by the live-check oracle.
+func (m *Maintainer) stale(e entry) bool {
+	if m.dead[e.id] {
+		return true
+	}
+	return m.liveCheck != nil && !m.liveCheck(e.id, e.rect.Min)
+}
+
+func (m *Maintainer) remove(ids []uint64, lenient bool) error {
 	if len(ids) == 0 {
 		return nil
 	}
 	// Collect pruned lists of all removed objects, then drop the objects
 	// (their slots are recycled for future skyline arrivals).
 	orphans := m.orphans[:0]
+	onSky := false
 	for _, id := range ids {
 		s, ok := m.sky[id]
 		if !ok {
-			m.orphans = orphans
-			return fmt.Errorf("skyline: object %d is not on the skyline", id)
+			if !lenient {
+				m.orphans = orphans
+				return fmt.Errorf("skyline: object %d is not on the skyline", id)
+			}
+			if m.liveCheck == nil {
+				// Without an oracle the only way to drop the parked
+				// entry later is a tombstone.
+				m.dead[id] = true
+			}
+			continue
 		}
 		orphans = append(orphans, s.plist...)
 		delete(m.sky, id)
 		m.recycle(s)
+		onSky = true
 	}
 	m.orphans = orphans
+	if !onSky {
+		return nil // only tombstones: the skyline is untouched
+	}
 
 	// Line 1 of UpdateSkyline: entries dominated by a surviving skyline
 	// object migrate to that object's plist; the rest form Scand.
+	// Stale point entries evaporate here instead of re-parking.
 	h := acquireEntryHeap()
 	defer releaseEntryHeap(h)
 	for _, e := range orphans {
+		if e.isPoint() && m.stale(e) {
+			trackMem(m.mem, -entryBytes(m.dims))
+			continue
+		}
 		if o := m.dominator(e); o != nil {
 			o.plist = append(o.plist, e)
 			continue
@@ -207,10 +320,22 @@ func (m *Maintainer) Remove(ids ...uint64) error {
 func (m *Maintainer) resume(h *entryHeap) error {
 	for h.Len() > 0 {
 		e := h.pop()
-		trackMem(m.mem, -entryBytes(m.tree.Dims()))
+		trackMem(m.mem, -entryBytes(m.dims))
+		if e.isPoint() {
+			// Stale entries (tombstoned or oracle-rejected) evaporate on
+			// resurfacing, and an ID already back on the skyline (a
+			// stale copy from a Discard/Insert cycle) must not clobber
+			// its live slot.
+			if m.stale(e) {
+				continue
+			}
+			if _, live := m.sky[e.id]; live {
+				continue
+			}
+		}
 		if o := m.dominator(e); o != nil {
 			o.plist = append(o.plist, e)
-			trackMem(m.mem, entryBytes(m.tree.Dims()))
+			trackMem(m.mem, entryBytes(m.dims))
 			continue
 		}
 		if e.isPoint() {
@@ -247,6 +372,9 @@ func (m *Maintainer) dominator(e entry) *skyObj {
 }
 
 func (m *Maintainer) readNode(id pagestore.PageID) (*rtree.Node, error) {
+	if m.tree == nil {
+		return nil, fmt.Errorf("skyline: materialized maintainer holds node entry for page %d", id)
+	}
 	m.NodeReads++
 	return m.tree.ReadNode(id)
 }
@@ -259,6 +387,6 @@ func (m *Maintainer) pushChildren(h *entryHeap, n *rtree.Node) {
 			id:    ne.ID,
 			key:   topCornerSum(ne.Rect),
 		})
-		trackMem(m.mem, entryBytes(m.tree.Dims()))
+		trackMem(m.mem, entryBytes(m.dims))
 	}
 }

@@ -11,6 +11,8 @@
 package topk
 
 import (
+	"math"
+
 	"fairassign/internal/geom"
 	"fairassign/internal/heaputil"
 	"fairassign/internal/pagestore"
@@ -68,6 +70,17 @@ func NewSearcher(t *rtree.Tree, weights []float64, skip func(uint64) bool) *Sear
 // the tree is exhausted. Successive calls enumerate objects in
 // non-increasing score order, skipping tombstoned ones at pop time.
 func (s *Searcher) Next() (item rtree.Item, score float64, ok bool, err error) {
+	return s.NextAtLeast(math.Inf(-1))
+}
+
+// NextAtLeast is Next bounded from below: it returns the best remaining
+// object scoring at least bound, or ok == false once every unexplored
+// entry is bounded below it. The frontier heap is left intact, so the
+// search can resume later — including with a lower bound. The Workspace
+// uses this with the best available-object score as the ceiling: its
+// displacement search only expands the (typically tiny) index region
+// that could beat taking a free object outright.
+func (s *Searcher) NextAtLeast(bound float64) (item rtree.Item, score float64, ok bool, err error) {
 	if !s.started {
 		s.started = true
 		if s.tree.Len() > 0 {
@@ -79,6 +92,9 @@ func (s *Searcher) Next() (item rtree.Item, score float64, ok bool, err error) {
 		}
 	}
 	for len(s.h) > 0 {
+		if s.h[0].key < bound {
+			return rtree.Item{}, 0, false, nil
+		}
 		e := s.h.pop()
 		if e.isPoint() {
 			if s.skip != nil && s.skip(e.id) {

@@ -1,0 +1,202 @@
+package fairassign
+
+import (
+	"fmt"
+
+	"fairassign/internal/assign"
+	"fairassign/internal/geom"
+)
+
+// Workspace is the long-lived, incremental counterpart of Solver. Where
+// NewSolver(...).Solve() rebuilds the object index and search
+// structures on every call, a Workspace builds them once and then
+// *repairs* the stable matching in place as users and objects arrive or
+// depart — the dynamic regime of a live serving system.
+//
+// Repair semantics versus Solve. After every mutation the workspace
+// matching is exactly the matching Solve would produce on the current
+// population (same pairs, scores equal to floating-point roundoff): a
+// function arrival proposes down its preference order and displaces
+// strictly worse assignments along a bounded chain; an object departure
+// frees its holders, which re-chain; an object arrival or a function
+// departure opens vacancies that pull the best wanting functions,
+// cascading until no one benefits. Both sides rank every pair by the
+// same score f(o), so the stable matching is unique and chain repair
+// converges to it without a global recomputation. The skyline of
+// objects with remaining capacity (the availability frontier) is
+// maintained incrementally and prices every proposal: a displacement
+// search only explores the index region that could beat the best freely
+// available object.
+//
+// A Workspace is not safe for concurrent use; wrap it with a mutex (or
+// shard by tenant, one workspace each) for concurrent serving.
+type Workspace struct {
+	ws   *assign.Workspace
+	opts Options
+}
+
+// WorkspaceStats summarizes a workspace and the repair work it has
+// performed since construction.
+type WorkspaceStats struct {
+	// Population and matching size.
+	Objects       int
+	Functions     int
+	AssignedUnits int
+	// AvailableFrontier is the current size of the maintained skyline
+	// over objects with spare capacity.
+	AvailableFrontier int
+	// Mutations counts Add/Remove calls; ChainSteps counts the
+	// reassignments repair performed for them; Searches counts the
+	// bounded top-1 probes those chains issued. Resolves counts
+	// from-scratch solves (always 1: the initial build).
+	Mutations  int64
+	ChainSteps int64
+	Searches   int64
+	Resolves   int64
+	// IOAccesses is the paper's I/O metric accumulated over the
+	// workspace lifetime (both indexes).
+	IOAccesses int64
+}
+
+// NewWorkspace validates the inputs, builds the shared solver state,
+// and computes the initial matching. Options are honored exactly as in
+// NewSolver; the Algorithm field is ignored (the initial solve is SB,
+// mutations use chain repair).
+func NewWorkspace(objects []Object, functions []Function, opts Options) (*Workspace, error) {
+	if len(objects) == 0 && len(functions) == 0 {
+		return nil, fmt.Errorf("fairassign: nothing to assign")
+	}
+	dims := 0
+	if len(objects) > 0 {
+		dims = len(objects[0].Attributes)
+	} else {
+		dims = len(functions[0].Weights)
+	}
+	p := &assign.Problem{Dims: dims}
+	for _, o := range objects {
+		p.Objects = append(p.Objects, assign.Object{
+			ID:       o.ID,
+			Point:    geom.Point(o.Attributes).Clone(),
+			Capacity: o.Capacity,
+		})
+	}
+	for _, f := range functions {
+		w, err := prepareWeights(f, opts)
+		if err != nil {
+			return nil, err
+		}
+		p.Functions = append(p.Functions, assign.Function{
+			ID:       f.ID,
+			Weights:  w,
+			Gamma:    f.Gamma,
+			Capacity: f.Capacity,
+		})
+	}
+	ws, err := assign.NewWorkspace(p, assign.Config{
+		PageSize:         opts.PageSize,
+		BufferFrac:       opts.BufferFraction,
+		OmegaFrac:        opts.OmegaFraction,
+		Workers:          opts.Workers,
+		DisableNodeCache: opts.DisableNodeCache,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Workspace{ws: ws, opts: opts}, nil
+}
+
+// prepareWeights copies (and unless opted out, normalizes) a function's
+// weight vector, mirroring NewSolver's validation.
+func prepareWeights(f Function, opts Options) ([]float64, error) {
+	w := make([]float64, len(f.Weights))
+	copy(w, f.Weights)
+	if !opts.SkipNormalization {
+		sum := 0.0
+		for _, v := range w {
+			if v < 0 {
+				return nil, fmt.Errorf("fairassign: function %d has negative weight", f.ID)
+			}
+			sum += v
+		}
+		if sum <= 0 {
+			return nil, fmt.Errorf("fairassign: function %d has zero weights", f.ID)
+		}
+		for i := range w {
+			w[i] /= sum
+		}
+	}
+	return w, nil
+}
+
+// Dims returns the workspace dimensionality.
+func (w *Workspace) Dims() int { return w.ws.Dims() }
+
+// AddObject introduces a new object; the matching is repaired in place.
+func (w *Workspace) AddObject(o Object) error {
+	return w.ws.AddObject(assign.Object{
+		ID:       o.ID,
+		Point:    geom.Point(o.Attributes).Clone(),
+		Capacity: o.Capacity,
+	})
+}
+
+// RemoveObject withdraws an object; functions holding it are reassigned
+// along repair chains.
+func (w *Workspace) RemoveObject(id uint64) error { return w.ws.RemoveObject(id) }
+
+// AddFunction introduces a new preference function (normalized per the
+// workspace Options); it claims its stable share of the objects via a
+// displacement chain.
+func (w *Workspace) AddFunction(f Function) error {
+	weights, err := prepareWeights(f, w.opts)
+	if err != nil {
+		return err
+	}
+	return w.ws.AddFunction(assign.Function{
+		ID:       f.ID,
+		Weights:  weights,
+		Gamma:    f.Gamma,
+		Capacity: f.Capacity,
+	})
+}
+
+// RemoveFunction withdraws a function; the object units it held are
+// re-offered to the functions that want them most.
+func (w *Workspace) RemoveFunction(id uint64) error { return w.ws.RemoveFunction(id) }
+
+// Assignment returns the current stable matching in the definitional
+// greedy order (descending score, ties by ascending IDs).
+func (w *Workspace) Assignment() []Pair {
+	pairs := w.ws.Pairs()
+	out := make([]Pair, len(pairs))
+	for i, p := range pairs {
+		out[i] = Pair{FunctionID: p.FuncID, ObjectID: p.ObjectID, Score: p.Score}
+	}
+	return out
+}
+
+// Stats returns a point-in-time summary of the workspace.
+func (w *Workspace) Stats() WorkspaceStats {
+	s := w.ws.Stats()
+	return WorkspaceStats{
+		Objects:           s.Objects,
+		Functions:         s.Functions,
+		AssignedUnits:     s.AssignedUnits,
+		AvailableFrontier: s.SkylineSize,
+		Mutations:         s.Mutations,
+		ChainSteps:        s.ChainSteps,
+		Searches:          s.Searches,
+		Resolves:          s.Resolves,
+		IOAccesses:        s.IO.Accesses(),
+	}
+}
+
+// Verify checks that the current matching is stable for the current
+// population — an audit hook mirroring Solver.Verify.
+func (w *Workspace) Verify() error {
+	return assign.IsStable(w.ws.Snapshot(), w.ws.Pairs())
+}
+
+// Close releases the page stores behind the workspace indexes. The
+// workspace must not be used afterwards.
+func (w *Workspace) Close() { w.ws.Close() }

@@ -1,0 +1,199 @@
+package fairassign
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// resolveAssignment solves the given population from scratch for
+// comparison with the workspace's repaired matching.
+func resolveAssignment(t *testing.T, objects []Object, functions []Function) []Pair {
+	t.Helper()
+	s, err := NewSolver(objects, functions, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Pairs
+}
+
+func pairKeySet(t *testing.T, pairs []Pair) map[[2]uint64]int {
+	t.Helper()
+	m := make(map[[2]uint64]int, len(pairs))
+	for _, p := range pairs {
+		m[[2]uint64{p.FunctionID, p.ObjectID}]++
+	}
+	return m
+}
+
+func sameAssignment(t *testing.T, label string, got, want []Pair) {
+	t.Helper()
+	g, w := pairKeySet(t, got), pairKeySet(t, want)
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d pairs, want %d", label, len(got), len(want))
+	}
+	for k, n := range w {
+		if g[k] != n {
+			t.Fatalf("%s: pair f%d-o%d count %d, want %d", label, k[0], k[1], g[k], n)
+		}
+	}
+}
+
+func TestWorkspaceLifecycle(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	objects := GenerateObjects(Independent, 120, 3, 1)
+	functions := GenerateFunctions(20, 3, 2)
+
+	ws, err := NewWorkspace(objects, functions, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ws.Close()
+
+	live := map[uint64]Object{}
+	for _, o := range objects {
+		live[o.ID] = o
+	}
+	liveFuncs := map[uint64]Function{}
+	for _, f := range functions {
+		liveFuncs[f.ID] = f
+	}
+	check := func(label string) {
+		t.Helper()
+		var objs []Object
+		for _, o := range live {
+			objs = append(objs, o)
+		}
+		var funcs []Function
+		for _, f := range liveFuncs {
+			funcs = append(funcs, f)
+		}
+		sameAssignment(t, label, ws.Assignment(), resolveAssignment(t, objs, funcs))
+		if err := ws.Verify(); err != nil {
+			t.Fatalf("%s: %v", label, err)
+		}
+	}
+	check("initial")
+
+	// A newcomer logs in.
+	newF := GenerateFunctions(1, 3, 99)[0]
+	newF.ID = 5000
+	if err := ws.AddFunction(newF); err != nil {
+		t.Fatal(err)
+	}
+	liveFuncs[newF.ID] = newF
+	check("after function arrival")
+
+	// An assigned object sells.
+	sold := ws.Assignment()[0].ObjectID
+	if err := ws.RemoveObject(sold); err != nil {
+		t.Fatal(err)
+	}
+	delete(live, sold)
+	check("after object departure")
+
+	// Fresh supply is listed.
+	newO := GenerateObjects(Correlated, 1, 3, 123)[0]
+	newO.ID = 6000
+	if err := ws.AddObject(newO); err != nil {
+		t.Fatal(err)
+	}
+	live[newO.ID] = newO
+	check("after object arrival")
+
+	// A user logs out.
+	var anyF uint64
+	for id := range liveFuncs {
+		anyF = id
+		break
+	}
+	if err := ws.RemoveFunction(anyF); err != nil {
+		t.Fatal(err)
+	}
+	delete(liveFuncs, anyF)
+	check("after function departure")
+
+	// A burst of random churn.
+	nextID := uint64(9000)
+	for i := 0; i < 20; i++ {
+		switch rng.Intn(4) {
+		case 0:
+			nextID++
+			o := GenerateObjects(AntiCorrelated, 1, 3, int64(nextID))[0]
+			o.ID = nextID
+			if err := ws.AddObject(o); err != nil {
+				t.Fatal(err)
+			}
+			live[o.ID] = o
+		case 1:
+			nextID++
+			f := GenerateFunctions(1, 3, int64(nextID))[0]
+			f.ID = nextID
+			if err := ws.AddFunction(f); err != nil {
+				t.Fatal(err)
+			}
+			liveFuncs[f.ID] = f
+		case 2:
+			for id := range live {
+				if len(live) > 2 {
+					if err := ws.RemoveObject(id); err != nil {
+						t.Fatal(err)
+					}
+					delete(live, id)
+				}
+				break
+			}
+		default:
+			for id := range liveFuncs {
+				if len(liveFuncs) > 1 {
+					if err := ws.RemoveFunction(id); err != nil {
+						t.Fatal(err)
+					}
+					delete(liveFuncs, id)
+				}
+				break
+			}
+		}
+	}
+	check("after churn")
+
+	st := ws.Stats()
+	if st.Mutations != 24 {
+		t.Fatalf("mutations = %d, want 24", st.Mutations)
+	}
+	if st.Resolves != 1 {
+		t.Fatalf("resolves = %d — mutations must repair, not re-solve", st.Resolves)
+	}
+	if st.Objects != len(live) || st.Functions != len(liveFuncs) {
+		t.Fatalf("stats population %d/%d, want %d/%d", st.Objects, st.Functions, len(live), len(liveFuncs))
+	}
+}
+
+func TestWorkspaceNormalizesLikeSolver(t *testing.T) {
+	objects := GenerateObjects(Independent, 50, 2, 3)
+	ws, err := NewWorkspace(objects, []Function{{ID: 1, Weights: []float64{2, 6}}}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ws.Close()
+	// Un-normalized arrival: same weights scaled; must behave like the
+	// normalized {0.25, 0.75}.
+	if err := ws.AddFunction(Function{ID: 2, Weights: []float64{1, 3}}); err != nil {
+		t.Fatal(err)
+	}
+	asg := ws.Assignment()
+	if len(asg) != 2 {
+		t.Fatalf("assignment has %d pairs, want 2", len(asg))
+	}
+	sameAssignment(t, "normalized arrivals", asg,
+		resolveAssignment(t, objects, []Function{
+			{ID: 1, Weights: []float64{2, 6}},
+			{ID: 2, Weights: []float64{1, 3}},
+		}))
+	if err := ws.AddFunction(Function{ID: 3, Weights: []float64{0, 0}}); err == nil {
+		t.Fatal("zero-weight function accepted")
+	}
+}
