@@ -41,6 +41,7 @@ func main() {
 	preflight := flag.Int("preflight", 1, "conformance seeds per grid cell (0 skips the sweep)")
 	quick := flag.Bool("quick", false, "CI smoke preset: tiny sizes, short budget")
 	baseline := flag.String("baseline", "", "prior report (e.g. BENCH_main.json) to compute before/after deltas against")
+	maxRegress := flag.Float64("maxregress", 0, "fail if any warm case regresses vs the baseline by more than this percent (0 disables)")
 	flag.Parse()
 
 	opts := bench.Options{
@@ -118,6 +119,16 @@ func main() {
 				c.Name, c.N, c.Dims, c.Cold.LogicalReads, c.Cold.PhysicalIO, c.Warm.LogicalReads, c.Warm.PhysicalIO)
 		}
 	}
+	regressed := false
+	if *maxRegress > 0 {
+		for _, c := range rep.Cases {
+			if c.VsBaseline != nil && c.VsBaseline.NsReductionPct < -*maxRegress {
+				regressed = true
+				fmt.Fprintf(os.Stderr, "bench: %s(n=%d,dims=%d) regressed %.1f%% vs baseline (limit %.1f%%)\n",
+					c.Name, c.N, c.Dims, -c.VsBaseline.NsReductionPct, *maxRegress)
+			}
+		}
+	}
 	for _, c := range rep.Incremental {
 		match := "matching=identical"
 		if !c.Identical {
@@ -129,6 +140,11 @@ func main() {
 			diverged = true
 			fmt.Fprintf(os.Stderr, "bench: %s(n=%d,dims=%d): repaired matching differs from a cold solve\n", c.Name, c.N, c.Dims)
 		}
+	}
+
+	for _, c := range rep.Concurrent {
+		fmt.Printf("%-22s n=%-6d d=%d  readers=%-3d %10.0f reads/s | repair %10d ns/op under load | %d mutations, %d epochs observed\n",
+			c.Name, c.N, c.Dims, c.Readers, c.ReadsPerSec, c.RepairNsPerOp, c.Mutations, c.ReaderEpochSpread)
 	}
 
 	// Write the report even on divergence — the JSON is the evidence
@@ -144,7 +160,7 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("wrote %s (%d cases, conformance: %s)\n", *out, len(rep.Cases), rep.Conformance)
-	if diverged {
+	if diverged || regressed {
 		os.Exit(1)
 	}
 }

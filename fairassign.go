@@ -40,7 +40,12 @@
 // repairs the stable matching in place as objects and functions arrive
 // or depart (AddObject, RemoveObject, AddFunction, RemoveFunction) —
 // orders of magnitude cheaper than re-solving, with the identical
-// matching. See the Workspace type.
+// matching. A Workspace is safe for concurrent use under a
+// single-writer / many-readers contract: mutations are serialized
+// internally, and Workspace.Snapshot returns a View — an immutable,
+// epoch-pinned observation of the matching, population, and object
+// index that stays consistent (byte-identical output) no matter how
+// the workspace mutates afterwards. See the Workspace and View types.
 package fairassign
 
 import (

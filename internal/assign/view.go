@@ -1,0 +1,227 @@
+package assign
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"fairassign/internal/pagestore"
+	"fairassign/internal/rtree"
+	"fairassign/internal/skyline"
+	"fairassign/internal/topk"
+)
+
+// pubState is one published epoch of a Workspace: the logical matching
+// state captured under the writer lock, plus a pagestore snapshot
+// pinning the object index's pages at the same epoch. It is shared —
+// refcounted — between the workspace (which caches the state of its
+// latest epoch until the next mutation) and every View handed out for
+// that epoch; the page snapshot is released when the last reference
+// drops.
+//
+// Captured slices alias the writer's immutable per-entity storage
+// (object points and function weight vectors are cloned on arrival and
+// never written again), so a capture is three flat struct copies, not a
+// deep clone. Derived forms — the definitional sort order, the
+// per-function index, the object lookup — are materialized lazily,
+// once per epoch, on first use.
+type pubState struct {
+	refs atomic.Int64
+
+	epoch uint64
+	dims  int
+	snap  *pagestore.Snapshot
+	meta  rtree.Meta
+	stats WorkspaceStats
+	avail []rtree.Item // availability frontier (skyline of spare capacity)
+
+	pairs    []Pair // definitional order after sortOnce
+	sortOnce sync.Once
+
+	objs  []Object
+	funcs []Function
+
+	byFunc     map[uint64][]Pair
+	byFuncOnce sync.Once
+
+	objByID     map[uint64]Object
+	objByIDOnce sync.Once
+}
+
+func (p *pubState) retain() { p.refs.Add(1) }
+
+// tryRetain takes a reference only if the state is still alive —
+// the lock-free Snapshot fast path. Failure means a concurrent
+// release drove the count to zero (the state is being destroyed);
+// the caller falls back to the locked slow path.
+func (p *pubState) tryRetain() bool {
+	for {
+		r := p.refs.Load()
+		if r <= 0 {
+			return false
+		}
+		if p.refs.CompareAndSwap(r, r+1) {
+			return true
+		}
+	}
+}
+
+func (p *pubState) release() {
+	if p.refs.Add(-1) == 0 {
+		p.snap.Release()
+	}
+}
+
+func (p *pubState) sortedPairs() []Pair {
+	p.sortOnce.Do(func() { sortPairsDefinitional(p.pairs) })
+	return p.pairs
+}
+
+func (p *pubState) pairsOf(fid uint64) []Pair {
+	p.byFuncOnce.Do(func() {
+		idx := make(map[uint64][]Pair)
+		for _, pr := range p.sortedPairs() {
+			idx[pr.FuncID] = append(idx[pr.FuncID], pr)
+		}
+		p.byFunc = idx
+	})
+	return p.byFunc[fid]
+}
+
+func (p *pubState) object(id uint64) (Object, bool) {
+	p.objByIDOnce.Do(func() {
+		idx := make(map[uint64]Object, len(p.objs))
+		for _, o := range p.objs {
+			idx[o.ID] = o
+		}
+		p.objByID = idx
+	})
+	o, ok := p.objByID[id]
+	return o, ok
+}
+
+// View is a snapshot-isolated read handle on a Workspace: every method
+// answers from the epoch the view pinned when Workspace.Snapshot was
+// called, no matter how many mutations the workspace absorbs
+// afterwards. Logical reads (Pairs, Stats, Problem) are served from the
+// captured state; index-backed queries (TopK, Skyline, Tree) traverse
+// the object R-tree through the pinned page epoch. A View is safe for
+// concurrent use by multiple goroutines, stays valid after the
+// workspace is closed, and must be Closed to release the epoch's page
+// versions for reclamation.
+type View struct {
+	pub    *pubState
+	closed atomic.Bool
+}
+
+// Epoch returns the published workspace epoch this view pins.
+func (v *View) Epoch() uint64 { return v.pub.epoch }
+
+// Dims returns the problem dimensionality.
+func (v *View) Dims() int { return v.pub.dims }
+
+// Closed reports whether Close has been called.
+func (v *View) Closed() bool { return v.closed.Load() }
+
+// Close releases the view's pin on its epoch. Idempotent. After the
+// last view of an epoch closes (and the workspace has moved on), the
+// page versions and decoded nodes only that epoch kept alive are
+// reclaimed.
+func (v *View) Close() {
+	if v.closed.CompareAndSwap(false, true) {
+		v.pub.release()
+	}
+}
+
+// Pairs returns the frozen matching in the definitional greedy order.
+// The slice is shared by every caller on this epoch and must be treated
+// as immutable.
+func (v *View) Pairs() []Pair {
+	if v.closed.Load() {
+		return nil
+	}
+	return v.pub.sortedPairs()
+}
+
+// PairsOf returns the frozen assignments of one function, best first.
+// Shared and immutable, like Pairs.
+func (v *View) PairsOf(fid uint64) []Pair {
+	if v.closed.Load() {
+		return nil
+	}
+	return v.pub.pairsOf(fid)
+}
+
+// Stats returns the workspace summary as of the view's epoch (the
+// zero value once the view is closed).
+func (v *View) Stats() WorkspaceStats {
+	if v.closed.Load() {
+		return WorkspaceStats{}
+	}
+	return v.pub.stats
+}
+
+// Object returns a frozen object by ID.
+func (v *View) Object(id uint64) (Object, bool) {
+	if v.closed.Load() {
+		return Object{}, false
+	}
+	return v.pub.object(id)
+}
+
+// Problem materializes the frozen population as a Problem. Entity
+// slices are shared with the view (treat as immutable); the per-entity
+// points and weights are the immutable originals.
+func (v *View) Problem() *Problem {
+	if v.closed.Load() {
+		return nil
+	}
+	return &Problem{Dims: v.pub.dims, Objects: v.pub.objs, Functions: v.pub.funcs}
+}
+
+// VerifyStable checks that the frozen matching is stable for the frozen
+// population — the audit hook, answered entirely from the snapshot.
+func (v *View) VerifyStable() error {
+	if v.closed.Load() {
+		return ErrViewClosed
+	}
+	return IsStable(v.Problem(), v.Pairs())
+}
+
+// Tree returns the object index frozen at the view's epoch. Searches
+// over it read the pinned page versions and never touch the writer's
+// buffer pool or I/O counters.
+func (v *View) Tree() *rtree.View {
+	return rtree.NewView(v.pub.snap, v.pub.dims, v.pub.meta)
+}
+
+// TopK runs a BRS ranked search with the given effective weights over
+// the frozen object index, returning the k best objects and scores.
+func (v *View) TopK(weights []float64, k int) ([]rtree.Item, []float64, error) {
+	if v.closed.Load() {
+		return nil, nil, ErrViewClosed
+	}
+	return topk.TopK(v.Tree(), weights, k, nil)
+}
+
+// Skyline computes the skyline of the frozen object set with BBS over
+// the pinned index epoch.
+func (v *View) Skyline() ([]rtree.Item, error) {
+	if v.closed.Load() {
+		return nil, ErrViewClosed
+	}
+	return skyline.Compute(v.Tree(), nil)
+}
+
+// AvailableFrontier returns the frozen availability skyline (objects
+// with spare capacity, as maintained incrementally by the workspace).
+// Shared and immutable.
+func (v *View) AvailableFrontier() []rtree.Item {
+	if v.closed.Load() {
+		return nil
+	}
+	return v.pub.avail
+}
+
+// IOReads reports how many page resolutions this view's epoch snapshot
+// has served so far (reader-side I/O; never charged to the writer).
+func (v *View) IOReads() int64 { return v.pub.snap.Reads() }

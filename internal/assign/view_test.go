@@ -1,0 +1,311 @@
+package assign
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"fairassign/internal/geom"
+	"fairassign/internal/rtree"
+	"fairassign/internal/skyline"
+)
+
+func viewTestWorkspace(t *testing.T, n, nf, dims int, seed int64) *Workspace {
+	t.Helper()
+	ws, err := NewWorkspace(randProblem(rand.New(rand.NewSource(seed)), nf, n, dims), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ws
+}
+
+// randPoint / randWeights draw fresh entities for mutation batches.
+func randPoint(rng *rand.Rand, dims int) geom.Point {
+	pt := make(geom.Point, dims)
+	for d := range pt {
+		pt[d] = rng.Float64()
+	}
+	return pt
+}
+
+func randWeights(rng *rand.Rand, dims int) []float64 {
+	w := make([]float64, dims)
+	sum := 0.0
+	for d := range w {
+		w[d] = 0.05 + rng.Float64()
+		sum += w[d]
+	}
+	for d := range w {
+		w[d] /= sum
+	}
+	return w
+}
+
+func clonePairs(ps []Pair) []Pair { return append([]Pair(nil), ps...) }
+
+func identicalPairs(t *testing.T, label string, got, want []Pair) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d pairs, want %d", label, len(got), len(want))
+	}
+	for i := range got {
+		g, w := got[i], want[i]
+		if g.FuncID != w.FuncID || g.ObjectID != w.ObjectID ||
+			math.Float64bits(g.Score) != math.Float64bits(w.Score) {
+			t.Fatalf("%s: pair %d = %+v, want %+v", label, i, g, w)
+		}
+	}
+}
+
+// mutateBatch applies a deterministic batch of all four mutation kinds.
+func mutateBatch(t *testing.T, ws *Workspace, seed int64) {
+	t.Helper()
+	snap := ws.ProblemSnapshot()
+	if err := ws.RemoveObject(snap.Objects[len(snap.Objects)/2].ID); err != nil {
+		t.Fatal(err)
+	}
+	if err := ws.RemoveFunction(snap.Functions[0].ID); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	if err := ws.AddObject(Object{ID: 900_000 + uint64(seed), Point: randPoint(rng, snap.Dims)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ws.AddFunction(Function{ID: 910_000 + uint64(seed), Weights: randWeights(rng, snap.Dims)}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The acceptance-criterion test: a view taken before a mutation batch
+// returns byte-identical Assignment/Stats/TopK/frontier output after
+// the batch lands, while a fresh view reflects the batch.
+func TestViewSnapshotIsolation(t *testing.T) {
+	ws := viewTestWorkspace(t, 150, 14, 3, 20090824)
+	defer ws.Close()
+
+	v1, err := ws.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer v1.Close()
+
+	weights := []float64{0.5, 0.3, 0.2}
+	beforePairs := clonePairs(v1.Pairs())
+	beforeStats := v1.Stats()
+	beforeItems, beforeScores, err := v1.TopK(weights, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	beforeFrontier := len(v1.AvailableFrontier())
+	beforeSky, err := v1.Skyline()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for i := int64(0); i < 3; i++ {
+		mutateBatch(t, ws, 100+i)
+	}
+
+	// The pinned view is bit-stable across the batch.
+	identicalPairs(t, "view pairs after batch", v1.Pairs(), beforePairs)
+	if v1.Stats() != beforeStats {
+		t.Fatalf("view stats drifted: %+v vs %+v", v1.Stats(), beforeStats)
+	}
+	afterItems, afterScores, err := v1.TopK(weights, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(afterItems) != len(beforeItems) {
+		t.Fatalf("view TopK drifted: %d vs %d results", len(afterItems), len(beforeItems))
+	}
+	for i := range afterItems {
+		if afterItems[i].ID != beforeItems[i].ID ||
+			math.Float64bits(afterScores[i]) != math.Float64bits(beforeScores[i]) {
+			t.Fatalf("view TopK[%d] drifted: (%d,%v) vs (%d,%v)",
+				i, afterItems[i].ID, afterScores[i], beforeItems[i].ID, beforeScores[i])
+		}
+	}
+	if len(v1.AvailableFrontier()) != beforeFrontier {
+		t.Fatalf("view frontier drifted")
+	}
+	afterSky, err := v1.Skyline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(afterSky) != len(beforeSky) {
+		t.Fatalf("view skyline drifted: %d vs %d", len(afterSky), len(beforeSky))
+	}
+	if err := v1.VerifyStable(); err != nil {
+		t.Fatalf("frozen matching not stable for frozen population: %v", err)
+	}
+
+	// A fresh view reflects the batch and agrees with the live accessors.
+	v2, err := ws.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer v2.Close()
+	identicalPairs(t, "fresh view vs live", v2.Pairs(), ws.Pairs())
+	if v2.Epoch() <= v1.Epoch() {
+		t.Fatalf("epoch did not advance: %d -> %d", v1.Epoch(), v2.Epoch())
+	}
+	if v2.Stats().Mutations != beforeStats.Mutations+12 {
+		t.Fatalf("fresh view mutations %d, want %d", v2.Stats().Mutations, beforeStats.Mutations+12)
+	}
+	if err := v2.VerifyStable(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The frozen view's skyline equals an in-memory skyline of its own
+	// frozen population — the index epoch and the logical capture agree.
+	frozen := v1.Problem()
+	ref := skyline.SFS(problemItems(frozen))
+	if len(ref) != len(beforeSky) {
+		t.Fatalf("view skyline %d items, reference %d", len(beforeSky), len(ref))
+	}
+}
+
+func problemItems(p *Problem) []rtree.Item {
+	out := make([]rtree.Item, len(p.Objects))
+	for i, o := range p.Objects {
+		out[i] = rtree.Item{ID: o.ID, Point: o.Point}
+	}
+	return out
+}
+
+// Snapshots taken between the same two mutations share one epoch state;
+// a mutation starts a new one.
+func TestViewSharedEpoch(t *testing.T) {
+	ws := viewTestWorkspace(t, 60, 6, 2, 7)
+	defer ws.Close()
+	v1, _ := ws.Snapshot()
+	v2, _ := ws.Snapshot()
+	defer v1.Close()
+	defer v2.Close()
+	if v1.Epoch() != v2.Epoch() {
+		t.Fatalf("same-interval views pin different epochs: %d vs %d", v1.Epoch(), v2.Epoch())
+	}
+	if &v1.Pairs()[0] != &v2.Pairs()[0] {
+		t.Fatalf("same-epoch views do not share the captured state")
+	}
+	mutateBatch(t, ws, 5)
+	v3, _ := ws.Snapshot()
+	defer v3.Close()
+	if v3.Epoch() == v1.Epoch() {
+		t.Fatalf("mutation did not advance the view epoch")
+	}
+}
+
+// Typed misuse errors: duplicates, unknown IDs, use after Close.
+func TestWorkspaceTypedErrors(t *testing.T) {
+	ws := viewTestWorkspace(t, 40, 5, 2, 11)
+	snap := ws.ProblemSnapshot()
+
+	if err := ws.AddObject(Object{ID: snap.Objects[0].ID, Point: geom.Point{0.5, 0.5}}); !errors.Is(err, ErrDuplicateID) {
+		t.Fatalf("duplicate AddObject: %v", err)
+	}
+	if err := ws.AddFunction(Function{ID: snap.Functions[0].ID, Weights: []float64{0.5, 0.5}}); !errors.Is(err, ErrDuplicateID) {
+		t.Fatalf("duplicate AddFunction: %v", err)
+	}
+	if err := ws.RemoveObject(424242); !errors.Is(err, ErrUnknownID) {
+		t.Fatalf("unknown RemoveObject: %v", err)
+	}
+	if err := ws.RemoveFunction(424242); !errors.Is(err, ErrUnknownID) {
+		t.Fatalf("unknown RemoveFunction: %v", err)
+	}
+
+	v, err := ws.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws.Close()
+	ws.Close() // idempotent
+
+	if err := ws.AddObject(Object{ID: 1_000_000, Point: geom.Point{0.1, 0.2}}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("AddObject after Close: %v", err)
+	}
+	if err := ws.RemoveObject(snap.Objects[1].ID); !errors.Is(err, ErrClosed) {
+		t.Fatalf("RemoveObject after Close: %v", err)
+	}
+	if err := ws.AddFunction(Function{ID: 1_000_001, Weights: []float64{0.5, 0.5}}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("AddFunction after Close: %v", err)
+	}
+	if err := ws.RemoveFunction(snap.Functions[0].ID); !errors.Is(err, ErrClosed) {
+		t.Fatalf("RemoveFunction after Close: %v", err)
+	}
+	if _, err := ws.Snapshot(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Snapshot after Close: %v", err)
+	}
+
+	// A view taken before Close keeps answering: the page versions are
+	// retained independently of the inner store.
+	if len(v.Pairs()) == 0 {
+		t.Fatal("pre-close view lost its pairs")
+	}
+	if _, _, err := v.TopK([]float64{0.6, 0.4}, 3); err != nil {
+		t.Fatalf("pre-close view TopK after workspace Close: %v", err)
+	}
+	if err := v.VerifyStable(); err != nil {
+		t.Fatal(err)
+	}
+	v.Close()
+	v.Close() // idempotent
+	if err := v.VerifyStable(); !errors.Is(err, ErrViewClosed) {
+		t.Fatalf("VerifyStable on closed view: %v", err)
+	}
+	if _, _, err := v.TopK([]float64{0.6, 0.4}, 3); !errors.Is(err, ErrViewClosed) {
+		t.Fatalf("TopK on closed view: %v", err)
+	}
+	if v.Pairs() != nil {
+		t.Fatalf("Pairs on closed view should be nil")
+	}
+}
+
+// The leak check of the CI satellite: after every view closes (and the
+// workspace keeps churning), the version store returns to baseline —
+// one retained version per live page, an empty reclamation queue, and
+// buffer-pool frame counts within capacity. Catches epoch-reclamation
+// leaks.
+func TestSnapshotEpochReclamationBaseline(t *testing.T) {
+	ws := viewTestWorkspace(t, 200, 12, 3, 99)
+	defer ws.Close()
+	pool := ws.st.pool
+	poolCap := pool.Capacity()
+
+	var views []*View
+	for i := int64(0); i < 6; i++ {
+		v, err := ws.Snapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Touch the pinned index so decoded nodes are materialized on
+		// the retained versions.
+		if _, _, err := v.TopK([]float64{0.2, 0.3, 0.5}, 5); err != nil {
+			t.Fatal(err)
+		}
+		views = append(views, v)
+		mutateBatch(t, ws, 300+i)
+	}
+
+	grown := ws.vstore.DebugStats()
+	if grown.TotalVersions <= grown.LivePages {
+		t.Fatalf("expected retained history while views are open: %+v", grown)
+	}
+	for _, v := range views {
+		v.Close()
+	}
+	// One more mutation publishes past the last pinned epoch, after
+	// which nothing may remain but the live pages.
+	mutateBatch(t, ws, 400)
+	st := ws.vstore.DebugStats()
+	if st.LiveSnapshots != 0 || st.RetiredQueue != 0 || st.TotalVersions != st.LivePages {
+		t.Fatalf("epoch reclamation leaked: %+v", st)
+	}
+	if pool.Len() > poolCap && poolCap > 0 {
+		t.Fatalf("buffer pool frames above capacity: %d > %d", pool.Len(), poolCap)
+	}
+	if pool.Capacity() != poolCap {
+		t.Fatalf("pool capacity drifted: %d -> %d", poolCap, pool.Capacity())
+	}
+}

@@ -1,9 +1,12 @@
 package assign
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"fairassign/internal/geom"
 	"fairassign/internal/metrics"
@@ -11,6 +14,22 @@ import (
 	"fairassign/internal/rtree"
 	"fairassign/internal/skyline"
 	"fairassign/internal/topk"
+)
+
+// Typed misuse errors. All Workspace methods return wrapped forms of
+// these sentinels (match with errors.Is), so callers can distinguish
+// programming mistakes from environmental failures.
+var (
+	// ErrClosed is returned by every Workspace method after Close.
+	ErrClosed = errors.New("assign: workspace is closed")
+	// ErrViewClosed is returned by View query methods after View.Close.
+	ErrViewClosed = errors.New("assign: view is closed")
+	// ErrDuplicateID is returned by AddObject/AddFunction when the ID is
+	// already live on that side.
+	ErrDuplicateID = errors.New("assign: duplicate id")
+	// ErrUnknownID is returned by RemoveObject/RemoveFunction when no
+	// live entity has the ID.
+	ErrUnknownID = errors.New("assign: unknown id")
 )
 
 // Workspace is the long-lived incremental form of the solver: it builds
@@ -52,8 +71,31 @@ import (
 // ceiling for the displacement search, which then expands only the
 // index region that could beat taking a free object outright.
 type Workspace struct {
+	// mu is the single-writer lock: it serializes mutations, epoch
+	// publication, and snapshot acquisition. Snapshot readers never take
+	// it — a View answers from immutable published state — so reads
+	// proceed concurrently with (and unblocked by) repairs.
+	mu sync.Mutex
+
 	st  *solveState
 	cfg Config
+
+	// vstore is the versioned wrapper around the object-index store
+	// (st.store). Each mutation ends by flushing the buffer pool and
+	// publishing a new store epoch; snapshots pin published epochs and
+	// read page versions copy-on-write-retained for them.
+	vstore *pagestore.VersionedStore
+	epoch  uint64 // latest published epoch
+
+	// pub caches the captured state of the latest published epoch. It is
+	// built lazily by the first Snapshot after a mutation and dropped
+	// (released) by the next mutation, so pure churn pays nothing for it.
+	// pubA mirrors it for the lock-free Snapshot fast path: readers
+	// retain straight off the atomic pointer and never queue on mu
+	// unless the cache was just invalidated (or while a pinned epoch is
+	// being recaptured).
+	pub  *pubState
+	pubA atomic.Pointer[pubState]
 
 	// avail is the availability frontier: a materialized skyline
 	// maintainer over the objects with remaining capacity. It holds no
@@ -79,7 +121,8 @@ type Workspace struct {
 
 	queue []repairItem // free units awaiting chain repair
 
-	closed    bool
+	closed    bool        // guarded by mu
+	closedA   atomic.Bool // mirrors closed for the lock-free Snapshot fast path
 	mutations int64
 	chainLen  int64 // reassignments performed by repair chains
 	searches  int64 // top-1 probes issued by repair
@@ -114,9 +157,27 @@ type WorkspaceStats struct {
 }
 
 // NewWorkspace builds the shared state, solves the initial instance with
-// SB, and returns a workspace ready for mutations.
+// SB, and returns a workspace ready for mutations. The object-index
+// store is built through a versioned wrapper around the configured
+// store factory, so snapshots can pin page epochs; the function-side
+// store stays unversioned (views never traverse it).
 func NewWorkspace(p *Problem, cfg Config) (*Workspace, error) {
-	st, err := newSolveState(p, cfg)
+	scfg := cfg
+	innerFactory := cfg.StoreFactory
+	scfg.StoreFactory = func(pageSize int) (pagestore.Store, error) {
+		var inner pagestore.Store
+		if innerFactory != nil {
+			var err error
+			inner, err = innerFactory(pageSize)
+			if err != nil {
+				return nil, err
+			}
+		} else {
+			inner = pagestore.NewMemStore(pageSize)
+		}
+		return pagestore.NewVersioned(inner), nil
+	}
+	st, err := newSolveState(p, scfg)
 	if err != nil {
 		return nil, err
 	}
@@ -131,9 +192,15 @@ func NewWorkspace(p *Problem, cfg Config) (*Workspace, error) {
 		st.release()
 		return nil, err
 	}
+	vstore := st.store.(*pagestore.VersionedStore)
+	// w.mu serializes Snapshot (→ Acquire) with mutations, so the store
+	// may recycle page versions in place whenever no live view observes
+	// them — churn without open views then retains no history.
+	vstore.SetSerializedAcquire(true)
 	w := &Workspace{
 		st:       st,
 		cfg:      cfg,
+		vstore:   vstore,
 		fstore:   fstore,
 		fpool:    fpool,
 		objs:     make(map[uint64]Object, len(p.Objects)),
@@ -180,7 +247,109 @@ func NewWorkspace(p *Problem, cfg Config) (*Workspace, error) {
 		return ok && w.st.objCaps.remaining[id] > 0 && o.Point.Equal(pt)
 	})
 	w.st.maint = nil // drop the tree-backed maintainer: it must not outlive tree mutations
+	// Publish the initial epoch so snapshots taken before any mutation
+	// have a sealed page state to pin.
+	if err := w.commitLocked(); err != nil {
+		w.Close()
+		return nil, err
+	}
 	return w, nil
+}
+
+// commitLocked seals the current epoch: the workspace's cached
+// published state is dropped (open views keep theirs alive), dirty
+// pages are flushed so the version layer holds the epoch's final bytes,
+// and the store publishes — after which every page the epoch retired
+// and no snapshot still pins is reclaimed. Caller holds w.mu (or is
+// constructing the workspace).
+func (w *Workspace) commitLocked() error {
+	w.dropPubLocked()
+	if err := w.st.pool.Flush(); err != nil {
+		return err
+	}
+	w.epoch = w.vstore.Publish()
+	return nil
+}
+
+// dropPubLocked invalidates the cached published state: the fast-path
+// pointer is cleared first, so no new reader can retain it after the
+// workspace reference is released.
+func (w *Workspace) dropPubLocked() {
+	if w.pub != nil {
+		w.pubA.Store(nil)
+		w.pub.release()
+		w.pub = nil
+	}
+}
+
+// repairAndCommit drains the repair queue, then publishes the mutated
+// state as a new epoch.
+func (w *Workspace) repairAndCommit() error {
+	if err := w.repair(); err != nil {
+		return err
+	}
+	return w.commitLocked()
+}
+
+// Snapshot returns a read view pinned to the latest published epoch.
+// The view is immune to later mutations, safe for concurrent use, and
+// must be Closed to let the epoch's retired page versions be reclaimed.
+// The capture is performed at most once per epoch — concurrent
+// snapshots between two mutations share one immutable state — and the
+// shared case is lock-free: only the first snapshot after a mutation
+// (which performs the capture) synchronizes with the writer.
+func (w *Workspace) Snapshot() (*View, error) {
+	// Fast path: a published state is cached and alive; retain it
+	// without touching the writer lock. (During an in-flight mutation
+	// this hands out the previous epoch — exactly the latest published
+	// state.) The closed re-check after the retain closes the window
+	// where a racing Close — whose cache invalidation cannot revoke a
+	// pointer already loaded — would otherwise let a post-Close call
+	// succeed while other views keep the state alive.
+	if p := w.pubA.Load(); p != nil && p.tryRetain() {
+		if w.closedA.Load() {
+			p.release()
+			return nil, ErrClosed
+		}
+		return &View{pub: p}, nil
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return nil, ErrClosed
+	}
+	if w.pub == nil {
+		w.pub = w.captureLocked()
+		w.pubA.Store(w.pub)
+	}
+	w.pub.retain()
+	return &View{pub: w.pub}, nil
+}
+
+// captureLocked freezes the logical state of the current epoch. Pair,
+// object, and function slices are flat copies whose per-entity points
+// and weights alias the immutable originals; derived forms (sort
+// order, indexes) are materialized lazily by the views. Holds w.mu.
+func (w *Workspace) captureLocked() *pubState {
+	p := &pubState{
+		epoch: w.epoch,
+		dims:  w.Dims(),
+		snap:  w.vstore.Acquire(),
+		meta:  w.st.tree.Meta(),
+		stats: w.statsLocked(),
+		avail: w.avail.Skyline(),
+	}
+	p.refs.Store(1) // the workspace's own cache reference
+	p.pairs = w.pairsLocked()
+	p.objs = make([]Object, 0, len(w.objs))
+	for _, o := range w.objs {
+		p.objs = append(p.objs, o)
+	}
+	p.funcs = make([]Function, 0, len(w.funcs))
+	for _, f := range w.funcs {
+		p.funcs = append(p.funcs, f)
+	}
+	return p
 }
 
 // Dims returns the workspace dimensionality.
@@ -189,10 +358,14 @@ func (w *Workspace) Dims() int { return w.st.p.Dims }
 // Close releases the page stores behind both indexes. The workspace
 // must not be used afterwards.
 func (w *Workspace) Close() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
 	if w.closed {
 		return
 	}
 	w.closed = true
+	w.closedA.Store(true)
+	w.dropPubLocked()
 	w.st.release()
 	if w.fstore != nil {
 		w.fstore.Close()
@@ -250,14 +423,16 @@ func worstOfFunc(ps []wsPair) wsPair {
 // availability skyline, then pulls takers for its capacity via chain
 // repair.
 func (w *Workspace) AddObject(o Object) error {
-	if err := w.live(); err != nil {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := w.liveLocked(); err != nil {
 		return err
 	}
 	if len(o.Point) != w.Dims() {
 		return fmt.Errorf("assign: object %d has %d dims, want %d", o.ID, len(o.Point), w.Dims())
 	}
 	if _, dup := w.objs[o.ID]; dup {
-		return fmt.Errorf("assign: duplicate object id %d", o.ID)
+		return fmt.Errorf("%w: object %d", ErrDuplicateID, o.ID)
 	}
 	pt := o.Point.Clone()
 	w.objs[o.ID] = Object{ID: o.ID, Point: pt, Capacity: o.Capacity}
@@ -270,7 +445,7 @@ func (w *Workspace) AddObject(o Object) error {
 	}
 	w.pushObj(o.ID)
 	w.mutations++
-	return w.repair()
+	return w.repairAndCommit()
 }
 
 // RemoveObject withdraws an object. Its assigned functions are freed
@@ -278,12 +453,14 @@ func (w *Workspace) AddObject(o Object) error {
 // Discard (delta maintenance: tombstoned if the object is parked inside
 // a pruned list).
 func (w *Workspace) RemoveObject(id uint64) error {
-	if err := w.live(); err != nil {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := w.liveLocked(); err != nil {
 		return err
 	}
 	o, ok := w.objs[id]
 	if !ok {
-		return fmt.Errorf("assign: unknown object id %d", id)
+		return fmt.Errorf("%w: object %d", ErrUnknownID, id)
 	}
 	// Invalidate the availability frontier first: an exhausted object
 	// already left it (Discarded on exhaustion), so a second Discard
@@ -305,14 +482,16 @@ func (w *Workspace) RemoveObject(id uint64) error {
 	w.st.objCaps.drop(id)
 	delete(w.objs, id)
 	w.mutations++
-	return w.repair()
+	return w.repairAndCommit()
 }
 
 // AddFunction introduces a new preference function and runs the paper's
 // chain update: the arrival proposes down its preference order,
 // displacing strictly worse assignments along a bounded chain.
 func (w *Workspace) AddFunction(f Function) error {
-	if err := w.live(); err != nil {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := w.liveLocked(); err != nil {
 		return err
 	}
 	if len(f.Weights) != w.Dims() {
@@ -324,7 +503,7 @@ func (w *Workspace) AddFunction(f Function) error {
 		}
 	}
 	if _, dup := w.funcs[f.ID]; dup {
-		return fmt.Errorf("assign: duplicate function id %d", f.ID)
+		return fmt.Errorf("%w: function %d", ErrDuplicateID, f.ID)
 	}
 	weights := make([]float64, len(f.Weights))
 	copy(weights, f.Weights)
@@ -338,17 +517,19 @@ func (w *Workspace) AddFunction(f Function) error {
 	w.st.funcCaps.add(f.ID, f.capacity())
 	w.pushFunc(f.ID)
 	w.mutations++
-	return w.repair()
+	return w.repairAndCommit()
 }
 
 // RemoveFunction withdraws a function; the object units it held become
 // vacancies that pull replacement functions along chains.
 func (w *Workspace) RemoveFunction(id uint64) error {
-	if err := w.live(); err != nil {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := w.liveLocked(); err != nil {
 		return err
 	}
 	if _, ok := w.funcs[id]; !ok {
-		return fmt.Errorf("assign: unknown function id %d", id)
+		return fmt.Errorf("%w: function %d", ErrUnknownID, id)
 	}
 	for _, p := range append([]wsPair(nil), w.byFunc[id]...) {
 		w.unlink(p)
@@ -363,7 +544,7 @@ func (w *Workspace) RemoveFunction(id uint64) error {
 	delete(w.funcs, id)
 	delete(w.eff, id)
 	w.mutations++
-	return w.repair()
+	return w.repairAndCommit()
 }
 
 // restoreObjectUnit gives one unit of capacity back to an object; a
@@ -391,9 +572,10 @@ func (w *Workspace) consumeObjectUnit(oid uint64) error {
 func (w *Workspace) pushFunc(id uint64) { w.queue = append(w.queue, repairItem{isFunc: true, id: id}) }
 func (w *Workspace) pushObj(id uint64)  { w.queue = append(w.queue, repairItem{isFunc: false, id: id}) }
 
-func (w *Workspace) live() error {
+// liveLocked guards against use after Close. Caller holds w.mu.
+func (w *Workspace) liveLocked() error {
 	if w.closed {
-		return fmt.Errorf("assign: workspace is closed")
+		return ErrClosed
 	}
 	return nil
 }
@@ -565,15 +747,9 @@ func (w *Workspace) wants(fid, oid uint64, point geom.Point) bool {
 	return s > worst.score || (s == worst.score && oid < worst.oid)
 }
 
-// Pairs returns the current matching in the definitional greedy order:
+// sortPairsDefinitional orders pairs in the definitional greedy order:
 // descending score, ties by ascending function then object ID.
-func (w *Workspace) Pairs() []Pair {
-	out := make([]Pair, 0, len(w.byFunc))
-	for _, ps := range w.byFunc {
-		for _, p := range ps {
-			out = append(out, Pair{FuncID: p.fid, ObjectID: p.oid, Score: p.score})
-		}
-	}
+func sortPairsDefinitional(out []Pair) {
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
 		if a.Score != b.Score {
@@ -584,11 +760,34 @@ func (w *Workspace) Pairs() []Pair {
 		}
 		return a.ObjectID < b.ObjectID
 	})
+}
+
+// pairsLocked flattens the matching into a fresh unordered slice.
+// Caller holds w.mu.
+func (w *Workspace) pairsLocked() []Pair {
+	out := make([]Pair, 0, len(w.byFunc))
+	for _, ps := range w.byFunc {
+		for _, p := range ps {
+			out = append(out, Pair{FuncID: p.fid, ObjectID: p.oid, Score: p.score})
+		}
+	}
+	return out
+}
+
+// Pairs returns the current matching in the definitional greedy order:
+// descending score, ties by ascending function then object ID.
+func (w *Workspace) Pairs() []Pair {
+	w.mu.Lock()
+	out := w.pairsLocked()
+	w.mu.Unlock()
+	sortPairsDefinitional(out)
 	return out
 }
 
 // ObjectPoint returns a live object's feature vector.
 func (w *Workspace) ObjectPoint(id uint64) (geom.Point, bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
 	o, ok := w.objs[id]
 	if !ok {
 		return nil, false
@@ -598,6 +797,8 @@ func (w *Workspace) ObjectPoint(id uint64) (geom.Point, bool) {
 
 // PairsOf returns the current assignments of one function (unordered).
 func (w *Workspace) PairsOf(fid uint64) []Pair {
+	w.mu.Lock()
+	defer w.mu.Unlock()
 	ps := w.byFunc[fid]
 	out := make([]Pair, len(ps))
 	for i, p := range ps {
@@ -606,9 +807,17 @@ func (w *Workspace) PairsOf(fid uint64) []Pair {
 	return out
 }
 
-// Snapshot materializes the current instance as a Problem (entities
-// sorted by ID), for differential validation against one-shot solvers.
-func (w *Workspace) Snapshot() *Problem {
+// ProblemSnapshot materializes the current instance as a Problem
+// (entities sorted by ID), for differential validation against one-shot
+// solvers. (Read views over the live workspace are taken with Snapshot
+// instead.)
+func (w *Workspace) ProblemSnapshot() *Problem {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.problemLocked()
+}
+
+func (w *Workspace) problemLocked() *Problem {
 	p := &Problem{Dims: w.Dims()}
 	for _, o := range w.objs {
 		p.Objects = append(p.Objects, Object{ID: o.ID, Point: o.Point.Clone(), Capacity: o.Capacity})
@@ -623,8 +832,25 @@ func (w *Workspace) Snapshot() *Problem {
 	return p
 }
 
+// VerifyStable checks that the current matching is stable for the
+// current population, atomically with respect to concurrent mutations.
+func (w *Workspace) VerifyStable() error {
+	w.mu.Lock()
+	p := w.problemLocked()
+	pairs := w.pairsLocked()
+	w.mu.Unlock()
+	// IsStable is O(|F|·|O|); run it on the copies, outside the lock.
+	return IsStable(p, pairs)
+}
+
 // Stats summarizes the workspace.
 func (w *Workspace) Stats() WorkspaceStats {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.statsLocked()
+}
+
+func (w *Workspace) statsLocked() WorkspaceStats {
 	units := 0
 	for _, ps := range w.byFunc {
 		units += len(ps)

@@ -21,7 +21,7 @@ func newTestWorkspace(t *testing.T, p *Problem) *Workspace {
 // solve of the current snapshot and is stable for it.
 func checkAgainstResolve(t *testing.T, w *Workspace, label string) {
 	t.Helper()
-	snap := w.Snapshot()
+	snap := w.ProblemSnapshot()
 	cold, err := SB(snap, testCfg())
 	if err != nil {
 		t.Fatalf("%s: cold solve: %v", label, err)
@@ -162,7 +162,7 @@ func TestWorkspaceRandomizedMixedMutations(t *testing.T) {
 				t.Fatal(err)
 			}
 		case 2:
-			snap := w.Snapshot()
+			snap := w.ProblemSnapshot()
 			if len(snap.Objects) <= 2 {
 				continue
 			}
@@ -170,7 +170,7 @@ func TestWorkspaceRandomizedMixedMutations(t *testing.T) {
 				t.Fatal(err)
 			}
 		default:
-			snap := w.Snapshot()
+			snap := w.ProblemSnapshot()
 			if len(snap.Functions) <= 1 {
 				continue
 			}
@@ -193,7 +193,7 @@ func TestWorkspaceObjectIDReuseNewPoint(t *testing.T) {
 	rng := rand.New(rand.NewSource(48))
 	p := randProblem(rng, 6, 40, 2)
 	w := newTestWorkspace(t, p)
-	snap := w.Snapshot()
+	snap := w.ProblemSnapshot()
 	for round := 0; round < 25; round++ {
 		// Remove a random live object and re-add the SAME ID somewhere
 		// else, repeatedly — stale parked entries for reused IDs pile up

@@ -102,6 +102,9 @@ type Report struct {
 	// Incremental compares Workspace chain repair against from-scratch
 	// re-solves for single-mutation updates.
 	Incremental []IncrementalCase `json:"incremental,omitempty"`
+	// Concurrent measures snapshot-view read throughput and repair
+	// latency while a writer churns the workspace (1/4/16 readers).
+	Concurrent []ConcurrentCase `json:"concurrent_read_churn,omitempty"`
 }
 
 // Options tunes a pipeline run.
@@ -280,6 +283,14 @@ func Run(opts Options) (*Report, error) {
 		}
 		rep.Incremental = append(rep.Incremental, inc...)
 	}
+	// Concurrent read-churn: snapshot readers against the churn writer,
+	// at the largest size on the first dimensionality (the reader path
+	// is dimension-insensitive; one sweep keeps the pipeline fast).
+	conc, err := runConcurrent(maxN, opts.Dims[0], opts)
+	if err != nil {
+		return nil, err
+	}
+	rep.Concurrent = append(rep.Concurrent, conc...)
 	return rep, nil
 }
 

@@ -1,0 +1,156 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"fairassign/internal/assign"
+)
+
+// ConcurrentCase measures the snapshot-isolated Workspace under
+// combined load: one churn writer applying single-mutation updates
+// while N reader goroutines continuously take snapshot views and
+// query them. ReadsPerSec is the aggregate sustained view-read rate;
+// RepairNsPerOp is the writer's mean mutation latency while the
+// readers run (repair latency under read load — the number a serving
+// system cares about).
+type ConcurrentCase struct {
+	Name    string `json:"name"`
+	N       int    `json:"n"`
+	Dims    int    `json:"dims"`
+	Readers int    `json:"readers"`
+	// Totals over the measured window.
+	Mutations int64 `json:"mutations"`
+	Reads     int64 `json:"reads"`
+	// Rates and latencies.
+	ReadsPerSec   float64 `json:"reads_per_sec"`
+	RepairNsPerOp int64   `json:"repair_ns_per_op"`
+	// ReaderEpochSpread is the number of distinct epochs readers
+	// observed — evidence the readers really interleaved with the
+	// writer rather than hammering one frozen state.
+	ReaderEpochSpread int64 `json:"reader_epoch_spread"`
+}
+
+// readerFailure wraps reader errors in one concrete type so concurrent
+// stores into the shared atomic slot can never mismatch.
+type readerFailure struct{ err error }
+
+// runConcurrent measures the read-churn scenario for one (n, dims) at
+// 1, 4, and 16 readers.
+func runConcurrent(n, dims int, opts Options) ([]ConcurrentCase, error) {
+	var out []ConcurrentCase
+	for _, readers := range []int{1, 4, 16} {
+		c, err := runConcurrentCase(n, dims, readers, opts)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, c)
+	}
+	return out, nil
+}
+
+func runConcurrentCase(n, dims, readers int, opts Options) (ConcurrentCase, error) {
+	c := ConcurrentCase{Name: "concurrent_read_churn", N: n, Dims: dims, Readers: readers}
+	base := incrementalProblem(n, dims, opts)
+	ws, err := assign.NewWorkspace(base, assign.Config{})
+	if err != nil {
+		return c, fmt.Errorf("%s: workspace: %w", c.Name, err)
+	}
+	defer ws.Close()
+	churn, err := churnOp("obj_churn", ws, base, opts)
+	if err != nil {
+		return c, err
+	}
+	if err := churn(); err != nil { // warm-up, excluded
+		return c, err
+	}
+
+	var (
+		done      atomic.Bool
+		reads     atomic.Int64
+		readerErr atomic.Pointer[readerFailure]
+		wg        sync.WaitGroup
+	)
+	epochs := make([]map[uint64]struct{}, readers)
+	for r := 0; r < readers; r++ {
+		epochs[r] = make(map[uint64]struct{})
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			fid := base.Functions[r%len(base.Functions)].ID
+			i := 0
+			for !done.Load() {
+				v, err := ws.Snapshot()
+				if err != nil {
+					readerErr.Store(&readerFailure{err: err})
+					return
+				}
+				epochs[r][v.Epoch()] = struct{}{}
+				st := v.Stats()
+				pairs := v.Pairs()
+				if len(pairs) != st.AssignedUnits {
+					readerErr.Store(&readerFailure{err: fmt.Errorf("view inconsistent: %d pairs vs %d units", len(pairs), st.AssignedUnits)})
+					v.Close()
+					return
+				}
+				_ = v.PairsOf(fid)
+				if i%8 == 0 {
+					// A ranked query against the pinned index epoch.
+					if _, _, err := v.TopK(base.Functions[0].Effective(), 5); err != nil {
+						readerErr.Store(&readerFailure{err: err})
+						v.Close()
+						return
+					}
+				}
+				v.Close()
+				reads.Add(1)
+				i++
+				if i%16 == 0 {
+					// Keep the scenario honest on few-core machines:
+					// without an occasional yield a reader can own a
+					// core for a whole scheduler quantum and the
+					// "concurrency" degenerates into coarse timeslices.
+					runtime.Gosched()
+				}
+			}
+		}(r)
+	}
+
+	start := time.Now()
+	var muts int64
+	for time.Since(start) < opts.Budget || muts < 3 {
+		if err := churn(); err != nil {
+			done.Store(true)
+			wg.Wait()
+			return c, err
+		}
+		muts++
+		if muts%4 == 0 {
+			runtime.Gosched() // see the reader-side note
+		}
+	}
+	elapsed := time.Since(start)
+	done.Store(true)
+	wg.Wait()
+	if f := readerErr.Load(); f != nil {
+		return c, fmt.Errorf("%s (readers=%d): reader failed: %w", c.Name, readers, f.err)
+	}
+
+	c.Mutations = muts
+	c.Reads = reads.Load()
+	c.ReadsPerSec = float64(c.Reads) / elapsed.Seconds()
+	if muts > 0 {
+		c.RepairNsPerOp = elapsed.Nanoseconds() / muts
+	}
+	seen := make(map[uint64]struct{})
+	for _, m := range epochs {
+		for e := range m {
+			seen[e] = struct{}{}
+		}
+	}
+	c.ReaderEpochSpread = int64(len(seen))
+	return c, nil
+}

@@ -84,7 +84,7 @@ func runIncrementalCase(kind string, n, dims int, opts Options) (IncrementalCase
 	statsAfter := ws.Stats()
 
 	// The repaired matching must equal a cold solve of the snapshot.
-	snap := ws.Snapshot()
+	snap := ws.ProblemSnapshot()
 	cold, err := assign.SB(snap, cfg)
 	if err != nil {
 		return c, err
@@ -109,7 +109,7 @@ func runIncrementalCase(kind string, n, dims int, opts Options) (IncrementalCase
 		if err := churn(); err != nil {
 			return err
 		}
-		_, err := assign.SB(mirrorWS.Snapshot(), cfg)
+		_, err := assign.SB(mirrorWS.ProblemSnapshot(), cfg)
 		return err
 	}
 	resolve, err := measure(opts.Budget, resolveOp)

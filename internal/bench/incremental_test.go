@@ -33,7 +33,7 @@ func TestChurnOpsMatchColdSolve(t *testing.T) {
 				if i%4 != 3 {
 					continue
 				}
-				snap := ws.Snapshot()
+				snap := ws.ProblemSnapshot()
 				cold, err := assign.SB(snap, cfg)
 				if err != nil {
 					t.Fatal(err)

@@ -52,7 +52,7 @@ func generateMutationBase(spec MutationSpec, rng *rand.Rand) *assign.Problem {
 // solve of the current snapshot (score-identical multiset) and is a
 // stable matching of it.
 func checkMutated(ws *assign.Workspace, spec MutationSpec, label string) error {
-	snap := ws.Snapshot()
+	snap := ws.ProblemSnapshot()
 	cold, err := assign.SB(snap, config())
 	if err != nil {
 		return fmt.Errorf("[%s] %s: cold solve: %w", spec, label, err)
@@ -91,7 +91,11 @@ func ReplayMutations(spec MutationSpec, cfg assign.Config) (*assign.Workspace, e
 
 // runMutations builds the workspace and applies the script's mutation
 // sequence, invoking check (when non-nil) after the initial build and
-// after every mutation. On success the caller owns the workspace.
+// after every mutation. In checked runs every step is additionally
+// bracketed by snapshot reads: a view taken before the mutation must
+// return byte-identical pairs after it lands (snapshot isolation),
+// while a view taken after it must byte-match the live accessors. On
+// success the caller owns the workspace.
 func runMutations(spec MutationSpec, cfg assign.Config, check func(*assign.Workspace, string) error) (*assign.Workspace, error) {
 	rng := rand.New(rand.NewSource(spec.Seed))
 	p := generateMutationBase(spec, rng)
@@ -112,7 +116,17 @@ func runMutations(spec MutationSpec, cfg assign.Config, check func(*assign.Works
 	nextID := uint64(1_000_000)
 	for step := 0; step < spec.Steps; step++ {
 		label := fmt.Sprintf("step %d", step)
-		snap := ws.Snapshot()
+		snap := ws.ProblemSnapshot()
+		var before *assign.View
+		var frozen []assign.Pair
+		if check != nil {
+			v, err := ws.Snapshot()
+			if err != nil {
+				return fail(fmt.Errorf("[%s] %s Snapshot: %w", spec, label, err))
+			}
+			before = v
+			frozen = append([]assign.Pair(nil), v.Pairs()...)
+		}
 		switch rng.Intn(4) {
 		case 0: // object arrival, drawn from the script's distribution
 			nextID++
@@ -141,6 +155,7 @@ func runMutations(spec MutationSpec, cfg assign.Config, check func(*assign.Works
 			label += " AddFunction"
 		case 2: // object departure
 			if len(snap.Objects) <= 2 {
+				closeView(before)
 				continue
 			}
 			id := snap.Objects[rng.Intn(len(snap.Objects))].ID
@@ -150,6 +165,7 @@ func runMutations(spec MutationSpec, cfg assign.Config, check func(*assign.Works
 			label += " RemoveObject"
 		default: // function departure
 			if len(snap.Functions) <= 1 {
+				closeView(before)
 				continue
 			}
 			id := snap.Functions[rng.Intn(len(snap.Functions))].ID
@@ -160,11 +176,61 @@ func runMutations(spec MutationSpec, cfg assign.Config, check func(*assign.Works
 		}
 		if check != nil {
 			if err := check(ws, label); err != nil {
+				closeView(before)
 				return fail(err)
 			}
+			if err := verifyInterleavedViews(ws, before, frozen); err != nil {
+				closeView(before)
+				return fail(fmt.Errorf("[%s] %s: %w", spec, label, err))
+			}
+			closeView(before)
 		}
 	}
 	return ws, nil
+}
+
+func closeView(v *assign.View) {
+	if v != nil {
+		v.Close()
+	}
+}
+
+// verifyInterleavedViews asserts snapshot isolation around one applied
+// mutation: the pre-mutation view still returns bit-identical pairs
+// and a consistent stability audit, while a fresh view byte-matches the
+// live workspace accessors.
+func verifyInterleavedViews(ws *assign.Workspace, before *assign.View, frozen []assign.Pair) error {
+	got := before.Pairs()
+	if len(got) != len(frozen) {
+		return fmt.Errorf("pre-mutation view drifted: %d pairs, had %d", len(got), len(frozen))
+	}
+	for i := range got {
+		if got[i] != frozen[i] {
+			return fmt.Errorf("pre-mutation view drifted at pair %d: %+v vs %+v", i, got[i], frozen[i])
+		}
+	}
+	if err := before.VerifyStable(); err != nil {
+		return fmt.Errorf("pre-mutation view no longer stable for its own population: %w", err)
+	}
+	after, err := ws.Snapshot()
+	if err != nil {
+		return fmt.Errorf("post-mutation Snapshot: %w", err)
+	}
+	defer after.Close()
+	if after.Epoch() <= before.Epoch() {
+		return fmt.Errorf("epoch did not advance across mutation: %d -> %d", before.Epoch(), after.Epoch())
+	}
+	live := ws.Pairs()
+	fresh := after.Pairs()
+	if len(live) != len(fresh) {
+		return fmt.Errorf("fresh view has %d pairs, live workspace %d", len(fresh), len(live))
+	}
+	for i := range live {
+		if live[i] != fresh[i] {
+			return fmt.Errorf("fresh view diverges from live workspace at pair %d", i)
+		}
+	}
+	return nil
 }
 
 // MutationSweep enumerates the script grid — 3 distributions × dims

@@ -71,7 +71,13 @@ var nnHeapPool = sync.Pool{New: func() any { return new(nnHeap) }}
 // distance, nearest first. Items for which skip returns true are passed
 // over.
 func (t *Tree) NearestNeighbors(q geom.Point, k int, skip func(uint64) bool) ([]Item, []float64, error) {
-	if k <= 0 || t.size == 0 {
+	return nearestNeighbors(t, q, k, skip)
+}
+
+// nearestNeighbors is the best-first kNN over any read substrate (live
+// tree or frozen view).
+func nearestNeighbors(r NodeReader, q geom.Point, k int, skip func(uint64) bool) ([]Item, []float64, error) {
+	if k <= 0 || r.Len() == 0 {
 		return nil, nil, nil
 	}
 	h := nnHeapPool.Get().(*nnHeap)
@@ -80,7 +86,7 @@ func (t *Tree) NearestNeighbors(q geom.Point, k int, skip func(uint64) bool) ([]
 		*h = (*h)[:0]
 		nnHeapPool.Put(h)
 	}()
-	root, err := t.ReadNode(t.root)
+	root, err := r.ReadNode(r.Root())
 	if err != nil {
 		return nil, nil, err
 	}
@@ -97,7 +103,7 @@ func (t *Tree) NearestNeighbors(q geom.Point, k int, skip func(uint64) bool) ([]
 			dists = append(dists, math.Sqrt(e.dist))
 			continue
 		}
-		n, err := t.ReadNode(e.child)
+		n, err := r.ReadNode(e.child)
 		if err != nil {
 			return nil, nil, err
 		}

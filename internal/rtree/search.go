@@ -10,12 +10,14 @@ import (
 // Search visits every item whose point lies inside rect, calling fn for
 // each. Returning false from fn stops the search early.
 func (t *Tree) Search(rect geom.Rect, fn func(Item) bool) error {
-	_, err := t.search(t.root, rect, fn)
+	_, err := searchReader(t, t.root, rect, fn)
 	return err
 }
 
-func (t *Tree) search(id pagestore.PageID, rect geom.Rect, fn func(Item) bool) (bool, error) {
-	n, err := t.ReadNode(id)
+// searchReader is the window search over any read substrate (live tree
+// or frozen view).
+func searchReader(r NodeReader, id pagestore.PageID, rect geom.Rect, fn func(Item) bool) (bool, error) {
+	n, err := r.ReadNode(id)
 	if err != nil {
 		return false, err
 	}
@@ -28,7 +30,7 @@ func (t *Tree) search(id pagestore.PageID, rect geom.Rect, fn func(Item) bool) (
 				return false, nil
 			}
 		} else {
-			cont, err := t.search(e.Child, rect, fn)
+			cont, err := searchReader(r, e.Child, rect, fn)
 			if err != nil || !cont {
 				return cont, err
 			}
@@ -37,28 +39,35 @@ func (t *Tree) search(id pagestore.PageID, rect geom.Rect, fn func(Item) bool) (
 	return true, nil
 }
 
-// All visits every stored item (in page order). Returning false stops.
-func (t *Tree) All(fn func(Item) bool) error {
-	if t.size == 0 {
+// allItems visits every stored item of a read substrate.
+func allItems(r NodeReader, fn func(Item) bool) error {
+	if r.Len() == 0 {
 		return nil
 	}
-	r, err := t.RootRect()
+	root, err := r.ReadNode(r.Root())
 	if err != nil {
 		return err
 	}
-	return t.Search(r, fn)
+	_, err = searchReader(r, r.Root(), root.MBR(), fn)
+	return err
 }
 
-// Items returns every stored item as a slice (intended for tests and small
-// trees).
-func (t *Tree) Items() ([]Item, error) {
-	out := make([]Item, 0, t.size)
-	err := t.All(func(it Item) bool {
+// readerItems collects every stored item of a read substrate.
+func readerItems(r NodeReader, size int) ([]Item, error) {
+	out := make([]Item, 0, size)
+	err := allItems(r, func(it Item) bool {
 		out = append(out, Item{ID: it.ID, Point: it.Point.Clone()})
 		return true
 	})
 	return out, err
 }
+
+// All visits every stored item (in page order). Returning false stops.
+func (t *Tree) All(fn func(Item) bool) error { return allItems(t, fn) }
+
+// Items returns every stored item as a slice (intended for tests and small
+// trees).
+func (t *Tree) Items() ([]Item, error) { return readerItems(t, t.size) }
 
 // CheckInvariants walks the whole tree verifying structural invariants:
 // entry MBRs contained in parent MBRs, uniform leaf depth, occupancy

@@ -1,0 +1,106 @@
+package rtree
+
+import (
+	"fairassign/internal/geom"
+	"fairassign/internal/pagestore"
+)
+
+// NodeReader is the read substrate a tree traversal runs against. Both
+// the live *Tree (reading through its buffer pool) and the frozen *View
+// (reading a pagestore.Snapshot) implement it, so every read-only
+// search — window search, kNN, BRS ranked search, BBS skyline — can run
+// unchanged over either the writer's current state or a pinned epoch.
+type NodeReader interface {
+	// Dims returns the dimensionality of indexed points.
+	Dims() int
+	// Len returns the number of stored items.
+	Len() int
+	// Root returns the root page ID.
+	Root() pagestore.PageID
+	// ReadNode fetches one node. The returned node is shared and
+	// immutable.
+	ReadNode(id pagestore.PageID) (*Node, error)
+}
+
+// Meta is the mutable header of a tree — root pointer, height, size —
+// captured at one instant. Together with a pagestore.Snapshot of the
+// pages it freezes the whole index: the pages pin the node contents,
+// the Meta pins the entry point.
+type Meta struct {
+	Root   pagestore.PageID
+	Height int // 1 = root is a leaf
+	Size   int // number of stored items
+}
+
+// Meta returns the tree's current header. Capture it at the same
+// serialization point as the page snapshot (e.g. under the single
+// writer's lock) or the view's root may dangle.
+func (t *Tree) Meta() Meta { return Meta{Root: t.root, Height: t.height, Size: t.size} }
+
+// View is a read-only R-tree frozen at one pagestore epoch: node reads
+// resolve page versions through the snapshot (with the per-version
+// decoded-node cache), so searches observe exactly the tree as it was
+// when the snapshot was taken, no matter how the live tree mutates
+// afterwards. A View performs no writer I/O and holds no locks between
+// node reads; it is safe for concurrent use by any number of
+// goroutines and stays valid until the snapshot is released.
+type View struct {
+	snap   *pagestore.Snapshot
+	dims   int
+	meta   Meta
+	decode func(pagestore.PageID, []byte) (any, error)
+}
+
+// NewView freezes a tree of the given dimensionality at the snapshot's
+// epoch. meta must have been captured at the moment the snapshot was
+// acquired.
+func NewView(snap *pagestore.Snapshot, dims int, meta Meta) *View {
+	v := &View{snap: snap, dims: dims, meta: meta}
+	v.decode = func(id pagestore.PageID, data []byte) (any, error) {
+		return decodeNode(id, data, dims)
+	}
+	return v
+}
+
+// Dims implements NodeReader.
+func (v *View) Dims() int { return v.dims }
+
+// Len implements NodeReader.
+func (v *View) Len() int { return v.meta.Size }
+
+// Height returns the frozen tree height.
+func (v *View) Height() int { return v.meta.Height }
+
+// Root implements NodeReader.
+func (v *View) Root() pagestore.PageID { return v.meta.Root }
+
+// ReadNode implements NodeReader: the node as of the view's epoch,
+// decoded at most once per retained page version.
+func (v *View) ReadNode(id pagestore.PageID) (*Node, error) {
+	obj, err := v.snap.GetDecoded(id, v.decode)
+	if err != nil {
+		return nil, err
+	}
+	return obj.(*Node), nil
+}
+
+// Search visits every frozen item inside rect (see Tree.Search).
+func (v *View) Search(rect geom.Rect, fn func(Item) bool) error {
+	if v.meta.Size == 0 {
+		return nil
+	}
+	_, err := searchReader(v, v.meta.Root, rect, fn)
+	return err
+}
+
+// All visits every frozen item. Returning false stops.
+func (v *View) All(fn func(Item) bool) error { return allItems(v, fn) }
+
+// Items returns every frozen item as a slice.
+func (v *View) Items() ([]Item, error) { return readerItems(v, v.meta.Size) }
+
+// NearestNeighbors returns the k frozen items closest to q (see
+// Tree.NearestNeighbors).
+func (v *View) NearestNeighbors(q geom.Point, k int, skip func(uint64) bool) ([]Item, []float64, error) {
+	return nearestNeighbors(v, q, k, skip)
+}

@@ -78,8 +78,10 @@ func releaseEntryHeap(h *entryHeap) {
 
 // Compute runs plain BBS over the tree and returns the skyline. It visits
 // the minimum possible set of nodes (I/O-optimal for a single skyline
-// computation). Deleted object IDs in skip are ignored.
-func Compute(t *rtree.Tree, skip map[uint64]bool) ([]rtree.Item, error) {
+// computation). Deleted object IDs in skip are ignored. It accepts any
+// rtree.NodeReader, so it runs equally over the live tree and over a
+// frozen rtree.View (snapshot-addressable skyline queries).
+func Compute(t rtree.NodeReader, skip map[uint64]bool) ([]rtree.Item, error) {
 	if t.Len() == 0 {
 		return nil, nil
 	}

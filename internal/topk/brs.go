@@ -48,9 +48,11 @@ func (h *brsHeap) push(e brsEntry) { heaputil.Push((*[]brsEntry)(h), lessBRS, e)
 func (h *brsHeap) pop() brsEntry   { return heaputil.Pop((*[]brsEntry)(h), lessBRS) }
 
 // Searcher is an incremental BRS iterator. Objects for which skip returns
-// true are passed over (used to tombstone already-assigned objects).
+// true are passed over (used to tombstone already-assigned objects). It
+// runs over any rtree.NodeReader — the live tree, or a frozen
+// rtree.View for snapshot-addressable ranked search.
 type Searcher struct {
-	tree    *rtree.Tree
+	tree    rtree.NodeReader
 	weights []float64
 	h       brsHeap
 	skip    func(uint64) bool
@@ -62,7 +64,7 @@ type Searcher struct {
 
 // NewSearcher creates an iterator for the linear function with the given
 // weights. The root node is read lazily on the first Next call.
-func NewSearcher(t *rtree.Tree, weights []float64, skip func(uint64) bool) *Searcher {
+func NewSearcher(t rtree.NodeReader, weights []float64, skip func(uint64) bool) *Searcher {
 	return &Searcher{tree: t, weights: weights, skip: skip}
 }
 
@@ -149,13 +151,13 @@ func (s *Searcher) readNode(id pagestore.PageID) (*rtree.Node, error) {
 }
 
 // Top1 runs a fresh top-1 query and returns the best non-skipped object.
-func Top1(t *rtree.Tree, weights []float64, skip func(uint64) bool) (rtree.Item, float64, bool, error) {
+func Top1(t rtree.NodeReader, weights []float64, skip func(uint64) bool) (rtree.Item, float64, bool, error) {
 	s := NewSearcher(t, weights, skip)
 	return s.Next()
 }
 
 // TopK collects the k best non-skipped objects in score order.
-func TopK(t *rtree.Tree, weights []float64, k int, skip func(uint64) bool) ([]rtree.Item, []float64, error) {
+func TopK(t rtree.NodeReader, weights []float64, k int, skip func(uint64) bool) ([]rtree.Item, []float64, error) {
 	s := NewSearcher(t, weights, skip)
 	var items []rtree.Item
 	var scores []float64

@@ -28,12 +28,37 @@ import (
 // search only explores the index region that could beat the best freely
 // available object.
 //
-// A Workspace is not safe for concurrent use; wrap it with a mutex (or
-// shard by tenant, one workspace each) for concurrent serving.
+// Concurrency. A Workspace follows a single-writer / many-readers
+// contract: all methods are safe to call from any goroutine — an
+// internal writer lock serializes mutations — and Snapshot returns a
+// View pinned to the epoch published by the last mutation. Readers
+// never block behind repairs and repairs never block behind readers:
+// each mutation publishes a new epoch of the page store (copy-on-write
+// against whatever open views still observe), and a view keeps
+// answering from its epoch until it is Closed, at which point the page
+// versions and cached nodes only that epoch kept alive are reclaimed.
+// For write-throughput scaling, shard by tenant — one workspace each.
 type Workspace struct {
 	ws   *assign.Workspace
 	opts Options
 }
+
+// Typed misuse errors returned by Workspace and View methods (match
+// with errors.Is; returned errors carry the offending ID as context).
+var (
+	// ErrWorkspaceClosed is returned by every Workspace method called
+	// after Close.
+	ErrWorkspaceClosed = assign.ErrClosed
+	// ErrViewClosed is returned by View query methods called after
+	// View.Close.
+	ErrViewClosed = assign.ErrViewClosed
+	// ErrDuplicateID is returned by AddObject/AddFunction when an entity
+	// with that ID is already live on the same side.
+	ErrDuplicateID = assign.ErrDuplicateID
+	// ErrUnknownID is returned by RemoveObject/RemoveFunction when no
+	// live entity has the ID.
+	ErrUnknownID = assign.ErrUnknownID
+)
 
 // WorkspaceStats summarizes a workspace and the repair work it has
 // performed since construction.
@@ -164,10 +189,10 @@ func (w *Workspace) AddFunction(f Function) error {
 // re-offered to the functions that want them most.
 func (w *Workspace) RemoveFunction(id uint64) error { return w.ws.RemoveFunction(id) }
 
-// Assignment returns the current stable matching in the definitional
-// greedy order (descending score, ties by ascending IDs).
-func (w *Workspace) Assignment() []Pair {
-	pairs := w.ws.Pairs()
+// pairsFromInternal converts internal pairs to the public form; the
+// single site keeping live and snapshot accessors field-for-field
+// identical.
+func pairsFromInternal(pairs []assign.Pair) []Pair {
 	out := make([]Pair, len(pairs))
 	for i, p := range pairs {
 		out[i] = Pair{FunctionID: p.FuncID, ObjectID: p.ObjectID, Score: p.Score}
@@ -175,9 +200,8 @@ func (w *Workspace) Assignment() []Pair {
 	return out
 }
 
-// Stats returns a point-in-time summary of the workspace.
-func (w *Workspace) Stats() WorkspaceStats {
-	s := w.ws.Stats()
+// statsFromInternal maps the internal summary to the public one.
+func statsFromInternal(s assign.WorkspaceStats) WorkspaceStats {
 	return WorkspaceStats{
 		Objects:           s.Objects,
 		Functions:         s.Functions,
@@ -191,12 +215,119 @@ func (w *Workspace) Stats() WorkspaceStats {
 	}
 }
 
+// Assignment returns the current stable matching in the definitional
+// greedy order (descending score, ties by ascending IDs).
+func (w *Workspace) Assignment() []Pair { return pairsFromInternal(w.ws.Pairs()) }
+
+// Stats returns a point-in-time summary of the workspace.
+func (w *Workspace) Stats() WorkspaceStats { return statsFromInternal(w.ws.Stats()) }
+
 // Verify checks that the current matching is stable for the current
 // population — an audit hook mirroring Solver.Verify.
 func (w *Workspace) Verify() error {
-	return assign.IsStable(w.ws.Snapshot(), w.ws.Pairs())
+	return w.ws.VerifyStable()
 }
 
 // Close releases the page stores behind the workspace indexes. The
 // workspace must not be used afterwards.
 func (w *Workspace) Close() { w.ws.Close() }
+
+// Snapshot returns a read-only View pinned to the workspace's latest
+// published epoch. The view's answers are immune to later mutations: a
+// snapshot taken before a batch of Add/Remove calls returns the same
+// Assignment, Stats, and TopK results after the batch lands, while a
+// fresh Snapshot reflects it. Any number of views may be open
+// concurrently, across goroutines, at the same or different epochs;
+// each must be Closed to release the page versions its epoch retains.
+func (w *Workspace) Snapshot() (*View, error) {
+	v, err := w.ws.Snapshot()
+	if err != nil {
+		return nil, err
+	}
+	return &View{v: v, opts: w.opts}, nil
+}
+
+// View is a snapshot-isolated read handle on a Workspace: a consistent,
+// immutable observation of the matching, the population, and the object
+// index at one epoch. All methods are safe for concurrent use, keep
+// working while the workspace mutates (and even after it is closed),
+// and never touch the writer's I/O accounting. Close releases the
+// epoch; query methods on a closed view fail with ErrViewClosed (or
+// return empty results where no error channel exists).
+type View struct {
+	v    *assign.View
+	opts Options
+}
+
+// Epoch returns the published workspace epoch this view observes. One
+// epoch is published at construction and one per mutation, so the
+// epoch also identifies which prefix of the mutation history the view
+// reflects.
+func (v *View) Epoch() uint64 { return v.v.Epoch() }
+
+// Dims returns the problem dimensionality.
+func (v *View) Dims() int { return v.v.Dims() }
+
+// Close releases the view's epoch pin. Idempotent and safe to call
+// concurrently with in-flight reads on other views.
+func (v *View) Close() { v.v.Close() }
+
+// Assignment returns the frozen stable matching in the definitional
+// greedy order (descending score, ties by ascending IDs). The slice is
+// freshly allocated and owned by the caller.
+func (v *View) Assignment() []Pair { return pairsFromInternal(v.v.Pairs()) }
+
+// AssignmentOf returns the frozen assignments of one function, best
+// first. The slice is freshly allocated and owned by the caller.
+func (v *View) AssignmentOf(functionID uint64) []Pair {
+	return pairsFromInternal(v.v.PairsOf(functionID))
+}
+
+// Stats returns the workspace summary as it stood at the view's epoch.
+func (v *View) Stats() WorkspaceStats { return statsFromInternal(v.v.Stats()) }
+
+// Verify checks that the frozen matching is stable for the frozen
+// population — the audit hook of Solver and Workspace, answered
+// entirely from the snapshot.
+func (v *View) Verify() error { return v.v.VerifyStable() }
+
+// TopK returns the k objects the given preference function ranks
+// highest among the view's frozen object set — the paper's single-user
+// query (Section 2.3), evaluated with BRS over the pinned index epoch.
+// Weights are normalized per the workspace Options and scaled by the
+// function's Gamma, exactly as an assignment would score them.
+func (v *View) TopK(f Function, k int) ([]Ranked, error) {
+	if k <= 0 {
+		return nil, nil
+	}
+	if len(f.Weights) != v.Dims() {
+		return nil, fmt.Errorf("fairassign: function has %d weights, view has %d dims", len(f.Weights), v.Dims())
+	}
+	w, err := prepareWeights(f, v.opts)
+	if err != nil {
+		return nil, err
+	}
+	if f.Gamma > 0 {
+		for i := range w {
+			w[i] *= f.Gamma
+		}
+	}
+	items, scores, err := v.v.TopK(w, k)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Ranked, len(items))
+	for i, it := range items {
+		obj, ok := v.v.Object(it.ID)
+		if !ok {
+			return nil, fmt.Errorf("fairassign: view index returned unknown object %d", it.ID)
+		}
+		attrs := make([]float64, len(obj.Point))
+		copy(attrs, obj.Point)
+		out[i] = Ranked{
+			Object: Object{ID: obj.ID, Attributes: attrs, Capacity: obj.Capacity},
+			Score:  scores[i],
+		}
+	}
+	return out, nil
+}
