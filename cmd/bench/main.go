@@ -63,7 +63,11 @@ func main() {
 			// Smoke preset: a slice of the grid, not the full sweep.
 			specs = specs[:16]
 		}
-		fmt.Printf("pre-flight: conformance sweep, %d cases... ", len(specs))
+		scorerSpecs := conformance.ScorerSweep(*preflight)
+		if *quick && len(scorerSpecs) > 16 {
+			scorerSpecs = scorerSpecs[:16]
+		}
+		fmt.Printf("pre-flight: conformance sweep, %d linear + %d scorer-family cases... ", len(specs), len(scorerSpecs))
 		start := time.Now()
 		for _, spec := range specs {
 			if err := conformance.Verify(spec); err != nil {
@@ -71,7 +75,13 @@ func main() {
 				os.Exit(1)
 			}
 		}
-		confSummary = fmt.Sprintf("passed (%d cases)", len(specs))
+		for _, spec := range scorerSpecs {
+			if err := conformance.VerifyScorers(spec); err != nil {
+				fmt.Fprintf(os.Stderr, "\nbench: scorer conformance pre-flight failed: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		confSummary = fmt.Sprintf("passed (%d cases)", len(specs)+len(scorerSpecs))
 		fmt.Printf("ok (%v)\n", time.Since(start).Round(time.Millisecond))
 	}
 
@@ -145,6 +155,11 @@ func main() {
 	for _, c := range rep.Concurrent {
 		fmt.Printf("%-22s n=%-6d d=%d  readers=%-3d %10.0f reads/s | repair %10d ns/op under load | %d mutations, %d epochs observed\n",
 			c.Name, c.N, c.Dims, c.Readers, c.ReadsPerSec, c.RepairNsPerOp, c.Mutations, c.ReaderEpochSpread)
+	}
+
+	for _, c := range rep.ScorerFamilies {
+		fmt.Printf("%-26s n=%-6d d=%d  solve %12d ns/op (%d pairs) | topk %10d ns/op (%8.0f /s)\n",
+			c.Name, c.N, c.Dims, c.SolveNsPerOp, c.Pairs, c.TopKNsPerOp, c.TopKPerSec)
 	}
 
 	// Write the report even on divergence — the JSON is the evidence

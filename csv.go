@@ -58,15 +58,22 @@ func LoadObjectsCSV(path string) ([]Object, error) {
 }
 
 // LoadFunctionsCSV reads preference functions from a headerless CSV file
-// with rows of the form id,w1,...,wD. Use LoadFunctionsCSVExt for files
-// carrying gamma and capacity columns.
+// with rows of the form id[,kind],w1,...,wD. Use LoadFunctionsCSVExt for
+// files carrying gamma and capacity columns.
 func LoadFunctionsCSV(path string) ([]Function, error) {
 	return LoadFunctionsCSVExt(path, 0)
 }
 
 // LoadFunctionsCSVExt reads functions from rows of the form
-// id,w1,...,wD followed by `extras` trailing columns interpreted in
-// order as gamma then capacity (extras in 0..2).
+// id[,kind],w1,...,wD followed by `extras` trailing columns interpreted
+// in order as gamma then capacity (extras in 0..2).
+//
+// The optional kind cell selects the scoring family —
+// linear|owa|minimax|best|median|chebyshev|lp:<p>, default linear — and
+// is detected by not parsing as a number, so plain weight files load
+// unchanged. Weight cells must be finite and non-negative for every
+// family (OWA position weights included); violations fail with errors
+// wrapping ErrBadWeight, and unknown kind names with ErrBadScorerKind.
 func LoadFunctionsCSVExt(path string, extras int) ([]Function, error) {
 	if extras < 0 || extras > 2 {
 		return nil, fmt.Errorf("fairassign: extras must be 0..2, got %d", extras)
@@ -87,16 +94,31 @@ func LoadFunctionsCSVExt(path string, extras int) ([]Function, error) {
 			}
 			return nil, fmt.Errorf("fairassign: %s row %d: bad id %q", path, i+1, row[0])
 		}
-		weightCells := row[1 : len(row)-extras]
+		weightStart := 1
+		var sc *Scorer
+		if _, ferr := strconv.ParseFloat(row[1], 64); ferr != nil {
+			sc, err = ParseScorerKind(row[1])
+			if err != nil {
+				return nil, fmt.Errorf("fairassign: %s row %d: %w", path, i+1, err)
+			}
+			weightStart = 2
+		}
+		if len(row)-extras < weightStart {
+			return nil, fmt.Errorf("fairassign: %s row %d: too few columns", path, i+1)
+		}
+		weightCells := row[weightStart : len(row)-extras]
 		w := make([]float64, 0, len(weightCells))
 		for _, cell := range weightCells {
 			v, err := parseFinite(cell)
 			if err != nil {
-				return nil, fmt.Errorf("fairassign: %s row %d: bad weight %q", path, i+1, cell)
+				return nil, fmt.Errorf("fairassign: %s row %d: %w: %q", path, i+1, ErrBadWeight, cell)
+			}
+			if v < 0 {
+				return nil, fmt.Errorf("fairassign: %s row %d: %w: negative weight %q", path, i+1, ErrBadWeight, cell)
 			}
 			w = append(w, v)
 		}
-		f := Function{ID: id, Weights: w}
+		f := Function{ID: id, Weights: w, Scorer: sc}
 		if extras >= 1 {
 			g, err := parseFinite(row[len(row)-extras])
 			if err != nil {
@@ -141,7 +163,9 @@ func SaveObjectsCSV(path string, objects []Object) error {
 	return f.Close()
 }
 
-// SaveFunctionsCSV writes functions as id,w1,...,wD rows.
+// SaveFunctionsCSV writes functions as id[,kind],w1,...,wD rows; the
+// kind cell is emitted only for functions with a non-nil Scorer, so
+// purely linear sets round-trip through the historical format.
 func SaveFunctionsCSV(path string, functions []Function) error {
 	f, err := os.Create(path)
 	if err != nil {
@@ -150,9 +174,19 @@ func SaveFunctionsCSV(path string, functions []Function) error {
 	defer f.Close()
 	w := csv.NewWriter(f)
 	for _, fn := range functions {
-		row := make([]string, 0, len(fn.Weights)+1)
+		row := make([]string, 0, len(fn.Weights)+2)
 		row = append(row, strconv.FormatUint(fn.ID, 10))
-		for _, v := range fn.Weights {
+		weights := fn.Weights
+		if fn.Scorer != nil {
+			row = append(row, fn.Scorer.String())
+			// Scorer-carried weights win at solve time
+			// (resolveFunction), so they win here too — otherwise the
+			// round-trip would change the function.
+			if len(fn.Scorer.weights) > 0 {
+				weights = fn.Scorer.weights
+			}
+		}
+		for _, v := range weights {
 			row = append(row, strconv.FormatFloat(v, 'g', -1, 64))
 		}
 		if err := w.Write(row); err != nil {

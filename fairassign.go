@@ -5,8 +5,11 @@
 // 2009) together with the paper's baselines and problem variants.
 //
 // Model. Each object has D attribute values under a "larger is better"
-// convention; each user expresses a linear preference function with
-// normalized weights (Σα = 1), so f(o) = Σ α_i·o_i. When many users query
+// convention; each user expresses a monotone preference function with
+// normalized weights (Σα = 1) — linear by default (f(o) = Σ α_i·o_i, the
+// paper's model), or any pluggable monotone family via Function.Scorer:
+// order-weighted averages (OWA, subsuming the egalitarian Minimax, Best,
+// and Median), Chebyshev weighted max, and Lp norms. When many users query
 // simultaneously, an object can only be granted to one of them, and the
 // system must produce the stable matching: iteratively, the
 // (function, object) pair with the globally highest score is assigned and
@@ -67,15 +70,24 @@ type Object struct {
 }
 
 // Function is a user preference: an identifier, D non-negative weights,
-// an optional priority Gamma (0 means 1), and an optional capacity.
-// Weights are normalized to sum to 1 by NewSolver unless they already do,
-// so that no user is favored (Section 3 of the paper); Gamma is the
-// sanctioned way to express priority.
+// an optional priority Gamma (0 means 1), an optional capacity, and an
+// optional Scorer selecting the preference family the weights
+// parameterize. Weights are normalized to sum to 1 by NewSolver unless
+// they already do (within WeightNormalizationTolerance), so that no
+// user is favored (Section 3 of the paper); Gamma is the sanctioned way
+// to express priority.
+//
+// A nil Scorer means the paper's linear model f(o) = Σ wᵢ·oᵢ. Setting
+// Scorer (OWA, Minimax, Best, Median, Chebyshev, Lp — see the Scorer
+// type) reinterprets the weights under that monotone family; every
+// algorithm, the Workspace, and the query helpers accept any mix of
+// families in one problem.
 type Function struct {
 	ID       uint64
 	Weights  []float64
 	Gamma    float64
 	Capacity int
+	Scorer   *Scorer
 }
 
 // Pair is one unit of assignment.
@@ -165,11 +177,9 @@ func NewSolver(objects []Object, functions []Function, opts Options) (*Solver, e
 	if len(objects) == 0 && len(functions) == 0 {
 		return nil, fmt.Errorf("fairassign: nothing to assign")
 	}
-	dims := 0
-	if len(objects) > 0 {
-		dims = len(objects[0].Attributes)
-	} else {
-		dims = len(functions[0].Weights)
+	dims := problemDims(objects, functions)
+	if dims == 0 {
+		return nil, fmt.Errorf("fairassign: cannot derive dimensionality (no objects and no function carries explicit weights)")
 	}
 	p := &assign.Problem{Dims: dims}
 	for _, o := range objects {
@@ -180,16 +190,11 @@ func NewSolver(objects []Object, functions []Function, opts Options) (*Solver, e
 		})
 	}
 	for _, f := range functions {
-		w, err := prepareWeights(f, opts)
+		af, err := resolveFunction(f, opts, dims)
 		if err != nil {
 			return nil, err
 		}
-		p.Functions = append(p.Functions, assign.Function{
-			ID:       f.ID,
-			Weights:  w,
-			Gamma:    f.Gamma,
-			Capacity: f.Capacity,
-		})
+		p.Functions = append(p.Functions, af)
 	}
 	if err := p.Validate(); err != nil {
 		return nil, err

@@ -66,6 +66,17 @@ func FuzzLoadFunctionsCSV(f *testing.F) {
 	f.Add("id,w1,w2\n1,0.5,0.5\n", 0)  // header row
 	f.Add("1,1e-320,1e-320\n", 0)      // subnormal weights
 	f.Add("", 3)                       // extras out of range
+	// Scorer-kind column (detected by a non-numeric second cell).
+	f.Add("1,owa,0.5,0.5\n", 0)               // OWA position weights
+	f.Add("1,minimax\n2,best\n3,median\n", 0) // pattern kinds, no weights
+	f.Add("1,chebyshev,0.7,0.3\n", 0)         // weighted max
+	f.Add("1,lp:2,0.5,0.5\n", 0)              // p-norm
+	f.Add("1,lp:0.5,0.5,0.5\n", 0)            // rejected exponent (< 1)
+	f.Add("1,lp:NaN,0.5,0.5\n", 0)            // rejected exponent (NaN)
+	f.Add("1,frobnicate,0.5,0.5\n", 0)        // unknown kind
+	f.Add("1,owa,-1,2\n", 0)                  // negative OWA weight
+	f.Add("1,owa,NaN,0.5\n", 0)               // NaN OWA weight
+	f.Add("1,minimax,3\n2,owa,1,2,4\n", 1)    // kinds + gamma extra
 	f.Fuzz(func(t *testing.T, data string, extras int) {
 		funcs, err := LoadFunctionsCSVExt(writeFuzzFile(t, data), extras)
 		if err != nil {
@@ -75,6 +86,9 @@ func FuzzLoadFunctionsCSV(f *testing.F) {
 			for _, v := range fn.Weights {
 				if math.IsNaN(v) || math.IsInf(v, 0) {
 					t.Fatalf("loader accepted non-finite weight %v in function %d", v, fn.ID)
+				}
+				if v < 0 {
+					t.Fatalf("loader accepted negative weight %v in function %d", v, fn.ID)
 				}
 			}
 			if math.IsNaN(fn.Gamma) || math.IsInf(fn.Gamma, 0) {

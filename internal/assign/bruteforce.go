@@ -4,6 +4,7 @@ import (
 	"fairassign/internal/heaputil"
 	"fairassign/internal/metrics"
 	"fairassign/internal/rtree"
+	"fairassign/internal/score"
 	"fairassign/internal/topk"
 )
 
@@ -62,7 +63,7 @@ func bruteForceLoop(p *Problem, state *solveState, touchState func(uint64) error
 	h := &funcScoreHeap{}
 	for _, f := range p.Functions {
 		st := &fstate{f: f, weights: f.Effective()}
-		st.searcher = topk.NewSearcher(tree, st.weights, skip)
+		st.searcher = topk.NewScorerSearcher(tree, score.Scorer{Fam: f.Fam, W: st.weights}, skip)
 		if err := touch(f.ID); err != nil {
 			return nil, err
 		}

@@ -1,10 +1,14 @@
 package assign
 
 import (
+	"math"
 	"sort"
 
+	"fairassign/internal/geom"
 	"fairassign/internal/metrics"
+	"fairassign/internal/pagestore"
 	"fairassign/internal/rtree"
+	"fairassign/internal/score"
 	"fairassign/internal/topk"
 )
 
@@ -33,22 +37,15 @@ func Chain(p *Problem, cfg Config) (*Result, error) {
 		return nil, err
 	}
 	defer fstore.Close()
-	fitems := make([]rtree.Item, len(p.Functions))
-	weights := make(map[uint64][]float64, len(p.Functions))
-	for i, f := range p.Functions {
-		w := f.Effective()
-		weights[f.ID] = w
-		fitems[i] = rtree.Item{ID: f.ID, Point: w}
-	}
-	ftree, err := rtree.BulkLoad(fpool, p.Dims, fitems, cfg.treeFill())
+	fx, err := buildFuncIndex(p, fpool, cfg)
 	if err != nil {
 		return nil, err
 	}
 
 	// The function R-tree is a main-memory structure: its size is part of
 	// Chain's memory footprint (the paper's memory metric).
-	ftreeBytes := int64(ftree.NumPages()) * int64(fstore.PageSize())
-	res, err := chainLoop(p, st, ftree, weights, ftreeBytes)
+	ftreeBytes := int64(fx.ftree.NumPages()) * int64(fstore.PageSize())
+	res, err := chainLoop(p, st, fx, ftreeBytes)
 	if err != nil {
 		return nil, err
 	}
@@ -56,11 +53,71 @@ func Chain(p *Problem, cfg Config) (*Result, error) {
 	return res, nil
 }
 
+// funcIndex is the reverse-search structure over a function set: a
+// weight-space R-tree holding the LINEAR functions — for which "best
+// function for object o" is itself a BRS top-1 with o as the weight
+// vector, by symmetry of the dot product — plus an exhaustively scanned
+// side list of the non-linear functions, whose scores are not bilinear
+// and so cannot ride the R-tree bound. Purely linear populations (the
+// paper's setting) put everything in the tree and scan nothing.
+type funcIndex struct {
+	ftree   *rtree.Tree
+	scorers map[uint64]score.Scorer // every function's effective scorer
+	nonlin  []uint64                // non-linear function IDs
+}
+
+// buildFuncIndex bulk-loads the linear weight tree and collects the
+// non-linear side list.
+func buildFuncIndex(p *Problem, fpool *pagestore.BufferPool, cfg Config) (*funcIndex, error) {
+	fx := &funcIndex{scorers: make(map[uint64]score.Scorer, len(p.Functions))}
+	var fitems []rtree.Item
+	for _, f := range p.Functions {
+		sc := f.Scorer()
+		fx.scorers[f.ID] = sc
+		if sc.IsLinear() {
+			fitems = append(fitems, rtree.Item{ID: f.ID, Point: sc.W})
+		} else {
+			fx.nonlin = append(fx.nonlin, f.ID)
+		}
+	}
+	ftree, err := rtree.BulkLoad(fpool, p.Dims, fitems, cfg.treeFill())
+	if err != nil {
+		return nil, err
+	}
+	fx.ftree = ftree
+	return fx, nil
+}
+
+// bestFunc answers the reverse top-1 — the non-skipped function
+// maximizing f(o) — combining the linear tree search with the
+// non-linear scan. Ties break to the lower function ID, matching the
+// BRS enumeration order.
+func (fx *funcIndex) bestFunc(opoint geom.Point, skip func(uint64) bool) (fid uint64, s float64, ok bool, err error) {
+	it, s, ok, err := topk.Top1(fx.ftree, opoint, skip)
+	if err != nil {
+		return 0, 0, false, err
+	}
+	fid = it.ID
+	if !ok {
+		s = math.Inf(-1)
+	}
+	for _, id := range fx.nonlin {
+		if skip(id) {
+			continue
+		}
+		v := fx.scorers[id].Score(opoint)
+		if !ok || v > s || (v == s && id < fid) {
+			fid, s, ok = id, v, true
+		}
+	}
+	return fid, s, ok, nil
+}
+
 // chainLoop is the Chain engine, shared by the in-memory (Chain) and
 // disk-resident-F (ChainDiskFuncs) configurations; the callers decide
 // which stores contribute to the reported I/O. memBase is charged as the
 // resident size of the function index (zero when it lives on disk).
-func chainLoop(p *Problem, st *solveState, ftree *rtree.Tree, weights map[uint64][]float64, memBase int64) (*Result, error) {
+func chainLoop(p *Problem, st *solveState, fx *funcIndex, memBase int64) (*Result, error) {
 	res := &Result{}
 	var timer metrics.Timer
 	timer.Start()
@@ -118,7 +175,7 @@ func chainLoop(p *Problem, st *solveState, ftree *rtree.Tree, weights map[uint64
 
 		if x.isFunc {
 			f := x.id
-			o, score, ok, err := topk.Top1(st.tree, weights[f], skipObj)
+			o, sc, ok, err := topk.Top1Scorer(st.tree, fx.scorers[f], skipObj)
 			res.Stats.TopKRuns++
 			if err != nil {
 				return nil, err
@@ -126,7 +183,7 @@ func chainLoop(p *Problem, st *solveState, ftree *rtree.Tree, weights map[uint64
 			if !ok {
 				break // no objects left at all
 			}
-			f2, _, ok, err := topk.Top1(ftree, o.Point, skipFunc)
+			f2, _, ok, err := fx.bestFunc(o.Point, skipFunc)
 			res.Stats.TopKRuns++
 			if err != nil {
 				return nil, err
@@ -134,15 +191,15 @@ func chainLoop(p *Problem, st *solveState, ftree *rtree.Tree, weights map[uint64
 			if !ok {
 				break
 			}
-			if f2.ID == f {
-				emitChainPair(res, funcCaps, objCaps, deadFunc, deadObj, f, o.ID, score)
+			if f2 == f {
+				emitChainPair(res, funcCaps, objCaps, deadFunc, deadObj, f, o.ID, sc)
 			} else {
 				queue = append(queue, queued{isFunc: false, id: o.ID})
 			}
 		} else {
 			oid := x.id
 			opoint := opoints[oid]
-			f, _, ok, err := topk.Top1(ftree, opoint, skipFunc)
+			f, _, ok, err := fx.bestFunc(opoint, skipFunc)
 			res.Stats.TopKRuns++
 			if err != nil {
 				return nil, err
@@ -150,7 +207,7 @@ func chainLoop(p *Problem, st *solveState, ftree *rtree.Tree, weights map[uint64
 			if !ok {
 				break
 			}
-			o2, score, ok, err := topk.Top1(st.tree, weights[f.ID], skipObj)
+			o2, sc, ok, err := topk.Top1Scorer(st.tree, fx.scorers[f], skipObj)
 			res.Stats.TopKRuns++
 			if err != nil {
 				return nil, err
@@ -159,9 +216,9 @@ func chainLoop(p *Problem, st *solveState, ftree *rtree.Tree, weights map[uint64
 				break
 			}
 			if o2.ID == oid {
-				emitChainPair(res, funcCaps, objCaps, deadFunc, deadObj, f.ID, oid, score)
+				emitChainPair(res, funcCaps, objCaps, deadFunc, deadObj, f, oid, sc)
 			} else {
-				queue = append(queue, queued{isFunc: true, id: f.ID})
+				queue = append(queue, queued{isFunc: true, id: f})
 			}
 		}
 		trackPeak()

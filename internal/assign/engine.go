@@ -5,8 +5,9 @@ import (
 	"sync"
 	"sync/atomic"
 
-	"fairassign/internal/geom"
 	"fairassign/internal/rtree"
+	"fairassign/internal/score"
+	"fairassign/internal/skyline"
 	"fairassign/internal/ta"
 )
 
@@ -92,18 +93,13 @@ func (c *engineCtx) bestFunctionOf(o rtree.Item) bestFunc {
 }
 
 // bestObjectOf scans the skyline for the object maximizing fid's score
-// (ties: lowest object ID).
+// (ties: lowest object ID). The scan evaluates the function's scoring
+// family over its effective weights — geom.Dot in the paper's linear
+// setting.
 func (c *engineCtx) bestObjectOf(fid uint64, sky []rtree.Item) bestObj {
-	w := c.lists.Weights(fid)
-	var best bestObj
-	found := false
-	for _, o := range sky {
-		s := geom.Dot(w, o.Point)
-		if !found || s > best.score || (s == best.score && o.ID < best.oid) {
-			best, found = bestObj{oid: o.ID, score: s}, true
-		}
-	}
-	return best
+	sc := score.Scorer{Fam: c.lists.FamilyOf(fid), W: c.lists.Weights(fid)}
+	it, s, _ := skyline.BestUnder(sc, sky)
+	return bestObj{oid: it.ID, score: s}
 }
 
 // dropSearch discards the resumable state of an assigned object,

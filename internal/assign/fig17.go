@@ -4,10 +4,11 @@ import (
 	"errors"
 	"slices"
 
-	"fairassign/internal/geom"
 	"fairassign/internal/metrics"
 	"fairassign/internal/pagestore"
 	"fairassign/internal/rtree"
+	"fairassign/internal/score"
+	"fairassign/internal/skyline"
 	"fairassign/internal/ta"
 )
 
@@ -124,15 +125,9 @@ func SBDiskFuncs(p *Problem, cfg Config) (*Result, error) {
 			if err != nil {
 				return nil, err
 			}
-			var best bestObj
-			found := false
-			for _, o := range sky {
-				s := geom.Dot(w, o.Point)
-				if !found || s > best.score || (s == best.score && o.ID < best.oid) {
-					best, found = bestObj{oid: o.ID, score: s}, true
-				}
-			}
-			fBest[fid] = best
+			sc := score.Scorer{Fam: dl.FamilyOf(fid), W: w}
+			it, s, _ := skyline.BestUnder(sc, sky)
+			fBest[fid] = bestObj{oid: it.ID, score: s}
 		}
 
 		var removedObjs []uint64
@@ -215,21 +210,14 @@ func ChainDiskFuncs(p *Problem, cfg Config) (*Result, error) {
 		return nil, err
 	}
 	defer fstore.Close()
-	fitems := make([]rtree.Item, len(p.Functions))
-	weights := make(map[uint64][]float64, len(p.Functions))
-	for i, f := range p.Functions {
-		w := f.Effective()
-		weights[f.ID] = w
-		fitems[i] = rtree.Item{ID: f.ID, Point: w}
-	}
-	ftree, err := rtree.BulkLoad(fpool, p.Dims, fitems, cfg.treeFill())
+	fx, err := buildFuncIndex(p, fpool, cfg)
 	if err != nil {
 		return nil, err
 	}
 	if err := fpool.Flush(); err != nil {
 		return nil, err
 	}
-	if err := fpool.Resize(pagestore.CapacityFromFraction(ftree.NumPages(), cfg.funcBufferFrac())); err != nil {
+	if err := fpool.Resize(pagestore.CapacityFromFraction(fx.ftree.NumPages(), cfg.funcBufferFrac())); err != nil {
 		return nil, err
 	}
 	if err := fpool.Clear(); err != nil {
@@ -239,7 +227,7 @@ func ChainDiskFuncs(p *Problem, cfg Config) (*Result, error) {
 
 	// Function tree on disk: only its buffer frames are memory-resident.
 	bufBytes := int64(fpool.Capacity()) * int64(fstore.PageSize())
-	res, err := chainLoop(p, st, ftree, weights, bufBytes)
+	res, err := chainLoop(p, st, fx, bufBytes)
 	if err != nil {
 		return nil, err
 	}

@@ -3,6 +3,8 @@ package assign
 import (
 	"fmt"
 	"sort"
+
+	"fairassign/internal/score"
 )
 
 // Oracle computes the stable assignment directly from its definition:
@@ -23,10 +25,7 @@ func Oracle(p *Problem) (*Result, error) {
 	for fi, f := range p.Functions {
 		w := f.Effective()
 		for oi, o := range p.Objects {
-			s := 0.0
-			for d, wd := range w {
-				s += wd * o.Point[d]
-			}
+			s := score.Eval(f.Fam, w, o.Point)
 			all = append(all, scored{fi: fi, oi: oi, score: s})
 		}
 	}
@@ -97,11 +96,7 @@ func GaleShapley(p *Problem) (*Result, error) {
 		w := f.Effective()
 		row := make([]float64, no)
 		for oi, o := range p.Objects {
-			s := 0.0
-			for d, wd := range w {
-				s += wd * o.Point[d]
-			}
-			row[oi] = s
+			row[oi] = score.Eval(f.Fam, w, o.Point)
 		}
 		scores[fi] = row
 		order := make([]int, no)
@@ -200,6 +195,7 @@ func GaleShapleyCapacitated(p *Problem) (*Result, error) {
 				ID:      next,
 				Weights: f.Weights,
 				Gamma:   f.Gamma,
+				Fam:     f.Fam,
 			})
 			funcOrig[next] = f.ID
 			next++
@@ -253,10 +249,7 @@ func IsStable(p *Problem, pairs []Pair) error {
 	for _, f := range p.Functions {
 		w := f.Effective()
 		for _, o := range p.Objects {
-			s := 0.0
-			for d, wd := range w {
-				s += wd * o.Point[d]
-			}
+			s := score.Eval(f.Fam, w, o.Point)
 			fWants := fUsed[f.ID] < f.capacity() || s > fThresh[f.ID]+eps
 			oWants := oUsed[o.ID] < o.capacity() || s > oThresh[o.ID]+eps
 			if fWants && oWants {

@@ -4,9 +4,10 @@ import (
 	"errors"
 	"slices"
 
-	"fairassign/internal/geom"
 	"fairassign/internal/metrics"
 	"fairassign/internal/pagestore"
+	"fairassign/internal/score"
+	"fairassign/internal/skyline"
 	"fairassign/internal/ta"
 )
 
@@ -119,15 +120,9 @@ func SBAlt(p *Problem, cfg Config) (*Result, error) {
 			if err != nil {
 				return nil, err
 			}
-			best := bestObj{}
-			foundBest := false
-			for _, o := range sky {
-				s := geom.Dot(w, o.Point)
-				if !foundBest || s > best.score || (s == best.score && o.ID < best.oid) {
-					best, foundBest = bestObj{oid: o.ID, score: s}, true
-				}
-			}
-			fBest[fid] = best
+			sc := score.Scorer{Fam: dl.FamilyOf(fid), W: w}
+			it, s, _ := skyline.BestUnder(sc, sky)
+			fBest[fid] = bestObj{oid: it.ID, score: s}
 		}
 
 		var removedObjs []uint64

@@ -23,8 +23,8 @@ func sortItemsByID(items []rtree.Item) {
 }
 
 // taFuncs converts functions to their TA representation (effective
-// weights). All weight vectors share one contiguous backing array — one
-// allocation instead of one per function.
+// weights plus scoring family). All weight vectors share one contiguous
+// backing array — one allocation instead of one per function.
 func taFuncs(funcs []Function) []ta.Func {
 	out := make([]ta.Func, len(funcs))
 	if len(funcs) == 0 {
@@ -34,11 +34,11 @@ func taFuncs(funcs []Function) []ta.Func {
 	backing := make([]float64, len(funcs)*dims)
 	for i, f := range funcs {
 		w := backing[i*dims : (i+1)*dims : (i+1)*dims]
-		g := f.gamma()
+		g := f.Fam.GammaScale(f.gamma())
 		for d, a := range f.Weights {
 			w[d] = a * g
 		}
-		out[i] = ta.Func{ID: f.ID, Weights: w}
+		out[i] = ta.Func{ID: f.ID, Weights: w, Fam: f.Fam}
 	}
 	return out
 }

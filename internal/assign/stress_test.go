@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"fairassign/internal/geom"
+	"fairassign/internal/score"
 )
 
 // stressStep is one scripted mutation, applied identically to the
@@ -33,9 +34,32 @@ type stressScript struct {
 	objects  []map[uint64]geom.Point // objects[k]: live objects after k mutations
 }
 
+// randStressFam draws a scoring family for stress traffic: a linear
+// majority (the paper's workload) with every non-linear family mixed
+// in, so concurrent snapshot validation covers OWA/Chebyshev/Lp repair
+// paths too.
+func randStressFam(rng *rand.Rand) score.Family {
+	switch rng.Intn(8) {
+	case 0:
+		return score.Family{Kind: score.OWA}
+	case 1:
+		return score.Family{Kind: score.Chebyshev}
+	case 2:
+		return score.Family{Kind: score.Lp, P: float64(2 + rng.Intn(2))}
+	default:
+		return score.Family{}
+	}
+}
+
 func buildStressScript(t *testing.T, base *Problem, muts int, seed int64) *stressScript {
 	t.Helper()
 	rng := rand.New(rand.NewSource(seed))
+	// Mix scorer kinds into the base population, in place: the caller
+	// hands the same base to NewWorkspace, so the workspace build and
+	// the model cold solves must see identical families.
+	for i := range base.Functions {
+		base.Functions[i].Fam = randStressFam(rng)
+	}
 	model := &Problem{Dims: base.Dims}
 	model.Objects = append([]Object(nil), base.Objects...)
 	model.Functions = append([]Function(nil), base.Functions...)
@@ -72,7 +96,7 @@ func buildStressScript(t *testing.T, base *Problem, muts int, seed int64) *stres
 			model.Functions = append(model.Functions[:i], model.Functions[i+1:]...)
 		case k == 2:
 			nextID++
-			f := Function{ID: nextID, Weights: randWeights(rng, model.Dims)}
+			f := Function{ID: nextID, Weights: randWeights(rng, model.Dims), Fam: randStressFam(rng)}
 			st = stressStep{kind: 2, fn: f}
 			model.Functions = append(model.Functions, f)
 		default:

@@ -3,21 +3,26 @@ package assign
 import (
 	"errors"
 	"slices"
+	"sort"
 
-	"fairassign/internal/geom"
 	"fairassign/internal/metrics"
 	"fairassign/internal/rtree"
+	"fairassign/internal/score"
 	"fairassign/internal/skyline"
 )
 
 // SBTwoSkylines is the prioritized variant of Section 6.2: alongside the
 // object skyline, a skyline is maintained over the functions' effective
 // coefficient vectors (α'_i = α_i·γ). A function dominated coefficient-
-// wise by another can never win any object, so the best pairs always lie
-// in Fsky × Osky, and with γ-scaled weights Fsky is small. Best pairs are
-// then found by exhaustive scan of the two skylines — faster than TA
-// whose threshold goes loose for mixed priorities, and cheaper in memory
-// (no TA states are kept), matching Figure 15.
+// wise by another of the SAME scoring family can never win any object
+// (every family is monotone in its weights), so the best pairs always
+// lie in Fsky × Osky where Fsky is the union of per-family function
+// skylines — one skyline per distinct score.Family present, collapsing
+// to the single skyline of the paper in the all-linear setting. With
+// γ-scaled weights Fsky is small, and best pairs are found by
+// exhaustive scan of the two (small) sets — faster than TA whose
+// threshold goes loose for mixed priorities, and cheaper in memory (no
+// TA states are kept), matching Figure 15.
 func SBTwoSkylines(p *Problem, cfg Config) (*Result, error) {
 	st, err := newSolveState(p, cfg)
 	if err != nil {
@@ -40,20 +45,22 @@ func SBTwoSkylines(p *Problem, cfg Config) (*Result, error) {
 	// only updates, but removing a skyline function can surface functions
 	// it was dominating).
 	weights := make(map[uint64][]float64, len(p.Functions))
+	fams := make(map[uint64]score.Family, len(p.Functions))
 	liveFuncs := make([]rtree.Item, 0, len(p.Functions))
 	for _, f := range p.Functions {
 		w := f.Effective()
 		weights[f.ID] = w
+		fams[f.ID] = f.Fam
 		liveFuncs = append(liveFuncs, rtree.Item{ID: f.ID, Point: w})
 	}
-	fsky := skyline.SFS(liveFuncs)
+	fsky := functionSkylines(liveFuncs, fams)
 	fskyStale := false
 	workers := cfg.workerCount()
 
 	for funcCaps.units > 0 && objCaps.units > 0 && maint.Size() > 0 && len(liveFuncs) > 0 {
 		res.Stats.Loops++
 		if fskyStale {
-			fsky = skyline.SFS(liveFuncs)
+			fsky = functionSkylines(liveFuncs, fams)
 			fskyStale = false
 		}
 		sky := maint.Skyline()
@@ -69,7 +76,7 @@ func SBTwoSkylines(p *Problem, cfg Config) (*Result, error) {
 			o := sky[i]
 			var bf bestFunc
 			for _, f := range fsky {
-				s := geom.Dot(f.Point, o.Point)
+				s := score.Eval(fams[f.ID], f.Point, o.Point)
 				if !bf.ok || s > bf.score || (s == bf.score && f.ID < bf.fid) {
 					bf = bestFunc{fid: f.ID, score: s, ok: true}
 				}
@@ -94,16 +101,9 @@ func SBTwoSkylines(p *Problem, cfg Config) (*Result, error) {
 		slices.Sort(fids)
 		byFunc := make([]bestObj, len(fids))
 		ParallelFor(len(fids), workers, func(i int) {
-			w := weights[fids[i]]
-			var bo bestObj
-			found := false
-			for _, o := range sky {
-				s := geom.Dot(w, o.Point)
-				if !found || s > bo.score || (s == bo.score && o.ID < bo.oid) {
-					bo, found = bestObj{oid: o.ID, score: s}, true
-				}
-			}
-			byFunc[i] = bo
+			sc := score.Scorer{Fam: fams[fids[i]], W: weights[fids[i]]}
+			it, s, _ := skyline.BestUnder(sc, sky)
+			byFunc[i] = bestObj{oid: it.ID, score: s}
 		})
 		fBest := make(map[uint64]bestObj, len(fids))
 		for i, fid := range fids {
@@ -159,4 +159,40 @@ func SBTwoSkylines(p *Problem, cfg Config) (*Result, error) {
 		res.Stats.PeakMem = st.mem.Peak
 	}
 	return res, nil
+}
+
+// functionSkylines computes the candidate function set of the two-
+// skyline loop: one weight-space skyline per distinct scoring family,
+// concatenated. Weight dominance only transfers to score dominance
+// within one family, so the grouping is what keeps the pruning sound
+// for mixed populations; a single (linear) family degenerates to one
+// SFS pass over all functions, exactly the paper's structure. Family
+// groups are visited in a deterministic order, though the scans over
+// the returned set break ties by ID and do not depend on it.
+func functionSkylines(liveFuncs []rtree.Item, fams map[uint64]score.Family) []rtree.Item {
+	groups := make(map[score.Family][]rtree.Item)
+	for _, f := range liveFuncs {
+		fam := fams[f.ID]
+		groups[fam] = append(groups[fam], f)
+	}
+	if len(groups) == 1 {
+		for _, g := range groups {
+			return skyline.SFS(g)
+		}
+	}
+	keys := make([]score.Family, 0, len(groups))
+	for fam := range groups {
+		keys = append(keys, fam)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].Kind != keys[j].Kind {
+			return keys[i].Kind < keys[j].Kind
+		}
+		return keys[i].P < keys[j].P
+	})
+	var out []rtree.Item
+	for _, fam := range keys {
+		out = append(out, skyline.SFS(groups[fam])...)
+	}
+	return out
 }

@@ -33,6 +33,7 @@ import (
 	"fairassign/internal/geom"
 	"fairassign/internal/metrics"
 	"fairassign/internal/pagestore"
+	"fairassign/internal/score"
 )
 
 // Object is a database object: a D-dimensional feature vector with an
@@ -51,12 +52,15 @@ func (o Object) capacity() int {
 }
 
 // Function is a user preference: normalized weights (Σα = 1), an optional
-// priority γ (Section 6.2, 0 means 1), and an optional capacity.
+// priority γ (Section 6.2, 0 means 1), an optional capacity, and the
+// scoring family the weights parameterize (zero value: the paper's
+// linear model; see internal/score for OWA, Chebyshev, and Lp).
 type Function struct {
 	ID       uint64
 	Weights  []float64
 	Gamma    float64 // priority; <= 0 means 1
 	Capacity int     // <= 0 means 1
+	Fam      score.Family
 }
 
 func (f Function) gamma() float64 {
@@ -73,10 +77,12 @@ func (f Function) capacity() int {
 	return f.Capacity
 }
 
-// Effective returns the effective coefficients α'_i = α_i·γ used
-// throughout search (Equation 2 reduces to Equation 1 when γ = 1).
+// Effective returns the effective coefficients used throughout search:
+// α'_i = α_i·γ for the degree-1 homogeneous families (Equation 2
+// reduces to Equation 1 when γ = 1), and α_i·γᵖ for Lp, so that
+// scoring the effective weights always equals γ·f(o).
 func (f Function) Effective() []float64 {
-	g := f.gamma()
+	g := f.Fam.GammaScale(f.gamma())
 	w := make([]float64, len(f.Weights))
 	for i, a := range f.Weights {
 		w[i] = a * g
@@ -86,7 +92,14 @@ func (f Function) Effective() []float64 {
 
 // Score returns f(o) including the priority factor.
 func (f Function) Score(o geom.Point) float64 {
-	return f.gamma() * geom.Dot(f.Weights, o)
+	return f.gamma() * score.Eval(f.Fam, f.Weights, o)
+}
+
+// Scorer returns the function's search-side scorer: its family over the
+// effective (γ-folded) weights. Allocates; hot paths keep the effective
+// weights in shared backing arrays instead.
+func (f Function) Scorer() score.Scorer {
+	return score.Scorer{Fam: f.Fam, W: f.Effective()}
 }
 
 // Pair is one unit of assignment: function FuncID gets one instance of
@@ -123,6 +136,9 @@ func (p *Problem) Validate() error {
 	for _, f := range p.Functions {
 		if len(f.Weights) != p.Dims {
 			return fmt.Errorf("assign: function %d has %d weights, want %d", f.ID, len(f.Weights), p.Dims)
+		}
+		if err := f.Fam.Validate(); err != nil {
+			return fmt.Errorf("assign: function %d: %w", f.ID, err)
 		}
 		for _, w := range f.Weights {
 			if w < 0 {

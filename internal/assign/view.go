@@ -6,6 +6,7 @@ import (
 
 	"fairassign/internal/pagestore"
 	"fairassign/internal/rtree"
+	"fairassign/internal/score"
 	"fairassign/internal/skyline"
 	"fairassign/internal/topk"
 )
@@ -197,10 +198,16 @@ func (v *View) Tree() *rtree.View {
 // TopK runs a BRS ranked search with the given effective weights over
 // the frozen object index, returning the k best objects and scores.
 func (v *View) TopK(weights []float64, k int) ([]rtree.Item, []float64, error) {
+	return v.TopKScorer(score.LinearScorer(weights), k)
+}
+
+// TopKScorer is TopK under an arbitrary monotone scorer (effective
+// weights folded in), evaluated with BRS over the pinned index epoch.
+func (v *View) TopKScorer(sc score.Scorer, k int) ([]rtree.Item, []float64, error) {
 	if v.closed.Load() {
 		return nil, nil, ErrViewClosed
 	}
-	return topk.TopK(v.Tree(), weights, k, nil)
+	return topk.TopKScorer(v.Tree(), sc, k, nil)
 }
 
 // Skyline computes the skyline of the frozen object set with BBS over

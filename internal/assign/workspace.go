@@ -12,6 +12,7 @@ import (
 	"fairassign/internal/metrics"
 	"fairassign/internal/pagestore"
 	"fairassign/internal/rtree"
+	"fairassign/internal/score"
 	"fairassign/internal/skyline"
 	"fairassign/internal/topk"
 )
@@ -113,6 +114,12 @@ type Workspace struct {
 	objs  map[uint64]Object
 	funcs map[uint64]Function
 	eff   map[uint64][]float64 // function ID -> effective weights (ftree points)
+	// nonlin holds the IDs of live non-linear functions. Linear
+	// functions live in the ftree (reverse search via dot symmetry);
+	// non-linear scores are not bilinear, so those functions are scanned
+	// exhaustively by bestTaker instead. Purely linear populations — the
+	// paper's workload — keep this empty and pay nothing.
+	nonlin map[uint64]struct{}
 
 	// The matching, indexed from both sides; one wsPair per assigned
 	// unit, present in exactly one slice of each map.
@@ -206,6 +213,7 @@ func NewWorkspace(p *Problem, cfg Config) (*Workspace, error) {
 		objs:     make(map[uint64]Object, len(p.Objects)),
 		funcs:    make(map[uint64]Function, len(p.Functions)),
 		eff:      make(map[uint64][]float64, len(p.Functions)),
+		nonlin:   make(map[uint64]struct{}),
 		byObj:    make(map[uint64][]wsPair),
 		byFunc:   make(map[uint64][]wsPair),
 		resolves: 1,
@@ -218,7 +226,11 @@ func NewWorkspace(p *Problem, cfg Config) (*Workspace, error) {
 		ew := f.Effective()
 		w.funcs[f.ID] = f
 		w.eff[f.ID] = ew
-		fitems = append(fitems, rtree.Item{ID: f.ID, Point: ew})
+		if f.Fam.IsLinear() {
+			fitems = append(fitems, rtree.Item{ID: f.ID, Point: ew})
+		} else {
+			w.nonlin[f.ID] = struct{}{}
+		}
 	}
 	w.ftree, err = rtree.BulkLoad(fpool, p.Dims, fitems, cfg.treeFill())
 	if err != nil {
@@ -502,6 +514,9 @@ func (w *Workspace) AddFunction(f Function) error {
 			return fmt.Errorf("assign: function %d has negative weight", f.ID)
 		}
 	}
+	if err := f.Fam.Validate(); err != nil {
+		return fmt.Errorf("assign: function %d: %w", f.ID, err)
+	}
 	if _, dup := w.funcs[f.ID]; dup {
 		return fmt.Errorf("%w: function %d", ErrDuplicateID, f.ID)
 	}
@@ -511,8 +526,12 @@ func (w *Workspace) AddFunction(f Function) error {
 	ew := f.Effective()
 	w.funcs[f.ID] = f
 	w.eff[f.ID] = ew
-	if err := w.ftree.Insert(rtree.Item{ID: f.ID, Point: ew}); err != nil {
-		return err
+	if f.Fam.IsLinear() {
+		if err := w.ftree.Insert(rtree.Item{ID: f.ID, Point: ew}); err != nil {
+			return err
+		}
+	} else {
+		w.nonlin[f.ID] = struct{}{}
 	}
 	w.st.funcCaps.add(f.ID, f.capacity())
 	w.pushFunc(f.ID)
@@ -537,7 +556,9 @@ func (w *Workspace) RemoveFunction(id uint64) error {
 		w.pushObj(p.oid)
 	}
 	delete(w.byFunc, id)
-	if err := w.ftree.Delete(rtree.Item{ID: id, Point: w.eff[id]}); err != nil {
+	if _, nl := w.nonlin[id]; nl {
+		delete(w.nonlin, id)
+	} else if err := w.ftree.Delete(rtree.Item{ID: id, Point: w.eff[id]}); err != nil {
 		return err
 	}
 	w.st.funcCaps.drop(id)
@@ -630,24 +651,33 @@ func (w *Workspace) placeFunction(fid uint64) error {
 	return nil
 }
 
+// scorerOf returns a live function's effective scorer: its scoring
+// family over the γ-folded weights. Struct-by-value over existing
+// slices — no allocation on the repair hot paths.
+func (w *Workspace) scorerOf(fid uint64) score.Scorer {
+	return score.Scorer{Fam: w.funcs[fid].Fam, W: w.eff[fid]}
+}
+
 // bestEntry finds the best object a function unit can enter: the best
 // available object (scanned off the availability skyline, no I/O), or
 // a full object holding a strictly worse assignment. The availability
-// score is the ceiling of the displacement search.
-func (w *Workspace) bestEntry(fid uint64) (oid uint64, score float64, displace, ok bool, err error) {
-	ew := w.eff[fid]
+// score is the ceiling of the displacement search. Both the frontier
+// scan and the BRS displacement search run under the function's scorer,
+// which is what keeps repair correct for every monotone family.
+func (w *Workspace) bestEntry(fid uint64) (oid uint64, sc float64, displace, ok bool, err error) {
+	fsc := w.scorerOf(fid)
 	availScore, availID := math.Inf(-1), uint64(0)
 	haveAvail := false
 	for _, it := range w.avail.Skyline() {
-		s := geom.Dot(ew, it.Point)
+		s := fsc.Score(it.Point)
 		if !haveAvail || s > availScore || (s == availScore && it.ID < availID) {
 			availScore, availID, haveAvail = s, it.ID, true
 		}
 	}
 
 	bound := availScore
-	sr := topk.NewSearcher(w.st.tree, ew, func(cand uint64) bool {
-		return !w.displaceable(fid, ew, cand)
+	sr := topk.NewScorerSearcher(w.st.tree, fsc, func(cand uint64) bool {
+		return !w.displaceable(fid, fsc, cand)
 	})
 	w.searches++
 	it, s, found, err := sr.NextAtLeast(bound)
@@ -666,12 +696,12 @@ func (w *Workspace) bestEntry(fid uint64) (oid uint64, score float64, displace, 
 // displaceable reports whether a full object would evict its worst
 // assignment in favor of the proposing function (available objects are
 // handled by the skyline path and skipped here).
-func (w *Workspace) displaceable(fid uint64, ew []float64, oid uint64) bool {
+func (w *Workspace) displaceable(fid uint64, fsc score.Scorer, oid uint64) bool {
 	if w.st.objCaps.remaining[oid] > 0 {
 		return false
 	}
 	worst := worstOfObj(w.byObj[oid])
-	s := geom.Dot(ew, w.objs[oid].Point)
+	s := fsc.Score(w.objs[oid].Point)
 	return s > worst.score || (s == worst.score && fid < worst.fid)
 }
 
@@ -730,10 +760,27 @@ func (w *Workspace) bestTaker(oid uint64) (gid uint64, score float64, ok bool, e
 	})
 	w.searches++
 	it, s, found, err := sr.NextAtLeast(bound)
-	if err != nil || !found {
+	if err != nil {
 		return 0, 0, false, err
 	}
-	return it.ID, s, true, nil
+	gid = it.ID
+	// Non-linear functions are outside the weight tree; scan them under
+	// the same wants filter and bound, breaking ties to the lower ID
+	// exactly as the BRS enumeration does. The score is computed once
+	// and shared with the wants test.
+	for fid := range w.nonlin {
+		v := w.scorerOf(fid).Score(o.Point)
+		if v < bound || !w.wantsAt(fid, oid, v) {
+			continue
+		}
+		if !found || v > s || (v == s && fid < gid) {
+			gid, s, found = fid, v, true
+		}
+	}
+	if !found {
+		return 0, 0, false, nil
+	}
+	return gid, s, true, nil
 }
 
 // wants reports whether a function prefers the vacant object over its
@@ -742,8 +789,16 @@ func (w *Workspace) wants(fid, oid uint64, point geom.Point) bool {
 	if w.st.funcCaps.remaining[fid] > 0 {
 		return true
 	}
+	return w.wantsAt(fid, oid, w.scorerOf(fid).Score(point))
+}
+
+// wantsAt is wants with the function's score for the object already in
+// hand (spare capacity is re-checked so both entry points agree).
+func (w *Workspace) wantsAt(fid, oid uint64, s float64) bool {
+	if w.st.funcCaps.remaining[fid] > 0 {
+		return true
+	}
 	worst := worstOfFunc(w.byFunc[fid])
-	s := geom.Dot(w.eff[fid], point)
 	return s > worst.score || (s == worst.score && oid < worst.oid)
 }
 
@@ -826,7 +881,7 @@ func (w *Workspace) problemLocked() *Problem {
 	for _, f := range w.funcs {
 		weights := make([]float64, len(f.Weights))
 		copy(weights, f.Weights)
-		p.Functions = append(p.Functions, Function{ID: f.ID, Weights: weights, Gamma: f.Gamma, Capacity: f.Capacity})
+		p.Functions = append(p.Functions, Function{ID: f.ID, Weights: weights, Gamma: f.Gamma, Capacity: f.Capacity, Fam: f.Fam})
 	}
 	sort.Slice(p.Functions, func(i, j int) bool { return p.Functions[i].ID < p.Functions[j].ID })
 	return p

@@ -105,6 +105,10 @@ type Report struct {
 	// Concurrent measures snapshot-view read throughput and repair
 	// latency while a writer churns the workspace (1/4/16 readers).
 	Concurrent []ConcurrentCase `json:"concurrent_read_churn,omitempty"`
+	// ScorerFamilies compares solve latency and TopK throughput across
+	// the preference families (linear vs OWA/minimax vs Chebyshev vs Lp)
+	// on identical data.
+	ScorerFamilies []ScorerFamilyCase `json:"scorer_families,omitempty"`
 }
 
 // Options tunes a pipeline run.
@@ -291,6 +295,15 @@ func Run(opts Options) (*Report, error) {
 		return nil, err
 	}
 	rep.Concurrent = append(rep.Concurrent, conc...)
+	// Scorer families: linear vs OWA/minimax vs Chebyshev vs Lp, at the
+	// largest size per dimensionality.
+	for _, dims := range opts.Dims {
+		sf, err := runScorerFamilies(maxN, dims, opts)
+		if err != nil {
+			return nil, err
+		}
+		rep.ScorerFamilies = append(rep.ScorerFamilies, sf...)
+	}
 	return rep, nil
 }
 

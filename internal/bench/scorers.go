@@ -1,0 +1,95 @@
+package bench
+
+import (
+	"fmt"
+
+	"fairassign/internal/assign"
+	"fairassign/internal/datagen"
+	"fairassign/internal/score"
+	"fairassign/internal/topk"
+)
+
+// ScorerFamilyCase measures one scoring family on identical data: the
+// full SB stable-assignment solve, and single-user BRS TopK throughput
+// over a warm index. The linear row is the paper's workload — its solve
+// must stay on the committed hot-path trajectory (the Cases section and
+// the -maxregress gate cover that); the non-linear rows price what the
+// generalization costs when it is actually used.
+type ScorerFamilyCase struct {
+	Name   string `json:"name"`
+	Family string `json:"family"` // linear | owa | minimax | chebyshev | lp
+	N      int    `json:"n"`
+	Dims   int    `json:"dims"`
+
+	SolveNsPerOp int64 `json:"solve_ns_per_op"`
+	SolveIters   int64 `json:"solve_iterations"`
+	Pairs        int   `json:"pairs"`
+
+	TopKNsPerOp int64   `json:"topk_ns_per_op"`
+	TopKPerSec  float64 `json:"topk_per_sec"`
+}
+
+// scorerBenchFamilies is the measured sweep: the paper's linear model
+// against the order-weighted average (and its egalitarian minimax
+// special case), the Chebyshev max, and the L2 norm.
+var scorerBenchFamilies = []string{"linear", "owa", "minimax", "chebyshev", "lp"}
+
+// runScorerFamilies measures every family at one (n, dims) point.
+func runScorerFamilies(n, dims int, opts Options) ([]ScorerFamilyCase, error) {
+	baseObjs := datagen.Objects(datagen.AntiCorrelated, n, dims, opts.Seed)
+	baseFuncs := datagen.Functions(opts.funcsFor(n), dims, opts.Seed+3)
+	env, err := newTreeEnv(n, dims, opts.Seed, true)
+	if err != nil {
+		return nil, err
+	}
+	var out []ScorerFamilyCase
+	for _, fam := range scorerBenchFamilies {
+		c := ScorerFamilyCase{
+			Name:   "scorer_families/" + fam,
+			Family: fam,
+			N:      n,
+			Dims:   dims,
+		}
+		funcs := baseFuncs
+		if fam != "linear" {
+			funcs = datagen.WithScorerFamilies(baseFuncs, fam, opts.Seed+7)
+		}
+		p := &assign.Problem{Dims: dims, Objects: baseObjs, Functions: funcs}
+
+		var pairs int
+		m, err := measure(opts.Budget, func() error {
+			res, err := assign.SB(p, assign.Config{})
+			if err != nil {
+				return err
+			}
+			pairs = len(res.Pairs)
+			return nil
+		})
+		if err != nil {
+			return nil, fmt.Errorf("scorer_families/%s solve: %w", fam, err)
+		}
+		c.SolveNsPerOp, c.SolveIters, c.Pairs = m.NsPerOp, m.Iterations, pairs
+
+		// TopK throughput: one ranked top-10 per op, rotating through the
+		// function set, over the shared warm index.
+		scorers := make([]score.Scorer, len(funcs))
+		for i, f := range funcs {
+			scorers[i] = f.Scorer()
+		}
+		i := 0
+		m, err = measure(opts.Budget, func() error {
+			_, _, err := topk.TopKScorer(env.tree, scorers[i%len(scorers)], 10, nil)
+			i++
+			return err
+		})
+		if err != nil {
+			return nil, fmt.Errorf("scorer_families/%s topk: %w", fam, err)
+		}
+		c.TopKNsPerOp = m.NsPerOp
+		if m.NsPerOp > 0 {
+			c.TopKPerSec = 1e9 / float64(m.NsPerOp)
+		}
+		out = append(out, c)
+	}
+	return out, nil
+}

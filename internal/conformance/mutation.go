@@ -14,17 +14,18 @@ import (
 // Everything is derived from the fields, so a failing script reproduces
 // from its printed spec alone.
 type MutationSpec struct {
-	Seed   int64
-	Kind   datagen.Kind // object distribution (initial set and arrivals)
-	Dims   int          // 2..5 in the standard sweep
-	Caps   bool         // random capacities in [1,3] on both sides
-	Gammas bool         // random integer priorities γ in [1,4]
-	Steps  int          // number of mutations
+	Seed    int64
+	Kind    datagen.Kind // object distribution (initial set and arrivals)
+	Dims    int          // 2..5 in the standard sweep
+	Caps    bool         // random capacities in [1,3] on both sides
+	Gammas  bool         // random integer priorities γ in [1,4]
+	Scorers bool         // mix scoring families (OWA/minimax/…/Lp) on base set and arrivals
+	Steps   int          // number of mutations
 }
 
 func (s MutationSpec) String() string {
-	return fmt.Sprintf("mutation seed=%d kind=%s dims=%d caps=%t gammas=%t steps=%d",
-		s.Seed, s.Kind, s.Dims, s.Caps, s.Gammas, s.Steps)
+	return fmt.Sprintf("mutation seed=%d kind=%s dims=%d caps=%t gammas=%t scorers=%t steps=%d",
+		s.Seed, s.Kind, s.Dims, s.Caps, s.Gammas, s.Scorers, s.Steps)
 }
 
 // generateMutationBase builds the initial instance of a script. Sizes
@@ -36,6 +37,9 @@ func generateMutationBase(spec MutationSpec, rng *rand.Rand) *assign.Problem {
 	no := 20 + rng.Intn(61) // 20..80 objects
 	objs := datagen.Objects(spec.Kind, no, spec.Dims, spec.Seed+1)
 	funcs := datagen.Functions(nf, spec.Dims, spec.Seed+2)
+	if spec.Scorers {
+		funcs = datagen.WithScorerFamilies(funcs, "mixed", spec.Seed+9)
+	}
 	if spec.Gammas {
 		funcs = datagen.WithRandomGamma(funcs, 4, spec.Seed+3)
 	}
@@ -142,6 +146,9 @@ func runMutations(spec MutationSpec, cfg assign.Config, check func(*assign.Works
 		case 1: // function arrival
 			nextID++
 			f := datagen.Functions(1, spec.Dims, spec.Seed+211*int64(step)+13)[0]
+			if spec.Scorers {
+				f = datagen.WithScorerFamilies([]assign.Function{f}, "mixed", spec.Seed+307*int64(step)+17)[0]
+			}
 			f.ID = nextID
 			if spec.Gammas {
 				f.Gamma = float64(1 + rng.Intn(4))
@@ -236,7 +243,8 @@ func verifyInterleavedViews(ws *assign.Workspace, before *assign.View, frozen []
 // MutationSweep enumerates the script grid — 3 distributions × dims
 // 2..5 × {plain, capacities} × {γ on, off} — with scriptsPerCell
 // scripts per cell. scriptsPerCell = 3 yields 144 scripts of 12
-// mutations each.
+// mutations each. Scorer mixing is swept separately by
+// ScorerMutationSweep.
 func MutationSweep(scriptsPerCell int) []MutationSpec {
 	var specs []MutationSpec
 	seed := int64(5_000)
@@ -282,4 +290,34 @@ func VerifyConfig(spec Spec, cfg assign.Config) error {
 		}
 	}
 	return nil
+}
+
+// ScorerMutationSweep enumerates mutation scripts with mixed scoring
+// families on the base population AND on function arrivals — the
+// acceptance gate for non-linear Workspace repair. 2 distributions ×
+// dims 2..4 × {plain, capacities} × {γ on, off} × scriptsPerCell.
+func ScorerMutationSweep(scriptsPerCell int) []MutationSpec {
+	var specs []MutationSpec
+	seed := int64(90_000)
+	for _, kind := range []datagen.Kind{datagen.Independent, datagen.AntiCorrelated} {
+		for dims := 2; dims <= 4; dims++ {
+			for _, caps := range []bool{false, true} {
+				for _, gammas := range []bool{false, true} {
+					for s := 0; s < scriptsPerCell; s++ {
+						specs = append(specs, MutationSpec{
+							Seed:    seed,
+							Kind:    kind,
+							Dims:    dims,
+							Caps:    caps,
+							Gammas:  gammas,
+							Scorers: true,
+							Steps:   12,
+						})
+						seed += 19
+					}
+				}
+			}
+		}
+	}
+	return specs
 }

@@ -14,6 +14,7 @@ import (
 
 	"fairassign/internal/assign"
 	"fairassign/internal/geom"
+	"fairassign/internal/score"
 )
 
 // Kind selects the synthetic object distribution.
@@ -184,6 +185,56 @@ func ClusteredFunctions(n, dims, c int, sd float64, seed int64) []assign.Functio
 			w[d] /= sum
 		}
 		out[i] = assign.Function{ID: uint64(i + 1), Weights: w}
+	}
+	return out
+}
+
+// ScorerModes lists the family-assignment policies WithScorerFamilies
+// accepts; "mixed" draws one of the others (plus linear) per function.
+var ScorerModes = []string{"owa", "minimax", "best", "median", "chebyshev", "lp", "mixed"}
+
+// WithScorerFamilies returns a copy of funcs reinterpreted under a
+// scoring-family policy:
+//
+//	"owa"       — the weights become OWA position weights;
+//	"minimax"   — egalitarian OWA (all weight on the worst attribute);
+//	"best"      — optimistic OWA (all weight on the best attribute);
+//	"median"    — OWA weighting the middle attribute(s);
+//	"chebyshev" — weighted max over the existing weights;
+//	"lp"        — p-norm over the existing weights, p drawn from {2, 3};
+//	"mixed"     — a random family per function, linear included.
+//
+// Pattern modes replace the weight vectors; the others reuse them, so
+// normalization (Σw = 1) is preserved either way.
+func WithScorerFamilies(funcs []assign.Function, mode string, seed int64) []assign.Function {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]assign.Function, len(funcs))
+	copy(out, funcs)
+	for i := range out {
+		m := mode
+		if mode == "mixed" {
+			m = []string{"linear", "owa", "minimax", "best", "median", "chebyshev", "lp"}[rng.Intn(7)]
+		}
+		dims := len(out[i].Weights)
+		switch m {
+		case "owa":
+			out[i].Fam = score.Family{Kind: score.OWA}
+		case "minimax":
+			out[i].Fam = score.Family{Kind: score.OWA}
+			out[i].Weights = score.MinimaxWeights(dims)
+		case "best":
+			out[i].Fam = score.Family{Kind: score.OWA}
+			out[i].Weights = score.BestWeights(dims)
+		case "median":
+			out[i].Fam = score.Family{Kind: score.OWA}
+			out[i].Weights = score.MedianWeights(dims)
+		case "chebyshev":
+			out[i].Fam = score.Family{Kind: score.Chebyshev}
+		case "lp":
+			out[i].Fam = score.Family{Kind: score.Lp, P: float64(2 + rng.Intn(2))}
+		default: // linear
+			out[i].Fam = score.Family{}
+		}
 	}
 	return out
 }

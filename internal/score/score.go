@@ -1,0 +1,326 @@
+// Package score defines the pluggable monotone preference families the
+// assignment stack evaluates. The paper's algorithms — SB's skyline
+// argument, TA ranked retrieval over sorted coefficient lists, and BRS
+// branch-and-bound over R-tree MBRs — only require that a preference
+// function be a *monotone* aggregate of the object attributes: if o is
+// at least as good as o' in every dimension then f(o) ≥ f(o'). This
+// package generalizes the repository from the paper's linear special
+// case (f(o) = Σ αᵢ·oᵢ) to any family satisfying that contract:
+//
+//   - Linear:    f(o) = Σ wᵢ·oᵢ (Equation 1; the paper's model);
+//   - OWA:       f(o) = Σ wⱼ·o₍ⱼ₎ over attribute values sorted in
+//     descending order — order-weighted averages subsume min (egalitarian
+//     minimax), max, median, and Hurwicz scoring;
+//   - Chebyshev: f(o) = maxᵢ wᵢ·oᵢ (weighted max scalarization);
+//   - Lp:        f(o) = (Σ wᵢ·oᵢᵖ)^(1/p) for p ≥ 1.
+//
+// Every family is monotone non-decreasing in the object attributes
+// (given non-negative weights and, for Lp, non-negative attributes) and
+// monotone non-decreasing in the weights (given non-negative
+// attributes). The first property makes BRS pruning sound: the score of
+// an MBR's top corner bounds every point inside it (Scorer.UpperBound).
+// The second makes TA reverse search sound: a function not yet
+// encountered in any sorted coefficient list has every coefficient
+// bounded by that list's last-seen value, so Family.Bound over those
+// per-dimension ceilings bounds its score (the generalization of the
+// paper's T_tight threshold).
+//
+// The linear family compiles to exactly the geom.Dot code the rest of
+// the repository always used — the zero values of Family and Scorer.Fam
+// are linear, and every hot path stays allocation- and byte-identical
+// for purely linear workloads (asserted by conformance and the
+// committed benchmark baseline).
+package score
+
+import (
+	"fmt"
+	"math"
+
+	"fairassign/internal/geom"
+)
+
+// Kind enumerates the supported preference families.
+type Kind uint8
+
+const (
+	// Linear is f(o) = Σ wᵢ·oᵢ — the paper's model and the zero value.
+	Linear Kind = iota
+	// OWA is the order-weighted average: f(o) = Σ wⱼ·o₍ⱼ₎ where o₍₁₎ ≥
+	// o₍₂₎ ≥ … are the attribute values sorted descending. Weight
+	// position j applies to the j-th best attribute, so (0,…,0,1) is
+	// minimax, (1,0,…,0) is max, and a middle indicator is the median.
+	OWA
+	// Chebyshev is the weighted max: f(o) = maxᵢ wᵢ·oᵢ.
+	Chebyshev
+	// Lp is the weighted p-norm: f(o) = (Σ wᵢ·oᵢᵖ)^(1/p), p ≥ 1,
+	// over non-negative attributes.
+	Lp
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case Linear:
+		return "linear"
+	case OWA:
+		return "owa"
+	case Chebyshev:
+		return "chebyshev"
+	case Lp:
+		return "lp"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Family identifies one concrete scoring family: a kind plus the Lp
+// exponent (zero except for Lp). The zero value is Linear. Family is
+// comparable, so it can key maps and group functions that share score
+// semantics (e.g. the per-family function skylines of the prioritized
+// variant).
+type Family struct {
+	Kind Kind
+	P    float64 // Lp exponent; meaningful only when Kind == Lp
+}
+
+// IsLinear reports whether the family is the paper's linear model.
+func (f Family) IsLinear() bool { return f.Kind == Linear }
+
+// Validate rejects families the stack cannot score soundly.
+func (f Family) Validate() error {
+	switch f.Kind {
+	case Linear, OWA, Chebyshev:
+		return nil
+	case Lp:
+		if math.IsNaN(f.P) || math.IsInf(f.P, 0) || f.P < 1 {
+			return fmt.Errorf("score: Lp exponent must be a finite p >= 1, got %v", f.P)
+		}
+		return nil
+	default:
+		return fmt.Errorf("score: unknown family kind %d", uint8(f.Kind))
+	}
+}
+
+// GammaScale returns the factor by which a function's weights must be
+// scaled so that scoring the scaled weights multiplies the family score
+// by gamma (the paper's priority γ, Section 6.2). Linear, OWA, and
+// Chebyshev are degree-1 homogeneous in the weights, so the factor is γ
+// itself; Lp is degree-1/p homogeneous, so the factor is γᵖ.
+func (f Family) GammaScale(gamma float64) float64 {
+	if f.Kind == Lp {
+		return math.Pow(gamma, f.P)
+	}
+	return gamma
+}
+
+// MinimaxWeights returns the OWA position weights of the egalitarian
+// minimax shortcut: all weight on the worst attribute.
+func MinimaxWeights(dims int) []float64 {
+	w := make([]float64, dims)
+	w[dims-1] = 1
+	return w
+}
+
+// BestWeights returns the OWA position weights of the optimistic
+// shortcut: all weight on the best attribute.
+func BestWeights(dims int) []float64 {
+	w := make([]float64, dims)
+	w[0] = 1
+	return w
+}
+
+// MedianWeights returns the OWA position weights of the median
+// shortcut: the middle attribute, or the mean of the two middle
+// attributes when the dimensionality is even.
+func MedianWeights(dims int) []float64 {
+	w := make([]float64, dims)
+	if dims%2 == 1 {
+		w[dims/2] = 1
+	} else {
+		w[dims/2-1], w[dims/2] = 0.5, 0.5
+	}
+	return w
+}
+
+// maxStackDims bounds the on-stack scratch used by OWA evaluation; the
+// paper's experiments use 2–5 dimensions.
+const maxStackDims = 8
+
+// Eval computes the family score of attribute vector o under weights w.
+// For Linear it is exactly geom.Dot(w, o) — same loop, same summation
+// order, bit-identical results.
+func Eval(fam Family, w []float64, o geom.Point) float64 {
+	switch fam.Kind {
+	case OWA:
+		var buf [maxStackDims]float64
+		return geom.Dot(w, sortedDesc(o, buf[:]))
+	case Chebyshev:
+		best := 0.0
+		for i := range w {
+			if v := w[i] * o[i]; v > best {
+				best = v
+			}
+		}
+		return best
+	case Lp:
+		if fam.P == 1 {
+			return geom.Dot(w, o)
+		}
+		s := 0.0
+		for i := range w {
+			s += w[i] * powNonNeg(o[i], fam.P)
+		}
+		return math.Pow(s, 1/fam.P)
+	default: // Linear
+		return geom.Dot(w, o)
+	}
+}
+
+// sortedDesc copies o into scratch (or a fresh slice when scratch is too
+// small) sorted in descending order. Insertion sort: D is tiny and this
+// runs on scoring hot paths.
+func sortedDesc(o geom.Point, scratch []float64) []float64 {
+	var s []float64
+	if len(o) <= len(scratch) {
+		s = scratch[:len(o)]
+	} else {
+		s = make([]float64, len(o))
+	}
+	for i, v := range o {
+		j := i
+		for j > 0 && s[j-1] < v {
+			s[j] = s[j-1]
+			j--
+		}
+		s[j] = v
+	}
+	return s
+}
+
+// powNonNeg is math.Pow with negative bases clamped to zero: Lp scoring
+// is defined over non-negative attributes ("larger is better" in
+// [0,1]^D), and clamping keeps an out-of-domain input monotone instead
+// of NaN. p == 2 is special-cased off the math.Pow path.
+func powNonNeg(v, p float64) float64 {
+	if v <= 0 {
+		return 0
+	}
+	if p == 2 {
+		return v * v
+	}
+	return math.Pow(v, p)
+}
+
+// Scorer is one concrete preference function: a family plus its
+// (effective, γ-folded) weight vector. The zero Fam makes a Scorer over
+// plain weights the linear function the repository always supported.
+type Scorer struct {
+	Fam Family
+	W   []float64
+}
+
+// LinearScorer wraps a weight vector in the linear family.
+func LinearScorer(w []float64) Scorer { return Scorer{W: w} }
+
+// IsLinear reports whether the scorer is a plain dot product.
+func (s Scorer) IsLinear() bool { return s.Fam.IsLinear() }
+
+// Score evaluates the scorer at o.
+func (s Scorer) Score(o geom.Point) float64 { return Eval(s.Fam, s.W, o) }
+
+// UpperBound returns a bound on Score(o) over every o inside the MBR
+// [min, max]. Because every family is monotone non-decreasing in the
+// attributes, the bound is the score of the top corner — maxscore(M)
+// from BRS (Section 2.3), generalized. min is accepted for symmetry
+// with the MBR representation; monotone families do not consult it.
+func (s Scorer) UpperBound(min, max geom.Point) float64 {
+	_ = min
+	return Eval(s.Fam, s.W, max)
+}
+
+// Bound upper-bounds the score at o of ANY function of this family
+// whose per-dimension coefficients are bounded by ceil and whose
+// coefficient sum is at most B — the TA threshold over the sorted
+// coefficient lists' last-seen values (the generalization of the
+// paper's fractional-knapsack T_tight, Section 5.1).
+//
+// order must hold the dimension indexes sorted by descending o value
+// and sortedObj the o values sorted descending; callers precompute both
+// once per object so the per-sorted-access threshold stays
+// allocation-free.
+func (f Family) Bound(ceil []float64, o geom.Point, order []int, sortedObj []float64, B float64) float64 {
+	switch f.Kind {
+	case OWA:
+		// max Σ βⱼ·o₍ⱼ₎ with βⱼ ≤ ceilⱼ, Σβ ≤ B: the knapsack greedy
+		// fills positions in descending o₍ⱼ₎ order, which is position
+		// order itself.
+		t := 0.0
+		b := B
+		for j, v := range sortedObj {
+			if b <= 0 {
+				break
+			}
+			beta := ceil[j]
+			if beta > b {
+				beta = b
+			}
+			t += beta * v
+			b -= beta
+		}
+		return t
+	case Chebyshev:
+		best := 0.0
+		for i := range ceil {
+			beta := ceil[i]
+			if beta > B {
+				beta = B
+			}
+			if v := beta * o[i]; v > best {
+				best = v
+			}
+		}
+		return best
+	case Lp:
+		t := 0.0
+		b := B
+		for _, d := range order {
+			if b <= 0 {
+				break
+			}
+			beta := ceil[d]
+			if beta > b {
+				beta = b
+			}
+			t += beta * powNonNeg(o[d], f.P)
+			b -= beta
+		}
+		return math.Pow(t, 1/f.P)
+	default: // Linear: the paper's T_tight fractional knapsack.
+		t := 0.0
+		b := B
+		for _, d := range order {
+			if b <= 0 {
+				break
+			}
+			beta := ceil[d]
+			if beta > b {
+				beta = b
+			}
+			t += beta * o[d]
+			b -= beta
+		}
+		return t
+	}
+}
+
+// MaxBound is the TA threshold for a mixed-family list set: the largest
+// Family.Bound over every family present among the live functions.
+func MaxBound(fams []Family, ceil []float64, o geom.Point, order []int, sortedObj []float64, B float64) float64 {
+	best := math.Inf(-1)
+	for _, fam := range fams {
+		if b := fam.Bound(ceil, o, order, sortedObj, B); b > best {
+			best = b
+		}
+	}
+	return best
+}

@@ -1,0 +1,309 @@
+package score
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"fairassign/internal/geom"
+)
+
+func pt(vs ...float64) geom.Point { return geom.Point(vs) }
+
+func randPoint(rng *rand.Rand, dims int) geom.Point {
+	p := make(geom.Point, dims)
+	for i := range p {
+		p[i] = rng.Float64()
+	}
+	return p
+}
+
+func randWeights(rng *rand.Rand, dims int) []float64 {
+	w := make([]float64, dims)
+	sum := 0.0
+	for i := range w {
+		w[i] = rng.Float64()
+		sum += w[i]
+	}
+	for i := range w {
+		w[i] /= sum
+	}
+	return w
+}
+
+// allFamilies is the sweep used by the property tests.
+func allFamilies() []Family {
+	return []Family{
+		{},
+		{Kind: OWA},
+		{Kind: Chebyshev},
+		{Kind: Lp, P: 1},
+		{Kind: Lp, P: 2},
+		{Kind: Lp, P: 3.5},
+	}
+}
+
+func TestEvalLinearIsDot(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		dims := 2 + rng.Intn(6)
+		w, o := randWeights(rng, dims), randPoint(rng, dims)
+		got := Eval(Family{}, w, o)
+		want := geom.Dot(w, o)
+		if math.Float64bits(got) != math.Float64bits(want) {
+			t.Fatalf("linear Eval = %x, Dot = %x", math.Float64bits(got), math.Float64bits(want))
+		}
+	}
+}
+
+func TestOWAKnownValues(t *testing.T) {
+	o := pt(0.2, 0.9, 0.5)
+	cases := []struct {
+		name string
+		w    []float64
+		want float64
+	}{
+		{"minimax", []float64{0, 0, 1}, 0.2},
+		{"best", []float64{1, 0, 0}, 0.9},
+		{"median", []float64{0, 1, 0}, 0.5},
+		{"mean", []float64{1. / 3, 1. / 3, 1. / 3}, (0.2 + 0.9 + 0.5) / 3},
+		{"hurwicz", []float64{0.6, 0, 0.4}, 0.6*0.9 + 0.4*0.2},
+	}
+	for _, c := range cases {
+		if got := Eval(Family{Kind: OWA}, c.w, o); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("%s: Eval = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestChebyshevAndLpKnownValues(t *testing.T) {
+	o := pt(0.5, 0.8)
+	if got := Eval(Family{Kind: Chebyshev}, []float64{0.9, 0.1}, o); math.Abs(got-0.45) > 1e-12 {
+		t.Errorf("chebyshev = %v, want 0.45", got)
+	}
+	// L2 with equal weights: sqrt((0.25 + 0.64)/2)
+	want := math.Sqrt((0.25 + 0.64) / 2)
+	if got := Eval(Family{Kind: Lp, P: 2}, []float64{0.5, 0.5}, o); math.Abs(got-want) > 1e-12 {
+		t.Errorf("L2 = %v, want %v", got, want)
+	}
+	// Lp with p = 1 must be the dot product.
+	if got := Eval(Family{Kind: Lp, P: 1}, []float64{0.3, 0.7}, o); math.Abs(got-geom.Dot([]float64{0.3, 0.7}, o)) > 1e-15 {
+		t.Errorf("L1 = %v, want dot", got)
+	}
+}
+
+// TestMonotoneInAttributes is the contract the whole stack depends on:
+// improving an object in one dimension never lowers its score.
+func TestMonotoneInAttributes(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, fam := range allFamilies() {
+		for trial := 0; trial < 500; trial++ {
+			dims := 2 + rng.Intn(5)
+			w, o := randWeights(rng, dims), randPoint(rng, dims)
+			d := rng.Intn(dims)
+			o2 := o.Clone()
+			o2[d] = o[d] + rng.Float64()*(1-o[d])
+			if Eval(fam, w, o2) < Eval(fam, w, o)-1e-12 {
+				t.Fatalf("%v: raising dim %d lowered score: %v -> %v (w=%v o=%v)",
+					fam, d, Eval(fam, w, o), Eval(fam, w, o2), w, o)
+			}
+		}
+	}
+}
+
+// TestMonotoneInWeights backs the TA threshold: raising a coefficient
+// never lowers the score of a fixed non-negative object.
+func TestMonotoneInWeights(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for _, fam := range allFamilies() {
+		for trial := 0; trial < 500; trial++ {
+			dims := 2 + rng.Intn(5)
+			w, o := randWeights(rng, dims), randPoint(rng, dims)
+			d := rng.Intn(dims)
+			w2 := append([]float64(nil), w...)
+			w2[d] += rng.Float64()
+			if Eval(fam, w2, o) < Eval(fam, w, o)-1e-12 {
+				t.Fatalf("%v: raising weight %d lowered score", fam, d)
+			}
+		}
+	}
+}
+
+func TestUpperBoundDominatesInterior(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for _, fam := range allFamilies() {
+		for trial := 0; trial < 300; trial++ {
+			dims := 2 + rng.Intn(4)
+			lo, hi := make(geom.Point, dims), make(geom.Point, dims)
+			p := make(geom.Point, dims)
+			for i := 0; i < dims; i++ {
+				a, b := rng.Float64(), rng.Float64()
+				if a > b {
+					a, b = b, a
+				}
+				lo[i], hi[i] = a, b
+				p[i] = a + rng.Float64()*(b-a)
+			}
+			sc := Scorer{Fam: fam, W: randWeights(rng, dims)}
+			if sc.Score(p) > sc.UpperBound(lo, hi)+1e-12 {
+				t.Fatalf("%v: interior point %v beats UpperBound %v", fam, sc.Score(p), sc.UpperBound(lo, hi))
+			}
+		}
+	}
+}
+
+// TestBoundDominatesUnseenFunctions verifies the TA threshold contract:
+// any function with coefficients under the per-dimension ceilings and a
+// bounded coefficient sum scores at most Family.Bound.
+func TestBoundDominatesUnseenFunctions(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	for _, fam := range allFamilies() {
+		for trial := 0; trial < 400; trial++ {
+			dims := 2 + rng.Intn(4)
+			o := randPoint(rng, dims)
+			ceil := make([]float64, dims)
+			for i := range ceil {
+				ceil[i] = rng.Float64()
+			}
+			B := 0.5 + rng.Float64()*1.5
+			// Draw a random admissible weight vector: w <= ceil, sum(w) <= B.
+			w := make([]float64, dims)
+			budget := B
+			for _, i := range rng.Perm(dims) {
+				v := rng.Float64() * ceil[i]
+				if v > budget {
+					v = budget
+				}
+				w[i] = v
+				budget -= v
+			}
+			order := make([]int, dims)
+			for i := range order {
+				order[i] = i
+			}
+			sort.Slice(order, func(a, b int) bool { return o[order[a]] > o[order[b]] })
+			sorted := append([]float64(nil), o...)
+			sort.Sort(sort.Reverse(sort.Float64Slice(sorted)))
+			bound := fam.Bound(ceil, o, order, sorted, B)
+			if s := Eval(fam, w, o); s > bound+1e-9 {
+				t.Fatalf("%v: admissible function scores %v above bound %v (w=%v ceil=%v B=%v o=%v)",
+					fam, s, bound, w, ceil, B, o)
+			}
+		}
+	}
+}
+
+func TestLinearBoundMatchesKnapsack(t *testing.T) {
+	// The linear Bound must coincide with the paper's T_tight: greedy
+	// fractional knapsack over dims sorted by object value.
+	o := pt(0.9, 0.1, 0.5)
+	ceil := []float64{0.7, 0.6, 0.4}
+	order := []int{0, 2, 1}
+	want := 0.7*0.9 + 0.3*0.5 // budget 1.0: 0.7 to dim 0, 0.3 to dim 2
+	got := Family{}.Bound(ceil, o, order, nil, 1.0)
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("linear bound = %v, want %v", got, want)
+	}
+}
+
+func TestMaxBoundTakesLargest(t *testing.T) {
+	o := pt(0.3, 0.9)
+	ceil := []float64{1, 1}
+	order := []int{1, 0}
+	sorted := []float64{0.9, 0.3}
+	fams := []Family{{}, {Kind: Chebyshev}}
+	got := MaxBound(fams, ceil, o, order, sorted, 1.0)
+	lin := Family{}.Bound(ceil, o, order, sorted, 1.0)
+	che := Family{Kind: Chebyshev}.Bound(ceil, o, order, sorted, 1.0)
+	want := math.Max(lin, che)
+	if got != want {
+		t.Errorf("MaxBound = %v, want max(%v, %v)", got, lin, che)
+	}
+}
+
+func TestGammaScale(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, fam := range allFamilies() {
+		for trial := 0; trial < 100; trial++ {
+			dims := 2 + rng.Intn(4)
+			w, o := randWeights(rng, dims), randPoint(rng, dims)
+			gamma := 1 + 3*rng.Float64()
+			scale := fam.GammaScale(gamma)
+			scaled := make([]float64, dims)
+			for i := range w {
+				scaled[i] = w[i] * scale
+			}
+			got := Eval(fam, scaled, o)
+			want := gamma * Eval(fam, w, o)
+			if math.Abs(got-want) > 1e-9*math.Max(1, want) {
+				t.Fatalf("%v: Eval(γ-scaled) = %v, want γ·Eval = %v", fam, got, want)
+			}
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	valid := []Family{{}, {Kind: OWA}, {Kind: Chebyshev}, {Kind: Lp, P: 1}, {Kind: Lp, P: 7}}
+	for _, f := range valid {
+		if err := f.Validate(); err != nil {
+			t.Errorf("%v: unexpected error %v", f, err)
+		}
+	}
+	invalid := []Family{
+		{Kind: Lp, P: 0},
+		{Kind: Lp, P: 0.5},
+		{Kind: Lp, P: math.NaN()},
+		{Kind: Lp, P: math.Inf(1)},
+		{Kind: Kind(99)},
+	}
+	for _, f := range invalid {
+		if err := f.Validate(); err == nil {
+			t.Errorf("%v: expected validation error", f)
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k, want := range map[Kind]string{Linear: "linear", OWA: "owa", Chebyshev: "chebyshev", Lp: "lp"} {
+		if k.String() != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, k.String(), want)
+		}
+	}
+}
+
+func TestEvalLargeDims(t *testing.T) {
+	// OWA beyond the stack scratch must still sort correctly.
+	rng := rand.New(rand.NewSource(12))
+	dims := maxStackDims + 4
+	o := randPoint(rng, dims)
+	w := make([]float64, dims)
+	w[dims-1] = 1 // minimax
+	min := o[0]
+	for _, v := range o {
+		if v < min {
+			min = v
+		}
+	}
+	if got := Eval(Family{Kind: OWA}, w, o); math.Abs(got-min) > 1e-15 {
+		t.Errorf("minimax over %d dims = %v, want %v", dims, got, min)
+	}
+}
+
+func BenchmarkEvalLinear(b *testing.B) {
+	w := []float64{0.2, 0.3, 0.1, 0.4}
+	o := pt(0.5, 0.2, 0.9, 0.4)
+	for i := 0; i < b.N; i++ {
+		_ = Eval(Family{}, w, o)
+	}
+}
+
+func BenchmarkEvalOWA(b *testing.B) {
+	w := []float64{0.2, 0.3, 0.1, 0.4}
+	o := pt(0.5, 0.2, 0.9, 0.4)
+	fam := Family{Kind: OWA}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = Eval(fam, w, o)
+	}
+}

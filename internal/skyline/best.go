@@ -1,0 +1,25 @@
+package skyline
+
+import (
+	"fairassign/internal/rtree"
+	"fairassign/internal/score"
+)
+
+// BestUnder returns the item of items maximizing the scorer, with the
+// deterministic tie-break every solver uses (lowest ID). ok is false
+// when items is empty.
+//
+// This is the frontier best-score primitive: because every scoring
+// family is monotone, the best object for a function among a set O is
+// always attained on the skyline of O, so scanning a maintained
+// frontier (the availability skyline, or the SB candidate skyline) with
+// BestUnder answers "best object for f" without touching the index.
+func BestUnder(sc score.Scorer, items []rtree.Item) (best rtree.Item, bestScore float64, ok bool) {
+	for _, it := range items {
+		s := sc.Score(it.Point)
+		if !ok || s > bestScore || (s == bestScore && it.ID < best.ID) {
+			best, bestScore, ok = it, s, true
+		}
+	}
+	return best, bestScore, ok
+}

@@ -8,6 +8,7 @@ import (
 
 	"fairassign/internal/geom"
 	"fairassign/internal/pagestore"
+	"fairassign/internal/score"
 )
 
 // DiskLists materializes the D sorted coefficient lists on the simulated
@@ -31,6 +32,13 @@ type DiskLists struct {
 	live       int
 	maxB       float64
 
+	// Scoring families stay in the in-memory directory (like slot): the
+	// on-disk pages hold only coefficients, exactly as before.
+	fams    []score.Family // by dense index (= position in list 0)
+	famByID map[uint64]score.Family
+	famSet  []score.Family
+	linear  bool
+
 	Counters Counters
 }
 
@@ -53,10 +61,23 @@ func BuildDiskLists(pool *pagestore.BufferPool, funcs []Func, dims int) (*DiskLi
 		removedIdx: make([]bool, len(funcs)),
 		listLen:    len(funcs),
 		live:       len(funcs),
+		fams:       make([]score.Family, len(funcs)),
+		famByID:    make(map[uint64]score.Family, len(funcs)),
+		linear:     true,
 	}
 	for _, f := range funcs {
 		if len(f.Weights) != dims {
 			return nil, fmt.Errorf("ta: function %d has %d weights, want %d", f.ID, len(f.Weights), dims)
+		}
+		if err := f.Fam.Validate(); err != nil {
+			return nil, fmt.Errorf("ta: function %d: %w", f.ID, err)
+		}
+		dl.famByID[f.ID] = f.Fam
+		if !f.Fam.IsLinear() {
+			dl.linear = false
+		}
+		if !containsFamily(dl.famSet, f.Fam) {
+			dl.famSet = append(dl.famSet, f.Fam)
 		}
 		sum := 0.0
 		for _, w := range f.Weights {
@@ -80,6 +101,12 @@ func BuildDiskLists(pool *pagestore.BufferPool, funcs []Func, dims int) (*DiskLi
 		dl.slot[d] = make(map[uint64]int, len(col))
 		for i, e := range col {
 			dl.slot[d][e.id] = i
+		}
+		if d == 0 {
+			// Position in list 0 is the dense function index.
+			for i, e := range col {
+				dl.fams[i] = dl.famByID[e.id]
+			}
 		}
 		// Write the column into pages.
 		for start := 0; start < len(col); start += perPage {
@@ -135,9 +162,16 @@ func (dl *DiskLists) weightsAt(_ int, id uint64, hintDim int, hintCoef float64) 
 	}
 	return w, nil
 }
-func (dl *DiskLists) removedAt(idx int) bool { return dl.removedIdx[idx] }
-func (dl *DiskLists) liveCount() int         { return dl.live }
-func (dl *DiskLists) counters() *Counters    { return &dl.Counters }
+func (dl *DiskLists) removedAt(idx int) bool        { return dl.removedIdx[idx] }
+func (dl *DiskLists) liveCount() int                { return dl.live }
+func (dl *DiskLists) counters() *Counters           { return &dl.Counters }
+func (dl *DiskLists) familyAt(idx int) score.Family { return dl.fams[idx] }
+func (dl *DiskLists) familySet() []score.Family     { return dl.famSet }
+func (dl *DiskLists) linearOnly() bool              { return dl.linear }
+
+// FamilyOf returns the scoring family of a function (the linear zero
+// value when the ID is unknown).
+func (dl *DiskLists) FamilyOf(id uint64) score.Family { return dl.famByID[id] }
 
 // Live returns the number of unassigned functions.
 func (dl *DiskLists) Live() int { return dl.live }
@@ -248,19 +282,38 @@ func (dl *DiskLists) BatchSearch(objs []BatchObject) (map[uint64]BatchResult, er
 		return res, nil
 	}
 	type state struct {
-		obj   BatchObject
-		order []int
-		best  BatchResult
-		done  bool
+		obj       BatchObject
+		order     []int
+		objSorted []float64 // object values sorted descending (family bounds)
+		best      BatchResult
+		done      bool
 	}
 	states := make([]*state, len(objs))
 	for i, o := range objs {
-		states[i] = &state{obj: o, order: dimOrderFor(o.Point)}
+		st := &state{obj: o, order: dimOrderFor(o.Point)}
+		if !dl.linear {
+			st.objSorted = make([]float64, len(o.Point))
+			for j, d := range st.order {
+				st.objSorted[j] = o.Point[d]
+			}
+		}
+		states[i] = st
 	}
 	// boundFor computes the knapsack upper bound for one object given the
 	// current lastSeen vector, optionally excluding one dimension whose
-	// coefficient is already known (excl = -1 for none).
+	// coefficient is already known (excl = -1 for none). It is exact for
+	// the all-linear setting; with non-linear families present the
+	// refined exclusion is unsound across families, so the generic
+	// per-family bound over the full ceilings is used instead (still a
+	// valid upper bound: the known coefficient never exceeds its
+	// ceiling).
 	boundFor := func(st *state, lastSeen []float64, b float64, excl int) float64 {
+		if !dl.linear {
+			// famBoundSlack (see search.go) keeps the bound a true upper
+			// bound under float rounding, for the skip check and the
+			// retirement check alike.
+			return score.MaxBound(dl.famSet, lastSeen, st.obj.Point, st.order, st.objSorted, dl.maxB) + famBoundSlack
+		}
 		t := 0.0
 		for _, d := range st.order {
 			if d == excl {
@@ -327,8 +380,13 @@ func (dl *DiskLists) BatchSearch(objs []BatchObject) (map[uint64]BatchResult, er
 						improves = true
 						break
 					}
-					bound := e.coef*st.obj.Point[d] +
-						boundFor(st, lastSeen, dl.maxB-e.coef, d)
+					var bound float64
+					if dl.linear {
+						bound = e.coef*st.obj.Point[d] +
+							boundFor(st, lastSeen, dl.maxB-e.coef, d)
+					} else {
+						bound = boundFor(st, lastSeen, dl.maxB, -1)
+					}
 					if bound > st.best.Score {
 						improves = true
 						break
@@ -341,11 +399,12 @@ func (dl *DiskLists) BatchSearch(objs []BatchObject) (map[uint64]BatchResult, er
 				if err != nil {
 					return nil, err
 				}
+				fam := dl.famByID[e.id]
 				for _, st := range states {
 					if st.done {
 						continue
 					}
-					s := geom.Dot(w, st.obj.Point)
+					s := score.Eval(fam, w, st.obj.Point)
 					if !st.best.OK || s > st.best.Score ||
 						(s == st.best.Score && e.id < st.best.FuncID) {
 						st.best = BatchResult{FuncID: e.id, Score: s, OK: true}

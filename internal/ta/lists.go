@@ -1,6 +1,10 @@
 // Package ta implements the paper's reverse top-1 search (Section 5.1):
 // given an object o, find the preference function f maximizing f(o) by
 // adapting Fagin's Threshold Algorithm over D sorted coefficient lists.
+// TA is correct for any monotone aggregate, so the lists serve every
+// scoring family in internal/score unchanged: only the threshold
+// changes, from the linear fractional knapsack to the family bound over
+// the per-dimension last-seen ceilings (score.Family.Bound).
 //
 // The package provides:
 //
@@ -24,18 +28,22 @@ import (
 	"sync/atomic"
 
 	"fairassign/internal/geom"
+	"fairassign/internal/score"
 )
 
 // Func is a preference function as seen by the search structures: the
 // weights are the effective coefficients α'_i = α_i·γ (γ = 1 for the
-// standard normalized problem).
+// standard normalized problem; γᵖ-folded for Lp) and Fam selects the
+// scoring family (zero value: the paper's linear model).
 type Func struct {
 	ID      uint64
 	Weights []float64
+	Fam     score.Family
 }
 
-// Score returns f(o) = Σ α'_i · o_i (Equations 1 and 2).
-func (f Func) Score(o geom.Point) float64 { return geom.Dot(f.Weights, o) }
+// Score returns f(o) under the function's family — Σ α'_i · o_i
+// (Equations 1 and 2) in the linear case.
+func (f Func) Score(o geom.Point) float64 { return score.Eval(f.Fam, f.Weights, o) }
 
 type listEntry struct {
 	coef float64
@@ -66,6 +74,9 @@ type Lists struct {
 	funcs    map[uint64][]float64
 	index    map[uint64]int // function ID -> dense index
 	byIdx    [][]float64    // dense index -> weights
+	fams     []score.Family // dense index -> scoring family
+	famSet   []score.Family // distinct families present (build-time)
+	linear   bool           // every function is the linear family
 	removed  []bool         // dense index -> tombstone
 	live     int
 	maxB     float64 // max Σ weights over all functions (1 when normalized)
@@ -82,12 +93,17 @@ func NewLists(funcs []Func, dims int) (*Lists, error) {
 		funcs:    make(map[uint64][]float64, len(funcs)),
 		index:    make(map[uint64]int, len(funcs)),
 		byIdx:    make([][]float64, len(funcs)),
+		fams:     make([]score.Family, len(funcs)),
 		removed:  make([]bool, len(funcs)),
 		live:     len(funcs),
+		linear:   true,
 	}
 	for i, f := range funcs {
 		if len(f.Weights) != dims {
 			return nil, fmt.Errorf("ta: function %d has %d weights, want %d", f.ID, len(f.Weights), dims)
+		}
+		if err := f.Fam.Validate(); err != nil {
+			return nil, fmt.Errorf("ta: function %d: %w", f.ID, err)
 		}
 		if _, dup := l.funcs[f.ID]; dup {
 			return nil, fmt.Errorf("ta: duplicate function id %d", f.ID)
@@ -95,6 +111,13 @@ func NewLists(funcs []Func, dims int) (*Lists, error) {
 		l.funcs[f.ID] = f.Weights
 		l.index[f.ID] = i
 		l.byIdx[i] = f.Weights
+		l.fams[i] = f.Fam
+		if !f.Fam.IsLinear() {
+			l.linear = false
+		}
+		if !containsFamily(l.famSet, f.Fam) {
+			l.famSet = append(l.famSet, f.Fam)
+		}
 		sum := 0.0
 		for _, w := range f.Weights {
 			if w < 0 {
@@ -141,6 +164,36 @@ func (l *Lists) Weights(id uint64) []float64 {
 		return nil
 	}
 	return l.byIdx[i]
+}
+
+// FamilyOf returns the scoring family of a function (the linear zero
+// value when the ID is unknown).
+func (l *Lists) FamilyOf(id uint64) score.Family {
+	i, ok := l.index[id]
+	if !ok {
+		return score.Family{}
+	}
+	return l.fams[i]
+}
+
+// ScorerOf returns the live function's scorer (family + effective
+// weights); ok is false when the function is removed or unknown.
+func (l *Lists) ScorerOf(id uint64) (score.Scorer, bool) {
+	i, ok := l.index[id]
+	if !ok || l.removed[i] {
+		return score.Scorer{}, false
+	}
+	return score.Scorer{Fam: l.fams[i], W: l.byIdx[i]}, true
+}
+
+// containsFamily reports membership in a (tiny) distinct-family set.
+func containsFamily(set []score.Family, f score.Family) bool {
+	for _, g := range set {
+		if g == f {
+			return true
+		}
+	}
+	return false
 }
 
 // Removed reports whether the function has been tombstoned.

@@ -1,0 +1,189 @@
+package ta
+
+import (
+	"math/rand"
+	"testing"
+
+	"fairassign/internal/geom"
+	"fairassign/internal/pagestore"
+	"fairassign/internal/score"
+)
+
+// randFamily draws one of the supported families.
+func randFamily(rng *rand.Rand) score.Family {
+	switch rng.Intn(4) {
+	case 0:
+		return score.Family{}
+	case 1:
+		return score.Family{Kind: score.OWA}
+	case 2:
+		return score.Family{Kind: score.Chebyshev}
+	default:
+		return score.Family{Kind: score.Lp, P: float64(2 + rng.Intn(2))}
+	}
+}
+
+func randScorerFuncs(rng *rand.Rand, n, dims int) []Func {
+	out := make([]Func, n)
+	for i := range out {
+		w := make([]float64, dims)
+		sum := 0.0
+		for d := range w {
+			w[d] = rng.Float64()
+			sum += w[d]
+		}
+		for d := range w {
+			w[d] /= sum
+		}
+		out[i] = Func{ID: uint64(i + 1), Weights: w, Fam: randFamily(rng)}
+	}
+	return out
+}
+
+// mixedBruteBest is the reference: scan every live function.
+func mixedBruteBest(funcs []Func, removed map[uint64]bool, o geom.Point) (uint64, float64, bool) {
+	var bestID uint64
+	var bestScore float64
+	found := false
+	for _, f := range funcs {
+		if removed[f.ID] {
+			continue
+		}
+		s := f.Score(o)
+		if !found || s > bestScore || (s == bestScore && f.ID < bestID) {
+			bestID, bestScore, found = f.ID, s, true
+		}
+	}
+	return bestID, bestScore, found
+}
+
+// TestSearchMixedFamilies differential-tests the resumable TA search
+// over mixed scoring families against exhaustive scan, including
+// resumption after removals (the SB usage pattern).
+func TestSearchMixedFamilies(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 60; trial++ {
+		dims := 2 + rng.Intn(3)
+		nf := 5 + rng.Intn(30)
+		funcs := randScorerFuncs(rng, nf, dims)
+		lists, err := NewLists(funcs, dims)
+		if err != nil {
+			t.Fatal(err)
+		}
+		removed := make(map[uint64]bool)
+		o := make(geom.Point, dims)
+		for d := range o {
+			o[d] = rng.Float64()
+		}
+		omega := 1 + rng.Intn(nf)
+		s := NewSearch(lists, o, omega)
+		for lists.Live() > 0 {
+			id, got, ok := s.Best()
+			wantID, want, wantOK := mixedBruteBest(funcs, removed, o)
+			if ok != wantOK {
+				t.Fatalf("trial %d: ok = %v, want %v", trial, ok, wantOK)
+			}
+			if !ok {
+				break
+			}
+			if id != wantID || got != want {
+				t.Fatalf("trial %d (dims=%d nf=%d omega=%d): Best = (%d, %v), want (%d, %v)",
+					trial, dims, nf, omega, id, got, wantID, want)
+			}
+			if err := lists.Remove(id); err != nil {
+				t.Fatal(err)
+			}
+			removed[id] = true
+		}
+		s.Release()
+	}
+}
+
+// TestDiskSearchMixedFamilies runs the same differential over the
+// disk-resident lists (the Section 7.6 storage setting).
+func TestDiskSearchMixedFamilies(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for trial := 0; trial < 20; trial++ {
+		dims := 2 + rng.Intn(3)
+		nf := 5 + rng.Intn(30)
+		funcs := randScorerFuncs(rng, nf, dims)
+		pool := pagestore.NewBufferPool(pagestore.NewMemStore(512), 1<<20)
+		dl, err := BuildDiskLists(pool, funcs, dims)
+		if err != nil {
+			t.Fatal(err)
+		}
+		removed := make(map[uint64]bool)
+		o := make(geom.Point, dims)
+		for d := range o {
+			o[d] = rng.Float64()
+		}
+		s := NewDiskSearch(dl, o, 1+rng.Intn(nf))
+		for dl.Live() > 0 {
+			id, got, ok := s.Best()
+			wantID, want, wantOK := mixedBruteBest(funcs, removed, o)
+			if ok != wantOK {
+				t.Fatalf("trial %d: ok = %v, want %v (err=%v)", trial, ok, wantOK, s.Err())
+			}
+			if !ok {
+				break
+			}
+			if id != wantID || got != want {
+				t.Fatalf("trial %d: disk Best = (%d, %v), want (%d, %v)", trial, id, got, wantID, want)
+			}
+			if err := dl.Remove(id); err != nil {
+				t.Fatal(err)
+			}
+			removed[id] = true
+		}
+		s.Release()
+	}
+}
+
+// TestBatchSearchMixedFamilies checks the SB-alt batch pass over mixed
+// families against exhaustive scan for every object at once.
+func TestBatchSearchMixedFamilies(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	for trial := 0; trial < 20; trial++ {
+		dims := 2 + rng.Intn(3)
+		nf := 5 + rng.Intn(30)
+		funcs := randScorerFuncs(rng, nf, dims)
+		pool := pagestore.NewBufferPool(pagestore.NewMemStore(512), 1<<20)
+		dl, err := BuildDiskLists(pool, funcs, dims)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Tombstone a random subset, as SB-alt does mid-run.
+		removed := make(map[uint64]bool)
+		for _, f := range funcs {
+			if rng.Float64() < 0.3 && dl.Live() > 1 {
+				if err := dl.Remove(f.ID); err != nil {
+					t.Fatal(err)
+				}
+				removed[f.ID] = true
+			}
+		}
+		var objs []BatchObject
+		for i := 0; i < 1+rng.Intn(8); i++ {
+			o := make(geom.Point, dims)
+			for d := range o {
+				o[d] = rng.Float64()
+			}
+			objs = append(objs, BatchObject{ID: uint64(i + 1), Point: o})
+		}
+		res, err := dl.BatchSearch(objs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, o := range objs {
+			wantID, want, wantOK := mixedBruteBest(funcs, removed, o.Point)
+			got := res[o.ID]
+			if got.OK != wantOK {
+				t.Fatalf("trial %d obj %d: ok = %v, want %v", trial, o.ID, got.OK, wantOK)
+			}
+			if got.OK && (got.FuncID != wantID || got.Score != want) {
+				t.Fatalf("trial %d obj %d: batch = (%d, %v), want (%d, %v)",
+					trial, o.ID, got.FuncID, got.Score, wantID, want)
+			}
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"fairassign/internal/geom"
+	"fairassign/internal/score"
 )
 
 // listSource abstracts where the sorted coefficient lists live: in memory
@@ -24,6 +25,12 @@ type listSource interface {
 	removedAt(idx int) bool
 	liveCount() int
 	counters() *Counters
+	// familyAt returns the scoring family of the function at a dense
+	// index; familySet lists the distinct families present, and
+	// linearOnly reports the all-linear fast path (the paper's setting).
+	familyAt(idx int) score.Family
+	familySet() []score.Family
+	linearOnly() bool
 }
 
 // Lists implements listSource.
@@ -39,9 +46,12 @@ func (l *Lists) weightsAt(idx int, _ uint64, _ int, _ float64) ([]float64, error
 	l.Counters.addRandom()
 	return l.byIdx[idx], nil
 }
-func (l *Lists) removedAt(idx int) bool { return l.removed[idx] }
-func (l *Lists) liveCount() int         { return l.live }
-func (l *Lists) counters() *Counters    { return &l.Counters }
+func (l *Lists) removedAt(idx int) bool        { return l.removed[idx] }
+func (l *Lists) liveCount() int                { return l.live }
+func (l *Lists) counters() *Counters           { return &l.Counters }
+func (l *Lists) familyAt(idx int) score.Family { return l.fams[idx] }
+func (l *Lists) familySet() []score.Family     { return l.famSet }
+func (l *Lists) linearOnly() bool              { return l.linear }
 
 // Search is the resumable reverse top-1 state kept per skyline object
 // (Section 5.1, "Resuming search"). It scans the sorted coefficient lists
@@ -63,6 +73,15 @@ type Search struct {
 	guarantee int
 	omega     int
 	err       error
+
+	// Generalized-threshold state, populated only when the list source
+	// holds non-linear families: the distinct families present and the
+	// object's values sorted descending (for the OWA position bound).
+	// linear selects the knapsack fast path (byte-identical to the
+	// pre-generalization code).
+	linear    bool
+	fams      []score.Family
+	objSorted []float64
 }
 
 type cand struct {
@@ -112,6 +131,19 @@ func newSearch(l listSource, o geom.Point, omega int) *Search {
 		s.lastSeen = make([]float64, dims)
 		s.dimOrder = make([]int, dims)
 	}
+	s.linear = l.linearOnly()
+	if s.linear {
+		// Keep the objSorted backing array: a recycled Search may serve
+		// a non-linear source next, and linear searches never read it.
+		s.fams = nil
+	} else {
+		s.fams = l.familySet()
+		if cap(s.objSorted) >= dims {
+			s.objSorted = s.objSorted[:dims]
+		} else {
+			s.objSorted = make([]float64, dims)
+		}
+	}
 	if cap(s.seen) >= nf {
 		s.seen = s.seen[:nf]
 	} else {
@@ -127,6 +159,11 @@ func newSearch(l listSource, o geom.Point, omega int) *Search {
 		s.queue = s.queue[:0]
 	}
 	fillDimOrder(s.dimOrder, o)
+	if !s.linear {
+		for j, d := range s.dimOrder {
+			s.objSorted[j] = o[d]
+		}
+	}
 	s.reset()
 	return s
 }
@@ -141,6 +178,7 @@ func (s *Search) Release() {
 	}
 	s.l = nil
 	s.obj = nil
+	s.fams = nil
 	searchPool.Put(s)
 }
 
@@ -238,10 +276,30 @@ func (s *Search) Best() (id uint64, score float64, ok bool) {
 	}
 }
 
-// threshold returns T_tight for the current cursor positions, walking
-// the precomputed greedy dimension order (equivalent to TightThreshold
-// but allocation-free — this runs once per sorted access).
+// famBoundSlack pads the generalized family bounds: the greedy
+// knapsack accumulates budget subtractions and products in a different
+// order than Eval scores a function, so the computed bound can land a
+// few ULPs below the exact score of a function sitting right at the
+// per-dimension ceilings — and an unpadded stop would then miss it.
+// The pad is orders of magnitude above the worst-case rounding error
+// (≤ D products of values ≤ γ·B) and orders below any score gap the
+// harness distinguishes; it costs at most a few extra accesses. The
+// all-linear fast path keeps the paper's exact T_tight comparison,
+// preserving byte-identical behavior on linear workloads.
+const famBoundSlack = 1e-12
+
+// threshold returns the upper bound on any not-yet-seen function's
+// score for the current cursor positions. In the all-linear case this
+// is T_tight, walking the precomputed greedy dimension order
+// (equivalent to TightThreshold but allocation-free — this runs once
+// per sorted access). With non-linear families present it is the
+// largest per-family bound over the same last-seen ceilings
+// (score.MaxBound), which is what keeps TA correct for any monotone
+// aggregate.
 func (s *Search) threshold() float64 {
+	if !s.linear {
+		return score.MaxBound(s.fams, s.lastSeen, s.obj, s.dimOrder, s.objSorted, s.l.maxBudget()) + famBoundSlack
+	}
 	b := s.l.maxBudget()
 	t := 0.0
 	for _, d := range s.dimOrder {
@@ -302,7 +360,13 @@ func (s *Search) step() bool {
 		s.err = err
 		return false
 	}
-	s.insert(cand{id: e.id, idx: e.idx, score: geom.Dot(w, s.obj)})
+	var sc float64
+	if s.linear {
+		sc = geom.Dot(w, s.obj)
+	} else {
+		sc = score.Eval(s.l.familyAt(e.idx), w, s.obj)
+	}
+	s.insert(cand{id: e.id, idx: e.idx, score: sc})
 	return true
 }
 

@@ -1,6 +1,10 @@
 // Package topk implements BRS (branch-and-bound ranked search, Tao et
 // al.) over an R-tree: an I/O-optimal incremental top-k iterator for
-// monotone linear preference functions (Section 2.3 of the paper).
+// monotone preference functions (Section 2.3 of the paper). The
+// searcher prunes with score.Scorer.UpperBound over node MBRs, which is
+// sound for every monotone family in internal/score — the linear
+// weights constructors remain as the fast-path special case and compile
+// to the identical maxscore dot product as before.
 //
 // The Brute Force baseline keeps one Searcher alive per preference
 // function so that its top-1 scan can resume after its previous best
@@ -17,6 +21,7 @@ import (
 	"fairassign/internal/heaputil"
 	"fairassign/internal/pagestore"
 	"fairassign/internal/rtree"
+	"fairassign/internal/score"
 )
 
 // brsEntry is a heap element: an R-tree node or data point keyed by
@@ -53,7 +58,7 @@ func (h *brsHeap) pop() brsEntry   { return heaputil.Pop((*[]brsEntry)(h), lessB
 // rtree.View for snapshot-addressable ranked search.
 type Searcher struct {
 	tree    rtree.NodeReader
-	weights []float64
+	sc      score.Scorer
 	h       brsHeap
 	skip    func(uint64) bool
 	started bool
@@ -65,7 +70,14 @@ type Searcher struct {
 // NewSearcher creates an iterator for the linear function with the given
 // weights. The root node is read lazily on the first Next call.
 func NewSearcher(t rtree.NodeReader, weights []float64, skip func(uint64) bool) *Searcher {
-	return &Searcher{tree: t, weights: weights, skip: skip}
+	return NewScorerSearcher(t, score.LinearScorer(weights), skip)
+}
+
+// NewScorerSearcher creates an iterator for an arbitrary monotone
+// scorer: entries are keyed by the scorer's upper bound over their MBR,
+// so enumeration order is non-increasing in the scorer for any family.
+func NewScorerSearcher(t rtree.NodeReader, sc score.Scorer, skip func(uint64) bool) *Searcher {
+	return &Searcher{tree: t, sc: sc, skip: skip}
 }
 
 // Next returns the highest-scoring remaining object, or ok == false when
@@ -140,7 +152,7 @@ func (s *Searcher) pushNode(n *rtree.Node) {
 			rect:  ne.Rect,
 			child: ne.Child,
 			id:    ne.ID,
-			key:   ne.Rect.MaxScore(s.weights),
+			key:   s.sc.UpperBound(ne.Rect.Min, ne.Rect.Max),
 		})
 	}
 }
@@ -152,17 +164,27 @@ func (s *Searcher) readNode(id pagestore.PageID) (*rtree.Node, error) {
 
 // Top1 runs a fresh top-1 query and returns the best non-skipped object.
 func Top1(t rtree.NodeReader, weights []float64, skip func(uint64) bool) (rtree.Item, float64, bool, error) {
-	s := NewSearcher(t, weights, skip)
+	return Top1Scorer(t, score.LinearScorer(weights), skip)
+}
+
+// Top1Scorer is Top1 for an arbitrary monotone scorer.
+func Top1Scorer(t rtree.NodeReader, sc score.Scorer, skip func(uint64) bool) (rtree.Item, float64, bool, error) {
+	s := NewScorerSearcher(t, sc, skip)
 	return s.Next()
 }
 
 // TopK collects the k best non-skipped objects in score order.
 func TopK(t rtree.NodeReader, weights []float64, k int, skip func(uint64) bool) ([]rtree.Item, []float64, error) {
-	s := NewSearcher(t, weights, skip)
+	return TopKScorer(t, score.LinearScorer(weights), k, skip)
+}
+
+// TopKScorer is TopK for an arbitrary monotone scorer.
+func TopKScorer(t rtree.NodeReader, sc score.Scorer, k int, skip func(uint64) bool) ([]rtree.Item, []float64, error) {
+	s := NewScorerSearcher(t, sc, skip)
 	var items []rtree.Item
 	var scores []float64
 	for len(items) < k {
-		it, sc, ok, err := s.Next()
+		it, scr, ok, err := s.Next()
 		if err != nil {
 			return nil, nil, err
 		}
@@ -170,7 +192,7 @@ func TopK(t rtree.NodeReader, weights []float64, k int, skip func(uint64) bool) 
 			break
 		}
 		items = append(items, it)
-		scores = append(scores, sc)
+		scores = append(scores, scr)
 	}
 	return items, scores, nil
 }

@@ -65,7 +65,8 @@ type Ranked struct {
 
 // TopK returns the k objects the given preference function ranks highest
 // (the single-user query of Section 2.3, evaluated with BRS over an
-// R-tree). Weights are normalized unless skipNormalization.
+// R-tree), under any scorer family the function selects. Weights are
+// normalized unless skipNormalization.
 func TopK(objects []Object, f Function, k int, skipNormalization bool) ([]Ranked, error) {
 	if k <= 0 {
 		return nil, nil
@@ -74,31 +75,13 @@ func TopK(objects []Object, f Function, k int, skipNormalization bool) ([]Ranked
 		return nil, nil
 	}
 	dims := len(objects[0].Attributes)
-	if len(f.Weights) != dims {
+	af, err := resolveFunction(f, Options{SkipNormalization: skipNormalization}, dims)
+	if err != nil {
+		return nil, err
+	}
+	if len(af.Weights) != dims {
 		return nil, fmt.Errorf("fairassign: function has %d weights, objects have %d attributes",
-			len(f.Weights), dims)
-	}
-	w := make([]float64, dims)
-	copy(w, f.Weights)
-	if !skipNormalization {
-		sum := 0.0
-		for _, v := range w {
-			if v < 0 {
-				return nil, fmt.Errorf("fairassign: negative weight")
-			}
-			sum += v
-		}
-		if sum <= 0 {
-			return nil, fmt.Errorf("fairassign: zero weights")
-		}
-		for i := range w {
-			w[i] /= sum
-		}
-	}
-	if f.Gamma > 0 {
-		for i := range w {
-			w[i] *= f.Gamma
-		}
+			len(af.Weights), dims)
 	}
 
 	store := pagestore.NewMemStore(pagestore.DefaultPageSize)
@@ -113,7 +96,7 @@ func TopK(objects []Object, f Function, k int, skipNormalization bool) ([]Ranked
 	if err != nil {
 		return nil, err
 	}
-	found, scores, err := topk.TopK(tree, w, k, nil)
+	found, scores, err := topk.TopKScorer(tree, af.Scorer(), k, nil)
 	if err != nil {
 		return nil, err
 	}

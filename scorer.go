@@ -1,0 +1,241 @@
+package fairassign
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strconv"
+
+	"fairassign/internal/assign"
+	"fairassign/internal/score"
+)
+
+// Typed input errors for preference-family handling. Loader and solver
+// errors wrap these sentinels; match with errors.Is.
+var (
+	// ErrBadScorerKind is returned when a scorer kind name (e.g. the CSV
+	// `kind` column) is not one of linear|owa|minimax|best|median|
+	// chebyshev|lp:<p>.
+	ErrBadScorerKind = errors.New("fairassign: bad scorer kind")
+	// ErrBadWeight is returned for NaN, ±Inf, or negative weights, on
+	// every scorer family (OWA position weights included).
+	ErrBadWeight = errors.New("fairassign: bad weight")
+)
+
+// Scorer selects the preference family of a Function. The paper models
+// every user as a linear function f(o) = Σ αᵢ·oᵢ; its algorithms (SB,
+// TA ranked retrieval, BRS pruning) only require that f be a *monotone*
+// aggregate, and a Scorer generalizes the stack to the standard
+// monotone families:
+//
+//   - Linear(w...):    Σ wᵢ·oᵢ — the default; Function.Scorer == nil
+//     means Linear over Function.Weights;
+//   - OWA(w...):       Σ wⱼ·o₍ⱼ₎ over attribute values sorted
+//     descending — order-weighted averages, which subsume Minimax()
+//     (egalitarian: score = worst attribute), Best() (optimistic:
+//     score = best attribute), Median(), and any Hurwicz mixture;
+//   - Chebyshev(w...): maxᵢ wᵢ·oᵢ — weighted max scalarization;
+//   - Lp(p, w...):     (Σ wᵢ·oᵢᵖ)^(1/p), p ≥ 1.
+//
+// Weights are normalized to sum to 1 exactly as linear weights are
+// (see WeightNormalizationTolerance), and the priority Gamma multiplies
+// the score for every family. Constructors may be called without
+// weights — OWA shortcuts (Minimax, Best, Median) derive theirs from
+// the problem dimensionality, and the other kinds fall back to
+// Function.Weights — so one Scorer value can be shared by many
+// functions.
+//
+// All families produce scores on the same [0, γ] scale for attributes
+// in [0,1], so mixed populations (some users linear, some egalitarian)
+// compete fairly in one assignment.
+type Scorer struct {
+	kind    score.Kind
+	p       float64 // Lp exponent
+	weights []float64
+	pattern owaPattern
+}
+
+// owaPattern marks the dimensionality-dependent OWA shortcuts whose
+// weight vectors are expanded when the problem dimensionality is known.
+type owaPattern uint8
+
+const (
+	patNone owaPattern = iota
+	patMinimax
+	patBest
+	patMedian
+)
+
+// Linear returns the explicit form of the default linear family,
+// Σ wᵢ·oᵢ. With no weights, Function.Weights is used.
+func Linear(weights ...float64) *Scorer {
+	return &Scorer{kind: score.Linear, weights: weights}
+}
+
+// OWA returns an order-weighted average: weight position j applies to
+// the j-th LARGEST attribute value. With no weights, Function.Weights
+// is used (as position weights).
+func OWA(weights ...float64) *Scorer {
+	return &Scorer{kind: score.OWA, weights: weights}
+}
+
+// Minimax returns the egalitarian scorer: an object is judged by its
+// worst attribute (OWA with all weight on the last position). The
+// stable matching then maximizes each user's worst-case satisfaction
+// greedily — the minimax fairness objective of the ordinal-preference
+// literature.
+func Minimax() *Scorer { return &Scorer{kind: score.OWA, pattern: patMinimax} }
+
+// Best returns the optimistic scorer: an object is judged by its best
+// attribute (OWA with all weight on the first position).
+func Best() *Scorer { return &Scorer{kind: score.OWA, pattern: patBest} }
+
+// Median returns the median scorer: an object is judged by the median
+// of its attribute values (mean of the two middle values when the
+// dimensionality is even).
+func Median() *Scorer { return &Scorer{kind: score.OWA, pattern: patMedian} }
+
+// Chebyshev returns the weighted-max scorer maxᵢ wᵢ·oᵢ. With no
+// weights, Function.Weights is used.
+func Chebyshev(weights ...float64) *Scorer {
+	return &Scorer{kind: score.Chebyshev, weights: weights}
+}
+
+// Lp returns the weighted p-norm scorer (Σ wᵢ·oᵢᵖ)^(1/p). p must be a
+// finite value ≥ 1 (validated at solver construction); p = 1 is Linear.
+// With no weights, Function.Weights is used.
+func Lp(p float64, weights ...float64) *Scorer {
+	return &Scorer{kind: score.Lp, p: p, weights: weights}
+}
+
+// String names the scorer in the CSV `kind` column vocabulary.
+func (s *Scorer) String() string {
+	if s == nil {
+		return "linear"
+	}
+	switch s.pattern {
+	case patMinimax:
+		return "minimax"
+	case patBest:
+		return "best"
+	case patMedian:
+		return "median"
+	}
+	if s.kind == score.Lp {
+		return fmt.Sprintf("lp:%g", s.p)
+	}
+	return s.kind.String()
+}
+
+// family converts to the internal representation.
+func (s *Scorer) family() score.Family {
+	if s == nil {
+		return score.Family{}
+	}
+	return score.Family{Kind: s.kind, P: s.p}
+}
+
+// patternWeights expands a dimensionality-dependent OWA shortcut (one
+// shared implementation in internal/score, also used by the test-data
+// generators).
+func (s *Scorer) patternWeights(dims int) []float64 {
+	switch s.pattern {
+	case patBest:
+		return score.BestWeights(dims)
+	case patMedian:
+		return score.MedianWeights(dims)
+	default: // patMinimax
+		return score.MinimaxWeights(dims)
+	}
+}
+
+// resolveFunction maps a public Function — weights, optional Scorer,
+// gamma, capacity — onto the internal representation: a scoring family
+// plus one concrete, validated, normalized weight vector. Weight
+// precedence: a Scorer carrying weights wins; a pattern scorer
+// (Minimax/Best/Median) derives them from the problem dimensionality;
+// otherwise Function.Weights parameterize the family.
+func resolveFunction(f Function, opts Options, dims int) (assign.Function, error) {
+	fam := f.Scorer.family()
+	if err := fam.Validate(); err != nil {
+		return assign.Function{}, fmt.Errorf("%w: function %d: %v", ErrBadScorerKind, f.ID, err)
+	}
+	var raw []float64
+	switch {
+	case f.Scorer != nil && f.Scorer.pattern != patNone:
+		if dims <= 0 {
+			return assign.Function{}, fmt.Errorf("fairassign: function %d uses a %s scorer but the dimensionality is unknown", f.ID, f.Scorer)
+		}
+		raw = f.Scorer.patternWeights(dims)
+	case f.Scorer != nil && len(f.Scorer.weights) > 0:
+		raw = append([]float64(nil), f.Scorer.weights...)
+	default:
+		raw = append([]float64(nil), f.Weights...)
+	}
+	w, err := normalizeWeights(raw, f.ID, opts)
+	if err != nil {
+		return assign.Function{}, err
+	}
+	return assign.Function{
+		ID:       f.ID,
+		Weights:  w,
+		Gamma:    f.Gamma,
+		Capacity: f.Capacity,
+		Fam:      fam,
+	}, nil
+}
+
+// funcDims reports the dimensionality derivable from one function's
+// explicit weights (0 when it carries none, e.g. a pattern scorer).
+func funcDims(f Function) int {
+	if f.Scorer != nil && len(f.Scorer.weights) > 0 {
+		return len(f.Scorer.weights)
+	}
+	return len(f.Weights)
+}
+
+// problemDims derives the shared dimensionality of a problem: the first
+// object's attribute count, else the first function with explicit
+// weights.
+func problemDims(objects []Object, functions []Function) int {
+	if len(objects) > 0 {
+		return len(objects[0].Attributes)
+	}
+	for _, f := range functions {
+		if d := funcDims(f); d > 0 {
+			return d
+		}
+	}
+	return 0
+}
+
+// ParseScorerKind parses a CSV/CLI scorer-kind cell:
+// linear|owa|minimax|best|median|chebyshev|lp:<p>. Errors wrap
+// ErrBadScorerKind.
+func ParseScorerKind(cell string) (*Scorer, error) {
+	switch cell {
+	case "", "linear":
+		return nil, nil
+	case "owa":
+		return OWA(), nil
+	case "minimax":
+		return Minimax(), nil
+	case "best":
+		return Best(), nil
+	case "median":
+		return Median(), nil
+	case "chebyshev":
+		return Chebyshev(), nil
+	}
+	if len(cell) > 3 && cell[:3] == "lp:" {
+		p, err := strconv.ParseFloat(cell[3:], 64)
+		if err != nil {
+			return nil, fmt.Errorf("%w: bad lp exponent %q", ErrBadScorerKind, cell)
+		}
+		if math.IsNaN(p) || math.IsInf(p, 0) || p < 1 {
+			return nil, fmt.Errorf("%w: lp exponent must be a finite p >= 1, got %q", ErrBadScorerKind, cell)
+		}
+		return Lp(p), nil
+	}
+	return nil, fmt.Errorf("%w: %q", ErrBadScorerKind, cell)
+}

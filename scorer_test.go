@@ -1,0 +1,478 @@
+package fairassign
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+)
+
+// scorerSet is the family sweep used by the public API tests; entries
+// with nil scorers exercise the linear default alongside.
+func scorerSet() []*Scorer {
+	return []*Scorer{
+		nil,
+		Linear(),
+		OWA(0.5, 0.3, 0.2),
+		Minimax(),
+		Best(),
+		Median(),
+		Chebyshev(),
+		Lp(2),
+		Lp(3),
+	}
+}
+
+func randomProblem(seed int64, dims, nf, no int) ([]Object, []Function) {
+	rng := rand.New(rand.NewSource(seed))
+	objs := GenerateObjects(Independent, no, dims, seed+1)
+	funcs := GenerateFunctions(nf, dims, seed+2)
+	set := scorerSet()
+	for i := range funcs {
+		sc := set[rng.Intn(len(set))]
+		if sc != nil && len(sc.weights) > 0 && len(sc.weights) != dims {
+			sc = OWA(funcs[i].Weights...) // dims-matched OWA fallback
+		}
+		funcs[i].Scorer = sc
+	}
+	return objs, funcs
+}
+
+func pairsEqualEps(t *testing.T, got, want []Pair, label string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d pairs, want %d", label, len(got), len(want))
+	}
+	sortPairs := func(ps []Pair) {
+		sort.Slice(ps, func(i, j int) bool {
+			if ps[i].FunctionID != ps[j].FunctionID {
+				return ps[i].FunctionID < ps[j].FunctionID
+			}
+			return ps[i].ObjectID < ps[j].ObjectID
+		})
+	}
+	g := append([]Pair(nil), got...)
+	w := append([]Pair(nil), want...)
+	sortPairs(g)
+	sortPairs(w)
+	for i := range g {
+		if g[i].FunctionID != w[i].FunctionID || g[i].ObjectID != w[i].ObjectID {
+			t.Fatalf("%s: pair %d = (f%d,o%d), want (f%d,o%d)",
+				label, i, g[i].FunctionID, g[i].ObjectID, w[i].FunctionID, w[i].ObjectID)
+		}
+		if math.Abs(g[i].Score-w[i].Score) > 1e-9 {
+			t.Fatalf("%s: pair %d score %v, want %v", label, i, g[i].Score, w[i].Score)
+		}
+	}
+}
+
+// TestScorerSolveMatchesOracle runs every algorithm over mixed-family
+// populations and checks each against the definitional greedy.
+func TestScorerSolveMatchesOracle(t *testing.T) {
+	algos := []Algorithm{SB, BruteForce, Chain, SBAlt, TwoSkylines}
+	for seed := int64(1); seed <= 4; seed++ {
+		dims := 2 + int(seed%3)
+		objs, funcs := randomProblem(seed*13, dims, 8, 50)
+		want, err := StableOracle(objs, funcs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, alg := range algos {
+			solver, err := NewSolver(objs, funcs, Options{Algorithm: alg})
+			if err != nil {
+				t.Fatalf("seed %d %s: %v", seed, alg, err)
+			}
+			res, err := solver.Solve()
+			if err != nil {
+				t.Fatalf("seed %d %s: %v", seed, alg, err)
+			}
+			pairsEqualEps(t, res.Pairs, want, fmt.Sprintf("seed %d %s", seed, alg))
+			if err := solver.Verify(res.Pairs); err != nil {
+				t.Fatalf("seed %d %s: unstable: %v", seed, alg, err)
+			}
+		}
+	}
+}
+
+// TestSolveBatchScorers checks the multi-tenant path: per-item results
+// with non-linear scorers equal their standalone solves.
+func TestSolveBatchScorers(t *testing.T) {
+	var items []BatchItem
+	for seed := int64(21); seed < 25; seed++ {
+		objs, funcs := randomProblem(seed, 3, 6, 40)
+		items = append(items, BatchItem{Objects: objs, Functions: funcs})
+	}
+	results := SolveBatch(items, BatchOptions{Parallelism: 4})
+	for i, r := range results {
+		if r.Err != nil {
+			t.Fatalf("item %d: %v", i, r.Err)
+		}
+		solver, err := NewSolver(items[i].Objects, items[i].Functions, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := solver.Solve()
+		if err != nil {
+			t.Fatal(err)
+		}
+		pairsEqualEps(t, r.Result.Pairs, want.Pairs, fmt.Sprintf("batch item %d", i))
+	}
+}
+
+// TestWorkspaceScorerRepair is the mutation-path check: a workspace over
+// mixed families — including AddFunction with non-linear scorers —
+// repairs to the same matching a cold solve of the mutated population
+// produces.
+func TestWorkspaceScorerRepair(t *testing.T) {
+	objs, funcs := randomProblem(77, 3, 6, 40)
+	ws, err := NewWorkspace(objs, funcs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ws.Close()
+
+	curObjs := append([]Object(nil), objs...)
+	curFuncs := append([]Function(nil), funcs...)
+	check := func(label string) {
+		t.Helper()
+		if err := ws.Verify(); err != nil {
+			t.Fatalf("%s: workspace unstable: %v", label, err)
+		}
+		solver, err := NewSolver(curObjs, curFuncs, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cold, err := solver.Solve()
+		if err != nil {
+			t.Fatal(err)
+		}
+		pairsEqualEps(t, ws.Assignment(), cold.Pairs, label)
+	}
+	check("initial")
+
+	arrivals := []Function{
+		{ID: 9001, Scorer: Minimax(), Capacity: 2},
+		{ID: 9002, Weights: []float64{0.2, 0.3, 0.5}, Scorer: OWA()},
+		{ID: 9003, Weights: []float64{0.6, 0.2, 0.2}, Scorer: Chebyshev(), Gamma: 2},
+		{ID: 9004, Weights: []float64{0.4, 0.4, 0.2}, Scorer: Lp(2)},
+		{ID: 9005, Scorer: Best()},
+	}
+	for _, f := range arrivals {
+		if err := ws.AddFunction(f); err != nil {
+			t.Fatalf("AddFunction(%d): %v", f.ID, err)
+		}
+		curFuncs = append(curFuncs, f)
+		check(fmt.Sprintf("after AddFunction(%d)", f.ID))
+	}
+	// Remove an object some non-linear function likely holds, then a
+	// non-linear function, re-checking convergence each time.
+	if err := ws.RemoveObject(curObjs[0].ID); err != nil {
+		t.Fatal(err)
+	}
+	curObjs = curObjs[1:]
+	check("after RemoveObject")
+	if err := ws.RemoveFunction(9001); err != nil {
+		t.Fatal(err)
+	}
+	for i, f := range curFuncs {
+		if f.ID == 9001 {
+			curFuncs = append(curFuncs[:i], curFuncs[i+1:]...)
+			break
+		}
+	}
+	check("after RemoveFunction(minimax)")
+
+	// Snapshot views answer non-linear TopK from the pinned epoch.
+	v, err := ws.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer v.Close()
+	ranked, err := v.TopK(Function{ID: 1, Scorer: Minimax()}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ranked) != 3 {
+		t.Fatalf("view TopK returned %d results, want 3", len(ranked))
+	}
+	for i := 1; i < len(ranked); i++ {
+		if ranked[i].Score > ranked[i-1].Score+1e-12 {
+			t.Fatal("view TopK not in descending score order")
+		}
+	}
+}
+
+// TestTopKMinimaxMatchesScan cross-checks the standalone TopK query
+// under an egalitarian scorer against exhaustive evaluation.
+func TestTopKMinimaxMatchesScan(t *testing.T) {
+	objs := GenerateObjects(Independent, 200, 4, 5)
+	got, err := TopK(objs, Function{Scorer: Minimax()}, 5, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	minOf := func(o Object) float64 {
+		m := o.Attributes[0]
+		for _, v := range o.Attributes[1:] {
+			if v < m {
+				m = v
+			}
+		}
+		return m
+	}
+	want := append([]Object(nil), objs...)
+	sort.Slice(want, func(i, j int) bool {
+		a, b := minOf(want[i]), minOf(want[j])
+		if a != b {
+			return a > b
+		}
+		return want[i].ID < want[j].ID
+	})
+	for i := range got {
+		if got[i].Object.ID != want[i].ID {
+			t.Fatalf("rank %d: got object %d, want %d", i, got[i].Object.ID, want[i].ID)
+		}
+		if math.Abs(got[i].Score-minOf(want[i])) > 1e-12 {
+			t.Fatalf("rank %d: score %v, want %v", i, got[i].Score, minOf(want[i]))
+		}
+	}
+}
+
+// TestNormalizationTolerance pins the documented boundary: sums within
+// WeightNormalizationTolerance of 1 are left bit-exact, sums beyond it
+// are rescaled.
+func TestNormalizationTolerance(t *testing.T) {
+	inside := []float64{0.25, 0.75 + WeightNormalizationTolerance/2}
+	w, err := prepareWeights(Function{ID: 1, Weights: inside}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range w {
+		if math.Float64bits(w[i]) != math.Float64bits(inside[i]) {
+			t.Fatalf("weights within tolerance were rescaled: %v -> %v", inside, w)
+		}
+	}
+	outside := []float64{0.25, 0.75 + 2.1*WeightNormalizationTolerance}
+	w, err = prepareWeights(Function{ID: 1, Weights: outside}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Float64bits(w[1]) == math.Float64bits(outside[1]) {
+		t.Fatal("weights beyond tolerance were not rescaled")
+	}
+	sum := w[0] + w[1]
+	if math.Abs(sum-1) > 1e-15 {
+		t.Fatalf("rescaled sum = %v, want 1", sum)
+	}
+	// Far-from-normalized input still rescales exactly as before.
+	w, err = prepareWeights(Function{ID: 1, Weights: []float64{3, 1}}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w[0] != 0.75 || w[1] != 0.25 {
+		t.Fatalf("normalization broken: %v", w)
+	}
+	// Typed errors.
+	if _, err := prepareWeights(Function{ID: 1, Weights: []float64{math.NaN(), 1}}, Options{}); !errors.Is(err, ErrBadWeight) {
+		t.Fatalf("NaN weight error = %v, want ErrBadWeight", err)
+	}
+	if _, err := prepareWeights(Function{ID: 1, Weights: []float64{-1, 2}}, Options{}); !errors.Is(err, ErrBadWeight) {
+		t.Fatalf("negative weight error = %v, want ErrBadWeight", err)
+	}
+}
+
+// TestCSVKindColumn covers the extended loader: detection, defaults,
+// round-trip, and the typed rejections.
+func TestCSVKindColumn(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "funcs.csv")
+	data := "1,0.5,0.5\n" +
+		"2,owa,0.7,0.3\n" +
+		"3,minimax\n" +
+		"4,chebyshev,0.9,0.1\n" +
+		"5,lp:2,0.5,0.5\n" +
+		"6,best\n" +
+		"7,median\n"
+	if err := os.WriteFile(path, []byte(data), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	funcs, err := LoadFunctionsCSV(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(funcs) != 7 {
+		t.Fatalf("loaded %d functions, want 7", len(funcs))
+	}
+	wantKinds := []string{"linear", "owa", "minimax", "chebyshev", "lp:2", "best", "median"}
+	for i, f := range funcs {
+		if got := f.Scorer.String(); got != wantKinds[i] {
+			t.Errorf("function %d kind = %q, want %q", f.ID, got, wantKinds[i])
+		}
+	}
+	if len(funcs[0].Weights) != 2 || len(funcs[2].Weights) != 0 {
+		t.Fatalf("weight columns misparsed: %v / %v", funcs[0].Weights, funcs[2].Weights)
+	}
+
+	// The loaded set solves against objects (patterns get dims there).
+	objs := GenerateObjects(Independent, 30, 2, 9)
+	solver, err := NewSolver(objs, funcs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := solver.Solve(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Round-trip through Save.
+	out := filepath.Join(dir, "roundtrip.csv")
+	if err := SaveFunctionsCSV(out, funcs); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadFunctionsCSV(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(funcs) {
+		t.Fatalf("round-trip lost functions: %d -> %d", len(funcs), len(back))
+	}
+	for i := range back {
+		if back[i].Scorer.String() != funcs[i].Scorer.String() {
+			t.Errorf("round-trip kind %d: %q -> %q", i, funcs[i].Scorer.String(), back[i].Scorer.String())
+		}
+	}
+
+	// Gamma/capacity extras compose with the kind column.
+	extPath := filepath.Join(dir, "ext.csv")
+	if err := os.WriteFile(extPath, []byte("8,minimax,2,3\n9,owa,0.5,0.5,1,1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ext, err := LoadFunctionsCSVExt(extPath, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ext[0].Gamma != 2 || ext[0].Capacity != 3 || len(ext[0].Weights) != 0 {
+		t.Fatalf("extras misparsed with pattern kind: %+v", ext[0])
+	}
+	if len(ext[1].Weights) != 2 {
+		t.Fatalf("extras misparsed with owa kind: %+v", ext[1])
+	}
+
+	// Scorer-carried weights win over Function.Weights at solve time, so
+	// the save side must emit them too or the round-trip changes scores.
+	carried := []Function{{ID: 4, Weights: []float64{0.7, 0.3}, Scorer: Lp(2, 0.4, 0.6)}}
+	cw := filepath.Join(dir, "carried.csv")
+	if err := SaveFunctionsCSV(cw, carried); err != nil {
+		t.Fatal(err)
+	}
+	carriedBack, err := LoadFunctionsCSV(cw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	origAF, err := resolveFunction(carried[0], Options{}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	backAF, err := resolveFunction(carriedBack[0], Options{}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range origAF.Weights {
+		if origAF.Weights[i] != backAF.Weights[i] {
+			t.Fatalf("scorer-carried weights changed across round-trip: %v -> %v", origAF.Weights, backAF.Weights)
+		}
+	}
+
+	// Typed rejections.
+	cases := []struct {
+		data string
+		want error
+	}{
+		{"1,frobnicate,0.5,0.5\n", ErrBadScorerKind},
+		{"1,lp:0.5,0.5,0.5\n", ErrBadScorerKind},
+		{"1,lp:xyz,0.5,0.5\n", ErrBadScorerKind},
+		{"1,lp:2junk,0.5,0.5\n", ErrBadScorerKind},
+		{"1,owa,-0.5,0.5\n", ErrBadWeight},
+		{"1,owa,NaN,0.5\n", ErrBadWeight},
+		{"1,owa,Inf,0.5\n", ErrBadWeight},
+		{"1,-0.5,0.5\n", ErrBadWeight},
+	}
+	for _, c := range cases {
+		bad := filepath.Join(dir, "bad.csv")
+		if err := os.WriteFile(bad, []byte(c.data), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := LoadFunctionsCSV(bad); !errors.Is(err, c.want) {
+			t.Errorf("%q: error = %v, want %v", c.data, err, c.want)
+		}
+	}
+}
+
+// TestPatternWeights pins the OWA shortcut expansions.
+func TestPatternWeights(t *testing.T) {
+	cases := []struct {
+		sc   *Scorer
+		dims int
+		want []float64
+	}{
+		{Minimax(), 3, []float64{0, 0, 1}},
+		{Best(), 3, []float64{1, 0, 0}},
+		{Median(), 3, []float64{0, 1, 0}},
+		{Median(), 4, []float64{0, 0.5, 0.5, 0}},
+	}
+	for _, c := range cases {
+		af, err := resolveFunction(Function{ID: 1, Scorer: c.sc}, Options{}, c.dims)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(af.Weights) != c.dims {
+			t.Fatalf("%s dims %d: got %v", c.sc, c.dims, af.Weights)
+		}
+		for i := range c.want {
+			if af.Weights[i] != c.want[i] {
+				t.Fatalf("%s dims %d: weights %v, want %v", c.sc, c.dims, af.Weights, c.want)
+			}
+		}
+	}
+	// Pattern without derivable dims fails cleanly.
+	if _, err := NewSolver(nil, []Function{{ID: 1, Scorer: Minimax()}}, Options{}); err == nil {
+		t.Fatal("pattern-only problem without dims should fail")
+	}
+}
+
+// TestProgressiveScorers drains a progressive matcher over a mixed
+// population and checks the emitted set against a batch solve.
+func TestProgressiveScorers(t *testing.T) {
+	objs, funcs := randomProblem(31, 3, 6, 40)
+	m, err := NewProgressiveMatcher(objs, funcs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []Pair
+	lastScore := math.Inf(1)
+	for {
+		p, ok, err := m.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		if p.Score > lastScore+1e-12 {
+			t.Fatalf("progressive emitted out of order: %v after %v", p.Score, lastScore)
+		}
+		lastScore = p.Score
+		got = append(got, p)
+	}
+	solver, err := NewSolver(objs, funcs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := solver.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairsEqualEps(t, got, want.Pairs, "progressive vs solve")
+}

@@ -2,6 +2,7 @@ package fairassign
 
 import (
 	"fmt"
+	"math"
 
 	"fairassign/internal/assign"
 	"fairassign/internal/geom"
@@ -91,11 +92,9 @@ func NewWorkspace(objects []Object, functions []Function, opts Options) (*Worksp
 	if len(objects) == 0 && len(functions) == 0 {
 		return nil, fmt.Errorf("fairassign: nothing to assign")
 	}
-	dims := 0
-	if len(objects) > 0 {
-		dims = len(objects[0].Attributes)
-	} else {
-		dims = len(functions[0].Weights)
+	dims := problemDims(objects, functions)
+	if dims == 0 {
+		return nil, fmt.Errorf("fairassign: cannot derive dimensionality (no objects and no function carries explicit weights)")
 	}
 	p := &assign.Problem{Dims: dims}
 	for _, o := range objects {
@@ -106,16 +105,11 @@ func NewWorkspace(objects []Object, functions []Function, opts Options) (*Worksp
 		})
 	}
 	for _, f := range functions {
-		w, err := prepareWeights(f, opts)
+		af, err := resolveFunction(f, opts, dims)
 		if err != nil {
 			return nil, err
 		}
-		p.Functions = append(p.Functions, assign.Function{
-			ID:       f.ID,
-			Weights:  w,
-			Gamma:    f.Gamma,
-			Capacity: f.Capacity,
-		})
+		p.Functions = append(p.Functions, af)
 	}
 	ws, err := assign.NewWorkspace(p, assign.Config{
 		PageSize:         opts.PageSize,
@@ -130,24 +124,50 @@ func NewWorkspace(objects []Object, functions []Function, opts Options) (*Worksp
 	return &Workspace{ws: ws, opts: opts}, nil
 }
 
+// WeightNormalizationTolerance is the slack within which a weight
+// vector counts as already normalized: when |Σw − 1| is at most this
+// value, prepareWeights leaves the weights bit-exact instead of
+// dividing by the sum. The tolerance exists so that weights produced by
+// a prior normalization (whose float64 sum can land a few ULPs off 1)
+// round-trip unchanged through NewSolver, NewWorkspace, and the CSV
+// loaders; sums farther from 1 are rescaled. The boundary is tested in
+// both directions.
+const WeightNormalizationTolerance = 1e-12
+
 // prepareWeights copies (and unless opted out, normalizes) a function's
-// weight vector, mirroring NewSolver's validation.
+// weight vector, mirroring NewSolver's validation. Non-finite weights
+// are rejected for every family (they would poison score arithmetic and
+// the index structures); negative and all-zero vectors are rejected
+// unless normalization is skipped. Errors wrap ErrBadWeight.
 func prepareWeights(f Function, opts Options) ([]float64, error) {
 	w := make([]float64, len(f.Weights))
 	copy(w, f.Weights)
+	return normalizeWeights(w, f.ID, opts)
+}
+
+// normalizeWeights validates and (within tolerance) normalizes a weight
+// vector in place.
+func normalizeWeights(w []float64, fid uint64, opts Options) ([]float64, error) {
+	for _, v := range w {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("%w: function %d has non-finite weight", ErrBadWeight, fid)
+		}
+	}
 	if !opts.SkipNormalization {
 		sum := 0.0
 		for _, v := range w {
 			if v < 0 {
-				return nil, fmt.Errorf("fairassign: function %d has negative weight", f.ID)
+				return nil, fmt.Errorf("%w: function %d has negative weight", ErrBadWeight, fid)
 			}
 			sum += v
 		}
 		if sum <= 0 {
-			return nil, fmt.Errorf("fairassign: function %d has zero weights", f.ID)
+			return nil, fmt.Errorf("%w: function %d has zero weights", ErrBadWeight, fid)
 		}
-		for i := range w {
-			w[i] /= sum
+		if math.Abs(sum-1) > WeightNormalizationTolerance {
+			for i := range w {
+				w[i] /= sum
+			}
 		}
 	}
 	return w, nil
@@ -170,19 +190,14 @@ func (w *Workspace) AddObject(o Object) error {
 func (w *Workspace) RemoveObject(id uint64) error { return w.ws.RemoveObject(id) }
 
 // AddFunction introduces a new preference function (normalized per the
-// workspace Options); it claims its stable share of the objects via a
-// displacement chain.
+// workspace Options, under any scorer family); it claims its stable
+// share of the objects via a displacement chain.
 func (w *Workspace) AddFunction(f Function) error {
-	weights, err := prepareWeights(f, w.opts)
+	af, err := resolveFunction(f, w.opts, w.Dims())
 	if err != nil {
 		return err
 	}
-	return w.ws.AddFunction(assign.Function{
-		ID:       f.ID,
-		Weights:  weights,
-		Gamma:    f.Gamma,
-		Capacity: f.Capacity,
-	})
+	return w.ws.AddFunction(af)
 }
 
 // RemoveFunction withdraws a function; the object units it held are
@@ -293,26 +308,22 @@ func (v *View) Verify() error { return v.v.VerifyStable() }
 
 // TopK returns the k objects the given preference function ranks
 // highest among the view's frozen object set — the paper's single-user
-// query (Section 2.3), evaluated with BRS over the pinned index epoch.
-// Weights are normalized per the workspace Options and scaled by the
-// function's Gamma, exactly as an assignment would score them.
+// query (Section 2.3), evaluated with BRS over the pinned index epoch
+// under the function's scorer family. Weights are normalized per the
+// workspace Options and scaled by the function's Gamma, exactly as an
+// assignment would score them.
 func (v *View) TopK(f Function, k int) ([]Ranked, error) {
 	if k <= 0 {
 		return nil, nil
 	}
-	if len(f.Weights) != v.Dims() {
-		return nil, fmt.Errorf("fairassign: function has %d weights, view has %d dims", len(f.Weights), v.Dims())
-	}
-	w, err := prepareWeights(f, v.opts)
+	af, err := resolveFunction(f, v.opts, v.Dims())
 	if err != nil {
 		return nil, err
 	}
-	if f.Gamma > 0 {
-		for i := range w {
-			w[i] *= f.Gamma
-		}
+	if len(af.Weights) != v.Dims() {
+		return nil, fmt.Errorf("fairassign: function has %d weights, view has %d dims", len(af.Weights), v.Dims())
 	}
-	items, scores, err := v.v.TopK(w, k)
+	items, scores, err := v.v.TopKScorer(af.Scorer(), k)
 	if err != nil {
 		return nil, err
 	}
