@@ -162,6 +162,24 @@ func main() {
 			c.Name, c.N, c.Dims, c.SolveNsPerOp, c.Pairs, c.TopKNsPerOp, c.TopKPerSec)
 	}
 
+	for _, c := range rep.BatchCommit {
+		match := "matching=identical"
+		if !c.Identical {
+			match = "MATCHING DIVERGED"
+		}
+		fmt.Printf("%-22s n=%-6d d=%d  batch=%d  batched %10d ns/mut | sequential %10d ns/mut | %6.2fx faster | %d muts: %d vs %d commits %s\n",
+			c.Name, c.N, c.Dims, c.BatchSize, c.BatchedNsPerMut, c.SequentialNsPerMut, c.SpeedupX,
+			c.Mutations, c.BatchedCommits, c.SequentialCommits, match)
+		if !c.Identical {
+			diverged = true
+			fmt.Fprintf(os.Stderr, "bench: %s(n=%d,dims=%d): batched matching differs from a cold solve\n", c.Name, c.N, c.Dims)
+		}
+		if c.BatchedNsPerMut >= c.SequentialNsPerMut {
+			fmt.Fprintf(os.Stderr, "bench: %s(n=%d,dims=%d): batched Apply (%d ns/mut) did not beat per-mutation commits (%d ns/mut)\n",
+				c.Name, c.N, c.Dims, c.BatchedNsPerMut, c.SequentialNsPerMut)
+		}
+	}
+
 	// Write the report even on divergence — the JSON is the evidence
 	// needed to debug it.
 	data, err := json.MarshalIndent(rep, "", "  ")

@@ -29,6 +29,7 @@ package assign
 
 import (
 	"fmt"
+	"math"
 
 	"fairassign/internal/geom"
 	"fairassign/internal/metrics"
@@ -117,7 +118,11 @@ type Problem struct {
 	Functions []Function
 }
 
-// Validate checks structural consistency.
+// Validate checks structural consistency and input sanity: shared
+// dimensionality, unique per-side IDs, finite attribute/weight/γ values
+// (non-finite inputs would silently corrupt the R-tree MBRs and the TA
+// bounds), and non-negative capacities — the same rules the CSV loaders
+// enforce, typed with the ErrBad* sentinels from mutation.go.
 func (p *Problem) Validate() error {
 	if p.Dims < 1 {
 		return fmt.Errorf("assign: dims must be >= 1, got %d", p.Dims)
@@ -126,6 +131,14 @@ func (p *Problem) Validate() error {
 	for _, o := range p.Objects {
 		if len(o.Point) != p.Dims {
 			return fmt.Errorf("assign: object %d has %d dims, want %d", o.ID, len(o.Point), p.Dims)
+		}
+		for _, v := range o.Point {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("%w: object %d", ErrBadPoint, o.ID)
+			}
+		}
+		if o.Capacity < 0 {
+			return fmt.Errorf("%w: object %d has capacity %d", ErrBadCapacity, o.ID, o.Capacity)
 		}
 		if seenO[o.ID] {
 			return fmt.Errorf("assign: duplicate object id %d", o.ID)
@@ -141,9 +154,18 @@ func (p *Problem) Validate() error {
 			return fmt.Errorf("assign: function %d: %w", f.ID, err)
 		}
 		for _, w := range f.Weights {
-			if w < 0 {
-				return fmt.Errorf("assign: function %d has negative weight", f.ID)
+			if math.IsNaN(w) || math.IsInf(w, 0) {
+				return fmt.Errorf("%w: function %d has non-finite weight", ErrBadWeight, f.ID)
 			}
+			if w < 0 {
+				return fmt.Errorf("%w: function %d has negative weight", ErrBadWeight, f.ID)
+			}
+		}
+		if math.IsNaN(f.Gamma) || math.IsInf(f.Gamma, 0) {
+			return fmt.Errorf("%w: function %d", ErrBadGamma, f.ID)
+		}
+		if f.Capacity < 0 {
+			return fmt.Errorf("%w: function %d has capacity %d", ErrBadCapacity, f.ID, f.Capacity)
 		}
 		if seenF[f.ID] {
 			return fmt.Errorf("assign: duplicate function id %d", f.ID)

@@ -130,7 +130,9 @@ type Workspace struct {
 
 	closed    bool        // guarded by mu
 	closedA   atomic.Bool // mirrors closed for the lock-free Snapshot fast path
+	corrupt   error       // non-nil after a mid-mutation structural failure (see ErrCorrupt)
 	mutations int64
+	commits   int64 // epochs published (group commits batch many mutations into one)
 	chainLen  int64 // reassignments performed by repair chains
 	searches  int64 // top-1 probes issued by repair
 	resolves  int64 // full solves (the initial build)
@@ -157,6 +159,7 @@ type WorkspaceStats struct {
 	AssignedUnits int   // pairs in the current matching
 	SkylineSize   int   // availability frontier (objects with spare capacity)
 	Mutations     int64 // mutations applied since construction
+	Commits       int64 // epochs published (Apply groups many mutations into one)
 	ChainSteps    int64 // reassignments performed by repair chains
 	Searches      int64 // top-1 probes issued by repair
 	Resolves      int64 // from-scratch solves (1: the initial build)
@@ -280,6 +283,7 @@ func (w *Workspace) commitLocked() error {
 		return err
 	}
 	w.epoch = w.vstore.Publish()
+	w.commits++
 	return nil
 }
 
@@ -292,15 +296,6 @@ func (w *Workspace) dropPubLocked() {
 		w.pub.release()
 		w.pub = nil
 	}
-}
-
-// repairAndCommit drains the repair queue, then publishes the mutated
-// state as a new epoch.
-func (w *Workspace) repairAndCommit() error {
-	if err := w.repair(); err != nil {
-		return err
-	}
-	return w.commitLocked()
 }
 
 // Snapshot returns a read view pinned to the latest published epoch.
@@ -327,8 +322,8 @@ func (w *Workspace) Snapshot() (*View, error) {
 	}
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	if w.closed {
-		return nil, ErrClosed
+	if err := w.liveLocked(); err != nil {
+		return nil, err
 	}
 	if w.pub == nil {
 		w.pub = w.captureLocked()
@@ -437,27 +432,7 @@ func worstOfFunc(ps []wsPair) wsPair {
 func (w *Workspace) AddObject(o Object) error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	if err := w.liveLocked(); err != nil {
-		return err
-	}
-	if len(o.Point) != w.Dims() {
-		return fmt.Errorf("assign: object %d has %d dims, want %d", o.ID, len(o.Point), w.Dims())
-	}
-	if _, dup := w.objs[o.ID]; dup {
-		return fmt.Errorf("%w: object %d", ErrDuplicateID, o.ID)
-	}
-	pt := o.Point.Clone()
-	w.objs[o.ID] = Object{ID: o.ID, Point: pt, Capacity: o.Capacity}
-	if err := w.st.tree.Insert(rtree.Item{ID: o.ID, Point: pt}); err != nil {
-		return err
-	}
-	w.st.objCaps.add(o.ID, o.capacity())
-	if err := w.avail.Insert(rtree.Item{ID: o.ID, Point: pt}); err != nil {
-		return err
-	}
-	w.pushObj(o.ID)
-	w.mutations++
-	return w.repairAndCommit()
+	return w.applyLocked([]Mutation{{Kind: MutAddObject, Object: o}})
 }
 
 // RemoveObject withdraws an object. Its assigned functions are freed
@@ -467,34 +442,7 @@ func (w *Workspace) AddObject(o Object) error {
 func (w *Workspace) RemoveObject(id uint64) error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	if err := w.liveLocked(); err != nil {
-		return err
-	}
-	o, ok := w.objs[id]
-	if !ok {
-		return fmt.Errorf("%w: object %d", ErrUnknownID, id)
-	}
-	// Invalidate the availability frontier first: an exhausted object
-	// already left it (Discarded on exhaustion), so a second Discard
-	// would only grow the tombstone set.
-	if w.st.objCaps.remaining[id] > 0 {
-		if err := w.avail.Discard(id); err != nil {
-			return err
-		}
-	}
-	for _, p := range append([]wsPair(nil), w.byObj[id]...) {
-		w.unlink(p)
-		w.st.funcCaps.restore(p.fid)
-		w.pushFunc(p.fid)
-	}
-	delete(w.byObj, id)
-	if err := w.st.tree.Delete(rtree.Item{ID: id, Point: o.Point}); err != nil {
-		return err
-	}
-	w.st.objCaps.drop(id)
-	delete(w.objs, id)
-	w.mutations++
-	return w.repairAndCommit()
+	return w.applyLocked([]Mutation{{Kind: MutRemoveObject, ID: id}})
 }
 
 // AddFunction introduces a new preference function and runs the paper's
@@ -503,40 +451,7 @@ func (w *Workspace) RemoveObject(id uint64) error {
 func (w *Workspace) AddFunction(f Function) error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	if err := w.liveLocked(); err != nil {
-		return err
-	}
-	if len(f.Weights) != w.Dims() {
-		return fmt.Errorf("assign: function %d has %d weights, want %d", f.ID, len(f.Weights), w.Dims())
-	}
-	for _, v := range f.Weights {
-		if v < 0 {
-			return fmt.Errorf("assign: function %d has negative weight", f.ID)
-		}
-	}
-	if err := f.Fam.Validate(); err != nil {
-		return fmt.Errorf("assign: function %d: %w", f.ID, err)
-	}
-	if _, dup := w.funcs[f.ID]; dup {
-		return fmt.Errorf("%w: function %d", ErrDuplicateID, f.ID)
-	}
-	weights := make([]float64, len(f.Weights))
-	copy(weights, f.Weights)
-	f.Weights = weights
-	ew := f.Effective()
-	w.funcs[f.ID] = f
-	w.eff[f.ID] = ew
-	if f.Fam.IsLinear() {
-		if err := w.ftree.Insert(rtree.Item{ID: f.ID, Point: ew}); err != nil {
-			return err
-		}
-	} else {
-		w.nonlin[f.ID] = struct{}{}
-	}
-	w.st.funcCaps.add(f.ID, f.capacity())
-	w.pushFunc(f.ID)
-	w.mutations++
-	return w.repairAndCommit()
+	return w.applyLocked([]Mutation{{Kind: MutAddFunction, Function: f}})
 }
 
 // RemoveFunction withdraws a function; the object units it held become
@@ -544,28 +459,7 @@ func (w *Workspace) AddFunction(f Function) error {
 func (w *Workspace) RemoveFunction(id uint64) error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	if err := w.liveLocked(); err != nil {
-		return err
-	}
-	if _, ok := w.funcs[id]; !ok {
-		return fmt.Errorf("%w: function %d", ErrUnknownID, id)
-	}
-	for _, p := range append([]wsPair(nil), w.byFunc[id]...) {
-		w.unlink(p)
-		w.restoreObjectUnit(p.oid)
-		w.pushObj(p.oid)
-	}
-	delete(w.byFunc, id)
-	if _, nl := w.nonlin[id]; nl {
-		delete(w.nonlin, id)
-	} else if err := w.ftree.Delete(rtree.Item{ID: id, Point: w.eff[id]}); err != nil {
-		return err
-	}
-	w.st.funcCaps.drop(id)
-	delete(w.funcs, id)
-	delete(w.eff, id)
-	w.mutations++
-	return w.repairAndCommit()
+	return w.applyLocked([]Mutation{{Kind: MutRemoveFunction, ID: id}})
 }
 
 // restoreObjectUnit gives one unit of capacity back to an object; a
@@ -593,10 +487,14 @@ func (w *Workspace) consumeObjectUnit(oid uint64) error {
 func (w *Workspace) pushFunc(id uint64) { w.queue = append(w.queue, repairItem{isFunc: true, id: id}) }
 func (w *Workspace) pushObj(id uint64)  { w.queue = append(w.queue, repairItem{isFunc: false, id: id}) }
 
-// liveLocked guards against use after Close. Caller holds w.mu.
+// liveLocked guards against use after Close and after a corrupting
+// mid-mutation failure. Caller holds w.mu.
 func (w *Workspace) liveLocked() error {
 	if w.closed {
 		return ErrClosed
+	}
+	if w.corrupt != nil {
+		return fmt.Errorf("%w: %w", ErrCorrupt, w.corrupt)
 	}
 	return nil
 }
@@ -889,8 +787,15 @@ func (w *Workspace) problemLocked() *Problem {
 
 // VerifyStable checks that the current matching is stable for the
 // current population, atomically with respect to concurrent mutations.
+// On a corrupt workspace it fails fast with ErrCorrupt — the in-memory
+// matching is not trustworthy after a mid-mutation failure.
 func (w *Workspace) VerifyStable() error {
 	w.mu.Lock()
+	if w.corrupt != nil {
+		err := fmt.Errorf("%w: %w", ErrCorrupt, w.corrupt)
+		w.mu.Unlock()
+		return err
+	}
 	p := w.problemLocked()
 	pairs := w.pairsLocked()
 	w.mu.Unlock()
@@ -916,6 +821,7 @@ func (w *Workspace) statsLocked() WorkspaceStats {
 		AssignedUnits: units,
 		SkylineSize:   w.avail.Size(),
 		Mutations:     w.mutations,
+		Commits:       w.commits,
 		ChainSteps:    w.chainLen,
 		Searches:      w.searches,
 		Resolves:      w.resolves,

@@ -1,0 +1,193 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"time"
+
+	"fairassign/internal/assign"
+	"fairassign/internal/pagestore"
+)
+
+// BatchCommitCase measures what group commit buys under serving
+// traffic: the *identical* object-churn mutation stream is applied to
+// twin disk-backed workspaces in lockstep — one in batches through
+// Apply (one epoch per batch), one strictly one mutation per commit —
+// with every published epoch observed by one snapshot, and the summed
+// per-mutation cost is compared. Both sides do the same structural
+// work and the same chain repairs on the same data, so the difference
+// is exactly the per-epoch overhead being amortized: the snapshot
+// capture. (An unobserved commit is nearly free by design — capture
+// is lazy — which is why the scenario charges each epoch its first
+// observation: under production read traffic every epoch is observed,
+// and per-mutation commits make readers re-capture per mutation.)
+// Pairing the measurement keeps it deterministic instead of
+// budget-sensitive. Identical gates the speedup: the matchings are
+// compared after every measured batch, and the batched side must
+// additionally equal a from-scratch SB solve at the end.
+type BatchCommitCase struct {
+	Name      string `json:"name"`
+	N         int    `json:"n"`
+	Dims      int    `json:"dims"`
+	BatchSize int    `json:"batch_size"`
+	// Batched / Sequential are ns per mutation over the shared stream.
+	BatchedNsPerMut    int64   `json:"batched_ns_per_mut"`
+	SequentialNsPerMut int64   `json:"sequential_ns_per_mut"`
+	SpeedupX           float64 `json:"speedup_x"`
+	Identical          bool    `json:"identical"`
+	// Mutations/commit counts over the measured stream: the coalescing
+	// ratio in the data.
+	Mutations         int64 `json:"mutations"`
+	BatchedCommits    int64 `json:"batched_commits"`
+	SequentialCommits int64 `json:"sequential_commits"`
+}
+
+// churnScript is a deterministic, self-contained object-churn stream:
+// each batch removes batchSize/2 random live objects and adds the same
+// number of fresh ones, so the population stays at n. Two instances
+// with the same seed emit identical streams regardless of which
+// workspace consumes them.
+type churnScript struct {
+	rng    *rand.Rand
+	dims   int
+	liveO  []uint64
+	nextID uint64
+}
+
+func newChurnScript(p *assign.Problem, seed int64) *churnScript {
+	s := &churnScript{
+		rng:    rand.New(rand.NewSource(seed)),
+		dims:   p.Dims,
+		liveO:  make([]uint64, len(p.Objects)),
+		nextID: uint64(1 << 41),
+	}
+	for i, o := range p.Objects {
+		s.liveO[i] = o.ID
+	}
+	return s
+}
+
+func (s *churnScript) batch(size int) []assign.Mutation {
+	muts := make([]assign.Mutation, 0, size)
+	for len(muts) < size {
+		// Alternate departure/arrival to hold the population constant.
+		if len(muts)%2 == 0 && len(s.liveO) > 2 {
+			i := s.rng.Intn(len(s.liveO))
+			muts = append(muts, assign.Mutation{Kind: assign.MutRemoveObject, ID: s.liveO[i]})
+			s.liveO = append(s.liveO[:i], s.liveO[i+1:]...)
+		} else {
+			s.nextID++
+			pt := make([]float64, s.dims)
+			for d := range pt {
+				pt[d] = s.rng.Float64()
+			}
+			muts = append(muts, assign.Mutation{Kind: assign.MutAddObject, Object: assign.Object{ID: s.nextID, Point: pt}})
+			s.liveO = append(s.liveO, s.nextID)
+		}
+	}
+	return muts
+}
+
+// runBatchCommit measures group commit vs per-mutation commits for one
+// (n, dims) at the given batch size.
+func runBatchCommit(n, dims, batchSize int, opts Options) (BatchCommitCase, error) {
+	c := BatchCommitCase{Name: "batch_commit_churn", N: n, Dims: dims, BatchSize: batchSize}
+	dir, err := os.MkdirTemp("", "fairassign-bench-batch-*")
+	if err != nil {
+		return c, err
+	}
+	defer os.RemoveAll(dir)
+	var stores atomic.Int64
+	cfg := assign.Config{PageSize: 512, BufferFrac: 0.05, StoreFactory: func(pageSize int) (pagestore.Store, error) {
+		return pagestore.NewFileStore(filepath.Join(dir, fmt.Sprintf("store-%d.pag", stores.Add(1))), pageSize)
+	}}
+
+	batched, err := assign.NewWorkspace(incrementalProblem(n, dims, opts), cfg)
+	if err != nil {
+		return c, fmt.Errorf("%s: batched workspace: %w", c.Name, err)
+	}
+	defer batched.Close()
+	seq, err := assign.NewWorkspace(incrementalProblem(n, dims, opts), cfg)
+	if err != nil {
+		return c, fmt.Errorf("%s: sequential workspace: %w", c.Name, err)
+	}
+	defer seq.Close()
+
+	// One generator: both sides consume the very same batches, applied
+	// in lockstep (warm-up pair first, then alternating timed pairs), so
+	// the comparison is paired — same mutations, same repairs, only the
+	// commit/observe cadence differs.
+	gen := newChurnScript(incrementalProblem(n, dims, opts), opts.Seed+42)
+
+	const measuredBatches = 16
+	bBefore, sBefore := batched.Stats(), seq.Stats()
+	var tB, tS time.Duration
+	for bi := 0; bi < 1+measuredBatches; bi++ {
+		bb := gen.batch(batchSize)
+		warmup := bi == 0 // untimed: both sides start from a fresh build
+
+		start := time.Now()
+		if err := batched.Apply(bb); err != nil {
+			return c, fmt.Errorf("%s: batch %d: %w", c.Name, bi, err)
+		}
+		if err := observe(batched); err != nil {
+			return c, err
+		}
+		if !warmup {
+			tB += time.Since(start)
+		}
+
+		start = time.Now()
+		for j := range bb {
+			if err := seq.Apply(bb[j : j+1]); err != nil {
+				return c, fmt.Errorf("%s: batch %d mutation %d: %w", c.Name, bi, j, err)
+			}
+			if err := observe(seq); err != nil {
+				return c, err
+			}
+		}
+		if !warmup {
+			tS += time.Since(start)
+		}
+
+		if !matchingEqual(batched.Pairs(), seq.Pairs()) {
+			return c, fmt.Errorf("%s: batch %d: batched and sequential matchings diverged", c.Name, bi)
+		}
+	}
+	bAfter, sAfter := batched.Stats(), seq.Stats()
+	c.Mutations = bAfter.Mutations - bBefore.Mutations
+	c.BatchedCommits = bAfter.Commits - bBefore.Commits
+	c.SequentialCommits = sAfter.Commits - sBefore.Commits
+	if sAfter.Mutations-sBefore.Mutations != c.Mutations {
+		return c, fmt.Errorf("%s: mutation counts diverged", c.Name)
+	}
+	muts := int64(measuredBatches * batchSize)
+	c.BatchedNsPerMut = tB.Nanoseconds() / muts
+	c.SequentialNsPerMut = tS.Nanoseconds() / muts
+	if c.BatchedNsPerMut > 0 {
+		c.SpeedupX = float64(c.SequentialNsPerMut) / float64(c.BatchedNsPerMut)
+	}
+
+	// The batched matching must also equal a cold solve of the final
+	// population.
+	cold, err := assign.SB(batched.ProblemSnapshot(), cfg)
+	if err != nil {
+		return c, err
+	}
+	c.Identical = matchingEqual(batched.Pairs(), cold.Pairs)
+	return c, nil
+}
+
+// observe takes and releases one snapshot: the cost of making the
+// just-published epoch visible to readers.
+func observe(ws *assign.Workspace) error {
+	v, err := ws.Snapshot()
+	if err != nil {
+		return err
+	}
+	v.Close()
+	return nil
+}

@@ -109,6 +109,10 @@ type Report struct {
 	// the preference families (linear vs OWA/minimax vs Chebyshev vs Lp)
 	// on identical data.
 	ScorerFamilies []ScorerFamilyCase `json:"scorer_families,omitempty"`
+
+	// BatchCommit measures the group-commit mutation path: batched
+	// Apply vs one commit per mutation on an identical churn stream.
+	BatchCommit []BatchCommitCase `json:"batch_commit,omitempty"`
 }
 
 // Options tunes a pipeline run.
@@ -304,6 +308,15 @@ func Run(opts Options) (*Report, error) {
 		}
 		rep.ScorerFamilies = append(rep.ScorerFamilies, sf...)
 	}
+	// Group-commit churn: batched Apply vs per-mutation commits at the
+	// largest size on the first dimensionality (the commit overhead
+	// being amortized — buffer flush, snapshot capture, epoch publish —
+	// is dimension-insensitive).
+	bc, err := runBatchCommit(maxN, opts.Dims[0], 64, opts)
+	if err != nil {
+		return nil, err
+	}
+	rep.BatchCommit = append(rep.BatchCommit, bc)
 	return rep, nil
 }
 

@@ -1,0 +1,169 @@
+package conformance
+
+import (
+	"fmt"
+	"math/rand"
+
+	"fairassign/internal/assign"
+	"fairassign/internal/datagen"
+)
+
+// generateBatchScript materializes one mutation script as a concrete
+// []assign.Mutation, valid under sequential (FIFO) application: the
+// generator tracks its own population model so every removal targets an
+// ID that is live at that point of the sequence. The same spec always
+// yields the same base problem and mutation list, so a failing script
+// reproduces from its printed spec alone.
+func generateBatchScript(spec MutationSpec) (*assign.Problem, []assign.Mutation) {
+	rng := rand.New(rand.NewSource(spec.Seed))
+	p := generateMutationBase(spec, rng)
+	liveO := make([]uint64, len(p.Objects))
+	for i, o := range p.Objects {
+		liveO[i] = o.ID
+	}
+	liveF := make([]uint64, len(p.Functions))
+	for i, f := range p.Functions {
+		liveF[i] = f.ID
+	}
+	nextID := uint64(1_000_000)
+	muts := make([]assign.Mutation, 0, spec.Steps)
+	for step := 0; step < spec.Steps; step++ {
+		switch rng.Intn(4) {
+		case 0: // object arrival
+			nextID++
+			o := datagen.Objects(spec.Kind, 1, spec.Dims, spec.Seed+101*int64(step)+7)[0]
+			o.ID = nextID
+			if spec.Caps {
+				o.Capacity = 1 + rng.Intn(3)
+			}
+			muts = append(muts, assign.Mutation{Kind: assign.MutAddObject, Object: o})
+			liveO = append(liveO, o.ID)
+		case 1: // function arrival
+			nextID++
+			f := datagen.Functions(1, spec.Dims, spec.Seed+211*int64(step)+13)[0]
+			if spec.Scorers {
+				f = datagen.WithScorerFamilies([]assign.Function{f}, "mixed", spec.Seed+307*int64(step)+17)[0]
+			}
+			f.ID = nextID
+			if spec.Gammas {
+				f.Gamma = float64(1 + rng.Intn(4))
+			}
+			if spec.Caps {
+				f.Capacity = 1 + rng.Intn(3)
+			}
+			muts = append(muts, assign.Mutation{Kind: assign.MutAddFunction, Function: f})
+			liveF = append(liveF, f.ID)
+		case 2: // object departure
+			if len(liveO) <= 2 {
+				continue
+			}
+			i := rng.Intn(len(liveO))
+			muts = append(muts, assign.Mutation{Kind: assign.MutRemoveObject, ID: liveO[i]})
+			liveO = append(liveO[:i], liveO[i+1:]...)
+		default: // function departure
+			if len(liveF) <= 1 {
+				continue
+			}
+			i := rng.Intn(len(liveF))
+			muts = append(muts, assign.Mutation{Kind: assign.MutRemoveFunction, ID: liveF[i]})
+			liveF = append(liveF[:i], liveF[i+1:]...)
+		}
+	}
+	return p, muts
+}
+
+// VerifyBatch is the conformance gate for the group-commit path: the
+// same mutation script is applied to twin workspaces — one through
+// Apply in randomized batch sizes (1..6, so single-mutation batches and
+// real group commits interleave), one strictly one mutation at a time —
+// and after every batch the two matchings must be score-identical.
+// After the full script the batched workspace must additionally match a
+// from-scratch SB solve of its final population and pass the stability
+// audit, and it must have published fewer epochs than it applied
+// mutations whenever a multi-mutation batch occurred.
+func VerifyBatch(spec MutationSpec, cfg assign.Config) error {
+	p, muts := generateBatchScript(spec)
+	batched, err := assign.NewWorkspace(p, cfg)
+	if err != nil {
+		return fmt.Errorf("[%s] batched build: %w", spec, err)
+	}
+	defer batched.Close()
+	p2, _ := generateBatchScript(spec) // fresh problem value for the twin
+	seq, err := assign.NewWorkspace(p2, cfg)
+	if err != nil {
+		return fmt.Errorf("[%s] sequential build: %w", spec, err)
+	}
+	defer seq.Close()
+
+	brng := rand.New(rand.NewSource(spec.Seed + 777))
+	sawMulti := false
+	for start, bi := 0, 0; start < len(muts); bi++ {
+		n := 1 + brng.Intn(6)
+		if start+n > len(muts) {
+			n = len(muts) - start
+		}
+		batch := muts[start : start+n]
+		if n > 1 {
+			sawMulti = true
+		}
+		if err := batched.Apply(batch); err != nil {
+			return fmt.Errorf("[%s] batch %d Apply(%d muts): %w", spec, bi, n, err)
+		}
+		for j := range batch {
+			if err := seq.Apply(batch[j : j+1]); err != nil {
+				return fmt.Errorf("[%s] batch %d sequential mutation %d: %w", spec, bi, j, err)
+			}
+		}
+		if err := sameMatching(batched.Pairs(), seq.Pairs()); err != nil {
+			return fmt.Errorf("[%s] batch %d (%d muts): batched vs sequential: %w", spec, bi, n, err)
+		}
+		start += n
+	}
+	if err := checkMutated(batched, spec, "final batched"); err != nil {
+		return err
+	}
+	bs, ss := batched.Stats(), seq.Stats()
+	if bs.Mutations != ss.Mutations {
+		return fmt.Errorf("[%s] mutation counts diverge: batched %d, sequential %d", spec, bs.Mutations, ss.Mutations)
+	}
+	if sawMulti && bs.Commits >= ss.Commits {
+		return fmt.Errorf("[%s] group commit did not coalesce: batched %d commits, sequential %d", spec, bs.Commits, ss.Commits)
+	}
+	return nil
+}
+
+// VerifyBatchDefault runs VerifyBatch under the standard conformance
+// execution environment (small pages, real evictions, non-trivial Ω) —
+// the entry point for out-of-package pre-flight checks like loadgen's.
+func VerifyBatchDefault(spec MutationSpec) error {
+	return VerifyBatch(spec, config())
+}
+
+// BatchSweep enumerates the batch-conformance grid: 2 distributions ×
+// dims 2..4 × {plain, capacities+priorities} × {linear, mixed scorers},
+// scriptsPerCell scripts of 20 mutations each.
+func BatchSweep(scriptsPerCell int) []MutationSpec {
+	var specs []MutationSpec
+	seed := int64(240_000)
+	for _, kind := range []datagen.Kind{datagen.Independent, datagen.AntiCorrelated} {
+		for dims := 2; dims <= 4; dims++ {
+			for _, caps := range []bool{false, true} {
+				for _, scorers := range []bool{false, true} {
+					for s := 0; s < scriptsPerCell; s++ {
+						specs = append(specs, MutationSpec{
+							Seed:    seed,
+							Kind:    kind,
+							Dims:    dims,
+							Caps:    caps,
+							Gammas:  caps,
+							Scorers: scorers,
+							Steps:   20,
+						})
+						seed += 23
+					}
+				}
+			}
+		}
+	}
+	return specs
+}

@@ -1,0 +1,46 @@
+package conformance
+
+import (
+	"testing"
+)
+
+// TestBatchSweep is the acceptance gate for group-commit mutation
+// batches: across randomized scripts (2 distributions × dims 2–4 ×
+// capacities/priorities × linear and mixed scorer families, 20
+// interleaved arrivals/departures each, applied in random batch sizes),
+// Apply(batch) must be result-identical to applying the same mutations
+// one at a time, match a cold SB solve of the final population, and
+// publish fewer epochs than sequential application.
+func TestBatchSweep(t *testing.T) {
+	specs := BatchSweep(2)
+	if len(specs) < 40 {
+		t.Fatalf("sweep has %d scripts, want >= 40", len(specs))
+	}
+	for _, spec := range specs {
+		spec := spec
+		t.Run(spec.String(), func(t *testing.T) {
+			t.Parallel()
+			if err := VerifyBatch(spec, config()); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestBatchSweepFileStore re-runs one script per cell with every
+// workspace store on a real temp-file FileStore: batched structural
+// application and single-epoch publish must survive the on-disk
+// format too.
+func TestBatchSweepFileStore(t *testing.T) {
+	for _, spec := range BatchSweep(1) {
+		spec := spec
+		t.Run(spec.String(), func(t *testing.T) {
+			t.Parallel()
+			cfg := config()
+			cfg.StoreFactory = fileStoreFactory(t.TempDir())
+			if err := VerifyBatch(spec, cfg); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}

@@ -309,10 +309,11 @@ func (dl *DiskLists) BatchSearch(objs []BatchObject) (map[uint64]BatchResult, er
 	// ceiling).
 	boundFor := func(st *state, lastSeen []float64, b float64, excl int) float64 {
 		if !dl.linear {
-			// famBoundSlack (see search.go) keeps the bound a true upper
-			// bound under float rounding, for the skip check and the
-			// retirement check alike.
-			return score.MaxBound(dl.famSet, lastSeen, st.obj.Point, st.order, st.objSorted, dl.maxB) + famBoundSlack
+			// famBoundPad (see search.go) keeps the bound a true upper
+			// bound under float rounding at any score magnitude, for the
+			// skip check and the retirement check alike.
+			fb := score.MaxBound(dl.famSet, lastSeen, st.obj.Point, st.order, st.objSorted, dl.maxB)
+			return fb + famBoundPad(fb)
 		}
 		t := 0.0
 		for _, d := range st.order {

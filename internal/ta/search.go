@@ -288,6 +288,24 @@ func (s *Search) Best() (id uint64, score float64, ok bool) {
 // preserving byte-identical behavior on linear workloads.
 const famBoundSlack = 1e-12
 
+// famBoundPad turns the slack into an absolute pad for a concrete bound
+// value. Rounding error scales with the magnitude of the quantities
+// summed, so a fixed 1e-12 is only safe while scores stay O(1): at
+// |bound| ≈ 1e4 one ULP is already ~2e-12 and a constant pad can leave
+// the threshold below the exact score of a ceiling-tight function —
+// a missed top-1. Above magnitude 1, the pad therefore grows
+// proportionally (1e-12 · |bound|, ≈ 4500 ULPs at any scale); below it,
+// the absolute floor keeps bounds near zero safe too.
+func famBoundPad(bound float64) float64 {
+	if bound < 0 {
+		bound = -bound
+	}
+	if bound > 1 {
+		return famBoundSlack * bound
+	}
+	return famBoundSlack
+}
+
 // threshold returns the upper bound on any not-yet-seen function's
 // score for the current cursor positions. In the all-linear case this
 // is T_tight, walking the precomputed greedy dimension order
@@ -298,7 +316,8 @@ const famBoundSlack = 1e-12
 // aggregate.
 func (s *Search) threshold() float64 {
 	if !s.linear {
-		return score.MaxBound(s.fams, s.lastSeen, s.obj, s.dimOrder, s.objSorted, s.l.maxBudget()) + famBoundSlack
+		b := score.MaxBound(s.fams, s.lastSeen, s.obj, s.dimOrder, s.objSorted, s.l.maxBudget())
+		return b + famBoundPad(b)
 	}
 	b := s.l.maxBudget()
 	t := 0.0

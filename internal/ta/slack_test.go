@@ -1,0 +1,107 @@
+package ta
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"fairassign/internal/geom"
+	"fairassign/internal/score"
+)
+
+// TestFamBoundPadExceedsULP asserts the pad stays a true float-rounding
+// guard at every score magnitude: it must exceed a generous multiple of
+// one ULP of the bound, or accumulated rounding in MaxBound could push
+// the computed threshold below the exact score of a ceiling-tight
+// function. The old absolute 1e-12 pad fails this above |b| ≈ 1e4.
+func TestFamBoundPadExceedsULP(t *testing.T) {
+	for _, b := range []float64{0, 1e-9, 0.5, 1, 3, 1e3, 1e4, 1e6, 1e9, 1e12} {
+		pad := famBoundPad(b)
+		ulp := math.Nextafter(b, math.Inf(1)) - b
+		// Allow for a few hundred accumulated rounding steps.
+		if pad < 256*ulp {
+			t.Errorf("famBoundPad(%g) = %g, below 256 ULP = %g", b, pad, 256*ulp)
+		}
+		if neg := famBoundPad(-b); neg != pad {
+			t.Errorf("famBoundPad(%g) = %g, want symmetric %g", -b, neg, pad)
+		}
+	}
+	// The absolute floor must survive for small bounds.
+	if famBoundPad(0.25) != famBoundSlack {
+		t.Errorf("famBoundPad(0.25) = %g, want floor %g", famBoundPad(0.25), famBoundSlack)
+	}
+}
+
+// randNonLinearFuncs draws functions from the non-linear families only,
+// forcing the search down the generalized MaxBound path that the pad
+// protects.
+func randNonLinearFuncs(rng *rand.Rand, n, dims int) []Func {
+	out := make([]Func, n)
+	for i := range out {
+		w := make([]float64, dims)
+		sum := 0.0
+		for d := range w {
+			w[d] = rng.Float64()
+			sum += w[d]
+		}
+		for d := range w {
+			w[d] /= sum
+		}
+		var fam score.Family
+		switch rng.Intn(3) {
+		case 0:
+			fam = score.Family{Kind: score.OWA}
+		case 1:
+			fam = score.Family{Kind: score.Chebyshev}
+		default:
+			fam = score.Family{Kind: score.Lp, P: float64(2 + rng.Intn(2))}
+		}
+		out[i] = Func{ID: uint64(i + 1), Weights: w, Fam: fam}
+	}
+	return out
+}
+
+// TestSearchLargeMagnitude differential-tests the resumable TA search
+// against exhaustive scan with coordinates around 1e6, where scores sit
+// near 1e6 and one ULP (~1.2e-10) dwarfs the old absolute 1e-12 slack.
+// A scale-blind pad can stop the descent one position early and return
+// a second-best function; the scale-relative pad must not.
+func TestSearchLargeMagnitude(t *testing.T) {
+	rng := rand.New(rand.NewSource(777))
+	const scale = 1e6
+	for trial := 0; trial < 40; trial++ {
+		dims := 2 + rng.Intn(3)
+		nf := 5 + rng.Intn(30)
+		funcs := randNonLinearFuncs(rng, nf, dims)
+		lists, err := NewLists(funcs, dims)
+		if err != nil {
+			t.Fatal(err)
+		}
+		removed := make(map[uint64]bool)
+		o := make(geom.Point, dims)
+		for d := range o {
+			o[d] = scale * (0.5 + rng.Float64())
+		}
+		omega := 1 + rng.Intn(nf)
+		s := NewSearch(lists, o, omega)
+		for lists.Live() > 0 {
+			id, got, ok := s.Best()
+			wantID, want, wantOK := mixedBruteBest(funcs, removed, o)
+			if ok != wantOK {
+				t.Fatalf("trial %d: ok = %v, want %v", trial, ok, wantOK)
+			}
+			if !ok {
+				break
+			}
+			if id != wantID || got != want {
+				t.Fatalf("trial %d (dims=%d nf=%d omega=%d): Best = (%d, %v), want (%d, %v)",
+					trial, dims, nf, omega, id, got, wantID, want)
+			}
+			if err := lists.Remove(id); err != nil {
+				t.Fatal(err)
+			}
+			removed[id] = true
+		}
+		s.Release()
+	}
+}

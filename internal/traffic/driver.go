@@ -1,0 +1,229 @@
+package traffic
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"fairassign"
+)
+
+// Mode selects how the driver lands the trace's mutations.
+type Mode string
+
+const (
+	// ModeSequential applies each mutation as its own commit through
+	// the single-mutation path — the baseline.
+	ModeSequential Mode = "sequential"
+	// ModeBatch routes mutations through the group-commit
+	// MutationQueue, coalescing concurrent arrivals into shared epochs.
+	ModeBatch Mode = "batch"
+)
+
+// ClassStats summarizes the latency distribution of one operation
+// class. Latency is completion time minus *scheduled* arrival time, so
+// when the system falls behind the open-loop schedule the queueing
+// delay is charged to the operation — the honest production metric.
+type ClassStats struct {
+	Count  int   `json:"count"`
+	MeanNS int64 `json:"mean_ns"`
+	P50NS  int64 `json:"p50_ns"`
+	P95NS  int64 `json:"p95_ns"`
+	P99NS  int64 `json:"p99_ns"`
+	MaxNS  int64 `json:"max_ns"`
+}
+
+// Result is one driver run over a trace.
+type Result struct {
+	Mode   Mode  `json:"mode"`
+	WallNS int64 `json:"wall_ns"`
+	Ops    int   `json:"ops"`
+	// AchievedRate is ops per second of wall time.
+	AchievedRate float64 `json:"achieved_rate"`
+	// Mutations/Commits come from the workspace: in batch mode Commits
+	// < Mutations measures the group-commit coalescing.
+	Mutations int64 `json:"mutations"`
+	Commits   int64 `json:"commits"`
+	// MutationErrors counts rejected mutations — zero for a well-formed
+	// trace, so any non-zero value flags a harness or engine bug.
+	MutationErrors int                   `json:"mutation_errors"`
+	Classes        map[string]ClassStats `json:"classes"`
+	// FinalPairs is the matching hash input: the assignment after the
+	// full trace, used to assert mode-independence.
+	FinalPairs int `json:"final_pairs"`
+}
+
+// recorder accumulates per-class latencies thread-safely.
+type recorder struct {
+	mu   sync.Mutex
+	lat  [3][]time.Duration
+	errs int
+}
+
+func (r *recorder) record(c OpClass, d time.Duration) {
+	r.mu.Lock()
+	r.lat[c] = append(r.lat[c], d)
+	r.mu.Unlock()
+}
+
+func (r *recorder) fail() {
+	r.mu.Lock()
+	r.errs++
+	r.mu.Unlock()
+}
+
+// summarize computes nearest-rank percentiles.
+func summarize(lat []time.Duration) ClassStats {
+	if len(lat) == 0 {
+		return ClassStats{}
+	}
+	sorted := append([]time.Duration(nil), lat...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var sum time.Duration
+	for _, d := range sorted {
+		sum += d
+	}
+	rank := func(p float64) int64 {
+		i := int(p*float64(len(sorted))+0.9999999) - 1
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(sorted) {
+			i = len(sorted) - 1
+		}
+		return int64(sorted[i])
+	}
+	return ClassStats{
+		Count:  len(sorted),
+		MeanNS: int64(sum) / int64(len(sorted)),
+		P50NS:  rank(0.50),
+		P95NS:  rank(0.95),
+		P99NS:  rank(0.99),
+		MaxNS:  int64(sorted[len(sorted)-1]),
+	}
+}
+
+// Run drives one trace against a fresh Workspace in the given mode and
+// returns the latency report plus the final assignment (for cross-mode
+// identity checks). maxBatch caps the group-commit batch in ModeBatch
+// (<= 0 uses the queue default); it is ignored in ModeSequential.
+func Run(tr *Trace, mode Mode, maxBatch int) (*Result, []fairassign.Pair, error) {
+	ws, err := fairassign.NewWorkspace(tr.Objects, tr.Functions, fairassign.Options{})
+	if err != nil {
+		return nil, nil, fmt.Errorf("traffic: build workspace: %w", err)
+	}
+	defer ws.Close()
+
+	rec := &recorder{}
+	var readers sync.WaitGroup
+
+	// The mutation lane: a sequential writer goroutine, or the
+	// group-commit queue. Both preserve the trace's FIFO mutation
+	// order, so the final matching is identical across modes.
+	type timedMut struct {
+		m     fairassign.Mutation
+		sched time.Time
+	}
+	var (
+		seqCh   chan timedMut
+		writerD chan struct{}
+		queue   *fairassign.MutationQueue
+	)
+	if mode == ModeBatch {
+		queue = fairassign.NewMutationQueue(ws, maxBatch)
+	} else {
+		seqCh = make(chan timedMut, len(tr.Ops))
+		writerD = make(chan struct{})
+		go func() {
+			defer close(writerD)
+			for tm := range seqCh {
+				if err := ws.Apply([]fairassign.Mutation{tm.m}); err != nil {
+					rec.fail()
+				}
+				rec.record(ClassMutation, time.Since(tm.sched))
+			}
+		}()
+	}
+
+	start := time.Now()
+	for i := range tr.Ops {
+		op := &tr.Ops[i]
+		sched := start.Add(op.At)
+		if d := time.Until(sched); d > 0 {
+			time.Sleep(d)
+		}
+		switch op.Class {
+		case ClassMutation:
+			if mode == ModeBatch {
+				ch := queue.Enqueue(op.Mut)
+				readers.Add(1)
+				go func() {
+					defer readers.Done()
+					if err := <-ch; err != nil {
+						rec.fail()
+					}
+					rec.record(ClassMutation, time.Since(sched))
+				}()
+			} else {
+				seqCh <- timedMut{m: op.Mut, sched: sched}
+			}
+		case ClassSnapshot:
+			readers.Add(1)
+			go func() {
+				defer readers.Done()
+				v, err := ws.Snapshot()
+				rec.record(ClassSnapshot, time.Since(sched))
+				if err != nil {
+					rec.fail()
+					return
+				}
+				v.Close()
+			}()
+		default: // ClassQuery
+			readers.Add(1)
+			go func() {
+				defer readers.Done()
+				v, err := ws.Snapshot()
+				if err != nil {
+					rec.fail()
+					return
+				}
+				defer v.Close()
+				if _, err := v.TopK(op.Query, op.K); err != nil {
+					rec.fail()
+					return
+				}
+				rec.record(ClassQuery, time.Since(sched))
+			}()
+		}
+	}
+	if mode == ModeBatch {
+		readers.Wait() // all enqueue completions observed
+		queue.Close()
+	} else {
+		close(seqCh)
+		<-writerD
+		readers.Wait()
+	}
+	wall := time.Since(start)
+
+	st := ws.Stats()
+	pairs := ws.Assignment()
+	res := &Result{
+		Mode:           mode,
+		WallNS:         int64(wall),
+		Ops:            len(tr.Ops),
+		AchievedRate:   float64(len(tr.Ops)) / wall.Seconds(),
+		Mutations:      st.Mutations,
+		Commits:        st.Commits,
+		MutationErrors: rec.errs,
+		Classes: map[string]ClassStats{
+			ClassMutation.String(): summarize(rec.lat[ClassMutation]),
+			ClassSnapshot.String(): summarize(rec.lat[ClassSnapshot]),
+			ClassQuery.String():    summarize(rec.lat[ClassQuery]),
+		},
+		FinalPairs: len(pairs),
+	}
+	return res, pairs, nil
+}

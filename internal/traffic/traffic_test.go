@@ -1,0 +1,169 @@
+package traffic
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"fairassign"
+)
+
+func testSpec() Spec {
+	return Spec{
+		Seed:      42,
+		Dims:      2,
+		Objects:   50,
+		Functions: 8,
+		Ops:       300,
+		Rate:      50_000, // compressed time: ~6ms of schedule
+		Burst:     4,
+		Zipf:      1.3,
+		WriteFrac: 0.3,
+	}
+}
+
+// TestTraceDeterminism asserts the same spec materializes byte-identical
+// traces — the replayability contract.
+func TestTraceDeterminism(t *testing.T) {
+	a, err := NewTrace(testSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewTrace(testSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("two materializations of the same spec differ")
+	}
+	c, err := NewTrace(Spec{Seed: 43, Dims: 2, Objects: 50, Functions: 8, Ops: 300, Rate: 50_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a.Ops, c.Ops) {
+		t.Fatal("different seeds produced identical op sequences")
+	}
+}
+
+// TestTraceShape sanity-checks the generated mix: monotone schedule,
+// all three classes present, and only valid mutation targets (asserted
+// by replaying the mutations against a real workspace).
+func TestTraceShape(t *testing.T) {
+	tr, err := NewTrace(testSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var last time.Duration
+	counts := map[OpClass]int{}
+	for i, op := range tr.Ops {
+		if op.At < last {
+			t.Fatalf("op %d scheduled at %v before predecessor %v", i, op.At, last)
+		}
+		last = op.At
+		counts[op.Class]++
+	}
+	for _, c := range []OpClass{ClassMutation, ClassSnapshot, ClassQuery} {
+		if counts[c] == 0 {
+			t.Fatalf("trace has no %s operations", c)
+		}
+	}
+
+	ws, err := fairassign.NewWorkspace(tr.Objects, tr.Functions, fairassign.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ws.Close()
+	for i, op := range tr.Ops {
+		if op.Class != ClassMutation {
+			continue
+		}
+		if err := ws.Apply([]fairassign.Mutation{op.Mut}); err != nil {
+			t.Fatalf("trace mutation %d invalid under in-order replay: %v", i, err)
+		}
+	}
+	if err := ws.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSummarizePercentiles pins the nearest-rank percentile math.
+func TestSummarizePercentiles(t *testing.T) {
+	lat := make([]time.Duration, 100)
+	for i := range lat {
+		lat[i] = time.Duration(100-i) * time.Microsecond // 1..100µs, shuffled order
+	}
+	s := summarize(lat)
+	if s.Count != 100 {
+		t.Fatalf("Count = %d", s.Count)
+	}
+	if s.P50NS != int64(50*time.Microsecond) {
+		t.Fatalf("P50 = %d, want 50µs", s.P50NS)
+	}
+	if s.P95NS != int64(95*time.Microsecond) {
+		t.Fatalf("P95 = %d, want 95µs", s.P95NS)
+	}
+	if s.P99NS != int64(99*time.Microsecond) {
+		t.Fatalf("P99 = %d, want 99µs", s.P99NS)
+	}
+	if s.MaxNS != int64(100*time.Microsecond) {
+		t.Fatalf("Max = %d, want 100µs", s.MaxNS)
+	}
+	if s.MeanNS != int64(50500*time.Nanosecond) {
+		t.Fatalf("Mean = %d, want 50.5µs", s.MeanNS)
+	}
+	if z := summarize(nil); z.Count != 0 || z.MaxNS != 0 {
+		t.Fatalf("empty summary = %+v", z)
+	}
+}
+
+// TestRunModesAgree drives the same trace in sequential and batch mode
+// and asserts: no mutation errors, every class reports percentile
+// fields, the final matchings are identical across modes, and batch
+// mode publishes fewer commits than it applies mutations.
+func TestRunModesAgree(t *testing.T) {
+	tr, err := NewTrace(testSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqRes, seqPairs, err := Run(tr, ModeSequential, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batchRes, batchPairs, err := Run(tr, ModeBatch, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range []*Result{seqRes, batchRes} {
+		if r.MutationErrors != 0 {
+			t.Fatalf("%s: %d mutation errors", r.Mode, r.MutationErrors)
+		}
+		for class, cs := range r.Classes {
+			if cs.Count == 0 {
+				t.Fatalf("%s: class %s recorded no operations", r.Mode, class)
+			}
+			if cs.P50NS <= 0 || cs.P95NS < cs.P50NS || cs.P99NS < cs.P95NS || cs.MaxNS < cs.P99NS {
+				t.Fatalf("%s: class %s percentiles inconsistent: %+v", r.Mode, class, cs)
+			}
+		}
+	}
+	if seqRes.Mutations != batchRes.Mutations {
+		t.Fatalf("mutation counts differ: sequential %d, batch %d", seqRes.Mutations, batchRes.Mutations)
+	}
+	if batchRes.Commits > seqRes.Commits {
+		t.Fatalf("batch mode published more commits (%d) than sequential (%d)", batchRes.Commits, seqRes.Commits)
+	}
+	if len(seqPairs) != len(batchPairs) {
+		t.Fatalf("final matchings differ in size: %d vs %d", len(seqPairs), len(batchPairs))
+	}
+	key := func(p fairassign.Pair) [2]uint64 { return [2]uint64{p.FunctionID, p.ObjectID} }
+	seen := make(map[[2]uint64]int, len(seqPairs))
+	for _, p := range seqPairs {
+		seen[key(p)]++
+	}
+	for _, p := range batchPairs {
+		if seen[key(p)] == 0 {
+			t.Fatalf("batch matching has pair f%d-o%d absent from sequential result", p.FunctionID, p.ObjectID)
+		}
+		seen[key(p)]--
+	}
+}

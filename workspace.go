@@ -71,11 +71,14 @@ type WorkspaceStats struct {
 	// AvailableFrontier is the current size of the maintained skyline
 	// over objects with spare capacity.
 	AvailableFrontier int
-	// Mutations counts Add/Remove calls; ChainSteps counts the
-	// reassignments repair performed for them; Searches counts the
-	// bounded top-1 probes those chains issued. Resolves counts
-	// from-scratch solves (always 1: the initial build).
+	// Mutations counts applied mutations; Commits counts the epoch
+	// publishes that carried them (group commits via Apply batch
+	// mutations, so Commits <= Mutations+1); ChainSteps counts the
+	// reassignments repair performed; Searches counts the bounded top-1
+	// probes those chains issued. Resolves counts from-scratch solves
+	// (always 1: the initial build).
 	Mutations  int64
+	Commits    int64
 	ChainSteps int64
 	Searches   int64
 	Resolves   int64
@@ -223,6 +226,7 @@ func statsFromInternal(s assign.WorkspaceStats) WorkspaceStats {
 		AssignedUnits:     s.AssignedUnits,
 		AvailableFrontier: s.SkylineSize,
 		Mutations:         s.Mutations,
+		Commits:           s.Commits,
 		ChainSteps:        s.ChainSteps,
 		Searches:          s.Searches,
 		Resolves:          s.Resolves,
