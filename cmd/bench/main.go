@@ -180,6 +180,22 @@ func main() {
 		}
 	}
 
+	for _, c := range rep.Durability {
+		match := "matching=identical"
+		if !c.Identical {
+			match = "MATCHING DIVERGED"
+		}
+		fmt.Printf("%-22s n=%-6d d=%d  batch=%d  apply off %8d | nosync %8d | fsync %8d ns/mut | save %8.2fms (%d B) | recover %d batches %8.2fms | warm start %8.2fms %s\n",
+			c.Name, c.N, c.Dims, c.BatchSize,
+			c.ApplyNsPerMutOff, c.ApplyNsPerMutNoSync, c.ApplyNsPerMutFsync,
+			float64(c.SnapshotSaveNs)/1e6, c.SnapshotBytes,
+			c.RecoveryBatches, float64(c.RecoveryNs)/1e6, float64(c.WarmStartNs)/1e6, match)
+		if !c.Identical {
+			diverged = true
+			fmt.Fprintf(os.Stderr, "bench: %s(n=%d,dims=%d): recovered matching differs from the in-memory twin\n", c.Name, c.N, c.Dims)
+		}
+	}
+
 	// Write the report even on divergence — the JSON is the evidence
 	// needed to debug it.
 	data, err := json.MarshalIndent(rep, "", "  ")

@@ -19,12 +19,16 @@
 //	loadgen [-out traffic.json] [-seed 20090824] [-n 2000] [-funcs 64]
 //	        [-dims 3] [-ops 20000] [-rate 5000] [-burst 4] [-zipf 1.2]
 //	        [-write 0.2] [-batch 128] [-mode both|seq|batch]
-//	        [-preflight 0] [-quick]
+//	        [-crash] [-preflight 0] [-quick]
 //
-// -preflight runs N batch-conformance scripts per grid cell before
-// generating traffic (0 skips); -quick is a CI smoke preset (small
-// population, few thousand ops at high rate, so the run finishes in
-// seconds).
+// -crash additionally runs the crash-replay conformance mode: the same
+// trace's mutation stream is applied to a durable workspace that is
+// killed mid-trace (no Close — only the fsynced WAL and the last
+// snapshot survive), recovered with OpenWorkspace, and finished; the
+// final matching must equal the uninterrupted run's. -preflight runs N
+// batch-conformance scripts per grid cell before generating traffic (0
+// skips); -quick is a CI smoke preset (small population, few thousand
+// ops at high rate, so the run finishes in seconds).
 package main
 
 import (
@@ -43,6 +47,11 @@ import (
 type report struct {
 	Spec traffic.Spec      `json:"spec"`
 	Runs []*traffic.Result `json:"runs"`
+	// Crash is the crash-replay conformance run (-crash): the trace's
+	// mutation stream interrupted mid-way on a durable workspace,
+	// recovered from snapshot + WAL, finished, and checked against an
+	// uninterrupted twin.
+	Crash *traffic.CrashResult `json:"crash,omitempty"`
 }
 
 func main() {
@@ -59,6 +68,7 @@ func main() {
 	maxCap := flag.Int("maxcap", 3, "max random capacity for arriving entities (<=1 unit caps)")
 	batch := flag.Int("batch", 128, "group-commit max batch size")
 	mode := flag.String("mode", "both", "driver mode: both, seq, or batch")
+	crash := flag.Bool("crash", false, "also run the crash-replay conformance mode: crash a durable workspace mid-trace, recover from snapshot+WAL, finish, and require the final matching to equal an uninterrupted run")
 	preflight := flag.Int("preflight", 0, "batch-conformance scripts per grid cell before the run (0 skips)")
 	quick := flag.Bool("quick", false, "CI smoke preset: small trace at high rate")
 	flag.Parse()
@@ -141,6 +151,27 @@ func main() {
 	}
 	if len(pairSets) == 2 {
 		fmt.Printf("conformance: final matchings identical across modes (%d pairs)\n", rep.Runs[0].FinalPairs)
+	}
+
+	if *crash {
+		cr, err := traffic.RunCrashReplayTemp(tr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: crash replay: %v\n", err)
+			os.Exit(1)
+		}
+		rep.Crash = cr
+		torn := ""
+		if cr.TornTail {
+			torn = ", torn tail truncated"
+		}
+		fmt.Printf("crash replay: crashed at mutation %d/%d, recovered from snapshot epoch %d + %d WAL batches (%d mutations%s) in %v, finished trace\n",
+			cr.CrashAtMutation, cr.TotalMutations, cr.SnapshotEpoch, cr.BatchesReplayed, cr.MutationsReplayed, torn,
+			time.Duration(cr.RecoveryNS).Round(time.Microsecond))
+		if !cr.Identical {
+			fmt.Fprintln(os.Stderr, "loadgen: CONFORMANCE FAILURE: crash-recovered matching differs from the uninterrupted run")
+			os.Exit(1)
+		}
+		fmt.Println("conformance: crash-recovered matching identical to the uninterrupted run")
 	}
 
 	data, err := json.MarshalIndent(rep, "", "  ")

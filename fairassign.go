@@ -162,6 +162,42 @@ type Options struct {
 	// access. Results and I/O counts are identical either way; the knob
 	// exists so the benchmark pipeline can measure the cache's effect.
 	DisableNodeCache bool
+	// Durable enables write-ahead logging on a Workspace: every Apply
+	// batch (and every single mutation) is encoded, checksummed, and
+	// fsynced into WALDir before it is acknowledged, and an initial
+	// snapshot is written at construction, so a crash at any moment
+	// recovers the exact acknowledged state through OpenWorkspace.
+	// Requires WALDir; ignored by Solver. See the package's durability
+	// section in the README for file formats and recovery semantics.
+	Durable bool
+	// WALDir is the durability directory holding snapshot files and WAL
+	// segments. Setting it without Durable enables snapshot-only
+	// warm-start mode: SaveSnapshot persists restore points, but
+	// mutations between snapshots are not logged and a crash rewinds to
+	// the last snapshot.
+	WALDir string
+	// WALNoSync skips the per-commit fsync: records are still written
+	// and checksummed, but a crash may lose acknowledged batches
+	// (recovery still lands on a consistent earlier state). A
+	// benchmarking knob for isolating the fsync cost; leave false in
+	// production.
+	WALNoSync bool
+}
+
+// assignConfig maps public options to the internal engine configuration
+// — the single site, so Solver, NewWorkspace, and OpenWorkspace cannot
+// drift.
+func (o Options) assignConfig() assign.Config {
+	return assign.Config{
+		PageSize:         o.PageSize,
+		BufferFrac:       o.BufferFraction,
+		OmegaFrac:        o.OmegaFraction,
+		Workers:          o.Workers,
+		DisableNodeCache: o.DisableNodeCache,
+		Durable:          o.Durable,
+		WALDir:           o.WALDir,
+		WALNoSync:        o.WALNoSync,
+	}
 }
 
 // Solver holds a validated problem instance.
@@ -228,13 +264,9 @@ func (s *Solver) Dims() int { return s.problem.Dims }
 
 // Solve computes the stable assignment.
 func (s *Solver) Solve() (*Result, error) {
-	cfg := assign.Config{
-		PageSize:         s.opts.PageSize,
-		BufferFrac:       s.opts.BufferFraction,
-		OmegaFrac:        s.opts.OmegaFraction,
-		Workers:          s.opts.Workers,
-		DisableNodeCache: s.opts.DisableNodeCache,
-	}
+	cfg := s.opts.assignConfig()
+	// Solvers are one-shot: durability is a Workspace concern.
+	cfg.Durable, cfg.WALDir, cfg.WALNoSync = false, "", false
 	r, err := s.run(s.problem, cfg)
 	if err != nil {
 		return nil, err

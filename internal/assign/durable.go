@@ -1,0 +1,752 @@
+package assign
+
+import (
+	"errors"
+	"fmt"
+	iofs "io/fs"
+	"path"
+	"sort"
+
+	"fairassign/internal/geom"
+	"fairassign/internal/pagestore"
+	"fairassign/internal/rtree"
+	"fairassign/internal/score"
+	"fairassign/internal/skyline"
+	"fairassign/internal/snapshot"
+	"fairassign/internal/vfs"
+	"fairassign/internal/wal"
+)
+
+// Typed durability errors (match with errors.Is). ErrBadSnapshot and
+// ErrTornWrite re-export the codec sentinels so callers need only this
+// package.
+var (
+	// ErrBadSnapshot marks an unreadable snapshot file; OpenWorkspace
+	// falls back to the previous good snapshot when one exists and
+	// returns this only when none does.
+	ErrBadSnapshot = snapshot.ErrBadSnapshot
+	// ErrTornWrite marks a torn or corrupt WAL tail record, truncated
+	// during recovery (reported in RecoveryInfo, not returned: the torn
+	// batch was never acknowledged).
+	ErrTornWrite = wal.ErrTornWrite
+	// ErrNoSnapshot is returned by OpenWorkspace when the durability
+	// directory holds no snapshot file at all — there is nothing to
+	// recover from (e.g. the workspace creation itself crashed before
+	// its initial snapshot committed).
+	ErrNoSnapshot = errors.New("assign: no snapshot in durability directory")
+	// ErrNotDurable is returned by SaveSnapshot on a workspace built
+	// without a WALDir.
+	ErrNotDurable = errors.New("assign: workspace has no durability directory")
+	// ErrDurableDirInUse is returned by NewWorkspace when the durability
+	// directory already holds a workspace — recover it with
+	// OpenWorkspace instead of clobbering it.
+	ErrDurableDirInUse = errors.New("assign: durability directory already holds a workspace")
+	// ErrWALDiverged is returned by OpenWorkspace when the log cannot be
+	// reconciled with the snapshot lineage: an epoch gap after a
+	// mid-log corruption, a record batch that fails validation against
+	// the state it claims to extend, or a bad segment header followed by
+	// records recovery still needs. The unrecoverable-divergence error —
+	// never a panic.
+	ErrWALDiverged = errors.New("assign: wal diverged from snapshot lineage")
+)
+
+// retainSnapshots is how many snapshot generations rotation keeps: the
+// newest plus one fallback (a corrupt newest snapshot degrades to the
+// previous good one + longer replay).
+const retainSnapshots = 2
+
+// durableState carries a workspace's durability plumbing.
+type durableState struct {
+	fs     vfs.FS
+	dir    string
+	log    *wal.Writer // nil in snapshot-only mode (WALDir without Durable)
+	noSync bool
+}
+
+// RecoveryInfo describes how OpenWorkspace reconstructed a workspace.
+type RecoveryInfo struct {
+	// SnapshotEpoch is the epoch of the snapshot the restore used.
+	SnapshotEpoch uint64
+	// SnapshotsSkipped counts newer snapshot files that failed their
+	// checksums or validation and were passed over (fallback).
+	SnapshotsSkipped int
+	// BatchesReplayed and MutationsReplayed count the WAL records
+	// reapplied past the snapshot.
+	BatchesReplayed   int
+	MutationsReplayed int
+	// TornTail is set when a segment ended in a torn or corrupt record;
+	// the tail was truncated (it was never acknowledged) and TornDetail
+	// describes it (the ErrTornWrite text).
+	TornTail   bool
+	TornDetail string
+	// FinalEpoch is the workspace epoch after replay.
+	FinalEpoch uint64
+}
+
+// Recovery returns how this workspace was recovered, or nil if it was
+// built fresh by NewWorkspace.
+func (w *Workspace) Recovery() *RecoveryInfo { return w.recovery }
+
+func (c Config) fsOrOS() vfs.FS {
+	if c.FS != nil {
+		return c.FS
+	}
+	return vfs.OS()
+}
+
+// initDurable sets up the durability directory of a freshly built
+// workspace: an initial snapshot at the first published epoch (the WAL
+// cannot bootstrap an empty directory — the initial population is not
+// logged) and, when Durable, the first WAL segment. Runs at the tail of
+// NewWorkspace, before the workspace is handed out.
+func (w *Workspace) initDurable() error {
+	cfg := w.cfg
+	if cfg.WALDir == "" {
+		return fmt.Errorf("assign: Durable requires WALDir")
+	}
+	fs := cfg.fsOrOS()
+	if err := fs.MkdirAll(cfg.WALDir); err != nil {
+		return fmt.Errorf("assign: create durability dir: %w", err)
+	}
+	if epochs, err := snapshot.List(fs, cfg.WALDir); err != nil {
+		return fmt.Errorf("assign: scan durability dir: %w", err)
+	} else if len(epochs) > 0 {
+		return fmt.Errorf("%w: %s (use OpenWorkspace)", ErrDurableDirInUse, cfg.WALDir)
+	}
+	w.dur = &durableState{fs: fs, dir: cfg.WALDir, noSync: cfg.WALNoSync}
+	if !cfg.Durable {
+		return nil // snapshot-only mode: images on demand, no log
+	}
+	d, err := w.captureDataLocked()
+	if err != nil {
+		return err
+	}
+	if _, err := snapshot.WriteFile(fs, cfg.WALDir, d); err != nil {
+		return err
+	}
+	w.dur.log, err = wal.Create(fs, cfg.WALDir, 1, w.epoch)
+	return err
+}
+
+// SaveSnapshot persists the current epoch into the durability directory
+// and, on a WAL-enabled workspace, rotates the log: a fresh segment
+// based at the snapshot epoch is started and files no retained snapshot
+// needs are pruned (the newest retainSnapshots generations stay, so a
+// corrupt newest snapshot can still fall back). Crash-safe at every
+// byte: the snapshot commits atomically via rename, the new segment is
+// durable before the old one closes, and recovery tolerates every
+// intermediate file layout.
+func (w *Workspace) SaveSnapshot() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := w.liveLocked(); err != nil {
+		return err
+	}
+	if w.dur == nil {
+		return ErrNotDurable
+	}
+	d, err := w.captureDataLocked()
+	if err != nil {
+		return w.corruptLocked(err)
+	}
+	if _, err := snapshot.WriteFile(w.dur.fs, w.dur.dir, d); err != nil {
+		// A failed snapshot write leaves the workspace fully consistent —
+		// the old snapshot + WAL still recover everything.
+		return err
+	}
+	if w.dur.log != nil {
+		next, err := wal.Create(w.dur.fs, w.dur.dir, w.dur.log.Seq()+1, w.epoch)
+		if err != nil {
+			return err
+		}
+		w.dur.log.Close()
+		w.dur.log = next
+	}
+	w.pruneDurableFiles()
+	return nil
+}
+
+// pruneDurableFiles removes snapshots older than the retained window
+// and WAL segments entirely covered by the oldest retained snapshot.
+// Best-effort: stray files never endanger recovery, missing space does.
+func (w *Workspace) pruneDurableFiles() {
+	fs, dir := w.dur.fs, w.dur.dir
+	epochs, err := snapshot.List(fs, dir)
+	if err != nil || len(epochs) == 0 {
+		return
+	}
+	keepFrom := 0
+	if len(epochs) > retainSnapshots {
+		keepFrom = len(epochs) - retainSnapshots
+	}
+	for _, e := range epochs[:keepFrom] {
+		_ = fs.Remove(path.Join(dir, snapshot.FileName(e)))
+	}
+	oldest := epochs[keepFrom]
+	segs, err := wal.ListSegments(fs, dir)
+	if err != nil {
+		return
+	}
+	// Segment i holds records in (base_i, base_{i+1}]; it is dead once
+	// the oldest retained snapshot is at or past everything it can hold.
+	bases := make([]uint64, len(segs))
+	for i, sg := range segs {
+		if _, base, err := wal.ReadHeader(fs, dir, sg.Name); err == nil {
+			bases[i] = base
+		} else {
+			return // unreadable header: prune nothing beyond this point
+		}
+	}
+	for i := 0; i+1 < len(segs); i++ {
+		if bases[i+1] <= oldest {
+			_ = fs.Remove(path.Join(dir, segs[i].Name))
+		}
+	}
+}
+
+// captureDataLocked freezes the workspace into a snapshot.Data: sorted
+// entity tables, the matching, capacity tables, the frontier ID set,
+// and page images of both stores (taken from the in-memory version
+// chains — no physical reads). The function-side pool is flushed first
+// so its chains hold the final bytes; that flush is the only I/O the
+// capture performs. Caller holds w.mu.
+func (w *Workspace) captureDataLocked() (*snapshot.Data, error) {
+	if err := w.st.pool.Flush(); err != nil {
+		return nil, err
+	}
+	if err := w.fpool.Flush(); err != nil {
+		return nil, err
+	}
+	d := &snapshot.Data{
+		Epoch: w.epoch,
+		Dims:  w.Dims(),
+		Counters: snapshot.Counters{
+			Mutations:  uint64(w.mutations),
+			Commits:    uint64(w.commits),
+			ChainSteps: uint64(w.chainLen),
+			Searches:   uint64(w.searches),
+			Resolves:   uint64(w.resolves),
+		},
+	}
+	d.Objects = make([]snapshot.ObjectRec, 0, len(w.objs))
+	for _, o := range w.objs {
+		d.Objects = append(d.Objects, snapshot.ObjectRec{ID: o.ID, Capacity: int64(o.Capacity), Point: o.Point})
+	}
+	sort.Slice(d.Objects, func(i, j int) bool { return d.Objects[i].ID < d.Objects[j].ID })
+	d.Functions = make([]snapshot.FunctionRec, 0, len(w.funcs))
+	for _, f := range w.funcs {
+		d.Functions = append(d.Functions, functionRec(f))
+	}
+	sort.Slice(d.Functions, func(i, j int) bool { return d.Functions[i].ID < d.Functions[j].ID })
+	pairs := w.pairsLocked()
+	sortPairsDefinitional(pairs)
+	d.Pairs = make([]snapshot.Pair, len(pairs))
+	for i, p := range pairs {
+		d.Pairs[i] = snapshot.Pair{FuncID: p.FuncID, ObjID: p.ObjectID, Score: p.Score}
+	}
+	d.ObjCaps = capEntries(w.st.objCaps)
+	d.FuncCaps = capEntries(w.st.funcCaps)
+	for _, it := range w.avail.Skyline() {
+		d.Avail = append(d.Avail, it.ID)
+	}
+	sort.Slice(d.Avail, func(i, j int) bool { return d.Avail[i] < d.Avail[j] })
+	var err error
+	if d.ObjStore, err = storeImage(w.vstore, w.st.tree.Meta()); err != nil {
+		return nil, err
+	}
+	if d.FuncStore, err = storeImage(w.fvstore, w.ftree.Meta()); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+func functionRec(f Function) snapshot.FunctionRec {
+	return snapshot.FunctionRec{
+		ID:       f.ID,
+		Capacity: int64(f.Capacity),
+		Gamma:    f.Gamma,
+		FamKind:  uint32(f.Fam.Kind),
+		FamP:     f.Fam.P,
+		Weights:  f.Weights,
+	}
+}
+
+func recFunction(r *snapshot.FunctionRec) Function {
+	return Function{
+		ID:       r.ID,
+		Weights:  r.Weights,
+		Gamma:    r.Gamma,
+		Capacity: int(r.Capacity),
+		Fam:      score.Family{Kind: score.Kind(r.FamKind), P: r.FamP},
+	}
+}
+
+func capEntries(t *capTable) []snapshot.CapEntry {
+	out := make([]snapshot.CapEntry, 0, len(t.remaining))
+	for id, r := range t.remaining {
+		out = append(out, snapshot.CapEntry{ID: id, Remaining: int64(r)})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+func capsFromEntries(entries []snapshot.CapEntry) *capTable {
+	t := &capTable{remaining: make(map[uint64]int, len(entries))}
+	for _, e := range entries {
+		t.remaining[e.ID] = int(e.Remaining)
+		t.units += int(e.Remaining)
+		if e.Remaining > 0 {
+			t.live++
+		}
+	}
+	return t
+}
+
+// storeImage freezes one versioned store plus its tree header. Page
+// bytes come off the version chains (CurrentPages), so the capture
+// leaves the physical I/O counters — the paper's metric — untouched.
+func storeImage(vs *pagestore.VersionedStore, meta rtree.Meta) (snapshot.StoreImage, error) {
+	si := snapshot.StoreImage{
+		PageSize: vs.PageSize(),
+		Root:     int64(meta.Root),
+		Height:   meta.Height,
+		Size:     meta.Size,
+	}
+	err := vs.CurrentPages(func(id pagestore.PageID, data []byte) error {
+		n := len(data)
+		for n > 0 && data[n-1] == 0 {
+			n--
+		}
+		img := make([]byte, n)
+		copy(img, data[:n])
+		si.Pages = append(si.Pages, snapshot.PageImage{ID: int64(id), Data: img})
+		if int64(id) >= si.Next {
+			si.Next = int64(id) + 1
+		}
+		return nil
+	})
+	return si, err
+}
+
+// mutationRecs converts an Apply batch to its WAL wire form.
+func mutationRecs(muts []Mutation) []snapshot.MutationRec {
+	out := make([]snapshot.MutationRec, len(muts))
+	for i := range muts {
+		m := &muts[i]
+		r := &out[i]
+		r.Kind = uint8(m.Kind)
+		switch m.Kind {
+		case MutAddObject:
+			r.Object = snapshot.ObjectRec{ID: m.Object.ID, Capacity: int64(m.Object.Capacity), Point: m.Object.Point}
+		case MutAddFunction:
+			r.Function = functionRec(m.Function)
+		default:
+			r.ID = m.ID
+		}
+	}
+	return out
+}
+
+// recMutations is the replay-side inverse.
+func recMutations(recs []snapshot.MutationRec) []Mutation {
+	out := make([]Mutation, len(recs))
+	for i := range recs {
+		r := &recs[i]
+		m := &out[i]
+		m.Kind = MutationKind(r.Kind)
+		switch m.Kind {
+		case MutAddObject:
+			m.Object = Object{ID: r.Object.ID, Point: geom.Point(r.Object.Point), Capacity: int(r.Object.Capacity)}
+		case MutAddFunction:
+			m.Function = recFunction(&r.Function)
+		default:
+			m.ID = r.ID
+		}
+	}
+	return out
+}
+
+// OpenWorkspace recovers a workspace from cfg.WALDir: load the newest
+// snapshot that passes its checksums and cross-validation (falling back
+// to older generations), rebuild the serving state from it with no
+// re-solve, replay the committed WAL batches past its epoch, truncate
+// any torn tail (ErrTornWrite — those bytes were never acknowledged),
+// and — when cfg.Durable — start a fresh segment so the workspace
+// continues logging. The recovered workspace continues the exact epoch
+// lineage of the one that crashed.
+func OpenWorkspace(cfg Config) (*Workspace, error) {
+	if cfg.WALDir == "" {
+		return nil, ErrNotDurable
+	}
+	fs := cfg.fsOrOS()
+	epochs, err := snapshot.List(fs, cfg.WALDir)
+	if errors.Is(err, iofs.ErrNotExist) {
+		return nil, fmt.Errorf("%w: %s", ErrNoSnapshot, cfg.WALDir)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("assign: scan durability dir: %w", err)
+	}
+	if len(epochs) == 0 {
+		return nil, fmt.Errorf("%w: %s", ErrNoSnapshot, cfg.WALDir)
+	}
+	info := &RecoveryInfo{}
+	var w *Workspace
+	var lastErr error
+	for i := len(epochs) - 1; i >= 0; i-- {
+		d, rerr := snapshot.ReadFile(fs, cfg.WALDir, epochs[i])
+		if rerr == nil {
+			w, rerr = restoreWorkspace(d, cfg)
+		}
+		if rerr != nil {
+			if errors.Is(rerr, ErrBadSnapshot) {
+				// Fall back to the previous generation + longer replay.
+				info.SnapshotsSkipped++
+				lastErr = rerr
+				continue
+			}
+			return nil, rerr
+		}
+		info.SnapshotEpoch = d.Epoch
+		break
+	}
+	if w == nil {
+		return nil, fmt.Errorf("assign: every snapshot unreadable: %w", lastErr)
+	}
+	if err := w.replayWAL(fs, cfg.WALDir, info); err != nil {
+		w.Close()
+		return nil, err
+	}
+	w.dur = &durableState{fs: fs, dir: cfg.WALDir, noSync: cfg.WALNoSync}
+	if cfg.Durable {
+		segs, err := wal.ListSegments(fs, cfg.WALDir)
+		if err != nil {
+			w.Close()
+			return nil, err
+		}
+		seq := uint64(1)
+		if n := len(segs); n > 0 {
+			seq = segs[n-1].Seq + 1
+		}
+		w.dur.log, err = wal.Create(fs, cfg.WALDir, seq, w.epoch)
+		if err != nil {
+			w.Close()
+			return nil, err
+		}
+	}
+	info.FinalEpoch = w.epoch
+	w.recovery = info
+	return w, nil
+}
+
+// replayWAL reapplies every committed batch past the restored epoch, in
+// segment order. Records at or before the current epoch are skipped
+// (segments overlap snapshots after rotation); a record that does not
+// extend the lineage contiguously means the log and the snapshot
+// diverged — typed ErrWALDiverged, never a guess.
+func (w *Workspace) replayWAL(fs vfs.FS, dir string, info *RecoveryInfo) error {
+	segs, err := wal.ListSegments(fs, dir)
+	if err != nil {
+		return err
+	}
+	for i, sg := range segs {
+		sd, err := wal.ReadSegment(fs, dir, sg.Name)
+		if err != nil {
+			if errors.Is(err, wal.ErrBadSegment) && i == len(segs)-1 {
+				// A crash during rotation can tear the newest segment's
+				// header before any record lands; treat it as an empty torn
+				// tail.
+				info.TornTail = true
+				info.TornDetail = err.Error()
+				return nil
+			}
+			return fmt.Errorf("%w: %w", ErrWALDiverged, err)
+		}
+		if sd.TornError != nil {
+			info.TornTail = true
+			info.TornDetail = sd.TornError.Error()
+		}
+		for _, rec := range sd.Records {
+			switch {
+			case rec.Epoch <= w.epoch:
+				continue // already covered by the snapshot
+			case rec.Epoch != w.epoch+1:
+				return fmt.Errorf("%w: record epoch %d after workspace epoch %d (segment %s)",
+					ErrWALDiverged, rec.Epoch, w.epoch, sg.Name)
+			}
+			recs, err := snapshot.DecodeBatch(rec.Payload)
+			if err != nil {
+				return fmt.Errorf("%w: %w", ErrWALDiverged, err)
+			}
+			muts := recMutations(recs)
+			w.mu.Lock()
+			err = w.applyLocked(muts)
+			w.mu.Unlock()
+			if err != nil {
+				return fmt.Errorf("%w: replaying epoch %d: %w", ErrWALDiverged, rec.Epoch, err)
+			}
+			info.BatchesReplayed++
+			info.MutationsReplayed += len(muts)
+		}
+	}
+	return nil
+}
+
+// restoreWorkspace rebuilds a serving workspace from one decoded
+// snapshot: both page stores are re-imaged (preserving page IDs and the
+// allocation watermark), the R-trees reattach via their persisted Meta,
+// the matching and capacity tables load directly, and the availability
+// frontier is recomputed from the capacity tables and cross-checked
+// against the persisted skyline ID set. O(file) — no solve, no bulk
+// load. Internal inconsistency returns ErrBadSnapshot so OpenWorkspace
+// can fall back a generation.
+func restoreWorkspace(d *snapshot.Data, cfg Config) (*Workspace, error) {
+	if d.Epoch < 1 {
+		return nil, fmt.Errorf("%w: epoch 0", ErrBadSnapshot)
+	}
+	p := &Problem{Dims: d.Dims}
+	for i := range d.Objects {
+		o := &d.Objects[i]
+		p.Objects = append(p.Objects, Object{ID: o.ID, Point: geom.Point(o.Point), Capacity: int(o.Capacity)})
+	}
+	for i := range d.Functions {
+		p.Functions = append(p.Functions, recFunction(&d.Functions[i]))
+	}
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("%w: %w", ErrBadSnapshot, err)
+	}
+	if d.ObjStore.Size != len(p.Objects) {
+		return nil, fmt.Errorf("%w: object tree size %d != %d objects", ErrBadSnapshot, d.ObjStore.Size, len(p.Objects))
+	}
+
+	vstore, pool, tree, err := restoreStore(cfg, &d.ObjStore, d.Dims, d.Epoch, true, cfg.bufferFrac())
+	if err != nil {
+		return nil, err
+	}
+	st := &solveState{p: p, cfg: cfg, store: vstore, pool: pool, tree: tree}
+	st.objCaps = capsFromEntries(d.ObjCaps)
+	st.funcCaps = capsFromEntries(d.FuncCaps)
+
+	fvstore, fpool, ftree, err := restoreStore(cfg, &d.FuncStore, d.Dims, d.Epoch, false, -1)
+	if err != nil {
+		st.release()
+		return nil, err
+	}
+
+	w := &Workspace{
+		st:      st,
+		cfg:     cfg,
+		vstore:  vstore,
+		fstore:  fvstore,
+		fvstore: fvstore,
+		fpool:   fpool,
+		ftree:   ftree,
+		objs:    make(map[uint64]Object, len(p.Objects)),
+		funcs:   make(map[uint64]Function, len(p.Functions)),
+		eff:     make(map[uint64][]float64, len(p.Functions)),
+		nonlin:  make(map[uint64]struct{}),
+		byObj:   make(map[uint64][]wsPair),
+		byFunc:  make(map[uint64][]wsPair),
+	}
+	fail := func(format string, args ...any) (*Workspace, error) {
+		w.Close()
+		return nil, fmt.Errorf("%w: %s", ErrBadSnapshot, fmt.Sprintf(format, args...))
+	}
+	for _, o := range p.Objects {
+		w.objs[o.ID] = o
+	}
+	linear := 0
+	for _, f := range p.Functions {
+		w.funcs[f.ID] = f
+		w.eff[f.ID] = f.Effective()
+		if f.Fam.IsLinear() {
+			linear++
+		} else {
+			w.nonlin[f.ID] = struct{}{}
+		}
+	}
+	if d.FuncStore.Size != linear {
+		return fail("function tree size %d != %d linear functions", d.FuncStore.Size, linear)
+	}
+	for _, pr := range d.Pairs {
+		if _, ok := w.funcs[pr.FuncID]; !ok {
+			return fail("pair references unknown function %d", pr.FuncID)
+		}
+		if _, ok := w.objs[pr.ObjID]; !ok {
+			return fail("pair references unknown object %d", pr.ObjID)
+		}
+		w.link(wsPair{fid: pr.FuncID, oid: pr.ObjID, score: pr.Score})
+	}
+	// Cross-validate the capacity tables against capacity − assignment:
+	// the tables must be derivable, so a bit-rotted (yet
+	// checksum-passing — e.g. truncated by a buggy tool) state cannot
+	// serve.
+	if err := checkCaps(st.objCaps, len(w.objs), func(id uint64) (int, int, bool) {
+		o, ok := w.objs[id]
+		return o.capacity(), len(w.byObj[id]), ok
+	}); err != nil {
+		return fail("object capacity table: %v", err)
+	}
+	if err := checkCaps(st.funcCaps, len(w.funcs), func(id uint64) (int, int, bool) {
+		f, ok := w.funcs[id]
+		return f.capacity(), len(w.byFunc[id]), ok
+	}); err != nil {
+		return fail("function capacity table: %v", err)
+	}
+
+	// The frontier is rebuilt, not deserialized: the skyline of the
+	// available objects is unique, so recomputing it from the restored
+	// capacity table and comparing ID sets doubles as an end-to-end
+	// consistency check of pairs, capacities, and points.
+	var availItems []rtree.Item
+	for id, o := range w.objs {
+		if st.objCaps.remaining[id] > 0 {
+			availItems = append(availItems, rtree.Item{ID: id, Point: o.Point})
+		}
+	}
+	w.avail = skyline.NewMaintainerFromItems(d.Dims, availItems, nil)
+	w.avail.SetLiveCheck(func(id uint64, pt geom.Point) bool {
+		o, ok := w.objs[id]
+		return ok && w.st.objCaps.remaining[id] > 0 && o.Point.Equal(pt)
+	})
+	sky := w.avail.Skyline()
+	if len(sky) != len(d.Avail) {
+		return fail("frontier has %d entries, snapshot recorded %d", len(sky), len(d.Avail))
+	}
+	persisted := make(map[uint64]bool, len(d.Avail))
+	for _, id := range d.Avail {
+		persisted[id] = true
+	}
+	for _, it := range sky {
+		if !persisted[it.ID] {
+			return fail("frontier object %d not in persisted skyline", it.ID)
+		}
+	}
+
+	// Seal the restored state as epoch d.Epoch (restoreStore rebased the
+	// object store to d.Epoch−1), then overwrite the counters with the
+	// persisted lifetime values — the restore itself is not a commit.
+	if err := w.commitLocked(); err != nil {
+		w.Close()
+		return nil, err
+	}
+	if w.epoch != d.Epoch {
+		return fail("restored epoch %d, want %d", w.epoch, d.Epoch)
+	}
+	w.mutations = int64(d.Counters.Mutations)
+	w.commits = int64(d.Counters.Commits)
+	w.chainLen = int64(d.Counters.ChainSteps)
+	w.searches = int64(d.Counters.Searches)
+	w.resolves = int64(d.Counters.Resolves)
+	return w, nil
+}
+
+// checkCaps verifies one capacity table equals capacity − assigned for
+// every live entity, exactly.
+func checkCaps(t *capTable, population int, lookup func(id uint64) (capacity, assigned int, ok bool)) error {
+	if len(t.remaining) != population {
+		return fmt.Errorf("%d entries for %d entities", len(t.remaining), population)
+	}
+	for id, rem := range t.remaining {
+		capacity, assigned, ok := lookup(id)
+		if !ok {
+			return fmt.Errorf("entry for unknown id %d", id)
+		}
+		if rem != capacity-assigned {
+			return fmt.Errorf("id %d: remaining %d, want %d-%d", id, rem, capacity, assigned)
+		}
+	}
+	return nil
+}
+
+// restoreStore re-images one page store from a snapshot: pages are
+// allocated up to the persisted watermark, live images written at their
+// exact IDs, holes freed — so the restored ID space matches the saved
+// one — and the R-tree reattaches via FromMeta. rebase rebases the
+// versioned store so the next publish seals exactly the snapshot epoch
+// (object side; the function side is never epoch-pinned). frac < 0
+// keeps the construction-sized pool (function side); otherwise the pool
+// is resized to the experiment fraction and cleared, and the I/O
+// counters reset — restore, like construction, is not charged to the
+// algorithm.
+func restoreStore(cfg Config, si *snapshot.StoreImage, dims int, epoch uint64, rebase bool, frac float64) (*pagestore.VersionedStore, *pagestore.BufferPool, *rtree.Tree, error) {
+	scfg := cfg
+	scfg.PageSize = si.PageSize
+	inner, err := scfg.newStore()
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if inner.PageSize() != si.PageSize {
+		inner.Close()
+		return nil, nil, nil, fmt.Errorf("assign: store factory page size %d, snapshot has %d", inner.PageSize(), si.PageSize)
+	}
+	vs := pagestore.NewVersioned(inner)
+	vs.SetSerializedAcquire(true)
+	if rebase {
+		vs.SetBaseEpoch(epoch - 1)
+	}
+	bad := func(format string, args ...any) (*pagestore.VersionedStore, *pagestore.BufferPool, *rtree.Tree, error) {
+		vs.Close()
+		return nil, nil, nil, fmt.Errorf("%w: %s", ErrBadSnapshot, fmt.Sprintf(format, args...))
+	}
+	for id := int64(0); id < si.Next; id++ {
+		got, err := vs.Allocate()
+		if err != nil {
+			vs.Close()
+			return nil, nil, nil, err
+		}
+		if int64(got) != id {
+			vs.Close()
+			return nil, nil, nil, fmt.Errorf("assign: restore store allocated page %d, want %d (non-sequential factory store)", got, id)
+		}
+	}
+	rootSeen := false
+	next := int64(0)
+	for i := range si.Pages {
+		pg := &si.Pages[i]
+		// Free the hole between the previous image and this one.
+		for ; next < pg.ID; next++ {
+			if err := vs.Free(pagestore.PageID(next)); err != nil {
+				vs.Close()
+				return nil, nil, nil, err
+			}
+		}
+		if err := vs.WritePage(pagestore.PageID(pg.ID), pg.Data); err != nil {
+			vs.Close()
+			return nil, nil, nil, err
+		}
+		if pg.ID == si.Root {
+			rootSeen = true
+		}
+		next = pg.ID + 1
+	}
+	for ; next < si.Next; next++ {
+		if err := vs.Free(pagestore.PageID(next)); err != nil {
+			vs.Close()
+			return nil, nil, nil, err
+		}
+	}
+	if !rootSeen {
+		return bad("tree root page %d not in image", si.Root)
+	}
+	pool := scfg.newBuildPool(vs)
+	if frac >= 0 {
+		if err := pool.Resize(pagestore.CapacityFromFraction(vs.NumPages(), frac)); err != nil {
+			vs.Close()
+			return nil, nil, nil, err
+		}
+		if err := pool.Clear(); err != nil {
+			vs.Close()
+			return nil, nil, nil, err
+		}
+	}
+	vs.IO().Reset()
+	tree, err := rtree.FromMeta(pool, dims, rtree.Meta{
+		Root:   pagestore.PageID(si.Root),
+		Height: si.Height,
+		Size:   si.Size,
+	})
+	if err != nil {
+		return bad("%v", err)
+	}
+	return vs, pool, tree, nil
+}

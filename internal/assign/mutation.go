@@ -6,6 +6,7 @@ import (
 	"math"
 
 	"fairassign/internal/rtree"
+	"fairassign/internal/snapshot"
 )
 
 // Typed validation and failure-atomicity errors for mutations. Input
@@ -147,6 +148,22 @@ func (w *Workspace) applyLocked(muts []Mutation) error {
 			return w.corruptLocked(err)
 		}
 		w.mutations++
+	}
+	// Write-ahead barrier: the batch is encoded, checksummed, appended,
+	// and (unless WALNoSync) fsynced before the epoch publishes, so a
+	// batch whose Apply returned nil survives power loss. The record
+	// carries the epoch commitLocked is about to publish; the WAL writer
+	// enforces contiguity. A durability failure poisons the workspace —
+	// the in-memory state is ahead of what can be made durable.
+	if w.dur != nil && w.dur.log != nil {
+		if err := w.dur.log.Append(w.epoch+1, snapshot.EncodeBatch(mutationRecs(muts))); err != nil {
+			return w.corruptLocked(err)
+		}
+		if !w.dur.noSync {
+			if err := w.dur.log.Sync(); err != nil {
+				return w.corruptLocked(err)
+			}
+		}
 	}
 	if err := w.commitLocked(); err != nil {
 		return w.corruptLocked(err)

@@ -35,6 +35,7 @@ import (
 	"fairassign/internal/metrics"
 	"fairassign/internal/pagestore"
 	"fairassign/internal/score"
+	"fairassign/internal/vfs"
 )
 
 // Object is a database object: a D-dimensional feature vector with an
@@ -224,6 +225,26 @@ type Config struct {
 	// allocations change. Used by the benchmark pipeline to measure the
 	// cache's effect.
 	DisableNodeCache bool
+	// Durable enables the workspace write-ahead log: every Apply batch
+	// is encoded, checksummed, and fsynced into WALDir before its epoch
+	// publishes, and an initial snapshot is written at construction so a
+	// crash at any moment recovers through OpenWorkspace. Requires
+	// WALDir.
+	Durable bool
+	// WALDir is the durability directory holding snapshot files and WAL
+	// segments. With Durable unset, a workspace can still SaveSnapshot
+	// warm-start images here (crash recovery then rewinds to the last
+	// snapshot; mutations since are not logged).
+	WALDir string
+	// WALNoSync skips the per-commit fsync (the record is still written
+	// and checksummed). A crash can then lose acknowledged batches —
+	// recovery still lands on a consistent prefix. Benchmark/testing
+	// knob for isolating the fsync cost.
+	WALNoSync bool
+	// FS overrides the filesystem the durability layer writes through;
+	// nil means the real OS filesystem. The crash-injection harness
+	// substitutes its fault-injecting in-memory implementation.
+	FS vfs.FS
 	// StoreFactory builds the physical page stores behind every index
 	// the solvers create (the object R-tree plus any function-side
 	// structure). Nil means in-memory simulated disks

@@ -106,10 +106,20 @@ type Workspace struct {
 
 	// Function R-tree over effective weight vectors (as in Chain),
 	// dynamically maintained; reverse searches (best function for an
-	// object) run against it.
-	fstore pagestore.Store
-	fpool  *pagestore.BufferPool
-	ftree  *rtree.Tree
+	// object) run against it. fstore is fvstore: the function side is
+	// versioned too, so snapshot capture can image both stores from the
+	// in-memory version chains without physical reads.
+	fstore  pagestore.Store
+	fvstore *pagestore.VersionedStore
+	fpool   *pagestore.BufferPool
+	ftree   *rtree.Tree
+
+	// dur is the durability state (nil without a WALDir): the log every
+	// Apply batch is fsynced to before its epoch publishes, plus the
+	// snapshot directory. recovery describes how an OpenWorkspace
+	// workspace was reconstructed.
+	dur      *durableState
+	recovery *RecoveryInfo
 
 	objs  map[uint64]Object
 	funcs map[uint64]Function
@@ -197,11 +207,20 @@ func NewWorkspace(p *Problem, cfg Config) (*Workspace, error) {
 		return nil, err
 	}
 
-	fstore, fpool, err := cfg.newFuncStore()
+	finner, err := cfg.newStore()
 	if err != nil {
 		st.release()
 		return nil, err
 	}
+	// The function store gets the same versioned wrapper as the object
+	// store. Views never traverse it, so no epochs are ever pinned and
+	// every write recycles in place (one shadow memcpy); what the
+	// wrapper buys is CurrentPages — durable snapshot capture images the
+	// function index from the in-memory chains instead of issuing
+	// counted physical reads.
+	fvstore := pagestore.NewVersioned(finner)
+	fvstore.SetSerializedAcquire(true)
+	fpool := cfg.newBuildPool(fvstore)
 	vstore := st.store.(*pagestore.VersionedStore)
 	// w.mu serializes Snapshot (→ Acquire) with mutations, so the store
 	// may recycle page versions in place whenever no live view observes
@@ -211,7 +230,8 @@ func NewWorkspace(p *Problem, cfg Config) (*Workspace, error) {
 		st:       st,
 		cfg:      cfg,
 		vstore:   vstore,
-		fstore:   fstore,
+		fstore:   fvstore,
+		fvstore:  fvstore,
 		fpool:    fpool,
 		objs:     make(map[uint64]Object, len(p.Objects)),
 		funcs:    make(map[uint64]Function, len(p.Functions)),
@@ -267,6 +287,12 @@ func NewWorkspace(p *Problem, cfg Config) (*Workspace, error) {
 	if err := w.commitLocked(); err != nil {
 		w.Close()
 		return nil, err
+	}
+	if cfg.WALDir != "" || cfg.Durable {
+		if err := w.initDurable(); err != nil {
+			w.Close()
+			return nil, err
+		}
 	}
 	return w, nil
 }
@@ -376,6 +402,9 @@ func (w *Workspace) Close() {
 	w.st.release()
 	if w.fstore != nil {
 		w.fstore.Close()
+	}
+	if w.dur != nil && w.dur.log != nil {
+		w.dur.log.Close()
 	}
 }
 

@@ -113,6 +113,9 @@ type Report struct {
 	// BatchCommit measures the group-commit mutation path: batched
 	// Apply vs one commit per mutation on an identical churn stream.
 	BatchCommit []BatchCommitCase `json:"batch_commit,omitempty"`
+	// Durability measures the WAL tax on Apply (off / no-sync / fsync)
+	// and the snapshot save, replay-recovery, and warm-start times.
+	Durability []DurabilityCase `json:"durability,omitempty"`
 }
 
 // Options tunes a pipeline run.
@@ -317,6 +320,15 @@ func Run(opts Options) (*Report, error) {
 		return nil, err
 	}
 	rep.BatchCommit = append(rep.BatchCommit, bc)
+	// Durability: the WAL tax and the recovery/warm-start times at the
+	// largest size on the first dimensionality. The in-memory hot paths
+	// above never touch the durability layer — this scenario is where
+	// its cost is measured instead.
+	dur, err := runDurability(maxN, opts.Dims[0], 32, opts)
+	if err != nil {
+		return nil, err
+	}
+	rep.Durability = append(rep.Durability, dur)
 	return rep, nil
 }
 

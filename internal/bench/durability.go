@@ -1,0 +1,192 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"fairassign/internal/assign"
+)
+
+// DurabilityCase measures what the durability layer costs and what
+// recovery buys. Three twin workspaces consume the identical churn
+// stream: one purely in-memory (the baseline the hot-path cases
+// gate), one logging every batch without fsync, one with the full
+// fsync-before-ack barrier — the per-mutation deltas are the WAL
+// encode/write and the disk flush, respectively. The fsync twin then
+// exercises the recovery paths: a timed snapshot save, a timed
+// replay-on-open over the post-snapshot batches, and a timed
+// warm-start open (snapshot only, zero replay). Identical gates the
+// scenario: the recovered matching must equal the in-memory twin's.
+type DurabilityCase struct {
+	Name      string `json:"name"`
+	N         int    `json:"n"`
+	Dims      int    `json:"dims"`
+	BatchSize int    `json:"batch_size"`
+	// Per-mutation Apply latency over the shared measured stream.
+	ApplyNsPerMutOff    int64 `json:"apply_ns_per_mut_wal_off"`
+	ApplyNsPerMutNoSync int64 `json:"apply_ns_per_mut_wal_nosync"`
+	ApplyNsPerMutFsync  int64 `json:"apply_ns_per_mut_wal_fsync"`
+	// SnapshotSaveNs times one SaveSnapshot (encode + write + fsync +
+	// rename + log rotation); SnapshotBytes is the resulting file size.
+	SnapshotSaveNs int64 `json:"snapshot_save_ns"`
+	SnapshotBytes  int64 `json:"snapshot_bytes"`
+	// RecoveryNs times OpenWorkspace when RecoveryBatches committed
+	// batches must be replayed past the snapshot; WarmStartNs times it
+	// when the snapshot alone is current (no replay, no re-solve).
+	RecoveryNs      int64 `json:"recovery_ns"`
+	RecoveryBatches int   `json:"recovery_batches"`
+	WarmStartNs     int64 `json:"warm_start_ns"`
+	Identical       bool  `json:"identical"`
+}
+
+// runDurability measures the WAL tax and the recovery times for one
+// (n, dims) at the given batch size.
+func runDurability(n, dims, batchSize int, opts Options) (DurabilityCase, error) {
+	c := DurabilityCase{Name: "durability", N: n, Dims: dims, BatchSize: batchSize}
+	const (
+		measuredBatches = 8
+		replayBatches   = 8
+	)
+	p := incrementalProblem(n, dims, opts)
+
+	// Identical streams: one generator per twin, same seed.
+	type twin struct {
+		ws  *assign.Workspace
+		gen *churnScript
+		t   time.Duration
+	}
+	dir := ""
+	var tmpDirs []string
+	defer func() {
+		for _, d := range tmpDirs {
+			os.RemoveAll(d)
+		}
+	}()
+	newTwin := func(durable, noSync bool) (*twin, error) {
+		cfg := assign.Config{PageSize: 512, BufferFrac: 0.05}
+		if durable {
+			d, err := os.MkdirTemp("", "fairassign-bench-dur-*")
+			if err != nil {
+				return nil, err
+			}
+			tmpDirs = append(tmpDirs, d)
+			cfg.Durable, cfg.WALDir, cfg.WALNoSync = true, filepath.Join(d, "wal"), noSync
+			if !noSync {
+				dir = cfg.WALDir
+			}
+		}
+		ws, err := assign.NewWorkspace(incrementalProblem(n, dims, opts), cfg)
+		if err != nil {
+			return nil, err
+		}
+		return &twin{ws: ws, gen: newChurnScript(p, opts.Seed+43)}, nil
+	}
+	off, err := newTwin(false, false)
+	if err != nil {
+		return c, fmt.Errorf("%s: wal-off twin: %w", c.Name, err)
+	}
+	defer off.ws.Close()
+	noSync, err := newTwin(true, true)
+	if err != nil {
+		return c, fmt.Errorf("%s: nosync twin: %w", c.Name, err)
+	}
+	defer noSync.ws.Close()
+	fsync, err := newTwin(true, false)
+	if err != nil {
+		return c, fmt.Errorf("%s: fsync twin: %w", c.Name, err)
+	}
+	defer fsync.ws.Close()
+	twins := []*twin{off, noSync, fsync}
+
+	// Warm-up batch, then the measured stream, applied in lockstep.
+	for bi := 0; bi < 1+measuredBatches; bi++ {
+		for _, tw := range twins {
+			bb := tw.gen.batch(batchSize)
+			start := time.Now()
+			if err := tw.ws.Apply(bb); err != nil {
+				return c, fmt.Errorf("%s: batch %d: %w", c.Name, bi, err)
+			}
+			if bi > 0 {
+				tw.t += time.Since(start)
+			}
+		}
+	}
+	muts := int64(measuredBatches * batchSize)
+	c.ApplyNsPerMutOff = off.t.Nanoseconds() / muts
+	c.ApplyNsPerMutNoSync = noSync.t.Nanoseconds() / muts
+	c.ApplyNsPerMutFsync = fsync.t.Nanoseconds() / muts
+
+	// Snapshot save on the fsync twin, then replayBatches more applied
+	// to every twin so the final states stay in lockstep.
+	start := time.Now()
+	if err := fsync.ws.SaveSnapshot(); err != nil {
+		return c, fmt.Errorf("%s: save snapshot: %w", c.Name, err)
+	}
+	c.SnapshotSaveNs = time.Since(start).Nanoseconds()
+	c.SnapshotBytes = newestSnapshotSize(dir)
+	for bi := 0; bi < replayBatches; bi++ {
+		for _, tw := range twins {
+			if err := tw.ws.Apply(tw.gen.batch(batchSize)); err != nil {
+				return c, fmt.Errorf("%s: replay batch %d: %w", c.Name, bi, err)
+			}
+		}
+	}
+	fsync.ws.Close()
+
+	// Recovery: snapshot restore + WAL replay of the tail batches.
+	cfg := assign.Config{PageSize: 512, BufferFrac: 0.05, Durable: true, WALDir: dir}
+	start = time.Now()
+	rec, err := assign.OpenWorkspace(cfg)
+	if err != nil {
+		return c, fmt.Errorf("%s: recovery open: %w", c.Name, err)
+	}
+	c.RecoveryNs = time.Since(start).Nanoseconds()
+	c.RecoveryBatches = rec.Recovery().BatchesReplayed
+	c.Identical = matchingEqual(rec.Pairs(), off.ws.Pairs())
+
+	// Warm start: save at the current epoch, reopen — no replay at all.
+	if err := rec.SaveSnapshot(); err != nil {
+		rec.Close()
+		return c, fmt.Errorf("%s: warm-start save: %w", c.Name, err)
+	}
+	rec.Close()
+	start = time.Now()
+	warm, err := assign.OpenWorkspace(cfg)
+	if err != nil {
+		return c, fmt.Errorf("%s: warm-start open: %w", c.Name, err)
+	}
+	c.WarmStartNs = time.Since(start).Nanoseconds()
+	if br := warm.Recovery().BatchesReplayed; br != 0 {
+		warm.Close()
+		return c, fmt.Errorf("%s: warm start replayed %d batches, want 0", c.Name, br)
+	}
+	c.Identical = c.Identical && matchingEqual(warm.Pairs(), off.ws.Pairs())
+	warm.Close()
+	return c, nil
+}
+
+// newestSnapshotSize returns the byte size of the newest snapshot file
+// in dir (0 if none found — the scenario treats it as informational).
+func newestSnapshotSize(dir string) int64 {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return 0
+	}
+	var newest string
+	for _, e := range entries {
+		if n := e.Name(); strings.HasPrefix(n, "snap-") && strings.HasSuffix(n, ".fasnap") && n > newest {
+			newest = n
+		}
+	}
+	if newest == "" {
+		return 0
+	}
+	fi, err := os.Stat(filepath.Join(dir, newest))
+	if err != nil {
+		return 0
+	}
+	return fi.Size()
+}

@@ -1,0 +1,16 @@
+package conformance
+
+import "testing"
+
+// TestCrashReplaySweep is the acceptance gate for durable recovery
+// semantics at the conformance layer: for every scripted case, a
+// durable workspace crashed mid-script (snapshot + WAL tail on disk)
+// must recover to exactly its acknowledged state, finish the script,
+// and match both an uninterrupted twin and a from-scratch solve.
+func TestCrashReplaySweep(t *testing.T) {
+	for _, spec := range CrashReplaySweep(1) {
+		if err := VerifyCrashReplay(spec); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

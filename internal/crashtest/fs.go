@@ -1,0 +1,337 @@
+// Package crashtest is the fault-injection harness behind the
+// durability guarantees: an in-memory vfs.FS that kills the write
+// stream at any chosen byte offset and then materializes the disk image
+// a real power loss would leave behind, plus a conformance sweep (in
+// the package tests) that recovers a workspace from the image of every
+// injected crash point and asserts it is identical to a never-crashed
+// twin at the same committed prefix.
+//
+// # Fault model
+//
+// Every byte written through the FS consumes one tick of a global
+// monotone counter. Arm(k) makes the k-th byte — and everything after
+// it, including Sync, Create, Rename, and Remove — fail with
+// ErrInjectedCrash; a Write straddling k persists its pre-k prefix and
+// fails, which is how torn records happen. Reboot then builds the
+// durable image under one of two power-loss policies:
+//
+//   - FlushPrefix: every byte accepted before the crash survives, even
+//     if never synced (the kernel happened to flush everything). The
+//     generous extreme: recovery may see acknowledged-plus-torn tails.
+//   - DropUnsynced: only bytes covered by a completed Sync survive; the
+//     unsynced tail of every file vanishes. The adversarial extreme:
+//     recovery sees the bare fsync barrier.
+//
+// Namespace operations (Create, Rename, Remove) that returned success
+// are durable under both policies. The production sequences justify
+// this: the snapshot writer syncs file bytes before renaming and syncs
+// the directory after, and the WAL syncs its header before the segment
+// is used, so metadata-vs-data reordering beyond these two extremes
+// cannot produce states the real osFS could but the model could not.
+package crashtest
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"path"
+	"sort"
+	"strings"
+	"sync"
+
+	"fairassign/internal/vfs"
+)
+
+// ErrInjectedCrash marks every operation refused after the armed crash
+// point. The durability layer treats it like any other I/O error.
+var ErrInjectedCrash = errors.New("crashtest: injected crash")
+
+// Policy selects how Reboot treats bytes written but not synced before
+// the crash.
+type Policy int
+
+const (
+	// FlushPrefix keeps every byte accepted before the crash point.
+	FlushPrefix Policy = iota
+	// DropUnsynced keeps only bytes covered by a completed Sync.
+	DropUnsynced
+)
+
+func (p Policy) String() string {
+	if p == FlushPrefix {
+		return "flush-prefix"
+	}
+	return "drop-unsynced"
+}
+
+// file is one simulated file: current (volatile) content plus the
+// length its last completed Sync made durable.
+type file struct {
+	data   []byte
+	synced int
+}
+
+// FS is the fault-injecting in-memory filesystem. The zero limit means
+// unlimited (recording mode); Arm sets the crash point.
+type FS struct {
+	mu      sync.Mutex
+	dirs    map[string]struct{}
+	files   map[string]*file
+	written int64
+	limit   int64 // crash at this global byte position; <0 = unlimited
+	crashed bool
+}
+
+var _ vfs.FS = (*FS)(nil)
+
+// New returns an empty unlimited filesystem (recording mode).
+func New() *FS {
+	return &FS{
+		dirs:  map[string]struct{}{".": {}},
+		files: make(map[string]*file),
+		limit: -1,
+	}
+}
+
+// Written returns the total bytes accepted so far — the sweep space.
+func (f *FS) Written() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.written
+}
+
+// Arm sets the crash point: the limit-th written byte and every
+// operation after it fail with ErrInjectedCrash.
+func (f *FS) Arm(limit int64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.limit = limit
+}
+
+// Crashed reports whether the crash point was reached.
+func (f *FS) Crashed() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.crashed
+}
+
+// downLocked is the post-crash-point check every operation starts with.
+func (f *FS) downLocked() bool {
+	if f.limit >= 0 && f.written >= f.limit {
+		f.crashed = true
+		return true
+	}
+	return false
+}
+
+// Reboot materializes the durable disk image under the policy as a
+// fresh unlimited FS: what a process restarting after power loss would
+// find.
+func (f *FS) Reboot(p Policy) *FS {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := New()
+	for d := range f.dirs {
+		out.dirs[d] = struct{}{}
+	}
+	for name, fl := range f.files {
+		n := len(fl.data)
+		if p == DropUnsynced {
+			n = fl.synced
+		}
+		data := make([]byte, n)
+		copy(data, fl.data[:n])
+		out.files[name] = &file{data: data, synced: n}
+	}
+	return out
+}
+
+func clean(name string) string { return path.Clean(strings.TrimPrefix(name, "/")) }
+
+func (f *FS) Create(name string) (vfs.File, error) {
+	name = clean(name)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.downLocked() {
+		return nil, fmt.Errorf("%w: create %s", ErrInjectedCrash, name)
+	}
+	if _, ok := f.dirs[path.Dir(name)]; !ok {
+		return nil, &fs.PathError{Op: "create", Path: name, Err: fs.ErrNotExist}
+	}
+	f.files[name] = &file{}
+	return &wfile{fs: f, name: name}, nil
+}
+
+func (f *FS) Open(name string) (vfs.File, error) {
+	name = clean(name)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	fl, ok := f.files[name]
+	if !ok {
+		return nil, &fs.PathError{Op: "open", Path: name, Err: fs.ErrNotExist}
+	}
+	data := make([]byte, len(fl.data))
+	copy(data, fl.data)
+	return &rfile{data: data}, nil
+}
+
+func (f *FS) List(dir string) ([]string, error) {
+	dir = clean(dir)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if _, ok := f.dirs[dir]; !ok {
+		return nil, &fs.PathError{Op: "open", Path: dir, Err: fs.ErrNotExist}
+	}
+	var names []string
+	for name := range f.files {
+		if path.Dir(name) == dir {
+			names = append(names, path.Base(name))
+		}
+	}
+	for d := range f.dirs {
+		if d != "." && path.Dir(d) == dir {
+			names = append(names, path.Base(d))
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+func (f *FS) Rename(oldname, newname string) error {
+	oldname, newname = clean(oldname), clean(newname)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.downLocked() {
+		return fmt.Errorf("%w: rename %s", ErrInjectedCrash, oldname)
+	}
+	fl, ok := f.files[oldname]
+	if !ok {
+		return &fs.PathError{Op: "rename", Path: oldname, Err: fs.ErrNotExist}
+	}
+	f.files[newname] = fl
+	delete(f.files, oldname)
+	return nil
+}
+
+func (f *FS) Remove(name string) error {
+	name = clean(name)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.downLocked() {
+		return fmt.Errorf("%w: remove %s", ErrInjectedCrash, name)
+	}
+	if _, ok := f.files[name]; !ok {
+		return &fs.PathError{Op: "remove", Path: name, Err: fs.ErrNotExist}
+	}
+	delete(f.files, name)
+	return nil
+}
+
+func (f *FS) MkdirAll(dir string) error {
+	dir = clean(dir)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.downLocked() {
+		return fmt.Errorf("%w: mkdir %s", ErrInjectedCrash, dir)
+	}
+	for d := dir; ; d = path.Dir(d) {
+		f.dirs[d] = struct{}{}
+		if d == "." || d == "/" {
+			break
+		}
+	}
+	return nil
+}
+
+func (f *FS) SyncDir(dir string) error {
+	dir = clean(dir)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.downLocked() {
+		return fmt.Errorf("%w: syncdir %s", ErrInjectedCrash, dir)
+	}
+	if _, ok := f.dirs[dir]; !ok {
+		return &fs.PathError{Op: "syncdir", Path: dir, Err: fs.ErrNotExist}
+	}
+	return nil
+}
+
+type wfile struct {
+	fs     *FS
+	name   string
+	closed bool
+}
+
+func (w *wfile) Write(p []byte) (int, error) {
+	w.fs.mu.Lock()
+	defer w.fs.mu.Unlock()
+	if w.closed {
+		return 0, fmt.Errorf("crashtest: write to closed file %s", w.name)
+	}
+	fl, ok := w.fs.files[w.name]
+	if !ok {
+		return 0, &fs.PathError{Op: "write", Path: w.name, Err: fs.ErrNotExist}
+	}
+	accept := len(p)
+	if w.fs.limit >= 0 {
+		if room := w.fs.limit - w.fs.written; int64(accept) > room {
+			if room < 0 {
+				room = 0
+			}
+			accept = int(room) // torn write: the pre-crash prefix lands
+		}
+	}
+	fl.data = append(fl.data, p[:accept]...)
+	w.fs.written += int64(accept)
+	if accept < len(p) {
+		w.fs.crashed = true
+		return accept, fmt.Errorf("%w: write %s", ErrInjectedCrash, w.name)
+	}
+	return accept, nil
+}
+
+func (w *wfile) Read([]byte) (int, error) {
+	return 0, fmt.Errorf("crashtest: file %s is write-only", w.name)
+}
+
+func (w *wfile) Sync() error {
+	w.fs.mu.Lock()
+	defer w.fs.mu.Unlock()
+	if w.fs.downLocked() {
+		return fmt.Errorf("%w: sync %s", ErrInjectedCrash, w.name)
+	}
+	if fl, ok := w.fs.files[w.name]; ok {
+		fl.synced = len(fl.data)
+	}
+	return nil
+}
+
+func (w *wfile) Close() error {
+	w.fs.mu.Lock()
+	defer w.fs.mu.Unlock()
+	w.closed = true
+	return nil
+}
+
+type rfile struct {
+	data []byte
+	off  int
+}
+
+func (r *rfile) Read(p []byte) (int, error) {
+	if r.off >= len(r.data) {
+		return 0, io.EOF
+	}
+	n := copy(p, r.data[r.off:])
+	r.off += n
+	return n, nil
+}
+
+func (r *rfile) Write([]byte) (int, error) {
+	return 0, errors.New("crashtest: file is read-only")
+}
+
+func (r *rfile) Sync() error { return nil }
+
+func (r *rfile) Close() error { return nil }

@@ -1,0 +1,170 @@
+package pagestore
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"runtime"
+	"syscall"
+	"testing"
+)
+
+// TestFileStoreReadOnlyDir asserts creation in an unwritable directory
+// fails with a wrapped OS error instead of a panic or a half-made store.
+func TestFileStoreReadOnlyDir(t *testing.T) {
+	if os.Geteuid() == 0 {
+		t.Skip("permission checks do not bind root")
+	}
+	dir := t.TempDir()
+	if err := os.Chmod(dir, 0o555); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chmod(dir, 0o755)
+	s, err := NewFileStore(filepath.Join(dir, "s.pag"), 256)
+	if err == nil {
+		s.Close()
+		t.Fatal("NewFileStore in read-only directory succeeded")
+	}
+	if !errors.Is(err, os.ErrPermission) {
+		t.Fatalf("error = %v, want wrapped os.ErrPermission", err)
+	}
+}
+
+// TestFileStoreDoubleClose asserts Close is idempotent and every
+// operation after it fails with the typed ErrClosed.
+func TestFileStoreDoubleClose(t *testing.T) {
+	s, err := NewFileStore(filepath.Join(t.TempDir(), "s.pag"), 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Allocate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("first Close: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if _, err := s.Allocate(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Allocate after Close = %v, want ErrClosed", err)
+	}
+	buf := make([]byte, 256)
+	if err := s.ReadPage(0, buf); !errors.Is(err, ErrClosed) {
+		t.Fatalf("ReadPage after Close = %v, want ErrClosed", err)
+	}
+	if err := s.WritePage(0, buf); !errors.Is(err, ErrClosed) {
+		t.Fatalf("WritePage after Close = %v, want ErrClosed", err)
+	}
+	if err := s.Free(0); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Free after Close = %v, want ErrClosed", err)
+	}
+}
+
+// TestFileStoreTypedErrors covers the validation rejections: unknown
+// page IDs and oversized payloads must fail typed, and a rejected
+// operation must not disturb data already on disk.
+func TestFileStoreTypedErrors(t *testing.T) {
+	s, err := NewFileStore(filepath.Join(t.TempDir(), "s.pag"), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	id, err := s.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := bytes.Repeat([]byte{0x5A}, 64)
+	if err := s.WritePage(id, want); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := s.ReadPage(id+1, make([]byte, 64)); !errors.Is(err, ErrPageNotFound) {
+		t.Fatalf("ReadPage unknown = %v, want ErrPageNotFound", err)
+	}
+	if err := s.WritePage(id+1, want); !errors.Is(err, ErrPageNotFound) {
+		t.Fatalf("WritePage unknown = %v, want ErrPageNotFound", err)
+	}
+	if err := s.Free(id + 1); !errors.Is(err, ErrPageNotFound) {
+		t.Fatalf("Free unknown = %v, want ErrPageNotFound", err)
+	}
+	if err := s.WritePage(id, make([]byte, 65)); !errors.Is(err, ErrPageSize) {
+		t.Fatalf("oversized WritePage = %v, want ErrPageSize", err)
+	}
+
+	got := make([]byte, 64)
+	if err := s.ReadPage(id, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("rejected operations corrupted the stored page")
+	}
+}
+
+// TestFileStoreENOSPC drives WritePage into a real out-of-space error
+// (/dev/full fails every write with ENOSPC): the error must wrap the
+// OS cause, and the store must stay usable — not panic, not poison —
+// so the workspace layer above can decide what to do.
+func TestFileStoreENOSPC(t *testing.T) {
+	if runtime.GOOS != "linux" {
+		t.Skip("/dev/full is Linux-specific")
+	}
+	f, err := os.OpenFile("/dev/full", os.O_RDWR, 0)
+	if err != nil {
+		t.Skipf("open /dev/full: %v", err)
+	}
+	s := &FileStore{f: f, pageSize: 512, next: 1, numPages: 1}
+	defer s.Close()
+	err = s.WritePage(0, bytes.Repeat([]byte{1}, 512))
+	if err == nil {
+		t.Fatal("WritePage to /dev/full succeeded")
+	}
+	if !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("error = %v, want wrapped ENOSPC", err)
+	}
+	// The store is not poisoned by a full disk: metadata operations and
+	// further attempts still answer with errors, not panics.
+	if err := s.Free(0); err != nil {
+		t.Fatalf("Free after ENOSPC: %v", err)
+	}
+	if got := s.NumPages(); got != 0 {
+		t.Fatalf("NumPages = %d, want 0", got)
+	}
+}
+
+// TestFileStoreShortRead asserts a read hitting a truncated backing
+// file (external interference) returns a wrapped error rather than
+// serving a partial page, and that rewriting the page heals it.
+func TestFileStoreShortRead(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "s.pag")
+	s, err := NewFileStore(path, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	id, err := s.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := bytes.Repeat([]byte{0xC3}, 128)
+	if err := s.WritePage(id, want); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, 16); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ReadPage(id, make([]byte, 128)); err == nil {
+		t.Fatal("ReadPage served a page from a truncated file")
+	}
+	if err := s.WritePage(id, want); err != nil {
+		t.Fatalf("rewrite after truncation: %v", err)
+	}
+	got := make([]byte, 128)
+	if err := s.ReadPage(id, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("healed page does not match the rewrite")
+	}
+}

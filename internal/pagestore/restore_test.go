@@ -1,0 +1,86 @@
+package pagestore
+
+import (
+	"sort"
+	"testing"
+)
+
+func TestSetBaseEpoch(t *testing.T) {
+	vs := newVersionedMem(t, 128)
+	id, _ := vs.Allocate()
+	writeByte(t, vs, id, 1)
+	vs.SetBaseEpoch(41) // rebase before the first publish
+	if got := vs.Publish(); got != 42 {
+		t.Fatalf("publish after rebase = %d, want 42", got)
+	}
+	snap := vs.Acquire()
+	defer snap.Release()
+	if e := snap.Epoch(); e != 42 {
+		t.Fatalf("snapshot epoch = %d", e)
+	}
+	if b := readByte(t, snap.ReadPage, vs.PageSize(), id); b != 1 {
+		t.Fatalf("page byte = %d", b)
+	}
+}
+
+func TestSetBaseEpochPanicsAfterPublish(t *testing.T) {
+	vs := newVersionedMem(t, 128)
+	vs.Publish()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SetBaseEpoch after Publish did not panic")
+		}
+	}()
+	vs.SetBaseEpoch(7)
+}
+
+func TestCurrentPages(t *testing.T) {
+	vs := newVersionedMem(t, 128)
+	var ids []PageID
+	for i := 0; i < 5; i++ {
+		id, err := vs.Allocate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+		writeByte(t, vs, id, byte(i+1))
+	}
+	// Free one in the middle: it must not be imaged.
+	if err := vs.Free(ids[2]); err != nil {
+		t.Fatal(err)
+	}
+	vs.Publish()
+	// Overwrite a page after publish: CurrentPages must see the newest
+	// bytes, not the published ones.
+	writeByte(t, vs, ids[0], 99)
+
+	got := map[PageID]byte{}
+	var order []PageID
+	err := vs.CurrentPages(func(id PageID, data []byte) error {
+		got[id] = data[0]
+		order = append(order, id)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 4 {
+		t.Fatalf("imaged %d pages, want 4", len(got))
+	}
+	if _, ok := got[ids[2]]; ok {
+		t.Fatal("freed page imaged")
+	}
+	if got[ids[0]] != 99 {
+		t.Fatalf("stale bytes for rewritten page: %d", got[ids[0]])
+	}
+	if got[ids[4]] != 5 {
+		t.Fatalf("page %d byte = %d", ids[4], got[ids[4]])
+	}
+	if !sort.SliceIsSorted(order, func(i, j int) bool { return order[i] < order[j] }) {
+		t.Fatalf("pages not visited in ascending ID order: %v", order)
+	}
+	// The walk is read-only: physical I/O counters stay untouched.
+	if io := vs.IO().Snapshot(); io.PhysicalReads != 0 {
+		t.Fatalf("CurrentPages issued %d physical reads", io.PhysicalReads)
+	}
+}

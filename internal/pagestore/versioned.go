@@ -2,6 +2,7 @@ package pagestore
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -267,6 +268,59 @@ func (s *VersionedStore) Close() error {
 	}
 	s.closed = true
 	return s.inner.Close()
+}
+
+// SetBaseEpoch rebases a freshly created store onto a recovered epoch
+// lineage: the store behaves as if `published` epochs had already been
+// sealed, so the writer builds epoch published+1 and the next Publish
+// returns it. Restore uses this so a reopened workspace continues the
+// exact epoch sequence of the one that saved the snapshot — WAL record
+// epochs line up across the crash. Only valid on a store with no
+// published history and no live snapshots (i.e. right after
+// NewVersioned); panics otherwise, since rebasing live history would
+// corrupt every version chain.
+func (s *VersionedStore) SetBaseEpoch(published uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.current != 0 || len(s.readers) != 0 {
+		panic("pagestore: SetBaseEpoch on a store with history")
+	}
+	base := published + 1
+	for _, ch := range s.chains {
+		for _, v := range ch.versions {
+			v.epoch = base
+		}
+	}
+	s.current = published
+	s.writer = base
+}
+
+// CurrentPages visits the current bytes of every live page in ascending
+// page ID order. The bytes come from the in-memory version chains (the
+// last version of a chain always mirrors the inner store), so the walk
+// performs no inner-store I/O and leaves the physical counters — the
+// paper's metric — untouched. The caller must serialize with the
+// writer; the data slice is only valid during the callback.
+func (s *VersionedStore) CurrentPages(fn func(id PageID, data []byte) error) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return ErrClosed
+	}
+	ids := make([]PageID, 0, len(s.chains))
+	for id, ch := range s.chains {
+		if ch.freedAt == 0 {
+			ids = append(ids, id)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		ch := s.chains[id]
+		if err := fn(id, ch.versions[len(ch.versions)-1].data); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Publish seals the epoch under construction and returns it: every

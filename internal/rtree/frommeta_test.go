@@ -1,0 +1,82 @@
+package rtree
+
+import (
+	"math/rand"
+	"testing"
+
+	"fairassign/internal/pagestore"
+)
+
+// TestFromMetaReattach builds a tree, detaches (keeping only the page
+// bytes and the Meta header), reattaches with FromMeta over a fresh
+// pool, and checks the reattached tree serves identical queries — the
+// warm-start path recovery uses.
+func TestFromMetaReattach(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	store := pagestore.NewMemStore(512)
+	pool := pagestore.NewBufferPool(store, 1024)
+	items := randItems(rng, 300, 3)
+	tr, err := BulkLoad(pool, 3, items, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A few deletes so the structure isn't pristine.
+	for i := 0; i < 30; i++ {
+		if err := tr.Delete(items[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := pool.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	meta := tr.Meta()
+
+	pool2 := pagestore.NewBufferPool(store, 1024)
+	tr2, err := FromMeta(pool2, 3, meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr2.Len() != tr.Len() {
+		t.Fatalf("size = %d, want %d", tr2.Len(), tr.Len())
+	}
+	if err := tr2.CheckInvariants(); err != nil {
+		t.Fatalf("reattached tree invariants: %v", err)
+	}
+	want := collect(t, tr)
+	got := collect(t, tr2)
+	if len(want) != len(got) {
+		t.Fatalf("reattached tree has %d items, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if want[i].ID != got[i].ID || !want[i].Point.Equal(got[i].Point) {
+			t.Fatalf("item %d: %+v != %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func collect(t *testing.T, tr *Tree) []Item {
+	t.Helper()
+	out, err := tr.Items()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sortItems(out)
+	return out
+}
+
+func TestFromMetaValidation(t *testing.T) {
+	store := pagestore.NewMemStore(512)
+	pool := pagestore.NewBufferPool(store, 8)
+	if _, err := FromMeta(pool, 0, Meta{Root: 0, Height: 1}); err == nil {
+		t.Fatal("dims 0 accepted")
+	}
+	if _, err := FromMeta(pool, 2, Meta{Root: pagestore.InvalidPage, Height: 1}); err == nil {
+		t.Fatal("invalid root accepted")
+	}
+	if _, err := FromMeta(pool, 2, Meta{Root: 0, Height: 0}); err == nil {
+		t.Fatal("height 0 accepted")
+	}
+	if _, err := FromMeta(pool, 2, Meta{Root: 0, Height: 1, Size: -1}); err == nil {
+		t.Fatal("negative size accepted")
+	}
+}

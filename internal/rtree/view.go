@@ -1,6 +1,8 @@
 package rtree
 
 import (
+	"fmt"
+
 	"fairassign/internal/geom"
 	"fairassign/internal/pagestore"
 )
@@ -36,6 +38,37 @@ type Meta struct {
 // serialization point as the page snapshot (e.g. under the single
 // writer's lock) or the view's root may dangle.
 func (t *Tree) Meta() Meta { return Meta{Root: t.root, Height: t.height, Size: t.size} }
+
+// FromMeta reattaches a live tree to pages that already exist in the
+// pool's store — the restore half of snapshot serialization: the page
+// images carry the node contents, the Meta carries the entry point, and
+// together they reproduce the exact tree that was saved, no bulk load
+// and no re-solve. The caller is responsible for the pages being a
+// consistent image captured with this Meta (the snapshot layer's
+// checksums enforce that).
+func FromMeta(pool *pagestore.BufferPool, dims int, meta Meta) (*Tree, error) {
+	if dims < 1 {
+		return nil, fmt.Errorf("rtree: invalid dimensionality %d", dims)
+	}
+	if meta.Root == pagestore.InvalidPage || meta.Height < 1 || meta.Size < 0 {
+		return nil, fmt.Errorf("rtree: invalid meta %+v", meta)
+	}
+	t := &Tree{pool: pool, dims: dims, root: pagestore.InvalidPage}
+	t.decode = func(id pagestore.PageID, data []byte) (any, error) {
+		return decodeNode(id, data, t.dims)
+	}
+	t.maxLeaf = leafCapacity(pool.PageSize(), dims)
+	t.maxInternal = internalCapacity(pool.PageSize(), dims)
+	if t.maxLeaf < 2 || t.maxInternal < 2 {
+		return nil, fmt.Errorf("rtree: page size %d too small for %d dims", pool.PageSize(), dims)
+	}
+	t.minLeaf = max(1, int(minFillRatio*float64(t.maxLeaf)))
+	t.minInternal = max(1, int(minFillRatio*float64(t.maxInternal)))
+	t.setRoot(meta.Root)
+	t.height = meta.Height
+	t.size = meta.Size
+	return t, nil
+}
 
 // View is a read-only R-tree frozen at one pagestore epoch: node reads
 // resolve page versions through the snapshot (with the per-version

@@ -1,0 +1,111 @@
+package snapshot
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// ErrBadBatch marks a WAL batch payload that cannot be decoded. The WAL
+// layer checksums every record, so hitting this during replay means the
+// log diverged from the workspace that wrote it — a typed error, never
+// a panic.
+var ErrBadBatch = errors.New("snapshot: bad mutation batch")
+
+// Mutation kinds on the wire (match assign.MutationKind values).
+const (
+	BatchAddObject      = 1
+	BatchRemoveObject   = 2
+	BatchAddFunction    = 3
+	BatchRemoveFunction = 4
+)
+
+// MutationRec is one logged mutation in engine form: scorer families
+// already resolved and weights already normalized, so replay bypasses
+// the public translation layer and reapplies exactly what was applied.
+type MutationRec struct {
+	Kind     uint8
+	ID       uint64      // remove-object / remove-function target
+	Object   ObjectRec   // add-object payload
+	Function FunctionRec // add-function payload
+}
+
+// EncodeBatch serializes one Apply batch for a WAL record payload.
+func EncodeBatch(muts []MutationRec) []byte {
+	var e enc
+	e.u32(uint32(len(muts)))
+	for i := range muts {
+		m := &muts[i]
+		e.b = append(e.b, m.Kind)
+		switch m.Kind {
+		case BatchAddObject:
+			e.u64(m.Object.ID).i64(m.Object.Capacity).u32(uint32(len(m.Object.Point)))
+			for _, v := range m.Object.Point {
+				e.f64(v)
+			}
+		case BatchAddFunction:
+			f := &m.Function
+			e.u64(f.ID).i64(f.Capacity).f64(f.Gamma).u32(f.FamKind).f64(f.FamP)
+			e.u32(uint32(len(f.Weights)))
+			for _, v := range f.Weights {
+				e.f64(v)
+			}
+		default:
+			e.u64(m.ID)
+		}
+	}
+	return e.take()
+}
+
+// DecodeBatch parses one WAL record payload. Malformed input returns an
+// error wrapping ErrBadBatch; allocations are bounded by len(data).
+func DecodeBatch(data []byte) ([]MutationRec, error) {
+	if len(data) < 4 {
+		return nil, fmt.Errorf("%w: short payload", ErrBadBatch)
+	}
+	n := binary.LittleEndian.Uint32(data)
+	r := dec{b: data[4:]}
+	// Every mutation costs at least kind + one u64.
+	if uint64(n) > uint64(r.len())/9+1 {
+		return nil, fmt.Errorf("%w: implausible mutation count %d", ErrBadBatch, n)
+	}
+	muts := make([]MutationRec, 0, n)
+	for i := uint32(0); i < n; i++ {
+		if r.err != nil || r.len() < 1 {
+			return nil, fmt.Errorf("%w: truncated at mutation %d", ErrBadBatch, i)
+		}
+		kind := r.b[0]
+		r.b = r.b[1:]
+		m := MutationRec{Kind: kind}
+		switch kind {
+		case BatchAddObject:
+			m.Object.ID, m.Object.Capacity = r.u64(), r.i64()
+			dims := r.u32()
+			if r.err != nil || dims > maxDims || uint64(dims) > uint64(r.len())/8 {
+				return nil, fmt.Errorf("%w: bad point dims at mutation %d", ErrBadBatch, i)
+			}
+			m.Object.Point = r.f64s(int(dims))
+		case BatchAddFunction:
+			f := &m.Function
+			f.ID, f.Capacity, f.Gamma = r.u64(), r.i64(), r.f64()
+			f.FamKind, f.FamP = r.u32(), r.f64()
+			dims := r.u32()
+			if r.err != nil || dims > maxDims || uint64(dims) > uint64(r.len())/8 {
+				return nil, fmt.Errorf("%w: bad weight dims at mutation %d", ErrBadBatch, i)
+			}
+			f.Weights = r.f64s(int(dims))
+		case BatchRemoveObject, BatchRemoveFunction:
+			m.ID = r.u64()
+		default:
+			return nil, fmt.Errorf("%w: unknown mutation kind %d", ErrBadBatch, kind)
+		}
+		if r.err != nil {
+			return nil, fmt.Errorf("%w: truncated at mutation %d", ErrBadBatch, i)
+		}
+		muts = append(muts, m)
+	}
+	if r.len() != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrBadBatch, r.len())
+	}
+	return muts, nil
+}

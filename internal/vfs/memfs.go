@@ -1,0 +1,198 @@
+package vfs
+
+import (
+	"fmt"
+	"io"
+	"io/fs"
+	"path"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// MemFS is a plain in-memory FS for tests: always-durable (every write
+// is immediately "synced"), no fault injection. The crash harness in
+// internal/crashtest implements the torn-write fault model separately.
+type MemFS struct {
+	mu    sync.Mutex
+	dirs  map[string]struct{}
+	files map[string][]byte
+}
+
+// NewMem returns an empty in-memory filesystem with only the root
+// directory present.
+func NewMem() *MemFS {
+	return &MemFS{
+		dirs:  map[string]struct{}{".": {}},
+		files: make(map[string][]byte),
+	}
+}
+
+func memClean(name string) string { return path.Clean(strings.TrimPrefix(name, "/")) }
+
+func (m *MemFS) Create(name string) (File, error) {
+	name = memClean(name)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.dirs[path.Dir(name)]; !ok {
+		return nil, &fs.PathError{Op: "create", Path: name, Err: fs.ErrNotExist}
+	}
+	m.files[name] = nil
+	return &memWFile{fs: m, name: name}, nil
+}
+
+func (m *MemFS) Open(name string) (File, error) {
+	name = memClean(name)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	data, ok := m.files[name]
+	if !ok {
+		return nil, &fs.PathError{Op: "open", Path: name, Err: fs.ErrNotExist}
+	}
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	return &memRFile{data: cp}, nil
+}
+
+func (m *MemFS) List(dir string) ([]string, error) {
+	dir = memClean(dir)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.dirs[dir]; !ok {
+		return nil, &fs.PathError{Op: "open", Path: dir, Err: fs.ErrNotExist}
+	}
+	var names []string
+	for name := range m.files {
+		if path.Dir(name) == dir {
+			names = append(names, path.Base(name))
+		}
+	}
+	for d := range m.dirs {
+		if d != "." && path.Dir(d) == dir {
+			names = append(names, path.Base(d))
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+func (m *MemFS) Rename(oldname, newname string) error {
+	oldname, newname = memClean(oldname), memClean(newname)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	data, ok := m.files[oldname]
+	if !ok {
+		return &fs.PathError{Op: "rename", Path: oldname, Err: fs.ErrNotExist}
+	}
+	m.files[newname] = data
+	delete(m.files, oldname)
+	return nil
+}
+
+func (m *MemFS) Remove(name string) error {
+	name = memClean(name)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.files[name]; !ok {
+		return &fs.PathError{Op: "remove", Path: name, Err: fs.ErrNotExist}
+	}
+	delete(m.files, name)
+	return nil
+}
+
+func (m *MemFS) MkdirAll(dir string) error {
+	dir = memClean(dir)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for d := dir; ; d = path.Dir(d) {
+		m.dirs[d] = struct{}{}
+		if d == "." || d == "/" {
+			break
+		}
+	}
+	return nil
+}
+
+func (m *MemFS) SyncDir(dir string) error {
+	dir = memClean(dir)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.dirs[dir]; !ok {
+		return &fs.PathError{Op: "syncdir", Path: dir, Err: fs.ErrNotExist}
+	}
+	return nil
+}
+
+// ReadAll returns a copy of a file's bytes (test helper).
+func (m *MemFS) ReadAll(name string) ([]byte, error) {
+	name = memClean(name)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	data, ok := m.files[name]
+	if !ok {
+		return nil, &fs.PathError{Op: "read", Path: name, Err: fs.ErrNotExist}
+	}
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	return cp, nil
+}
+
+// WriteAll replaces a file's bytes wholesale (test helper for
+// corruption injection).
+func (m *MemFS) WriteAll(name string, data []byte) {
+	name = memClean(name)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	m.files[name] = cp
+}
+
+type memWFile struct {
+	fs     *MemFS
+	name   string
+	closed bool
+}
+
+func (f *memWFile) Write(p []byte) (int, error) {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	if f.closed {
+		return 0, fmt.Errorf("vfs: write to closed file %s", f.name)
+	}
+	f.fs.files[f.name] = append(f.fs.files[f.name], p...)
+	return len(p), nil
+}
+
+func (f *memWFile) Read([]byte) (int, error) {
+	return 0, fmt.Errorf("vfs: file %s is write-only", f.name)
+}
+
+func (f *memWFile) Sync() error { return nil }
+
+func (f *memWFile) Close() error {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	f.closed = true
+	return nil
+}
+
+type memRFile struct {
+	data []byte
+	off  int
+}
+
+func (f *memRFile) Read(p []byte) (int, error) {
+	if f.off >= len(f.data) {
+		return 0, io.EOF
+	}
+	n := copy(p, f.data[f.off:])
+	f.off += n
+	return n, nil
+}
+
+func (f *memRFile) Write([]byte) (int, error) { return 0, fmt.Errorf("vfs: file is read-only") }
+
+func (f *memRFile) Sync() error { return nil }
+
+func (f *memRFile) Close() error { return nil }

@@ -1,0 +1,224 @@
+package wal
+
+import (
+	"errors"
+	"path"
+	"testing"
+
+	"fairassign/internal/vfs"
+)
+
+func TestRoundTrip(t *testing.T) {
+	fs := vfs.NewMem()
+	if err := fs.MkdirAll("dur"); err != nil {
+		t.Fatal(err)
+	}
+	w, err := Create(fs, "dur", 1, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payloads := [][]byte{[]byte("alpha"), []byte(""), []byte("a longer third record payload")}
+	for i, p := range payloads {
+		if err := w.Append(uint64(8+i), p); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	segs, err := ListSegments(fs, "dur")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) != 1 || segs[0].Seq != 1 {
+		t.Fatalf("segments = %+v", segs)
+	}
+	if _, base, err := ReadHeader(fs, "dur", segs[0].Name); err != nil || base != 7 {
+		t.Fatalf("header base = %d, err = %v", base, err)
+	}
+	sd, err := ReadSegment(fs, "dur", segs[0].Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sd.TornError != nil {
+		t.Fatalf("unexpected torn error: %v", sd.TornError)
+	}
+	if len(sd.Records) != len(payloads) {
+		t.Fatalf("got %d records, want %d", len(sd.Records), len(payloads))
+	}
+	for i, rec := range sd.Records {
+		if rec.Epoch != uint64(8+i) {
+			t.Errorf("record %d epoch = %d", i, rec.Epoch)
+		}
+		if string(rec.Payload) != string(payloads[i]) {
+			t.Errorf("record %d payload = %q", i, rec.Payload)
+		}
+	}
+}
+
+func TestAppendEpochContiguity(t *testing.T) {
+	fs := vfs.NewMem()
+	fs.MkdirAll("dur")
+	w, err := Create(fs, "dur", 1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(12, []byte("skip")); err == nil {
+		t.Fatal("append with epoch gap succeeded")
+	}
+	if err := w.Append(11, []byte("ok")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(11, []byte("repeat")); err == nil {
+		t.Fatal("append with repeated epoch succeeded")
+	}
+}
+
+func TestTornTailTruncated(t *testing.T) {
+	fs := vfs.NewMem()
+	fs.MkdirAll("dur")
+	w, err := Create(fs, "dur", 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for e := uint64(1); e <= 3; e++ {
+		if err := w.Append(e, []byte{byte(e), 0xAA, 0xBB}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.Close()
+
+	name := SegmentName(3)
+	full, err := fs.ReadAll(path.Join("dur", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Chop the file at every byte past the header: the intact record
+	// prefix must come back, the tail flagged ErrTornWrite, no panic.
+	for cut := headerSize; cut < len(full); cut++ {
+		fs.WriteAll(path.Join("dur", name), full[:cut])
+		sd, err := ReadSegment(fs, "dur", name)
+		if err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		recSize := (len(full) - headerSize) / 3
+		wantIntact := (cut - headerSize) / recSize
+		if len(sd.Records) != wantIntact {
+			t.Fatalf("cut %d: %d intact records, want %d", cut, len(sd.Records), wantIntact)
+		}
+		if cut == headerSize+wantIntact*recSize {
+			// Clean record boundary: no torn tail.
+			if sd.TornError != nil {
+				t.Fatalf("cut %d: unexpected torn error %v", cut, sd.TornError)
+			}
+		} else if !errors.Is(sd.TornError, ErrTornWrite) {
+			t.Fatalf("cut %d: torn error = %v, want ErrTornWrite", cut, sd.TornError)
+		}
+	}
+}
+
+func TestBitFlipDetected(t *testing.T) {
+	fs := vfs.NewMem()
+	fs.MkdirAll("dur")
+	w, _ := Create(fs, "dur", 1, 0)
+	w.Append(1, []byte("payload-one"))
+	w.Append(2, []byte("payload-two"))
+	w.Close()
+
+	name := SegmentName(1)
+	full, _ := fs.ReadAll(path.Join("dur", name))
+	for bit := headerSize * 8; bit < len(full)*8; bit += 7 {
+		mut := make([]byte, len(full))
+		copy(mut, full)
+		mut[bit/8] ^= 1 << (bit % 8)
+		fs.WriteAll(path.Join("dur", name), mut)
+		sd, err := ReadSegment(fs, "dur", name)
+		if err != nil {
+			t.Fatalf("bit %d: %v", bit, err)
+		}
+		// A flipped bit may land in record 1 or record 2; either way the
+		// damaged record and everything after must be dropped with a
+		// typed error, and surviving records must be byte-identical.
+		if sd.TornError == nil {
+			t.Fatalf("bit %d: corruption not detected", bit)
+		}
+		if !errors.Is(sd.TornError, ErrTornWrite) {
+			t.Fatalf("bit %d: error %v not ErrTornWrite", bit, sd.TornError)
+		}
+		if len(sd.Records) > 1 {
+			t.Fatalf("bit %d: %d records survived a mid-file flip", bit, len(sd.Records))
+		}
+		if len(sd.Records) == 1 && string(sd.Records[0].Payload) != "payload-one" {
+			t.Fatalf("bit %d: surviving record corrupted: %q", bit, sd.Records[0].Payload)
+		}
+	}
+}
+
+func TestBadHeader(t *testing.T) {
+	fs := vfs.NewMem()
+	fs.MkdirAll("dur")
+	w, _ := Create(fs, "dur", 1, 5)
+	w.Close()
+	name := SegmentName(1)
+	full, _ := fs.ReadAll(path.Join("dur", name))
+
+	// Truncated header.
+	fs.WriteAll(path.Join("dur", name), full[:headerSize-1])
+	if _, err := ReadSegment(fs, "dur", name); !errors.Is(err, ErrBadSegment) {
+		t.Fatalf("truncated header: err = %v", err)
+	}
+	// Corrupt magic.
+	mut := make([]byte, len(full))
+	copy(mut, full)
+	mut[0] ^= 0xFF
+	fs.WriteAll(path.Join("dur", name), mut)
+	if _, err := ReadSegment(fs, "dur", name); !errors.Is(err, ErrBadSegment) {
+		t.Fatalf("bad magic: err = %v", err)
+	}
+	if _, _, err := ReadHeader(fs, "dur", name); !errors.Is(err, ErrBadSegment) {
+		t.Fatalf("ReadHeader bad magic: err = %v", err)
+	}
+
+	// Name/seq mismatch.
+	fs.WriteAll(path.Join("dur", SegmentName(2)), full)
+	if _, err := ReadSegment(fs, "dur", SegmentName(2)); !errors.Is(err, ErrBadSegment) {
+		t.Fatalf("seq mismatch: err = %v", err)
+	}
+}
+
+func TestReadHeader(t *testing.T) {
+	fs := vfs.NewMem()
+	fs.MkdirAll("dur")
+	w, _ := Create(fs, "dur", 9, 42)
+	w.Append(43, []byte("x"))
+	w.Close()
+	seq, base, err := ReadHeader(fs, "dur", SegmentName(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != 9 || base != 42 {
+		t.Fatalf("seq=%d base=%d", seq, base)
+	}
+}
+
+func TestClosedWriter(t *testing.T) {
+	fs := vfs.NewMem()
+	fs.MkdirAll("dur")
+	w, _ := Create(fs, "dur", 1, 0)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+	if err := w.Append(1, []byte("x")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("append after close: %v", err)
+	}
+	if err := w.Sync(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("sync after close: %v", err)
+	}
+}

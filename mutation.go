@@ -1,10 +1,12 @@
 package fairassign
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"fairassign/internal/assign"
 	"fairassign/internal/geom"
@@ -166,38 +168,72 @@ type queued struct {
 type MutationQueue struct {
 	ws        *Workspace
 	maxBatch  int
+	retries   int
+	backoff   time.Duration
 	ch        chan queued
 	pumpDone  chan struct{}
 	closing   sync.RWMutex
 	closed    bool
 	mutations atomic.Int64
 	batches   atomic.Int64
+	retried   atomic.Int64
+	dropped   atomic.Int64
 }
 
 // DefaultMaxBatch is the group-commit batch cap used when
 // NewMutationQueue is given maxBatch <= 0.
 const DefaultMaxBatch = 128
 
+// QueueOptions configures a MutationQueue. The zero value means
+// DefaultMaxBatch, one individual attempt per mutation after a failed
+// batch, and no backoff — the same behavior as NewMutationQueue.
+type QueueOptions struct {
+	// MaxBatch caps the number of mutations coalesced into one commit
+	// (<= 0 means DefaultMaxBatch).
+	MaxBatch int
+	// MaxRetries bounds the individual Apply attempts per mutation when
+	// its group commit fails (<= 0 means 1: each batch-mate is tried
+	// once on its own, never re-tried). Attempts past the first only
+	// help when failures are transient; deterministic validation errors
+	// fail every attempt and are simply delayed by the backoff.
+	MaxRetries int
+	// RetryBackoff is the sleep between successive attempts of the same
+	// mutation. The pump sleeps, so backoff delays everything queued
+	// behind the failing mutation — keep it small.
+	RetryBackoff time.Duration
+}
+
 // NewMutationQueue starts the pump over the given workspace. maxBatch
 // caps the number of mutations coalesced into one commit (<= 0 means
 // DefaultMaxBatch). The queue does not own the workspace: Close stops
 // the pump but leaves the workspace open.
 func NewMutationQueue(ws *Workspace, maxBatch int) *MutationQueue {
-	mq := newMutationQueue(ws, maxBatch)
+	return NewMutationQueueOpts(ws, QueueOptions{MaxBatch: maxBatch})
+}
+
+// NewMutationQueueOpts starts the pump with explicit retry and backoff
+// policy; see QueueOptions.
+func NewMutationQueueOpts(ws *Workspace, qo QueueOptions) *MutationQueue {
+	mq := newMutationQueue(ws, qo)
 	go mq.pump()
 	return mq
 }
 
 // newMutationQueue builds the queue without starting the pump; tests
 // use it to pre-load the channel and observe deterministic coalescing.
-func newMutationQueue(ws *Workspace, maxBatch int) *MutationQueue {
-	if maxBatch <= 0 {
-		maxBatch = DefaultMaxBatch
+func newMutationQueue(ws *Workspace, qo QueueOptions) *MutationQueue {
+	if qo.MaxBatch <= 0 {
+		qo.MaxBatch = DefaultMaxBatch
+	}
+	if qo.MaxRetries <= 0 {
+		qo.MaxRetries = 1
 	}
 	return &MutationQueue{
 		ws:       ws,
-		maxBatch: maxBatch,
-		ch:       make(chan queued, 4*maxBatch),
+		maxBatch: qo.MaxBatch,
+		retries:  qo.MaxRetries,
+		backoff:  qo.RetryBackoff,
+		ch:       make(chan queued, 4*qo.MaxBatch),
 		pumpDone: make(chan struct{}),
 	}
 }
@@ -216,6 +252,40 @@ func (mq *MutationQueue) Enqueue(m Mutation) <-chan error {
 	}
 	mq.ch <- queued{m: m, errc: errc}
 	return errc
+}
+
+// EnqueueCtx submits one mutation and blocks until its group commit
+// (or individual retry) lands, the queue is closed, or ctx is done. A
+// ctx expiry while still waiting for queue admission abandons the
+// mutation — it will never commit, and counts as Dropped in Stats. An
+// expiry after admission only abandons the wait: the mutation is
+// already owned by the pump and still commits (or fails) normally.
+// Safe for concurrent use.
+func (mq *MutationQueue) EnqueueCtx(ctx context.Context, m Mutation) error {
+	if err := ctx.Err(); err != nil {
+		mq.dropped.Add(1)
+		return err
+	}
+	errc := make(chan error, 1)
+	mq.closing.RLock()
+	if mq.closed {
+		mq.closing.RUnlock()
+		return ErrQueueClosed
+	}
+	select {
+	case mq.ch <- queued{m: m, errc: errc}:
+		mq.closing.RUnlock()
+	case <-ctx.Done():
+		mq.closing.RUnlock()
+		mq.dropped.Add(1)
+		return ctx.Err()
+	}
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		return ctx.Err()
+	}
 }
 
 // Close stops accepting new mutations, waits for everything already
@@ -241,11 +311,21 @@ type QueueStats struct {
 	// factor.
 	Mutations int64
 	Batches   int64
+	// Retries counts individual Apply attempts beyond each mutation's
+	// first (only possible with QueueOptions.MaxRetries > 1); Dropped
+	// counts mutations abandoned by EnqueueCtx before queue admission.
+	Retries int64
+	Dropped int64
 }
 
 // Stats returns a point-in-time snapshot of the queue counters.
 func (mq *MutationQueue) Stats() QueueStats {
-	return QueueStats{Mutations: mq.mutations.Load(), Batches: mq.batches.Load()}
+	return QueueStats{
+		Mutations: mq.mutations.Load(),
+		Batches:   mq.batches.Load(),
+		Retries:   mq.retried.Load(),
+		Dropped:   mq.dropped.Load(),
+	}
 }
 
 // pump is the single consumer: block for one mutation, opportunistically
@@ -292,10 +372,25 @@ func (mq *MutationQueue) commit(batch []queued) {
 		}
 	default:
 		// A validation error rejected the whole batch atomically; retry
-		// individually so only the offending mutations fail.
+		// individually so only the offending mutations fail. Each
+		// mutation gets up to maxRetries attempts with backoff between
+		// them; corruption is fatal and never re-tried.
 		for _, q := range batch {
-			mq.batches.Add(1)
-			q.errc <- mq.ws.Apply([]Mutation{q.m})
+			var err error
+			for attempt := 0; attempt < mq.retries; attempt++ {
+				if attempt > 0 {
+					mq.retried.Add(1)
+					if mq.backoff > 0 {
+						time.Sleep(mq.backoff)
+					}
+				}
+				mq.batches.Add(1)
+				err = mq.ws.Apply([]Mutation{q.m})
+				if err == nil || errors.Is(err, ErrWorkspaceCorrupt) {
+					break
+				}
+			}
+			q.errc <- err
 		}
 	}
 }

@@ -1,10 +1,12 @@
 package fairassign
 
 import (
+	"context"
 	"errors"
 	"math"
 	"sync"
 	"testing"
+	"time"
 )
 
 // applyWorkspace builds a small workspace for the Apply/queue tests.
@@ -104,7 +106,7 @@ func TestMutationQueueGroupCommit(t *testing.T) {
 	// Pre-load the whole burst before starting the pump (the channel
 	// holds 4*maxBatch = 256), so the coalescing is deterministic:
 	// ceil(200/64) batches instead of a scheduling-dependent count.
-	q := newMutationQueue(ws, 64)
+	q := newMutationQueue(ws, QueueOptions{MaxBatch: 64})
 	const n = 200
 	var wg sync.WaitGroup
 	errs := make([]<-chan error, n)
@@ -177,5 +179,100 @@ func TestMutationQueueIsolatesBadMutations(t *testing.T) {
 	}
 	if err := ws.Verify(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestEnqueueCtx covers the context-aware submission path: a live
+// context commits synchronously, a canceled context before admission
+// drops the mutation and counts it, and Close still yields
+// ErrQueueClosed.
+func TestEnqueueCtx(t *testing.T) {
+	ws := applyWorkspace(t)
+	q := NewMutationQueue(ws, 64)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := q.EnqueueCtx(ctx, AddObjectOp(Object{ID: 7000, Attributes: []float64{0.5, 0.5}})); err != nil {
+		t.Fatalf("EnqueueCtx: %v", err)
+	}
+	if err := q.EnqueueCtx(ctx, AddObjectOp(Object{ID: 7000, Attributes: []float64{0.5, 0.5}})); !errors.Is(err, ErrDuplicateID) {
+		t.Fatalf("duplicate EnqueueCtx error = %v, want ErrDuplicateID", err)
+	}
+	if ws.Stats().Objects != 61 {
+		t.Fatalf("Objects = %d, want 61", ws.Stats().Objects)
+	}
+
+	// An already-expired context never admits the mutation.
+	dead, deadCancel := context.WithCancel(context.Background())
+	deadCancel()
+	if err := q.EnqueueCtx(dead, AddObjectOp(Object{ID: 7001, Attributes: []float64{0.4, 0.4}})); !errors.Is(err, context.Canceled) {
+		t.Fatalf("expired EnqueueCtx error = %v, want context.Canceled", err)
+	}
+	qs := q.Stats()
+	if qs.Dropped != 1 {
+		t.Fatalf("Dropped = %d, want 1", qs.Dropped)
+	}
+	if ws.Stats().Objects != 61 {
+		t.Fatalf("dropped mutation landed: Objects = %d, want 61", ws.Stats().Objects)
+	}
+
+	q.Close()
+	if err := q.EnqueueCtx(ctx, RemoveObjectOp(7000)); !errors.Is(err, ErrQueueClosed) {
+		t.Fatalf("EnqueueCtx after Close = %v, want ErrQueueClosed", err)
+	}
+}
+
+// TestEnqueueCtxExpiredSend asserts a blocked sender gives up when its
+// context expires while the channel is full (pump not started), and
+// that the abandoned mutation never commits.
+func TestEnqueueCtxExpiredSend(t *testing.T) {
+	ws := applyWorkspace(t)
+	q := newMutationQueue(ws, QueueOptions{MaxBatch: 1}) // channel capacity 4, pump never started
+	for i := 0; i < 4; i++ {
+		q.Enqueue(AddObjectOp(Object{ID: uint64(7100 + i), Attributes: []float64{0.5, 0.5}}))
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if err := q.EnqueueCtx(ctx, AddObjectOp(Object{ID: 7200, Attributes: []float64{0.5, 0.5}})); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("full-queue EnqueueCtx error = %v, want context.DeadlineExceeded", err)
+	}
+	if got := q.Stats().Dropped; got != 1 {
+		t.Fatalf("Dropped = %d, want 1", got)
+	}
+	go q.pump()
+	q.Close()
+	if got := ws.Stats().Objects; got != 64 {
+		t.Fatalf("Objects = %d, want 64 (4 queued landed, dropped one did not)", got)
+	}
+}
+
+// TestQueueRetryPolicy asserts the bounded-retry path: a deterministic
+// validation failure inside a coalesced batch is attempted MaxRetries
+// times with backoff and each extra attempt is counted, while the
+// batch-mates commit on their first individual attempt with no retry.
+func TestQueueRetryPolicy(t *testing.T) {
+	ws := applyWorkspace(t)
+	q := newMutationQueue(ws, QueueOptions{MaxBatch: 64, MaxRetries: 3, RetryBackoff: time.Millisecond})
+	good1 := q.Enqueue(AddObjectOp(Object{ID: 7300, Attributes: []float64{0.5, 0.5}}))
+	bad := q.Enqueue(AddObjectOp(Object{ID: 7301, Attributes: []float64{math.NaN(), 0.5}}))
+	good2 := q.Enqueue(AddObjectOp(Object{ID: 7302, Attributes: []float64{0.6, 0.6}}))
+	go q.pump()
+	defer q.Close()
+
+	if err := <-good1; err != nil {
+		t.Fatal(err)
+	}
+	if err := <-bad; !errors.Is(err, ErrBadAttribute) {
+		t.Fatalf("bad mutation error = %v, want ErrBadAttribute", err)
+	}
+	if err := <-good2; err != nil {
+		t.Fatal(err)
+	}
+	qs := q.Stats()
+	if qs.Retries != 2 {
+		t.Fatalf("Retries = %d, want 2 (3 attempts for the bad mutation, 1 each for the good)", qs.Retries)
+	}
+	if ws.Stats().Objects != 62 {
+		t.Fatalf("Objects = %d, want 62", ws.Stats().Objects)
 	}
 }

@@ -114,13 +114,7 @@ func NewWorkspace(objects []Object, functions []Function, opts Options) (*Worksp
 		}
 		p.Functions = append(p.Functions, af)
 	}
-	ws, err := assign.NewWorkspace(p, assign.Config{
-		PageSize:         opts.PageSize,
-		BufferFrac:       opts.BufferFraction,
-		OmegaFrac:        opts.OmegaFraction,
-		Workers:          opts.Workers,
-		DisableNodeCache: opts.DisableNodeCache,
-	})
+	ws, err := assign.NewWorkspace(p, opts.assignConfig())
 	if err != nil {
 		return nil, err
 	}
