@@ -40,20 +40,25 @@ func main() {
 	seed := flag.Int64("seed", 20090824, "random seed for data generation")
 	preflight := flag.Int("preflight", 1, "conformance seeds per grid cell (0 skips the sweep)")
 	quick := flag.Bool("quick", false, "CI smoke preset: tiny sizes, short budget")
+	prodSize := flag.Int("prodsize", 1_000_000, "object count for the production-scale section (0 skips it)")
 	baseline := flag.String("baseline", "", "prior report (e.g. BENCH_main.json) to compute before/after deltas against")
 	maxRegress := flag.Float64("maxregress", 0, "fail if any warm case regresses vs the baseline by more than this percent (0 disables)")
 	flag.Parse()
 
 	opts := bench.Options{
-		Seed:   *seed,
-		Sizes:  parseInts(*sizes),
-		Dims:   parseInts(*dims),
-		Budget: *budget,
+		Seed:     *seed,
+		Sizes:    parseInts(*sizes),
+		Dims:     parseInts(*dims),
+		Budget:   *budget,
+		ProdSize: *prodSize,
 	}
 	if *quick {
 		opts.Sizes = []int{1000}
 		opts.Dims = []int{3}
 		opts.Budget = 50 * time.Millisecond
+		if opts.ProdSize > 20000 {
+			opts.ProdSize = 20000
+		}
 	}
 
 	confSummary := "skipped"
@@ -193,6 +198,25 @@ func main() {
 		if !c.Identical {
 			diverged = true
 			fmt.Fprintf(os.Stderr, "bench: %s(n=%d,dims=%d): recovered matching differs from the in-memory twin\n", c.Name, c.N, c.Dims)
+		}
+	}
+
+	for _, c := range rep.Production {
+		match := "identical"
+		if !c.Identical {
+			match = "OUTPUT DIVERGED"
+		}
+		if c.RowwiseNsPerOp > 0 {
+			fmt.Printf("%-26s n=%-8d d=%d  kernel %12d ns/op | rowwise %12d ns/op | %6.2fx | %s %s\n",
+				c.Name, c.N, c.Dims, c.NsPerOp, c.RowwiseNsPerOp, c.SpeedupX, match, c.Detail)
+		} else {
+			fmt.Printf("%-26s n=%-8d d=%d  %12d ns/op (%d iters) %s\n",
+				c.Name, c.N, c.Dims, c.NsPerOp, c.Iterations, c.Detail)
+		}
+		if !c.Identical {
+			diverged = true
+			fmt.Fprintf(os.Stderr, "bench: %s(n=%d,dims=%d): optimized path diverged from its definitional twin\n",
+				c.Name, c.N, c.Dims)
 		}
 	}
 

@@ -157,6 +157,15 @@ type Options struct {
 	// changes. Algorithms that do not use the engine (BruteForce, Chain,
 	// SBAlt) ignore the setting.
 	Workers int
+	// BuildWorkers bounds the parallel STR bulk-load that constructs
+	// each index (the object R-tree and Chain's function weight tree).
+	// 0 (the default) and negative values use all cores; 1 restores the
+	// fully sequential build; n > 1 uses n workers. Unlike Workers, the
+	// knob affects index construction only, and the built tree is
+	// byte-identical — same page images, allocation order, and physical
+	// I/O counts — at every setting, so it is purely a build wall-clock
+	// control.
+	BuildWorkers int
 	// DisableNodeCache turns off the decoded-node cache tier of the
 	// object index's buffer pool, re-parsing page bytes on every node
 	// access. Results and I/O counts are identical either way; the knob
@@ -193,6 +202,7 @@ func (o Options) assignConfig() assign.Config {
 		BufferFrac:       o.BufferFraction,
 		OmegaFrac:        o.OmegaFraction,
 		Workers:          o.Workers,
+		BuildWorkers:     o.BuildWorkers,
 		DisableNodeCache: o.DisableNodeCache,
 		Durable:          o.Durable,
 		WALDir:           o.WALDir,

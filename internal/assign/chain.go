@@ -63,13 +63,16 @@ func Chain(p *Problem, cfg Config) (*Result, error) {
 type funcIndex struct {
 	ftree   *rtree.Tree
 	scorers map[uint64]score.Scorer // every function's effective scorer
-	nonlin  []uint64                // non-linear function IDs
+	nonlin  *score.FuncBlocks       // non-linear functions, columnar per family
 }
 
 // buildFuncIndex bulk-loads the linear weight tree and collects the
-// non-linear side list.
+// non-linear functions into per-family columnar blocks.
 func buildFuncIndex(p *Problem, fpool *pagestore.BufferPool, cfg Config) (*funcIndex, error) {
-	fx := &funcIndex{scorers: make(map[uint64]score.Scorer, len(p.Functions))}
+	fx := &funcIndex{
+		scorers: make(map[uint64]score.Scorer, len(p.Functions)),
+		nonlin:  score.NewFuncBlocks(p.Dims),
+	}
 	var fitems []rtree.Item
 	for _, f := range p.Functions {
 		sc := f.Scorer()
@@ -77,10 +80,10 @@ func buildFuncIndex(p *Problem, fpool *pagestore.BufferPool, cfg Config) (*funcI
 		if sc.IsLinear() {
 			fitems = append(fitems, rtree.Item{ID: f.ID, Point: sc.W})
 		} else {
-			fx.nonlin = append(fx.nonlin, f.ID)
+			fx.nonlin.Add(f.ID, sc.Fam, sc.W)
 		}
 	}
-	ftree, err := rtree.BulkLoad(fpool, p.Dims, fitems, cfg.treeFill())
+	ftree, err := rtree.BulkLoadWorkers(fpool, p.Dims, fitems, cfg.treeFill(), cfg.buildWorkers())
 	if err != nil {
 		return nil, err
 	}
@@ -89,9 +92,11 @@ func buildFuncIndex(p *Problem, fpool *pagestore.BufferPool, cfg Config) (*funcI
 }
 
 // bestFunc answers the reverse top-1 — the non-skipped function
-// maximizing f(o) — combining the linear tree search with the
-// non-linear scan. Ties break to the lower function ID, matching the
-// BRS enumeration order.
+// maximizing f(o) — combining the linear tree search with the batched
+// kernel scan over the non-linear blocks. Ties break to the lower
+// function ID, matching the BRS enumeration order; FuncBlocks.Best
+// follows the same (score, lowest-ID) total order with bit-identical
+// scores, so the merged winner equals the former per-function loop.
 func (fx *funcIndex) bestFunc(opoint geom.Point, skip func(uint64) bool) (fid uint64, s float64, ok bool, err error) {
 	it, s, ok, err := topk.Top1(fx.ftree, opoint, skip)
 	if err != nil {
@@ -101,13 +106,9 @@ func (fx *funcIndex) bestFunc(opoint geom.Point, skip func(uint64) bool) (fid ui
 	if !ok {
 		s = math.Inf(-1)
 	}
-	for _, id := range fx.nonlin {
-		if skip(id) {
-			continue
-		}
-		v := fx.scorers[id].Score(opoint)
-		if !ok || v > s || (v == s && id < fid) {
-			fid, s, ok = id, v, true
+	if bid, bs, bok := fx.nonlin.Best(opoint, func(id uint64, _ float64) bool { return !skip(id) }); bok {
+		if !ok || bs > s || (bs == s && bid < fid) {
+			fid, s, ok = bid, bs, true
 		}
 	}
 	return fid, s, ok, nil

@@ -543,7 +543,7 @@ func restoreWorkspace(d *snapshot.Data, cfg Config) (*Workspace, error) {
 		objs:    make(map[uint64]Object, len(p.Objects)),
 		funcs:   make(map[uint64]Function, len(p.Functions)),
 		eff:     make(map[uint64][]float64, len(p.Functions)),
-		nonlin:  make(map[uint64]struct{}),
+		nonlin:  score.NewFuncBlocks(p.Dims),
 		byObj:   make(map[uint64][]wsPair),
 		byFunc:  make(map[uint64][]wsPair),
 	}
@@ -561,7 +561,7 @@ func restoreWorkspace(d *snapshot.Data, cfg Config) (*Workspace, error) {
 		if f.Fam.IsLinear() {
 			linear++
 		} else {
-			w.nonlin[f.ID] = struct{}{}
+			w.nonlin.Add(f.ID, f.Fam, w.eff[f.ID])
 		}
 	}
 	if d.FuncStore.Size != linear {

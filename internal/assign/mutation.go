@@ -393,7 +393,7 @@ func (w *Workspace) addFunctionLocked(f Function) error {
 			return err
 		}
 	} else {
-		w.nonlin[f.ID] = struct{}{}
+		w.nonlin.Add(f.ID, f.Fam, ew)
 	}
 	w.st.funcCaps.add(f.ID, f.capacity())
 	w.pushFunc(f.ID)
@@ -407,10 +407,10 @@ func (w *Workspace) removeFunctionLocked(id uint64) error {
 		w.pushObj(p.oid)
 	}
 	delete(w.byFunc, id)
-	if _, nl := w.nonlin[id]; nl {
-		delete(w.nonlin, id)
-	} else if err := w.ftree.Delete(rtree.Item{ID: id, Point: w.eff[id]}); err != nil {
-		return err
+	if !w.nonlin.Remove(id) {
+		if err := w.ftree.Delete(rtree.Item{ID: id, Point: w.eff[id]}); err != nil {
+			return err
+		}
 	}
 	w.st.funcCaps.drop(id)
 	delete(w.funcs, id)

@@ -89,7 +89,7 @@ func newSolveState(p *Problem, cfg Config) (*solveState, error) {
 	for i, o := range p.Objects {
 		items[i] = rtree.Item{ID: o.ID, Point: o.Point}
 	}
-	tree, err := rtree.BulkLoad(pool, p.Dims, items, cfg.treeFill())
+	tree, err := rtree.BulkLoadWorkers(pool, p.Dims, items, cfg.treeFill(), cfg.buildWorkers())
 	if err != nil {
 		store.Close()
 		return nil, err

@@ -57,31 +57,39 @@ func SBTwoSkylines(p *Problem, cfg Config) (*Result, error) {
 	fskyStale := false
 	workers := cfg.workerCount()
 
+	// Columnar mirrors of the two skylines, rebuilt only when their row
+	// sets change: fblocks holds Fsky in per-family weight columns for
+	// the batched reverse scan; skyCols holds Osky in per-dimension
+	// columns for the batched forward scan. Both Best kernels are
+	// bit-identical to the row-wise Eval/Score with the same (score,
+	// lowest-ID) selection, and both are safe for the concurrent readers
+	// of the worker fan-outs.
+	fblocks := funcBlocksOf(p.Dims, fsky, fams)
+	skyCols := skyline.NewColSet(p.Dims)
+
 	for funcCaps.units > 0 && objCaps.units > 0 && maint.Size() > 0 && len(liveFuncs) > 0 {
 		res.Stats.Loops++
 		if fskyStale {
 			fsky = functionSkylines(liveFuncs, fams)
+			fblocks = funcBlocksOf(p.Dims, fsky, fams)
 			fskyStale = false
 		}
 		sky := maint.Skyline()
 		sortItemsByID(sky)
 		sortItemsByID(fsky)
+		skyCols.Reset(p.Dims)
+		for _, o := range sky {
+			skyCols.Append(o.ID, o.Point)
+		}
 
 		// Best function in Fsky for every skyline object, and the
-		// reverse, by exhaustive scan of the (small) cross product. Both
-		// scans fan out over the worker pool; each slot depends only on
-		// its own input, so the merge is deterministic.
+		// reverse, by batched kernel scans of the (small) cross product.
+		// Both scans fan out over the worker pool; each slot depends only
+		// on its own input, so the merge is deterministic.
 		byObj := make([]bestFunc, len(sky))
 		ParallelFor(len(sky), workers, func(i int) {
-			o := sky[i]
-			var bf bestFunc
-			for _, f := range fsky {
-				s := score.Eval(fams[f.ID], f.Point, o.Point)
-				if !bf.ok || s > bf.score || (s == bf.score && f.ID < bf.fid) {
-					bf = bestFunc{fid: f.ID, score: s, ok: true}
-				}
-			}
-			byObj[i] = bf
+			fid, s, ok := fblocks.Best(sky[i].Point, nil)
+			byObj[i] = bestFunc{fid: fid, score: s, ok: ok}
 		})
 		oBest := make(map[uint64]bestFunc, len(sky))
 		for i, o := range sky {
@@ -102,8 +110,9 @@ func SBTwoSkylines(p *Problem, cfg Config) (*Result, error) {
 		byFunc := make([]bestObj, len(fids))
 		ParallelFor(len(fids), workers, func(i int) {
 			sc := score.Scorer{Fam: fams[fids[i]], W: weights[fids[i]]}
-			it, s, _ := skyline.BestUnder(sc, sky)
-			byFunc[i] = bestObj{oid: it.ID, score: s}
+			if j, s, ok := skyCols.Best(sc); ok {
+				byFunc[i] = bestObj{oid: skyCols.ID(j), score: s}
+			}
 		})
 		fBest := make(map[uint64]bestObj, len(fids))
 		for i, fid := range fids {
@@ -159,6 +168,16 @@ func SBTwoSkylines(p *Problem, cfg Config) (*Result, error) {
 		res.Stats.PeakMem = st.mem.Peak
 	}
 	return res, nil
+}
+
+// funcBlocksOf packs a function item set into per-family columnar
+// blocks for the batched reverse scan.
+func funcBlocksOf(dims int, items []rtree.Item, fams map[uint64]score.Family) *score.FuncBlocks {
+	fb := score.NewFuncBlocks(dims)
+	for _, f := range items {
+		fb.Add(f.ID, fams[f.ID], f.Point)
+	}
+	return fb
 }
 
 // functionSkylines computes the candidate function set of the two-

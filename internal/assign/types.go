@@ -218,6 +218,13 @@ type Config struct {
 	// emitted matching is identical for every setting — only wall-clock
 	// changes.
 	Workers int
+	// BuildWorkers bounds the parallel STR bulk-load used when an index
+	// (object R-tree or function weight tree) is built: <= 0 uses all
+	// cores (GOMAXPROCS), 1 restores the fully sequential build, n > 1
+	// uses n workers. The built tree — page allocation order, page
+	// bytes, and physical I/O counters — is byte-identical at every
+	// setting; only build wall-clock changes.
+	BuildWorkers int
 	// DisableNodeCache turns off the buffer pool's decoded-node tier on
 	// every index store (object index and function-side structures),
 	// forcing every node access to re-parse its page bytes. The matching
@@ -285,6 +292,10 @@ func (c Config) treeFill() float64 {
 	}
 	return c.TreeFill
 }
+
+// buildWorkers is passed straight to rtree.BulkLoadWorkers, which maps
+// <= 0 to all cores and 1 to the sequential build.
+func (c Config) buildWorkers() int { return c.BuildWorkers }
 
 func (c Config) funcBufferFrac() float64 {
 	if c.FuncBufferFrac == 0 {

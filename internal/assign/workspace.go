@@ -124,12 +124,13 @@ type Workspace struct {
 	objs  map[uint64]Object
 	funcs map[uint64]Function
 	eff   map[uint64][]float64 // function ID -> effective weights (ftree points)
-	// nonlin holds the IDs of live non-linear functions. Linear
-	// functions live in the ftree (reverse search via dot symmetry);
-	// non-linear scores are not bilinear, so those functions are scanned
-	// exhaustively by bestTaker instead. Purely linear populations — the
-	// paper's workload — keep this empty and pay nothing.
-	nonlin map[uint64]struct{}
+	// nonlin holds the live non-linear functions in per-family columnar
+	// blocks. Linear functions live in the ftree (reverse search via dot
+	// symmetry); non-linear scores are not bilinear, so bestTaker scans
+	// these blocks with the batched dual kernel instead. Purely linear
+	// populations — the paper's workload — keep this empty and pay
+	// nothing.
+	nonlin *score.FuncBlocks
 
 	// The matching, indexed from both sides; one wsPair per assigned
 	// unit, present in exactly one slice of each map.
@@ -236,7 +237,7 @@ func NewWorkspace(p *Problem, cfg Config) (*Workspace, error) {
 		objs:     make(map[uint64]Object, len(p.Objects)),
 		funcs:    make(map[uint64]Function, len(p.Functions)),
 		eff:      make(map[uint64][]float64, len(p.Functions)),
-		nonlin:   make(map[uint64]struct{}),
+		nonlin:   score.NewFuncBlocks(p.Dims),
 		byObj:    make(map[uint64][]wsPair),
 		byFunc:   make(map[uint64][]wsPair),
 		resolves: 1,
@@ -252,10 +253,10 @@ func NewWorkspace(p *Problem, cfg Config) (*Workspace, error) {
 		if f.Fam.IsLinear() {
 			fitems = append(fitems, rtree.Item{ID: f.ID, Point: ew})
 		} else {
-			w.nonlin[f.ID] = struct{}{}
+			w.nonlin.Add(f.ID, f.Fam, ew)
 		}
 	}
-	w.ftree, err = rtree.BulkLoad(fpool, p.Dims, fitems, cfg.treeFill())
+	w.ftree, err = rtree.BulkLoadWorkers(fpool, p.Dims, fitems, cfg.treeFill(), cfg.buildWorkers())
 	if err != nil {
 		w.Close()
 		return nil, err
@@ -595,11 +596,11 @@ func (w *Workspace) bestEntry(fid uint64) (oid uint64, sc float64, displace, ok 
 	fsc := w.scorerOf(fid)
 	availScore, availID := math.Inf(-1), uint64(0)
 	haveAvail := false
-	for _, it := range w.avail.Skyline() {
-		s := fsc.Score(it.Point)
-		if !haveAvail || s > availScore || (s == availScore && it.ID < availID) {
-			availScore, availID, haveAvail = s, it.ID, true
-		}
+	// One batched kernel pass over the frontier's columnar mirror —
+	// bit-identical scores and the same (score, lowest-ID) selection as
+	// the former per-item Skyline() scan.
+	if it, s, ok := w.avail.Best(fsc); ok {
+		availScore, availID, haveAvail = s, it.ID, true
 	}
 
 	bound := availScore
@@ -691,17 +692,16 @@ func (w *Workspace) bestTaker(oid uint64) (gid uint64, score float64, ok bool, e
 		return 0, 0, false, err
 	}
 	gid = it.ID
-	// Non-linear functions are outside the weight tree; scan them under
-	// the same wants filter and bound, breaking ties to the lower ID
-	// exactly as the BRS enumeration does. The score is computed once
-	// and shared with the wants test.
-	for fid := range w.nonlin {
-		v := w.scorerOf(fid).Score(o.Point)
-		if v < bound || !w.wantsAt(fid, oid, v) {
-			continue
-		}
-		if !found || v > s || (v == s && fid < gid) {
-			gid, s, found = fid, v, true
+	// Non-linear functions are outside the weight tree; the columnar
+	// blocks score them all with one dual-kernel pass under the same
+	// wants filter and bound, breaking ties to the lower ID exactly as
+	// the BRS enumeration does (Best follows the same (score, lowest-ID)
+	// total order with bit-identical scores).
+	if bid, v, bok := w.nonlin.Best(o.Point, func(fid uint64, v float64) bool {
+		return v >= bound && w.wantsAt(fid, oid, v)
+	}); bok {
+		if !found || v > s || (v == s && bid < gid) {
+			gid, s, found = bid, v, true
 		}
 	}
 	if !found {

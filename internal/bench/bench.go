@@ -116,6 +116,10 @@ type Report struct {
 	// Durability measures the WAL tax on Apply (off / no-sync / fsync)
 	// and the snapshot save, replay-recovery, and warm-start times.
 	Durability []DurabilityCase `json:"durability,omitempty"`
+	// Production is the production-scale matrix (n = 10⁶ by default):
+	// the cold bulk-load duel, a full SB solve, per-family top-k, and
+	// the batched kernels racing their row-wise twins.
+	Production []ProductionCase `json:"production_scale,omitempty"`
 }
 
 // Options tunes a pipeline run.
@@ -130,6 +134,9 @@ type Options struct {
 	// Funcs is the function count for the solver-level cases (0 derives
 	// n/20, min 16).
 	Funcs int
+	// ProdSize is the object count for the production-scale section
+	// (0 skips it; cmd/bench defaults it to 10⁶, scaled down by -quick).
+	ProdSize int
 }
 
 func (o Options) funcsFor(n int) int {
@@ -329,6 +336,15 @@ func Run(opts Options) (*Report, error) {
 		return nil, err
 	}
 	rep.Durability = append(rep.Durability, dur)
+	// Production scale: the n = 10⁶ matrix (kernel duels, cold build,
+	// solve, top-k). Last because it is the heaviest section.
+	if opts.ProdSize > 0 {
+		prod, err := runProduction(opts)
+		if err != nil {
+			return nil, err
+		}
+		rep.Production = prod
+	}
 	return rep, nil
 }
 

@@ -3,7 +3,9 @@ package rtree
 import (
 	"fmt"
 	"math"
-	"sort"
+	"runtime"
+	"slices"
+	"sync"
 
 	"fairassign/internal/geom"
 	"fairassign/internal/pagestore"
@@ -13,7 +15,22 @@ import (
 // packing, which produces well-clustered pages in O(n log n) and is how
 // the experiment harness constructs its 100k–400k object indexes.
 // fillFactor in (0,1] controls node occupancy (0.9 default when <= 0).
+// The build runs on all cores; use BulkLoadWorkers to bound it.
 func BulkLoad(pool *pagestore.BufferPool, dims int, items []Item, fillFactor float64) (*Tree, error) {
+	return BulkLoadWorkers(pool, dims, items, fillFactor, 0)
+}
+
+// BulkLoadWorkers is BulkLoad with an explicit parallelism bound:
+// workers <= 0 uses all cores (GOMAXPROCS), workers == 1 restores the
+// fully sequential build. The tree — page allocation order, page bytes,
+// and buffer-pool write sequence — is byte-identical at every worker
+// count: the STR sort key is a total order, so the sorted permutation
+// is unique however it is sorted; page IDs are allocated sequentially
+// in group order with only the pure per-node encoding fanned out; and
+// encoded pages enter the buffer pool in that same order, so cache
+// eviction (and therefore every physical I/O counter) cannot tell the
+// builds apart.
+func BulkLoadWorkers(pool *pagestore.BufferPool, dims int, items []Item, fillFactor float64, workers int) (*Tree, error) {
 	t, err := New(pool, dims)
 	if err != nil {
 		return nil, err
@@ -23,6 +40,9 @@ func BulkLoad(pool *pagestore.BufferPool, dims int, items []Item, fillFactor flo
 	}
 	if fillFactor <= 0 || fillFactor > 1 {
 		fillFactor = 0.9
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
 	}
 	for _, it := range items {
 		if len(it.Point) != dims {
@@ -40,7 +60,7 @@ func BulkLoad(pool *pagestore.BufferPool, dims int, items []Item, fillFactor flo
 	for i, it := range items {
 		entries[i] = Entry{Rect: geom.Rect{Min: it.Point, Max: it.Point}, ID: it.ID, Child: pagestore.InvalidPage}
 	}
-	level, err := t.packLevel(entries, true, leafFill)
+	level, err := t.packLevel(entries, true, leafFill, workers)
 	if err != nil {
 		return nil, err
 	}
@@ -48,7 +68,7 @@ func BulkLoad(pool *pagestore.BufferPool, dims int, items []Item, fillFactor flo
 
 	// Build internal levels until a single root remains.
 	for len(level) > 1 {
-		level, err = t.packLevel(level, false, internalFill)
+		level, err = t.packLevel(level, false, internalFill, workers)
 		if err != nil {
 			return nil, err
 		}
@@ -71,15 +91,85 @@ func BulkLoad(pool *pagestore.BufferPool, dims int, items []Item, fillFactor flo
 
 // packLevel groups entries into nodes of the given occupancy using STR
 // tiling and returns the parent entries for the next level up.
-func (t *Tree) packLevel(entries []Entry, leaf bool, fill int) ([]Entry, error) {
-	groups := strTile(entries, t.dims, fill, 0)
-	parents := make([]Entry, 0, len(groups))
-	for _, g := range groups {
-		n := &Node{Leaf: leaf, Entries: g}
-		if _, err := t.allocNode(n); err != nil {
+//
+// The deterministic skeleton is kept sequential and only the pure work
+// is fanned out: page IDs are taken from the store one group at a time
+// in group order (exactly the sequence the sequential build produces),
+// the per-node page images are encoded concurrently (encodeNode writes
+// a fresh buffer and reads shared entries only), and the finished
+// images enter the buffer pool in group order again — so the pool's
+// eviction state machine sees the identical Put sequence at any worker
+// count.
+func (t *Tree) packLevel(entries []Entry, leaf bool, fill, workers int) ([]Entry, error) {
+	groups := strTile(entries, t.dims, fill, 0, workers)
+	if workers <= 1 || len(groups) < 2 {
+		parents := make([]Entry, 0, len(groups))
+		for _, g := range groups {
+			n := &Node{Leaf: leaf, Entries: g}
+			if _, err := t.allocNode(n); err != nil {
+				return nil, err
+			}
+			parents = append(parents, Entry{Rect: n.MBR(), Child: n.Page, ID: 0})
+		}
+		return parents, nil
+	}
+
+	ids := make([]pagestore.PageID, len(groups))
+	for i := range groups {
+		id, err := t.pool.Store().Allocate()
+		if err != nil {
 			return nil, err
 		}
-		parents = append(parents, Entry{Rect: n.MBR(), Child: n.Page, ID: 0})
+		ids[i] = id
+	}
+
+	parents := make([]Entry, len(groups))
+	bufs := make([][]byte, len(groups))
+	errs := make([]error, workers)
+	var next int64
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	cursor := func() int {
+		mu.Lock()
+		i := int(next)
+		next++
+		mu.Unlock()
+		return i
+	}
+	pageSize := t.pool.PageSize()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				i := cursor()
+				if i >= len(groups) {
+					return
+				}
+				n := &Node{Leaf: leaf, Entries: groups[i], Page: ids[i]}
+				buf, err := encodeNode(n, pageSize, t.dims)
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				bufs[i] = buf
+				parents[i] = Entry{Rect: n.MBR(), Child: ids[i], ID: 0}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	for i, buf := range bufs {
+		if buf == nil {
+			return nil, fmt.Errorf("rtree: bulk load worker died before encoding group %d", i)
+		}
+		if err := t.pool.Put(ids[i], buf); err != nil {
+			return nil, err
+		}
 	}
 	return parents, nil
 }
@@ -90,15 +180,19 @@ func (t *Tree) packLevel(entries []Entry, leaf bool, fill int) ([]Entry, error) 
 // group partitions are evenly balanced so that no group drops below half
 // the fill size — which keeps every packed node above the 40 % minimum
 // occupancy the tree enforces.
-func strTile(entries []Entry, dims, fill, dim int) [][]Entry {
+//
+// With workers > 1 the top-level sort runs as a parallel chunk sort +
+// merge and the independent slabs recurse concurrently; the sort key is
+// a total order (center, ID, Child), so the output grouping is the
+// unique sorted permutation regardless of how the sorting was split.
+func strTile(entries []Entry, dims, fill, dim, workers int) [][]Entry {
 	if len(entries) <= fill {
 		return [][]Entry{entries}
 	}
+	sortByCenter(entries, dim, workers)
 	if dim == dims-1 {
-		sortByCenter(entries, dim)
 		return evenChunks(entries, fill)
 	}
-	sortByCenter(entries, dim)
 	// Number of leaf-size groups, spread across remaining dims.
 	nGroups := int(math.Ceil(float64(len(entries)) / float64(fill)))
 	slabs := int(math.Ceil(math.Pow(float64(nGroups), 1/float64(dims-dim))))
@@ -109,9 +203,32 @@ func strTile(entries []Entry, dims, fill, dim int) [][]Entry {
 	if slabSize < fill {
 		slabSize = fill
 	}
+	slabSlices := evenChunks(entries, slabSize)
+	if workers <= 1 || len(slabSlices) < 2 {
+		var out [][]Entry
+		for _, slab := range slabSlices {
+			out = append(out, strTile(slab, dims, fill, dim+1, 1)...)
+		}
+		return out
+	}
+	// Slabs are disjoint sub-slices: recurse concurrently under a
+	// worker-count bound, then splice the per-slab groups in slab order.
+	perSlab := make([][][]Entry, len(slabSlices))
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for i, slab := range slabSlices {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, slab []Entry) {
+			defer wg.Done()
+			perSlab[i] = strTile(slab, dims, fill, dim+1, 1)
+			<-sem
+		}(i, slab)
+	}
+	wg.Wait()
 	var out [][]Entry
-	for _, slab := range evenChunks(entries, slabSize) {
-		out = append(out, strTile(slab, dims, fill, dim+1)...)
+	for _, groups := range perSlab {
+		out = append(out, groups...)
 	}
 	return out
 }
@@ -138,13 +255,106 @@ func evenChunks(entries []Entry, maxSize int) [][]Entry {
 	return out
 }
 
-func sortByCenter(entries []Entry, dim int) {
-	sort.Slice(entries, func(i, j int) bool {
-		ci := entries[i].Rect.Min[dim] + entries[i].Rect.Max[dim]
-		cj := entries[j].Rect.Min[dim] + entries[j].Rect.Max[dim]
-		if ci != cj {
-			return ci < cj
+// centerCmp is the STR sort key: center along dim, then ID, then Child.
+// ID breaks leaf-entry ties (IDs are unique) and Child breaks
+// internal-entry ties (all internal entries carry ID 0 but reference
+// distinct pages), so the order is total and the sorted permutation
+// unique — the property the parallel chunk-sort + merge relies on, and
+// what makes equal-center grouping deterministic at all (the former
+// (center, ID) key left internal ties to the sort implementation).
+func centerCmp(a, b Entry, dim int) int {
+	ca := a.Rect.Min[dim] + a.Rect.Max[dim]
+	cb := b.Rect.Min[dim] + b.Rect.Max[dim]
+	switch {
+	case ca < cb:
+		return -1
+	case ca > cb:
+		return 1
+	case a.ID < b.ID:
+		return -1
+	case a.ID > b.ID:
+		return 1
+	case a.Child < b.Child:
+		return -1
+	case a.Child > b.Child:
+		return 1
+	}
+	return 0
+}
+
+// parallelSortMin is the slice size below which a parallel sort cannot
+// win back its goroutine and merge overhead.
+const parallelSortMin = 1 << 13
+
+func sortByCenter(entries []Entry, dim, workers int) {
+	n := len(entries)
+	if workers <= 1 || n < parallelSortMin {
+		slices.SortFunc(entries, func(a, b Entry) int { return centerCmp(a, b, dim) })
+		return
+	}
+	if workers > n/(parallelSortMin/8) {
+		workers = max(2, n/(parallelSortMin/8))
+	}
+	// Chunk-sort concurrently, then merge pairs round by round between
+	// entries and a scratch buffer. The key's total order means every
+	// round preserves the unique final permutation.
+	chunkSize := (n + workers - 1) / workers
+	segs := make([][2]int, 0, workers)
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunkSize {
+		hi := min(lo+chunkSize, n)
+		segs = append(segs, [2]int{lo, hi})
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			slices.SortFunc(entries[lo:hi], func(a, b Entry) int { return centerCmp(a, b, dim) })
+		}(lo, hi)
+	}
+	wg.Wait()
+
+	src, dst := entries, make([]Entry, n)
+	for len(segs) > 1 {
+		nextSegs := make([][2]int, 0, (len(segs)+1)/2)
+		var mw sync.WaitGroup
+		for i := 0; i < len(segs); i += 2 {
+			if i+1 == len(segs) {
+				s := segs[i]
+				copy(dst[s[0]:s[1]], src[s[0]:s[1]])
+				nextSegs = append(nextSegs, s)
+				continue
+			}
+			a, b := segs[i], segs[i+1]
+			nextSegs = append(nextSegs, [2]int{a[0], b[1]})
+			mw.Add(1)
+			go func(a, b [2]int) {
+				defer mw.Done()
+				mergeEntries(dst[a[0]:b[1]], src[a[0]:a[1]], src[b[0]:b[1]], dim)
+			}(a, b)
 		}
-		return entries[i].ID < entries[j].ID
-	})
+		mw.Wait()
+		src, dst = dst, src
+		segs = nextSegs
+	}
+	if &src[0] != &entries[0] {
+		copy(entries, src)
+	}
+}
+
+// mergeEntries merges two sorted runs into out (len(out) == len(a)+len(b)).
+// Ties cannot occur across runs — the key is a total order over distinct
+// entries — so <= vs < is moot; <= keeps the merge stable anyway.
+func mergeEntries(out, a, b []Entry, dim int) {
+	i, j, k := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		if centerCmp(a[i], b[j], dim) <= 0 {
+			out[k] = a[i]
+			i++
+		} else {
+			out[k] = b[j]
+			j++
+		}
+		k++
+	}
+	copy(out[k:], a[i:])
+	copy(out[k+len(a)-i:], b[j:])
 }

@@ -1,0 +1,320 @@
+package score
+
+import (
+	"math"
+	"sync"
+
+	"fairassign/internal/geom"
+)
+
+// This file holds the columnar (structure-of-arrays) scoring kernels.
+// The row-wise Eval scores one (function, object) pair per call; the
+// hot reverse scans of the assignment stack score one function against
+// a whole block of objects (EvalBlock) or one object against a whole
+// block of functions (FuncBlocks). Laying the operands out as
+// per-dimension contiguous columns turns both into tight
+// multiply-accumulate loops over []float64 that the compiler can keep
+// in registers and auto-vectorize, with no per-pair dispatch.
+//
+// Every kernel is bit-identical to calling Eval pair by pair: each one
+// accumulates the same products in the same dimension order as the
+// corresponding Eval branch, so the conformance sweeps (which compare
+// matchings against definitional oracles) see no difference between the
+// columnar and row-wise paths.
+
+// EvalBlock scores one function (family fam, weights w) against a block
+// of objects stored as per-dimension columns: cols[d][i] is attribute d
+// of object i. The scores of objects 0..len(out)-1 are written to out.
+// Every cols[d] must have at least len(out) entries.
+//
+// out[i] is bit-identical to Eval(fam, w, objectRow(i)).
+func EvalBlock(fam Family, w []float64, cols [][]float64, out []float64) {
+	n := len(out)
+	switch fam.Kind {
+	case OWA:
+		// Order statistics are per-object, so each row is gathered and
+		// sorted exactly as Eval does; the batching still amortizes the
+		// family dispatch and keeps the gather loops branch-free.
+		var buf [maxStackDims]float64
+		var row [maxStackDims]float64
+		rowS, bufS := row[:], buf[:]
+		if len(w) > maxStackDims {
+			rowS = make([]float64, len(w))
+			bufS = make([]float64, len(w))
+		}
+		for i := 0; i < n; i++ {
+			for d := range w {
+				rowS[d] = cols[d][i]
+			}
+			out[i] = geom.Dot(w, sortedDesc(rowS[:len(w)], bufS))
+		}
+	case Chebyshev:
+		for i := range out[:n] {
+			out[i] = 0
+		}
+		for d, wd := range w {
+			col := cols[d][:n]
+			for i, v := range col {
+				if p := wd * v; p > out[i] {
+					out[i] = p
+				}
+			}
+		}
+	case Lp:
+		if fam.P == 1 {
+			linearBlock(w, cols, out)
+			return
+		}
+		for i := range out[:n] {
+			out[i] = 0
+		}
+		for d, wd := range w {
+			col := cols[d][:n]
+			p := fam.P
+			for i, v := range col {
+				out[i] += wd * powNonNeg(v, p)
+			}
+		}
+		inv := 1 / fam.P
+		for i := range out[:n] {
+			out[i] = math.Pow(out[i], inv)
+		}
+	default: // Linear
+		linearBlock(w, cols, out)
+	}
+}
+
+// linearBlock is the shared dot-product kernel: column-by-column
+// accumulation in ascending dimension order reproduces geom.Dot's
+// summation order for every row.
+func linearBlock(w []float64, cols [][]float64, out []float64) {
+	n := len(out)
+	for i := range out[:n] {
+		out[i] = 0
+	}
+	for d, wd := range w {
+		col := cols[d][:n]
+		for i, v := range col {
+			out[i] += wd * v
+		}
+	}
+}
+
+// EvalPrepared is Eval with the object's descending-sorted attribute
+// values already in hand. A reverse search holds one object fixed while
+// scoring many candidate functions; for OWA families the per-call
+// attribute sort is the dominant cost, and it depends only on the
+// object — so callers sort once and reuse. Bit-identical to Eval: OWA's
+// Eval is exactly Dot(w, sortedDesc(o)).
+func EvalPrepared(fam Family, w []float64, o geom.Point, osorted []float64) float64 {
+	if fam.Kind == OWA {
+		return geom.Dot(w, osorted)
+	}
+	return Eval(fam, w, o)
+}
+
+// FuncBlocks holds a function population as per-family columnar blocks:
+// within each block, wcols[d][i] is weight d of function i. It answers
+// the reverse exhaustive scan — "best function for this object" — with
+// one batched kernel pass per family instead of one Eval call per
+// function. Blocks support incremental Add/Remove (swap-delete), so a
+// long-lived index (Workspace, Chain's non-linear side list) maintains
+// them across mutations.
+//
+// FuncBlocks is not safe for concurrent mutation, but Best is safe to
+// call from many goroutines concurrently (scratch is pooled per call),
+// which is what the parallel solver engines need.
+type FuncBlocks struct {
+	dims   int
+	groups []*funcGroup
+	loc    map[uint64]funcLoc
+}
+
+type funcLoc struct{ g, i int }
+
+type funcGroup struct {
+	fam   Family
+	ids   []uint64
+	wcols [][]float64
+}
+
+// NewFuncBlocks returns an empty function-block index for the given
+// dimensionality.
+func NewFuncBlocks(dims int) *FuncBlocks {
+	return &FuncBlocks{dims: dims, loc: make(map[uint64]funcLoc)}
+}
+
+// Len returns the number of indexed functions.
+func (fb *FuncBlocks) Len() int { return len(fb.loc) }
+
+// Contains reports whether the function is indexed.
+func (fb *FuncBlocks) Contains(id uint64) bool {
+	_, ok := fb.loc[id]
+	return ok
+}
+
+// Add indexes a function. The weight slice is copied into the columns,
+// so callers may reuse it. Adding an ID twice is a no-op for the second
+// add.
+func (fb *FuncBlocks) Add(id uint64, fam Family, w []float64) {
+	if _, dup := fb.loc[id]; dup {
+		return
+	}
+	gi := -1
+	for i, g := range fb.groups {
+		if g.fam == fam {
+			gi = i
+			break
+		}
+	}
+	if gi == -1 {
+		g := &funcGroup{fam: fam, wcols: make([][]float64, fb.dims)}
+		fb.groups = append(fb.groups, g)
+		gi = len(fb.groups) - 1
+	}
+	g := fb.groups[gi]
+	fb.loc[id] = funcLoc{g: gi, i: len(g.ids)}
+	g.ids = append(g.ids, id)
+	for d := 0; d < fb.dims; d++ {
+		g.wcols[d] = append(g.wcols[d], w[d])
+	}
+}
+
+// Remove drops a function from the index (swap-delete within its family
+// block). It reports whether the ID was present.
+func (fb *FuncBlocks) Remove(id uint64) bool {
+	l, ok := fb.loc[id]
+	if !ok {
+		return false
+	}
+	g := fb.groups[l.g]
+	last := len(g.ids) - 1
+	if l.i != last {
+		moved := g.ids[last]
+		g.ids[l.i] = moved
+		for d := range g.wcols {
+			g.wcols[d][l.i] = g.wcols[d][last]
+		}
+		fb.loc[moved] = funcLoc{g: l.g, i: l.i}
+	}
+	g.ids = g.ids[:last]
+	for d := range g.wcols {
+		g.wcols[d] = g.wcols[d][:last]
+	}
+	delete(fb.loc, id)
+	return true
+}
+
+// blockScratch is the per-Best working set, pooled so concurrent
+// callers allocate nothing at steady state.
+type blockScratch struct {
+	out  []float64
+	prep []float64
+}
+
+var blockScratchPool = sync.Pool{New: func() any { return new(blockScratch) }}
+
+func (s *blockScratch) grow(n, dims int) {
+	if cap(s.out) < n {
+		s.out = make([]float64, n)
+	}
+	s.out = s.out[:n]
+	if cap(s.prep) < dims {
+		s.prep = make([]float64, dims)
+	}
+	s.prep = s.prep[:dims]
+}
+
+// Best returns the indexed function maximizing its family score at o,
+// among those the accept filter admits (nil accepts everything); ties
+// break to the lower function ID. The result does not depend on block
+// or group order — selection is by the total order (score, -id) — and
+// each score is bit-identical to Eval on the same function, so Best
+// matches a row-wise scan exactly. ok is false when no function is
+// admitted.
+func (fb *FuncBlocks) Best(o geom.Point, accept func(id uint64, s float64) bool) (bestID uint64, bestS float64, ok bool) {
+	sc := blockScratchPool.Get().(*blockScratch)
+	defer blockScratchPool.Put(sc)
+	for _, g := range fb.groups {
+		n := len(g.ids)
+		if n == 0 {
+			continue
+		}
+		sc.grow(n, fb.dims)
+		g.evalDual(o, sc.prep, sc.out)
+		for i, s := range sc.out[:n] {
+			id := g.ids[i]
+			if ok && (s < bestS || (s == bestS && id >= bestID)) {
+				continue
+			}
+			if accept != nil && !accept(id, s) {
+				continue
+			}
+			bestID, bestS, ok = id, s, true
+		}
+	}
+	return bestID, bestS, ok
+}
+
+// evalDual scores every function in the group against the fixed object:
+// out[i] = Eval(g.fam, weightsRow(i), o), bit for bit. It is the dual
+// of EvalBlock — per-dimension accumulation over the weight columns,
+// exploiting that each family's per-object preprocessing (OWA's sort,
+// Lp's attribute powers) depends only on o and is hoisted out of the
+// block entirely. prep must have dims capacity.
+func (g *funcGroup) evalDual(o geom.Point, prep, out []float64) {
+	n := len(out)
+	switch g.fam.Kind {
+	case OWA:
+		// Eval is Dot(w, sortedDesc(o)): sort o once, then the linear
+		// kernel over the weight columns reproduces position order.
+		osort := sortedDesc(o, prep)
+		dualLinear(osort, g.wcols, out)
+	case Chebyshev:
+		for i := range out[:n] {
+			out[i] = 0
+		}
+		for d, od := range o {
+			col := g.wcols[d][:n]
+			for i, wv := range col {
+				if p := wv * od; p > out[i] {
+					out[i] = p
+				}
+			}
+		}
+	case Lp:
+		if g.fam.P == 1 {
+			dualLinear(o, g.wcols, out)
+			return
+		}
+		// powNonNeg(o[d], p) depends only on the object: one pass.
+		op := prep[:len(o)]
+		for d, v := range o {
+			op[d] = powNonNeg(v, g.fam.P)
+		}
+		dualLinear(op, g.wcols, out)
+		inv := 1 / g.fam.P
+		for i := range out[:n] {
+			out[i] = math.Pow(out[i], inv)
+		}
+	default: // Linear
+		dualLinear(o, g.wcols, out)
+	}
+}
+
+// dualLinear is the weight-side dot kernel: out[i] = Σ_d wcols[d][i]·x[d]
+// accumulated in ascending dimension order — geom.Dot's order, with the
+// factors of each product merely swapped (multiplication commutes, so
+// the result bits are identical).
+func dualLinear(x []float64, wcols [][]float64, out []float64) {
+	n := len(out)
+	for i := range out[:n] {
+		out[i] = 0
+	}
+	for d, xd := range x {
+		col := wcols[d][:n]
+		for i, wv := range col {
+			out[i] += wv * xd
+		}
+	}
+}

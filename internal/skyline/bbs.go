@@ -19,7 +19,7 @@
 package skyline
 
 import (
-	"sort"
+	"slices"
 	"sync"
 
 	"fairassign/internal/geom"
@@ -93,9 +93,10 @@ func Compute(t rtree.NodeReader, skip map[uint64]bool) ([]rtree.Item, error) {
 		return nil, err
 	}
 	pushNodeEntries(h, root)
+	var cs *ColSet // columnar mirror of sky, for the dominance kernel
 	for len(*h) > 0 {
 		e := h.pop()
-		if dominatedByAny(sky, e) {
+		if cs != nil && cs.AnyDominates(e.rect.Max) {
 			continue
 		}
 		if e.isPoint() {
@@ -103,6 +104,11 @@ func Compute(t rtree.NodeReader, skip map[uint64]bool) ([]rtree.Item, error) {
 				continue
 			}
 			sky = append(sky, rtree.Item{ID: e.id, Point: e.rect.Min})
+			if cs == nil {
+				cs = acquireColSet(len(e.rect.Min))
+				defer releaseColSet(cs)
+			}
+			cs.Append(e.id, e.rect.Min)
 			continue
 		}
 		n, err := t.ReadNode(e.child)
@@ -127,7 +133,9 @@ func pushNodeEntries(h *entryHeap, n *rtree.Node) {
 
 // dominatedByAny reports whether e is strictly dominated by one of the
 // skyline items: a node entry is prunable when its best corner is
-// dominated; a point entry when the point itself is.
+// dominated; a point entry when the point itself is. This is the
+// row-wise definitional form of ColSet.AnyDominates, retained as the
+// oracle for the kernel differential tests.
 func dominatedByAny(sky []rtree.Item, e entry) bool {
 	for _, s := range sky {
 		if s.Point.Dominates(e.rect.Max) {
@@ -168,21 +176,21 @@ func BNL(items []rtree.Item) []rtree.Item {
 // descending coordinate sum (a topological order of dominance), after
 // which each item needs comparing only against the accumulated skyline.
 func SFS(items []rtree.Item) []rtree.Item {
+	if len(items) == 0 {
+		return nil
+	}
 	sorted := make([]rtree.Item, len(items))
 	copy(sorted, items)
 	sortBySumDesc(sorted)
+	cs := acquireColSet(len(sorted[0].Point))
+	defer releaseColSet(cs)
 	var sky []rtree.Item
 	for _, it := range sorted {
-		dominated := false
-		for _, s := range sky {
-			if s.Point.Dominates(it.Point) {
-				dominated = true
-				break
-			}
+		if cs.AnyDominates(it.Point) {
+			continue
 		}
-		if !dominated {
-			sky = append(sky, it)
-		}
+		sky = append(sky, it)
+		cs.Append(it.ID, it.Point)
 	}
 	return sky
 }
@@ -195,12 +203,22 @@ func sortBySumDesc(items []rtree.Item) {
 		}
 		return s
 	}
-	sort.Slice(items, func(i, j int) bool {
-		si, sj := sum(items[i].Point), sum(items[j].Point)
-		if si != sj {
-			return si > sj
+	// (sum desc, ID asc) is a total order, so the sorted permutation is
+	// unique — slices.SortFunc (pdqsort, no reflection) must produce the
+	// byte-identical sequence sort.Slice did.
+	slices.SortFunc(items, func(a, b rtree.Item) int {
+		sa, sb := sum(a.Point), sum(b.Point)
+		switch {
+		case sa > sb:
+			return -1
+		case sa < sb:
+			return 1
+		case a.ID < b.ID:
+			return -1
+		case a.ID > b.ID:
+			return 1
 		}
-		return items[i].ID < items[j].ID
+		return 0
 	})
 }
 

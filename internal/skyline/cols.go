@@ -1,0 +1,237 @@
+package skyline
+
+import (
+	"sync"
+
+	"fairassign/internal/geom"
+	"fairassign/internal/score"
+)
+
+// ColSet is a columnar (structure-of-arrays) point set: per-dimension
+// contiguous []float64 columns plus the point IDs, with branch-free
+// blocked kernels for the two operations every skyline hot loop reduces
+// to — "does any member dominate q" and "which member scores best".
+//
+// The row-wise equivalents compare one geom.Point at a time, chasing a
+// pointer per point; here each dimension is a sequential scan over a
+// contiguous column that the compiler compiles to cmp+SETcc+add with no
+// data-dependent branches, and dominance is decided from the per-item
+// counters afterwards. Results are exactly those of geom.Point.Dominates
+// and score.Eval member by member: the per-dimension comparisons are the
+// same expressions, only the loop nest is transposed.
+//
+// A ColSet is single-goroutine (the counter scratch is part of the set);
+// concurrent readers each take their own from the pool.
+type ColSet struct {
+	dims int
+	n    int
+	cols [][]float64
+	ids  []uint64
+
+	// blocked-kernel scratch for the dominance filter: the surviving-
+	// candidate index buffer. (Best uses pooled scratch instead, so
+	// concurrent readers may share one set.)
+	cand []int32
+}
+
+// domBlock is the largest kernel tile: small enough that the candidate
+// scratch stays L1-resident across the dimension passes, large enough
+// to amortize the per-block verdict scan. Blocks grow geometrically
+// from domBlockMin so probes dominated by an early member — the common
+// case in BBS/SFS, where the first few skyline points (largest
+// coordinate sum) prune most of the stream — exit after a tiny block
+// instead of paying for a full tile.
+const (
+	domBlock    = 256
+	domBlockMin = 16
+)
+
+// NewColSet returns an empty columnar set of the given dimensionality.
+func NewColSet(dims int) *ColSet {
+	c := &ColSet{}
+	c.Reset(dims)
+	return c
+}
+
+// Reset empties the set and re-shapes it for dims dimensions, keeping
+// column capacity.
+func (c *ColSet) Reset(dims int) {
+	if dims > len(c.cols) {
+		c.cols = append(c.cols, make([][]float64, dims-len(c.cols))...)
+	}
+	for d := range c.cols {
+		c.cols[d] = c.cols[d][:0]
+	}
+	c.ids = c.ids[:0]
+	c.dims = dims
+	c.n = 0
+	if len(c.cand) < domBlock {
+		c.cand = make([]int32, domBlock)
+	}
+}
+
+// Len returns the number of points in the set.
+func (c *ColSet) Len() int { return c.n }
+
+// ID returns the ID of point i.
+func (c *ColSet) ID(i int) uint64 { return c.ids[i] }
+
+// Append adds a point. The coordinates are copied into the columns, so
+// the caller's slice may alias short-lived memory (decoded R-tree
+// nodes).
+func (c *ColSet) Append(id uint64, pt geom.Point) {
+	for d := 0; d < c.dims; d++ {
+		c.cols[d] = append(c.cols[d], pt[d])
+	}
+	c.ids = append(c.ids, id)
+	c.n++
+}
+
+// SwapDelete removes point i by moving the last point into its slot.
+func (c *ColSet) SwapDelete(i int) {
+	last := c.n - 1
+	for d := 0; d < c.dims; d++ {
+		col := c.cols[d]
+		col[i] = col[last]
+		c.cols[d] = col[:last]
+	}
+	c.ids[i] = c.ids[last]
+	c.ids = c.ids[:last]
+	c.n = last
+}
+
+// Cols exposes the per-dimension columns (first Len() entries valid);
+// callers must treat them as read-only.
+func (c *ColSet) Cols() [][]float64 { return c.cols[:c.dims] }
+
+// FirstDominator returns the lowest index whose point strictly
+// dominates q — the exact per-point predicate is geom.Point.Dominates:
+// no dimension with point < q, at least one with point > q — or -1 if
+// none does.
+//
+// The kernel is a blocked column filter (database-style candidate
+// compression): the first dimension's contiguous column is scanned once,
+// compressing the indices that survive (`!(v < q[0])`, the complement of
+// Dominates' failure test — NaN behavior included); each further
+// dimension filters only the survivors. In skyline workloads the first
+// pass eliminates nearly everything, so the cost is ~one comparison per
+// member over sequential memory, with no per-point slice-header chase.
+// Survivors satisfy >= in every dimension; the final scan returns the
+// first with a strictly better dimension. Blocks are processed in
+// ascending index order and candidates stay sorted within each block,
+// so "first" is exact at any block schedule.
+func (c *ColSet) FirstDominator(q []float64) int {
+	// Row-wise prefix: in BBS/SFS streams the earliest members (largest
+	// coordinate sums) dominate nearly every pruned probe, and for a hit
+	// that early a per-member early-exit scan beats any batched kernel.
+	// The predicate is geom.Point.Dominates verbatim: no dimension below
+	// q, at least one strictly above.
+	pre := c.n
+	if pre > domBlockMin {
+		pre = domBlockMin
+	}
+	for i := 0; i < pre; i++ {
+		better := false
+		d := 0
+		for ; d < c.dims; d++ {
+			v := c.cols[d][i]
+			if v < q[d] {
+				break
+			}
+			if v > q[d] {
+				better = true
+			}
+		}
+		if d == c.dims && better {
+			return i
+		}
+	}
+	bs := domBlockMin
+	for lo := pre; lo < c.n; {
+		hi := lo + bs
+		if hi > c.n {
+			hi = c.n
+		}
+		cand := c.cand[:0]
+		q0 := q[0]
+		col0 := c.cols[0][lo:hi]
+		for i, v := range col0 {
+			if !(v < q0) {
+				cand = append(cand, int32(lo+i))
+			}
+		}
+		for d := 1; d < c.dims && len(cand) > 0; d++ {
+			qd := q[d]
+			col := c.cols[d]
+			k := 0
+			for _, ci := range cand {
+				if !(col[ci] < qd) {
+					cand[k] = ci
+					k++
+				}
+			}
+			cand = cand[:k]
+		}
+		for _, ci := range cand {
+			// A survivor with no strictly-better dimension is a
+			// coincident duplicate — not a dominator.
+			for d := 0; d < c.dims; d++ {
+				if c.cols[d][ci] > q[d] {
+					return int(ci)
+				}
+			}
+		}
+		lo = hi
+		if bs < domBlock {
+			bs *= 2
+		}
+	}
+	return -1
+}
+
+// AnyDominates reports whether any member strictly dominates q.
+func (c *ColSet) AnyDominates(q []float64) bool { return c.FirstDominator(q) >= 0 }
+
+// Best returns the index of the member maximizing the scorer, ties to
+// the lowest ID — the columnar form of BestUnder, scoring the whole set
+// with one EvalBlock pass. ok is false on an empty set. Scores are
+// bit-identical to sc.Score per member, and selection follows the same
+// (score, lowest-ID) total order, so the winner matches BestUnder over
+// the rows in any order. The score block is pooled, so concurrent
+// readers (the parallel solver fan-outs) may call Best on one shared
+// set — only mutation requires exclusion.
+func (c *ColSet) Best(sc score.Scorer) (idx int, best float64, ok bool) {
+	if c.n == 0 {
+		return 0, 0, false
+	}
+	sb := scoreScratchPool.Get().(*scoreScratch)
+	if cap(sb.out) < c.n {
+		sb.out = make([]float64, c.n)
+	}
+	out := sb.out[:c.n]
+	score.EvalBlock(sc.Fam, sc.W, c.cols, out)
+	for i, s := range out {
+		if ok && (s < best || (s == best && c.ids[i] >= c.ids[idx])) {
+			continue
+		}
+		idx, best, ok = i, s, true
+	}
+	scoreScratchPool.Put(sb)
+	return idx, best, ok
+}
+
+type scoreScratch struct{ out []float64 }
+
+var scoreScratchPool = sync.Pool{New: func() any { return new(scoreScratch) }}
+
+// colSetPool recycles ColSets across skyline passes (Compute calls, SFS
+// runs) the way entryHeapPool recycles heaps.
+var colSetPool = sync.Pool{New: func() any { return new(ColSet) }}
+
+func acquireColSet(dims int) *ColSet {
+	c := colSetPool.Get().(*ColSet)
+	c.Reset(dims)
+	return c
+}
+
+func releaseColSet(c *ColSet) { colSetPool.Put(c) }

@@ -7,6 +7,7 @@ import (
 	"fairassign/internal/metrics"
 	"fairassign/internal/pagestore"
 	"fairassign/internal/rtree"
+	"fairassign/internal/score"
 )
 
 // Maintainer implements the paper's incremental skyline maintenance
@@ -28,6 +29,16 @@ type Maintainer struct {
 	dims int
 	sky  map[uint64]*skyObj
 	mem  *metrics.MemTracker
+
+	// order and cols mirror the sky map as dense arrays: order[i] is the
+	// skyline object whose point sits at column row i (skyObj.slot keeps
+	// the back-pointer). The columnar mirror feeds the branch-free
+	// dominance kernel (dominator) and the batched scorer kernel (Best);
+	// the map stays the ID-lookup path. As a side effect Skyline() and
+	// the Insert demote scan now run in deterministic insertion order
+	// instead of map order.
+	order []*skyObj
+	cols  *ColSet
 
 	// lastDom caches the most recent successful dominator: consecutive
 	// heap entries are spatially close, so the same skyline object
@@ -87,6 +98,29 @@ func (m *Maintainer) recycle(s *skyObj) {
 type skyObj struct {
 	item  rtree.Item
 	plist []entry
+	slot  int // index in Maintainer.order / Maintainer.cols
+}
+
+// addSky registers a skyline object in the map and the columnar mirror.
+func (m *Maintainer) addSky(s *skyObj) {
+	s.slot = len(m.order)
+	m.order = append(m.order, s)
+	m.cols.Append(s.item.ID, s.item.Point)
+	m.sky[s.item.ID] = s
+}
+
+// delSky unregisters a skyline object (swap-delete in the mirror). The
+// caller still owns s and its plist.
+func (m *Maintainer) delSky(s *skyObj) {
+	i, last := s.slot, len(m.order)-1
+	if i != last {
+		moved := m.order[last]
+		m.order[i] = moved
+		moved.slot = i
+	}
+	m.order = m.order[:last]
+	m.cols.SwapDelete(i)
+	delete(m.sky, s.item.ID)
 }
 
 // NewMaintainer computes the initial skyline of the tree with a
@@ -94,7 +128,7 @@ type skyObj struct {
 // be nil; when set, plist and heap footprints are tracked for the paper's
 // memory metric.
 func NewMaintainer(t *rtree.Tree, mem *metrics.MemTracker) (*Maintainer, error) {
-	m := &Maintainer{tree: t, dims: t.Dims(), sky: make(map[uint64]*skyObj), dead: make(map[uint64]bool), mem: mem}
+	m := &Maintainer{tree: t, dims: t.Dims(), sky: make(map[uint64]*skyObj), dead: make(map[uint64]bool), mem: mem, cols: NewColSet(t.Dims())}
 	if t.Len() == 0 {
 		return m, nil
 	}
@@ -120,14 +154,14 @@ func NewMaintainer(t *rtree.Tree, mem *metrics.MemTracker) (*Maintainer, error) 
 // Workspace regime. Item points are aliased, not copied: callers must
 // treat them as immutable for the maintainer's lifetime.
 func NewMaintainerFromItems(dims int, items []rtree.Item, mem *metrics.MemTracker) *Maintainer {
-	m := &Maintainer{dims: dims, sky: make(map[uint64]*skyObj), dead: make(map[uint64]bool), mem: mem}
+	m := &Maintainer{dims: dims, sky: make(map[uint64]*skyObj), dead: make(map[uint64]bool), mem: mem, cols: NewColSet(dims)}
 	if len(items) == 0 {
 		return m
 	}
 	// Seed the skyline with SFS (descending corner-sum visit order means
 	// dominators precede what they dominate), then park the rest.
 	for _, it := range SFS(items) {
-		m.sky[it.ID] = m.newSkyObj(rtree.Item{ID: it.ID, Point: it.Point.Clone()})
+		m.addSky(m.newSkyObj(rtree.Item{ID: it.ID, Point: it.Point.Clone()}))
 	}
 	for _, it := range items {
 		if _, onSky := m.sky[it.ID]; onSky {
@@ -143,7 +177,7 @@ func NewMaintainerFromItems(dims int, items []rtree.Item, mem *metrics.MemTracke
 		if o == nil {
 			// Non-strict domination ties (duplicate points) can leave an
 			// item outside both sets; it belongs on the skyline.
-			m.sky[it.ID] = m.newSkyObj(rtree.Item{ID: it.ID, Point: it.Point.Clone()})
+			m.addSky(m.newSkyObj(rtree.Item{ID: it.ID, Point: it.Point.Clone()}))
 			continue
 		}
 		o.plist = append(o.plist, e)
@@ -152,13 +186,27 @@ func NewMaintainerFromItems(dims int, items []rtree.Item, mem *metrics.MemTracke
 	return m
 }
 
-// Skyline returns the current skyline objects (unspecified order).
+// Skyline returns the current skyline objects (insertion order).
 func (m *Maintainer) Skyline() []rtree.Item {
-	out := make([]rtree.Item, 0, len(m.sky))
-	for _, s := range m.sky {
+	out := make([]rtree.Item, 0, len(m.order))
+	for _, s := range m.order {
 		out = append(out, s.item)
 	}
 	return out
+}
+
+// Best returns the skyline object maximizing the scorer, ties to the
+// lowest ID — BestUnder over the maintained skyline without
+// materializing the item slice, scored by the batched columnar kernel.
+// ok is false on an empty skyline. Like every mutating method it must
+// not be called concurrently with mutations (the kernel scratch lives
+// on the maintainer).
+func (m *Maintainer) Best(sc score.Scorer) (best rtree.Item, bestScore float64, ok bool) {
+	i, s, ok := m.cols.Best(sc)
+	if !ok {
+		return rtree.Item{}, 0, false
+	}
+	return m.order[i].item, s, true
 }
 
 // Size returns the number of current skyline objects.
@@ -206,22 +254,29 @@ func (m *Maintainer) Insert(it rtree.Item) error {
 		return nil
 	}
 	obj := m.newSkyObj(rtree.Item{ID: it.ID, Point: it.Point.Clone()})
-	for id, s := range m.sky {
-		if it.Point.Dominates(s.item.Point) {
-			demoted := entry{
-				rect:  geom.RectFromPoint(s.item.Point),
-				child: pagestore.InvalidPage,
-				id:    s.item.ID,
-				key:   topCornerSum(geom.RectFromPoint(s.item.Point)),
-			}
-			obj.plist = append(obj.plist, demoted)
-			obj.plist = append(obj.plist, s.plist...)
-			trackMem(m.mem, entryBytes(m.dims))
-			delete(m.sky, id)
-			m.recycle(s)
+	// Demote every skyline object the arrival dominates. The scan walks
+	// the dense order slice; delSky swap-fills slot i with a not-yet-
+	// visited object from the tail, so i is re-examined after a demotion
+	// and every object is tested exactly once.
+	for i := 0; i < len(m.order); {
+		s := m.order[i]
+		if !it.Point.Dominates(s.item.Point) {
+			i++
+			continue
 		}
+		demoted := entry{
+			rect:  geom.RectFromPoint(s.item.Point),
+			child: pagestore.InvalidPage,
+			id:    s.item.ID,
+			key:   topCornerSum(geom.RectFromPoint(s.item.Point)),
+		}
+		obj.plist = append(obj.plist, demoted)
+		obj.plist = append(obj.plist, s.plist...)
+		trackMem(m.mem, entryBytes(m.dims))
+		m.delSky(s)
+		m.recycle(s)
 	}
-	m.sky[it.ID] = obj
+	m.addSky(obj)
 	return nil
 }
 
@@ -282,7 +337,7 @@ func (m *Maintainer) remove(ids []uint64, lenient bool) error {
 			continue
 		}
 		orphans = append(orphans, s.plist...)
-		delete(m.sky, id)
+		m.delSky(s)
 		m.recycle(s)
 		onSky = true
 	}
@@ -342,7 +397,7 @@ func (m *Maintainer) resume(h *entryHeap) error {
 			// Clone at the long-lived retention boundary: e.rect.Min is a
 			// sub-slice of the decoded node's whole coordinate array, and
 			// skyline objects outlive the node cache.
-			m.sky[e.id] = m.newSkyObj(rtree.Item{ID: e.id, Point: e.rect.Min.Clone()})
+			m.addSky(m.newSkyObj(rtree.Item{ID: e.id, Point: e.rect.Min.Clone()}))
 			continue
 		}
 		n, err := m.readNode(e.child)
@@ -355,18 +410,20 @@ func (m *Maintainer) resume(h *entryHeap) error {
 }
 
 // dominator returns a skyline object strictly dominating e's top corner,
-// or nil. Entries are kept in the plist of exactly one dominator.
+// or nil. Entries are kept in the plist of exactly one dominator; any
+// dominator is a correct choice (an entry is prunable iff one exists),
+// so the columnar kernel's first-by-slot pick — like the map-order pick
+// before it — never changes skyline evolution or node reads.
 func (m *Maintainer) dominator(e entry) *skyObj {
 	if d := m.lastDom; d != nil {
 		if _, live := m.sky[d.item.ID]; live && d.item.Point.Dominates(e.rect.Max) {
 			return d
 		}
 	}
-	for _, s := range m.sky {
-		if s.item.Point.Dominates(e.rect.Max) {
-			m.lastDom = s
-			return s
-		}
+	if i := m.cols.FirstDominator(e.rect.Max); i >= 0 {
+		s := m.order[i]
+		m.lastDom = s
+		return s
 	}
 	return nil
 }

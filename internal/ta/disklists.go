@@ -405,7 +405,10 @@ func (dl *DiskLists) BatchSearch(objs []BatchObject) (map[uint64]BatchResult, er
 					if st.done {
 						continue
 					}
-					s := score.Eval(fam, w, st.obj.Point)
+					// st.objSorted (descending object values, built once per
+					// object) makes the OWA case a plain dot product instead
+					// of a per-(function, object) sort.
+					s := score.EvalPrepared(fam, w, st.obj.Point, st.objSorted)
 					if !st.best.OK || s > st.best.Score ||
 						(s == st.best.Score && e.id < st.best.FuncID) {
 						st.best = BatchResult{FuncID: e.id, Score: s, OK: true}

@@ -36,11 +36,12 @@ type listSource interface {
 // Lists implements listSource.
 func (l *Lists) dims() int            { return l.dimCount }
 func (l *Lists) maxBudget() float64   { return l.maxB }
-func (l *Lists) listLength(d int) int { return len(l.lists[d]) }
+func (l *Lists) listLength(d int) int { return len(l.coefs[d]) }
 func (l *Lists) funcCount() int       { return len(l.byIdx) }
 func (l *Lists) entryAt(d, i int) (listEntry, error) {
 	l.Counters.addSorted()
-	return l.lists[d][i], nil
+	idx := l.lidx[d][i]
+	return listEntry{coef: l.coefs[d][i], id: l.idsDense[idx], idx: int(idx)}, nil
 }
 func (l *Lists) weightsAt(idx int, _ uint64, _ int, _ float64) ([]float64, error) {
 	l.Counters.addRandom()
@@ -383,7 +384,11 @@ func (s *Search) step() bool {
 	if s.linear {
 		sc = geom.Dot(w, s.obj)
 	} else {
-		sc = score.Eval(s.l.familyAt(e.idx), w, s.obj)
+		// s.objSorted was built once at search construction; for OWA
+		// candidates this turns every scoring random access into a plain
+		// dot product (bit-identical: OWA's Eval is Dot over exactly this
+		// sorted vector).
+		sc = score.EvalPrepared(s.l.familyAt(e.idx), w, s.obj, s.objSorted)
 	}
 	s.insert(cand{id: e.id, idx: e.idx, score: sc})
 	return true

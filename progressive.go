@@ -27,15 +27,17 @@ func NewProgressiveMatcher(objects []Object, functions []Function, opts Options)
 		OmegaFraction:     opts.OmegaFraction,
 		SkipNormalization: opts.SkipNormalization,
 		Workers:           opts.Workers,
+		BuildWorkers:      opts.BuildWorkers,
 	})
 	if err != nil {
 		return nil, err
 	}
 	inner, err := assign.NewProgressive(solver.problem, assign.Config{
-		PageSize:   opts.PageSize,
-		BufferFrac: opts.BufferFraction,
-		OmegaFrac:  opts.OmegaFraction,
-		Workers:    opts.Workers,
+		PageSize:     opts.PageSize,
+		BufferFrac:   opts.BufferFraction,
+		OmegaFrac:    opts.OmegaFraction,
+		Workers:      opts.Workers,
+		BuildWorkers: opts.BuildWorkers,
 	})
 	if err != nil {
 		return nil, err
