@@ -96,6 +96,11 @@ func main() {
 		os.Exit(1)
 	}
 	rep.Conformance = confSummary
+	host := fmt.Sprintf("%s %s/%s", rep.GoVersion, rep.GOOS, rep.GOARCH)
+	if rep.GOAMD64 != "" {
+		host += " " + rep.GOAMD64
+	}
+	fmt.Printf("%s  simd=%s\n", host, rep.SIMDLevel)
 
 	if *baseline != "" {
 		data, err := os.ReadFile(*baseline)

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"math/rand"
 	"runtime"
+	"runtime/debug"
 	"time"
 
 	"fairassign/internal/assign"
@@ -19,9 +20,24 @@ import (
 	"fairassign/internal/geom"
 	"fairassign/internal/pagestore"
 	"fairassign/internal/rtree"
+	"fairassign/internal/score"
 	"fairassign/internal/skyline"
 	"fairassign/internal/ta"
 )
+
+// goamd64Level reports the GOAMD64 microarchitecture level recorded in
+// the binary's build info ("" off amd64 or when the toolchain did not
+// record it).
+func goamd64Level() string {
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range bi.Settings {
+			if s.Key == "GOAMD64" {
+				return s.Value
+			}
+		}
+	}
+	return ""
+}
 
 // Metrics is one measured configuration of one case.
 type Metrics struct {
@@ -90,9 +106,17 @@ func ApplyBaseline(rep, base *Report) {
 
 // Report is the emitted BENCH_*.json payload.
 type Report struct {
-	GoVersion   string    `json:"go_version"`
-	GOOS        string    `json:"goos"`
-	GOARCH      string    `json:"goarch"`
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	// GOAMD64 is the microarchitecture level the binary was compiled
+	// for (amd64 only, "" when unrecorded). The SIMD kernels make the
+	// hot-path numbers level-independent, so this is provenance, not a
+	// variable to control for.
+	GOAMD64 string `json:"goamd64,omitempty"`
+	// SIMDLevel is the kernel set dispatched while the report was
+	// generated: "avx2", "neon", or "portable".
+	SIMDLevel   string    `json:"simd_level"`
 	Seed        int64     `json:"seed"`
 	GeneratedAt time.Time `json:"generated_at"`
 	// Conformance summarizes the pre-flight differential run ("skipped"
@@ -273,6 +297,8 @@ func Run(opts Options) (*Report, error) {
 		GoVersion:   runtime.Version(),
 		GOOS:        runtime.GOOS,
 		GOARCH:      runtime.GOARCH,
+		GOAMD64:     goamd64Level(),
+		SIMDLevel:   score.SIMDLevel(),
 		Seed:        opts.Seed,
 		GeneratedAt: time.Now().UTC(),
 	}

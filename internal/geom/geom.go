@@ -88,7 +88,13 @@ func (p Point) L1ToSky(hi float64) float64 {
 func Dot(w, p []float64) float64 {
 	s := 0.0
 	for i := range w {
-		s += w[i] * p[i]
+		// Explicit intermediate so the compiler cannot fuse the
+		// multiply into the add (the Go spec only permits fusion within
+		// one expression): Dot must stay bit-identical to the columnar
+		// SIMD kernels, which round the product before accumulating, on
+		// every GOARCH and GOAMD64 level.
+		v := w[i] * p[i]
+		s += v
 	}
 	return s
 }

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"fairassign/internal/geom"
+	"fairassign/internal/simd"
 )
 
 // This file holds the columnar (structure-of-arrays) scoring kernels.
@@ -49,30 +50,40 @@ func EvalBlock(fam Family, w []float64, cols [][]float64, out []float64) {
 			out[i] = geom.Dot(w, sortedDesc(rowS[:len(w)], bufS))
 		}
 	case Chebyshev:
-		for i := range out[:n] {
-			out[i] = 0
-		}
-		for d, wd := range w {
-			col := cols[d][:n]
-			for i, v := range col {
-				if p := wd * v; p > out[i] {
-					out[i] = p
-				}
+		if len(w) == 0 {
+			for i := range out[:n] {
+				out[i] = 0
 			}
+			return
+		}
+		simd.ScaleMaxZ(out[:n], cols[0][:n], w[0])
+		for d := 1; d < len(w); d++ {
+			simd.ScaleMax(out[:n], cols[d][:n], w[d])
 		}
 	case Lp:
 		if fam.P == 1 {
 			linearBlock(w, cols, out)
 			return
 		}
-		for i := range out[:n] {
-			out[i] = 0
-		}
-		for d, wd := range w {
-			col := cols[d][:n]
-			p := fam.P
-			for i, v := range col {
-				out[i] += wd * powNonNeg(v, p)
+		if fam.P == 2 && len(w) > 0 {
+			// powNonNeg at p == 2 is the clamped square — a pure
+			// multiply the SIMD kernel performs inline, keeping the
+			// whole power-column accumulation off the math.Pow path.
+			simd.AxpySqClampZ(out[:n], cols[0][:n], w[0])
+			for d := 1; d < len(w); d++ {
+				simd.AxpySqClamp(out[:n], cols[d][:n], w[d])
+			}
+		} else {
+			for i := range out[:n] {
+				out[i] = 0
+			}
+			for d, wd := range w {
+				col := cols[d][:n]
+				p := fam.P
+				for i, v := range col {
+					pv := wd * powNonNeg(v, p)
+					out[i] += pv
+				}
 			}
 		}
 		inv := 1 / fam.P
@@ -86,17 +97,20 @@ func EvalBlock(fam Family, w []float64, cols [][]float64, out []float64) {
 
 // linearBlock is the shared dot-product kernel: column-by-column
 // accumulation in ascending dimension order reproduces geom.Dot's
-// summation order for every row.
+// summation order for every row (AxpyZ writes the dimension-0 products
+// as fresh sums, Axpy folds the rest in — each out[i] receives exactly
+// the additions geom.Dot performs, in the same order).
 func linearBlock(w []float64, cols [][]float64, out []float64) {
 	n := len(out)
-	for i := range out[:n] {
-		out[i] = 0
-	}
-	for d, wd := range w {
-		col := cols[d][:n]
-		for i, v := range col {
-			out[i] += wd * v
+	if len(w) == 0 {
+		for i := range out[:n] {
+			out[i] = 0
 		}
+		return
+	}
+	simd.AxpyZ(out[:n], cols[0][:n], w[0])
+	for d := 1; d < len(w); d++ {
+		simd.Axpy(out[:n], cols[d][:n], w[d])
 	}
 }
 
@@ -242,12 +256,24 @@ func (fb *FuncBlocks) Best(o geom.Point, accept func(id uint64, s float64) bool)
 		}
 		sc.grow(n, fb.dims)
 		g.evalDual(o, sc.prep, sc.out)
+		if accept == nil {
+			// Unfiltered: the group winner under (score, -id) comes
+			// from the strided argmax kernel, and only winners cross
+			// the group merge.
+			bi := simd.SelectBest(sc.out[:n], g.ids)
+			id, s := g.ids[bi], sc.out[bi]
+			if ok && (s < bestS || (s == bestS && id >= bestID)) {
+				continue
+			}
+			bestID, bestS, ok = id, s, true
+			continue
+		}
 		for i, s := range sc.out[:n] {
 			id := g.ids[i]
 			if ok && (s < bestS || (s == bestS && id >= bestID)) {
 				continue
 			}
-			if accept != nil && !accept(id, s) {
+			if !accept(id, s) {
 				continue
 			}
 			bestID, bestS, ok = id, s, true
@@ -271,16 +297,15 @@ func (g *funcGroup) evalDual(o geom.Point, prep, out []float64) {
 		osort := sortedDesc(o, prep)
 		dualLinear(osort, g.wcols, out)
 	case Chebyshev:
-		for i := range out[:n] {
-			out[i] = 0
-		}
-		for d, od := range o {
-			col := g.wcols[d][:n]
-			for i, wv := range col {
-				if p := wv * od; p > out[i] {
-					out[i] = p
-				}
+		if len(o) == 0 {
+			for i := range out[:n] {
+				out[i] = 0
 			}
+			return
+		}
+		simd.ScaleMaxZ(out[:n], g.wcols[0][:n], o[0])
+		for d := 1; d < len(o); d++ {
+			simd.ScaleMax(out[:n], g.wcols[d][:n], o[d])
 		}
 	case Lp:
 		if g.fam.P == 1 {
@@ -308,13 +333,14 @@ func (g *funcGroup) evalDual(o geom.Point, prep, out []float64) {
 // the result bits are identical).
 func dualLinear(x []float64, wcols [][]float64, out []float64) {
 	n := len(out)
-	for i := range out[:n] {
-		out[i] = 0
-	}
-	for d, xd := range x {
-		col := wcols[d][:n]
-		for i, wv := range col {
-			out[i] += wv * xd
+	if len(x) == 0 {
+		for i := range out[:n] {
+			out[i] = 0
 		}
+		return
+	}
+	simd.AxpyZ(out[:n], wcols[0][:n], x[0])
+	for d := 1; d < len(x); d++ {
+		simd.Axpy(out[:n], wcols[d][:n], x[d])
 	}
 }

@@ -168,7 +168,11 @@ func Eval(fam Family, w []float64, o geom.Point) float64 {
 		}
 		s := 0.0
 		for i := range w {
-			s += w[i] * powNonNeg(o[i], fam.P)
+			// Explicit intermediate: the spec forbids fusing the
+			// multiply into the add, keeping Eval bit-identical to the
+			// SIMD power-column kernels on every GOARCH/GOAMD64.
+			p := w[i] * powNonNeg(o[i], fam.P)
+			s += p
 		}
 		return math.Pow(s, 1/fam.P)
 	default: // Linear
@@ -264,7 +268,8 @@ func (f Family) Bound(ceil []float64, o geom.Point, order []int, sortedObj []flo
 			if beta > b {
 				beta = b
 			}
-			t += beta * v
+			p := beta * v
+			t += p
 			b -= beta
 		}
 		return t
@@ -291,7 +296,8 @@ func (f Family) Bound(ceil []float64, o geom.Point, order []int, sortedObj []flo
 			if beta > b {
 				beta = b
 			}
-			t += beta * powNonNeg(o[d], f.P)
+			p := beta * powNonNeg(o[d], f.P)
+			t += p
 			b -= beta
 		}
 		return math.Pow(t, 1/f.P)
@@ -306,7 +312,8 @@ func (f Family) Bound(ceil []float64, o geom.Point, order []int, sortedObj []flo
 			if beta > b {
 				beta = b
 			}
-			t += beta * o[d]
+			p := beta * o[d]
+			t += p
 			b -= beta
 		}
 		return t

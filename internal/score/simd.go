@@ -1,0 +1,21 @@
+package score
+
+import "fairassign/internal/simd"
+
+// SetSIMD turns dispatch to the hand-written SIMD kernels behind
+// EvalBlock, FuncBlocks.Best, and the skyline dominance filter on or
+// off at runtime (it delegates to the internal/simd switch, which every
+// columnar consumer shares). Results are bit-identical either way —
+// this is the kill switch next to the FAIRASSIGN_NOSIMD environment
+// variable and the `purego` build tag, and the hook the differential
+// benchmarks use to duel the two paths. Enabling is a no-op when the
+// binary or CPU has no assembly kernels.
+func SetSIMD(on bool) { simd.SetEnabled(on) }
+
+// SIMDLevel names the kernel set currently dispatched: "avx2", "neon",
+// or "portable".
+func SIMDLevel() string { return simd.Level() }
+
+// SIMDDetected names the kernel set the CPU supports, ignoring the
+// runtime switch.
+func SIMDDetected() string { return simd.DetectedLevel() }

@@ -1,0 +1,152 @@
+//go:build amd64 && !purego
+
+package simd
+
+// Runtime CPU-feature detection, hand-rolled (no golang.org/x/sys):
+// the AVX2 kernels additionally require OSXSAVE with YMM state enabled
+// in XCR0 (the OS must save the upper vector halves across context
+// switches) and POPCNT (used by the survivor-compression kernel; it
+// predates AVX2 on every x86 vendor, but the bit is checked anyway).
+
+const asmLevel = "avx2"
+
+var hasAsm = detectAVX2()
+
+// cpuid executes CPUID with the given leaf/subleaf. Implemented in
+// cpuid_amd64.s.
+func cpuid(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+
+// xgetbv reads extended control register 0 (XCR0). Only valid when
+// CPUID reports OSXSAVE. Implemented in cpuid_amd64.s.
+func xgetbv() (eax, edx uint32)
+
+func detectAVX2() bool {
+	maxLeaf, _, _, _ := cpuid(0, 0)
+	if maxLeaf < 7 {
+		return false
+	}
+	_, _, ecx1, _ := cpuid(1, 0)
+	const (
+		popcntBit  = 1 << 23
+		osxsaveBit = 1 << 27
+		avxBit     = 1 << 28
+	)
+	if ecx1&popcntBit == 0 || ecx1&osxsaveBit == 0 || ecx1&avxBit == 0 {
+		return false
+	}
+	// XCR0 bits 1 (SSE/XMM) and 2 (AVX/YMM) must both be OS-enabled.
+	xlo, _ := xgetbv()
+	if xlo&0x6 != 0x6 {
+		return false
+	}
+	_, ebx7, _, _ := cpuid(7, 0)
+	const avx2Bit = 1 << 5
+	return ebx7&avx2Bit != 0
+}
+
+// Assembly kernel bodies (kernels_amd64.s). Each processes the leading
+// n &^ 3 elements with 4-wide AVX2 blocks and the remainder with scalar
+// SSE2 instructions, so the wrappers hand over whole slices.
+
+//go:noescape
+func axpyAVX2(out, col *float64, a float64, n int)
+
+//go:noescape
+func axpyZAVX2(out, col *float64, a float64, n int)
+
+//go:noescape
+func scaleMaxAVX2(out, col *float64, a float64, n int)
+
+//go:noescape
+func scaleMaxZAVX2(out, col *float64, a float64, n int)
+
+//go:noescape
+func axpySqClampAVX2(out, col *float64, a float64, n int)
+
+//go:noescape
+func axpySqClampZAVX2(out, col *float64, a float64, n int)
+
+// compressNotLessAVX2 compacts the survivors of the leading n &^ 3
+// elements only (the wrapper finishes the tail); it may store up to 4
+// int32s past the last survivor, hence the len(dst) >= len(col) slack.
+//
+//go:noescape
+func compressNotLessAVX2(dst *int32, col *float64, q float64, base int32, n int) int
+
+// selectBestAVX2 runs the full-block portion of the 4-lane strided
+// argmax (indexes 0 .. n&^3-1, n >= 4), leaving the lane states in L.
+//
+//go:noescape
+func selectBestAVX2(L *SelLanes, scores *float64, ids *uint64, n int)
+
+func Axpy(out, col []float64, a float64) {
+	if len(col) >= minAsmLen && enabled.Load() {
+		axpyAVX2(&out[0], &col[0], a, len(col))
+		return
+	}
+	axpyGeneric(out, col, a)
+}
+
+func AxpyZ(out, col []float64, a float64) {
+	if len(col) >= minAsmLen && enabled.Load() {
+		axpyZAVX2(&out[0], &col[0], a, len(col))
+		return
+	}
+	axpyZGeneric(out, col, a)
+}
+
+func ScaleMax(out, col []float64, a float64) {
+	if len(col) >= minAsmLen && enabled.Load() {
+		scaleMaxAVX2(&out[0], &col[0], a, len(col))
+		return
+	}
+	scaleMaxGeneric(out, col, a)
+}
+
+func ScaleMaxZ(out, col []float64, a float64) {
+	if len(col) >= minAsmLen && enabled.Load() {
+		scaleMaxZAVX2(&out[0], &col[0], a, len(col))
+		return
+	}
+	scaleMaxZGeneric(out, col, a)
+}
+
+func AxpySqClamp(out, col []float64, a float64) {
+	if len(col) >= minAsmLen && enabled.Load() {
+		axpySqClampAVX2(&out[0], &col[0], a, len(col))
+		return
+	}
+	axpySqClampGeneric(out, col, a)
+}
+
+func AxpySqClampZ(out, col []float64, a float64) {
+	if len(col) >= minAsmLen && enabled.Load() {
+		axpySqClampZAVX2(&out[0], &col[0], a, len(col))
+		return
+	}
+	axpySqClampZGeneric(out, col, a)
+}
+
+func CompressNotLess(dst []int32, col []float64, q float64, base int32) int {
+	n := len(col)
+	if n >= minAsmLen && enabled.Load() {
+		n4 := n &^ 3
+		k := compressNotLessAVX2(&dst[0], &col[0], q, base, n4)
+		for i := n4; i < n; i++ {
+			if !(col[i] < q) {
+				dst[k] = base + int32(i)
+				k++
+			}
+		}
+		return k
+	}
+	return compressNotLessGeneric(dst, col, q, base)
+}
+
+func selectBestBlocks(L *SelLanes, scores []float64, ids []uint64) {
+	if len(scores) >= minAsmLen && enabled.Load() {
+		selectBestAVX2(L, &scores[0], &ids[0], len(scores))
+		return
+	}
+	selectBestBlocksGeneric(L, scores, ids)
+}

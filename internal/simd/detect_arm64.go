@@ -1,0 +1,155 @@
+//go:build arm64 && !purego
+
+package simd
+
+import (
+	"encoding/binary"
+	"os"
+	"runtime"
+)
+
+// Runtime CPU-feature detection, hand-rolled (no golang.org/x/sys).
+// Advanced SIMD (NEON) is architecturally mandatory in ARMv8-A — the Go
+// runtime itself assumes it — so this is a formality, but on Linux the
+// kernel's HWCAP word is consulted anyway, read straight from
+// /proc/self/auxv.
+
+const asmLevel = "neon"
+
+var hasAsm = detectASIMD()
+
+func detectASIMD() bool {
+	if runtime.GOOS != "linux" {
+		// Non-Linux arm64 (notably darwin) has no HWCAP; ASIMD is
+		// part of the baseline everywhere Go runs.
+		return true
+	}
+	buf, err := os.ReadFile("/proc/self/auxv")
+	if err != nil {
+		// auxv can be unreadable in locked-down sandboxes; NEON is
+		// still the ARMv8 baseline.
+		return true
+	}
+	const (
+		atHWCAP    = 16
+		hwcapASIMD = 1 << 1
+	)
+	for i := 0; i+16 <= len(buf); i += 16 {
+		tag := binary.LittleEndian.Uint64(buf[i:])
+		val := binary.LittleEndian.Uint64(buf[i+8:])
+		if tag == atHWCAP {
+			return val&hwcapASIMD != 0
+		}
+	}
+	return true
+}
+
+// Assembly kernel bodies (kernels_arm64.s). Each processes the leading
+// n &^ 3 elements in 2x2-wide NEON blocks and the remainder with scalar
+// FP instructions, so the wrappers hand over whole slices.
+
+//go:noescape
+func axpyNEON(out, col *float64, a float64, n int)
+
+//go:noescape
+func axpyZNEON(out, col *float64, a float64, n int)
+
+//go:noescape
+func scaleMaxNEON(out, col *float64, a float64, n int)
+
+//go:noescape
+func scaleMaxZNEON(out, col *float64, a float64, n int)
+
+//go:noescape
+func axpySqClampNEON(out, col *float64, a float64, n int)
+
+//go:noescape
+func axpySqClampZNEON(out, col *float64, a float64, n int)
+
+// compressNotLessNEON compacts the survivors of the leading n &^ 3
+// elements only (the wrapper finishes the tail); it stores every
+// candidate index and bumps the cursor by the survivor mask bit, so it
+// may write one int32 past the last survivor — covered by the
+// len(dst) >= len(col) slack.
+//
+//go:noescape
+func compressNotLessNEON(dst *int32, col *float64, q float64, base int32, n int) int
+
+// selectBestNEON runs the full-block portion of the 4-lane strided
+// argmax (indexes 0 .. n&^3-1, n >= 4), lanes 0-1 and 2-3 living in one
+// 2-lane vector register each, leaving the lane states in L.
+//
+//go:noescape
+func selectBestNEON(L *SelLanes, scores *float64, ids *uint64, n int)
+
+func Axpy(out, col []float64, a float64) {
+	if len(col) >= minAsmLen && enabled.Load() {
+		axpyNEON(&out[0], &col[0], a, len(col))
+		return
+	}
+	axpyGeneric(out, col, a)
+}
+
+func AxpyZ(out, col []float64, a float64) {
+	if len(col) >= minAsmLen && enabled.Load() {
+		axpyZNEON(&out[0], &col[0], a, len(col))
+		return
+	}
+	axpyZGeneric(out, col, a)
+}
+
+func ScaleMax(out, col []float64, a float64) {
+	if len(col) >= minAsmLen && enabled.Load() {
+		scaleMaxNEON(&out[0], &col[0], a, len(col))
+		return
+	}
+	scaleMaxGeneric(out, col, a)
+}
+
+func ScaleMaxZ(out, col []float64, a float64) {
+	if len(col) >= minAsmLen && enabled.Load() {
+		scaleMaxZNEON(&out[0], &col[0], a, len(col))
+		return
+	}
+	scaleMaxZGeneric(out, col, a)
+}
+
+func AxpySqClamp(out, col []float64, a float64) {
+	if len(col) >= minAsmLen && enabled.Load() {
+		axpySqClampNEON(&out[0], &col[0], a, len(col))
+		return
+	}
+	axpySqClampGeneric(out, col, a)
+}
+
+func AxpySqClampZ(out, col []float64, a float64) {
+	if len(col) >= minAsmLen && enabled.Load() {
+		axpySqClampZNEON(&out[0], &col[0], a, len(col))
+		return
+	}
+	axpySqClampZGeneric(out, col, a)
+}
+
+func CompressNotLess(dst []int32, col []float64, q float64, base int32) int {
+	n := len(col)
+	if n >= minAsmLen && enabled.Load() {
+		n4 := n &^ 3
+		k := compressNotLessNEON(&dst[0], &col[0], q, base, n4)
+		for i := n4; i < n; i++ {
+			if !(col[i] < q) {
+				dst[k] = base + int32(i)
+				k++
+			}
+		}
+		return k
+	}
+	return compressNotLessGeneric(dst, col, q, base)
+}
+
+func selectBestBlocks(L *SelLanes, scores []float64, ids []uint64) {
+	if len(scores) >= minAsmLen && enabled.Load() {
+		selectBestNEON(L, &scores[0], &ids[0], len(scores))
+		return
+	}
+	selectBestBlocksGeneric(L, scores, ids)
+}

@@ -1,0 +1,483 @@
+//go:build amd64 && !purego
+
+#include "textflag.h"
+
+// AVX2 kernels behind the columnar hot paths. Contracts that keep every
+// result bit-identical to the portable kernels (see package doc):
+//
+//   - no FMA: products are rounded by VMULPD before VADDPD sees them;
+//   - vectorization is across output elements only, so each out[i]
+//     receives exactly the operations the scalar code performs;
+//   - MAXPD operand order is chosen so the lane result is
+//     (p > acc) ? p : acc with NaN products and both-zero ties
+//     resolving to acc — the scalar `if p > acc` verbatim;
+//   - compare predicates are the unordered-true forms (NLT_US, NLE_US)
+//     exactly where the scalar code's negated comparisons make NaN
+//     survive, and EQ_OQ where NaN must not compare equal.
+//
+// Loops run a 8- or 4-wide main block and finish with a scalar SSE/AVX
+// tail using the same instruction per element, so remainders take the
+// identical data path.
+
+// func axpyAVX2(out, col *float64, a float64, n int)
+TEXT ·axpyAVX2(SB), NOSPLIT, $0-32
+	MOVQ out+0(FP), DI
+	MOVQ col+8(FP), SI
+	VBROADCASTSD a+16(FP), Y0
+	MOVQ n+24(FP), CX
+	XORQ AX, AX
+	MOVQ CX, DX
+	ANDQ $-8, DX
+
+axpy8:
+	CMPQ AX, DX
+	JGE  axpy4lim
+	VMOVUPD (SI)(AX*8), Y1
+	VMOVUPD 32(SI)(AX*8), Y2
+	VMULPD  Y0, Y1, Y1
+	VMULPD  Y0, Y2, Y2
+	VADDPD  (DI)(AX*8), Y1, Y1
+	VADDPD  32(DI)(AX*8), Y2, Y2
+	VMOVUPD Y1, (DI)(AX*8)
+	VMOVUPD Y2, 32(DI)(AX*8)
+	ADDQ $8, AX
+	JMP  axpy8
+
+axpy4lim:
+	MOVQ CX, DX
+	ANDQ $-4, DX
+	CMPQ AX, DX
+	JGE  axpytail
+	VMOVUPD (SI)(AX*8), Y1
+	VMULPD  Y0, Y1, Y1
+	VADDPD  (DI)(AX*8), Y1, Y1
+	VMOVUPD Y1, (DI)(AX*8)
+	ADDQ $4, AX
+
+axpytail:
+	CMPQ AX, CX
+	JGE  axpydone
+	VMOVSD (SI)(AX*8), X1
+	VMULSD X0, X1, X1
+	VADDSD (DI)(AX*8), X1, X1
+	VMOVSD X1, (DI)(AX*8)
+	INCQ AX
+	JMP  axpytail
+
+axpydone:
+	VZEROUPPER
+	RET
+
+// func axpyZAVX2(out, col *float64, a float64, n int)
+// out[i] = 0 + a*col[i]: the explicit zero add normalizes -0.0
+// products like the scalar fresh-sum accumulation does.
+TEXT ·axpyZAVX2(SB), NOSPLIT, $0-32
+	MOVQ out+0(FP), DI
+	MOVQ col+8(FP), SI
+	VBROADCASTSD a+16(FP), Y0
+	MOVQ n+24(FP), CX
+	VXORPD Y5, Y5, Y5
+	XORQ AX, AX
+	MOVQ CX, DX
+	ANDQ $-8, DX
+
+axpyz8:
+	CMPQ AX, DX
+	JGE  axpyz4lim
+	VMOVUPD (SI)(AX*8), Y1
+	VMOVUPD 32(SI)(AX*8), Y2
+	VMULPD  Y0, Y1, Y1
+	VMULPD  Y0, Y2, Y2
+	VADDPD  Y5, Y1, Y1
+	VADDPD  Y5, Y2, Y2
+	VMOVUPD Y1, (DI)(AX*8)
+	VMOVUPD Y2, 32(DI)(AX*8)
+	ADDQ $8, AX
+	JMP  axpyz8
+
+axpyz4lim:
+	MOVQ CX, DX
+	ANDQ $-4, DX
+	CMPQ AX, DX
+	JGE  axpyztail
+	VMOVUPD (SI)(AX*8), Y1
+	VMULPD  Y0, Y1, Y1
+	VADDPD  Y5, Y1, Y1
+	VMOVUPD Y1, (DI)(AX*8)
+	ADDQ $4, AX
+
+axpyztail:
+	CMPQ AX, CX
+	JGE  axpyzdone
+	VMOVSD (SI)(AX*8), X1
+	VMULSD X0, X1, X1
+	VADDSD X5, X1, X1
+	VMOVSD X1, (DI)(AX*8)
+	INCQ AX
+	JMP  axpyztail
+
+axpyzdone:
+	VZEROUPPER
+	RET
+
+// func scaleMaxAVX2(out, col *float64, a float64, n int)
+// out[i] = (a*col[i] > out[i]) ? a*col[i] : out[i]. MAXPD with the
+// product as first source returns the second source (out) when the
+// product is NaN or both compare equal — the scalar predicate exactly.
+TEXT ·scaleMaxAVX2(SB), NOSPLIT, $0-32
+	MOVQ out+0(FP), DI
+	MOVQ col+8(FP), SI
+	VBROADCASTSD a+16(FP), Y0
+	MOVQ n+24(FP), CX
+	XORQ AX, AX
+	MOVQ CX, DX
+	ANDQ $-4, DX
+
+smax4:
+	CMPQ AX, DX
+	JGE  smaxtail
+	VMOVUPD (SI)(AX*8), Y1
+	VMULPD  Y0, Y1, Y1
+	VMOVUPD (DI)(AX*8), Y2
+	VMAXPD  Y2, Y1, Y1
+	VMOVUPD Y1, (DI)(AX*8)
+	ADDQ $4, AX
+	JMP  smax4
+
+smaxtail:
+	CMPQ AX, CX
+	JGE  smaxdone
+	VMOVSD (SI)(AX*8), X1
+	VMULSD X0, X1, X1
+	VMOVSD (DI)(AX*8), X2
+	VMAXSD X2, X1, X1
+	VMOVSD X1, (DI)(AX*8)
+	INCQ AX
+	JMP  smaxtail
+
+smaxdone:
+	VZEROUPPER
+	RET
+
+// func scaleMaxZAVX2(out, col *float64, a float64, n int)
+// out[i] = (a*col[i] > 0) ? a*col[i] : +0.
+TEXT ·scaleMaxZAVX2(SB), NOSPLIT, $0-32
+	MOVQ out+0(FP), DI
+	MOVQ col+8(FP), SI
+	VBROADCASTSD a+16(FP), Y0
+	MOVQ n+24(FP), CX
+	VXORPD Y5, Y5, Y5
+	XORQ AX, AX
+	MOVQ CX, DX
+	ANDQ $-4, DX
+
+smaxz4:
+	CMPQ AX, DX
+	JGE  smaxztail
+	VMOVUPD (SI)(AX*8), Y1
+	VMULPD  Y0, Y1, Y1
+	VMAXPD  Y5, Y1, Y1
+	VMOVUPD Y1, (DI)(AX*8)
+	ADDQ $4, AX
+	JMP  smaxz4
+
+smaxztail:
+	CMPQ AX, CX
+	JGE  smaxzdone
+	VMOVSD (SI)(AX*8), X1
+	VMULSD X0, X1, X1
+	VMAXSD X5, X1, X1
+	VMOVSD X1, (DI)(AX*8)
+	INCQ AX
+	JMP  smaxztail
+
+smaxzdone:
+	VZEROUPPER
+	RET
+
+// func axpySqClampAVX2(out, col *float64, a float64, n int)
+// out[i] += a*sq(v), sq(v) = !(v <= 0) ? v*v : +0 (powNonNeg at p=2:
+// NaN squares to NaN via the unordered-true NLE compare, negatives and
+// zeros clamp to +0 through the mask AND).
+TEXT ·axpySqClampAVX2(SB), NOSPLIT, $0-32
+	MOVQ out+0(FP), DI
+	MOVQ col+8(FP), SI
+	VBROADCASTSD a+16(FP), Y0
+	MOVQ n+24(FP), CX
+	VXORPD Y5, Y5, Y5
+	XORQ AX, AX
+	MOVQ CX, DX
+	ANDQ $-4, DX
+
+sq4:
+	CMPQ AX, DX
+	JGE  sqtail
+	VMOVUPD (SI)(AX*8), Y1
+	VCMPPD  $6, Y5, Y1, Y2
+	VMULPD  Y1, Y1, Y1
+	VANDPD  Y2, Y1, Y1
+	VMULPD  Y0, Y1, Y1
+	VADDPD  (DI)(AX*8), Y1, Y1
+	VMOVUPD Y1, (DI)(AX*8)
+	ADDQ $4, AX
+	JMP  sq4
+
+sqtail:
+	CMPQ AX, CX
+	JGE  sqdone
+	VMOVSD (SI)(AX*8), X1
+	VCMPSD $6, X5, X1, X2
+	VMULSD X1, X1, X1
+	VANDPD X2, X1, X1
+	VMULSD X0, X1, X1
+	VADDSD (DI)(AX*8), X1, X1
+	VMOVSD X1, (DI)(AX*8)
+	INCQ AX
+	JMP  sqtail
+
+sqdone:
+	VZEROUPPER
+	RET
+
+// func axpySqClampZAVX2(out, col *float64, a float64, n int)
+TEXT ·axpySqClampZAVX2(SB), NOSPLIT, $0-32
+	MOVQ out+0(FP), DI
+	MOVQ col+8(FP), SI
+	VBROADCASTSD a+16(FP), Y0
+	MOVQ n+24(FP), CX
+	VXORPD Y5, Y5, Y5
+	XORQ AX, AX
+	MOVQ CX, DX
+	ANDQ $-4, DX
+
+sqz4:
+	CMPQ AX, DX
+	JGE  sqztail
+	VMOVUPD (SI)(AX*8), Y1
+	VCMPPD  $6, Y5, Y1, Y2
+	VMULPD  Y1, Y1, Y1
+	VANDPD  Y2, Y1, Y1
+	VMULPD  Y0, Y1, Y1
+	VADDPD  Y5, Y1, Y1
+	VMOVUPD Y1, (DI)(AX*8)
+	ADDQ $4, AX
+	JMP  sqz4
+
+sqztail:
+	CMPQ AX, CX
+	JGE  sqzdone
+	VMOVSD (SI)(AX*8), X1
+	VCMPSD $6, X5, X1, X2
+	VMULSD X1, X1, X1
+	VANDPD X2, X1, X1
+	VMULSD X0, X1, X1
+	VADDSD X5, X1, X1
+	VMOVSD X1, (DI)(AX*8)
+	INCQ AX
+	JMP  sqztail
+
+sqzdone:
+	VZEROUPPER
+	RET
+
+// func compressNotLessAVX2(dst *int32, col *float64, q float64, base int32, n int) int
+// Survivor compression: indexes i with !(col[i] < q) are written to dst
+// in ascending order. Per 4-wide block: NLT_US compare, movmsk, then a
+// 16-entry shuffle LUT compacts the int32 indexes; stores always write
+// 16 bytes (caller provides len(dst) >= len(col) slack) and the cursor
+// advances by popcount. n must be a multiple of 4.
+TEXT ·compressNotLessAVX2(SB), NOSPLIT, $0-48
+	MOVQ dst+0(FP), DI
+	MOVQ col+8(FP), SI
+	VBROADCASTSD q+16(FP), Y0
+	MOVL base+24(FP), AX
+	MOVQ n+32(FP), CX
+	LEAQ permTable<>(SB), R8
+	XORQ BX, BX
+	XORQ R10, R10
+	VMOVD AX, X1
+	VPBROADCASTD X1, X1
+	VPADDD iota4<>(SB), X1, X1
+	VMOVDQU four4<>(SB), X2
+
+cmp4:
+	CMPQ BX, CX
+	JGE  cmpdone
+	VMOVUPD (SI)(BX*8), Y3
+	VCMPPD  $5, Y0, Y3, Y4
+	VMOVMSKPD Y4, R9
+	MOVQ R9, R11
+	SHLQ $4, R11
+	VMOVDQU (R8)(R11*1), X5
+	VPERMILPS X5, X1, X6
+	VMOVDQU X6, (DI)(R10*4)
+	POPCNTQ R9, R9
+	ADDQ R9, R10
+	VPADDD X2, X1, X1
+	ADDQ $4, BX
+	JMP  cmp4
+
+cmpdone:
+	MOVQ R10, ret+40(FP)
+	VZEROUPPER
+	RET
+
+// func selectBestAVX2(L *SelLanes, scores *float64, ids *uint64, n int)
+// Full-block portion of the 4-lane strided argmax: lanes seed from
+// block 0, every further block folds lane-wise under
+//   replace iff !(s < bestS) && !(s == bestS && id >= bestID)
+// with the unsigned 64-bit id compare done via sign-flipped VPCMPGTQ.
+// Pure compares and blends — no arithmetic — so lane states match the
+// portable scan bit for bit. n >= 4; elements beyond n&^3 are ignored.
+TEXT ·selectBestAVX2(SB), NOSPLIT, $0-32
+	MOVQ L+0(FP), DI
+	MOVQ scores+8(FP), SI
+	MOVQ ids+16(FP), R8
+	MOVQ n+24(FP), CX
+	ANDQ $-4, CX
+	VMOVUPD (SI), Y0           // bestS
+	VMOVDQU (R8), Y1           // bestID
+	VMOVDQU qiota<>(SB), Y2    // bestIdx
+	VMOVDQU qfour<>(SB), Y3
+	VMOVDQU signQ<>(SB), Y4
+	VMOVDQU qiota<>(SB), Y5    // current index vector
+	MOVQ $4, AX
+
+sel4:
+	CMPQ AX, CX
+	JGE  seldone
+	VPADDQ  Y3, Y5, Y5
+	VMOVUPD (SI)(AX*8), Y6
+	VMOVDQU (R8)(AX*8), Y7
+	VCMPPD  $5, Y0, Y6, Y8     // m1 = !(s < bestS)
+	VCMPPD  $0, Y0, Y6, Y9     // meq = s == bestS (ordered)
+	VPXOR   Y4, Y7, Y10
+	VPXOR   Y4, Y1, Y11
+	VPCMPGTQ Y10, Y11, Y12     // gt = bestID > id (unsigned via flip)
+	VPANDN  Y9, Y12, Y13       // skip = NOT(gt) AND meq = meq && id>=bestID
+	VPANDN  Y8, Y13, Y14       // replace = NOT(skip) AND m1
+	VBLENDVPD Y14, Y6, Y0, Y0
+	VBLENDVPD Y14, Y7, Y1, Y1
+	VBLENDVPD Y14, Y5, Y2, Y2
+	ADDQ $4, AX
+	JMP  sel4
+
+seldone:
+	VMOVUPD Y0, (DI)
+	VMOVDQU Y1, 32(DI)
+	VMOVDQU Y2, 64(DI)
+	VZEROUPPER
+	RET
+
+DATA iota4<>+0(SB)/4, $0
+DATA iota4<>+4(SB)/4, $1
+DATA iota4<>+8(SB)/4, $2
+DATA iota4<>+12(SB)/4, $3
+GLOBL iota4<>(SB), RODATA|NOPTR, $16
+
+DATA four4<>+0(SB)/4, $4
+DATA four4<>+4(SB)/4, $4
+DATA four4<>+8(SB)/4, $4
+DATA four4<>+12(SB)/4, $4
+GLOBL four4<>(SB), RODATA|NOPTR, $16
+
+DATA qiota<>+0(SB)/8, $0
+DATA qiota<>+8(SB)/8, $1
+DATA qiota<>+16(SB)/8, $2
+DATA qiota<>+24(SB)/8, $3
+GLOBL qiota<>(SB), RODATA|NOPTR, $32
+
+DATA qfour<>+0(SB)/8, $4
+DATA qfour<>+8(SB)/8, $4
+DATA qfour<>+16(SB)/8, $4
+DATA qfour<>+24(SB)/8, $4
+GLOBL qfour<>(SB), RODATA|NOPTR, $32
+
+DATA signQ<>+0(SB)/8, $0x8000000000000000
+DATA signQ<>+8(SB)/8, $0x8000000000000000
+DATA signQ<>+16(SB)/8, $0x8000000000000000
+DATA signQ<>+24(SB)/8, $0x8000000000000000
+GLOBL signQ<>(SB), RODATA|NOPTR, $32
+
+// permTable<>[m] is the VPERMILPS dword-selector compacting the lanes
+// whose mask bits are set in m, in ascending lane order.
+DATA permTable<>+0x00(SB)/4, $0
+DATA permTable<>+0x04(SB)/4, $0
+DATA permTable<>+0x08(SB)/4, $0
+DATA permTable<>+0x0c(SB)/4, $0
+
+DATA permTable<>+0x10(SB)/4, $0
+DATA permTable<>+0x14(SB)/4, $0
+DATA permTable<>+0x18(SB)/4, $0
+DATA permTable<>+0x1c(SB)/4, $0
+
+DATA permTable<>+0x20(SB)/4, $1
+DATA permTable<>+0x24(SB)/4, $0
+DATA permTable<>+0x28(SB)/4, $0
+DATA permTable<>+0x2c(SB)/4, $0
+
+DATA permTable<>+0x30(SB)/4, $0
+DATA permTable<>+0x34(SB)/4, $1
+DATA permTable<>+0x38(SB)/4, $0
+DATA permTable<>+0x3c(SB)/4, $0
+
+DATA permTable<>+0x40(SB)/4, $2
+DATA permTable<>+0x44(SB)/4, $0
+DATA permTable<>+0x48(SB)/4, $0
+DATA permTable<>+0x4c(SB)/4, $0
+
+DATA permTable<>+0x50(SB)/4, $0
+DATA permTable<>+0x54(SB)/4, $2
+DATA permTable<>+0x58(SB)/4, $0
+DATA permTable<>+0x5c(SB)/4, $0
+
+DATA permTable<>+0x60(SB)/4, $1
+DATA permTable<>+0x64(SB)/4, $2
+DATA permTable<>+0x68(SB)/4, $0
+DATA permTable<>+0x6c(SB)/4, $0
+
+DATA permTable<>+0x70(SB)/4, $0
+DATA permTable<>+0x74(SB)/4, $1
+DATA permTable<>+0x78(SB)/4, $2
+DATA permTable<>+0x7c(SB)/4, $0
+
+DATA permTable<>+0x80(SB)/4, $3
+DATA permTable<>+0x84(SB)/4, $0
+DATA permTable<>+0x88(SB)/4, $0
+DATA permTable<>+0x8c(SB)/4, $0
+
+DATA permTable<>+0x90(SB)/4, $0
+DATA permTable<>+0x94(SB)/4, $3
+DATA permTable<>+0x98(SB)/4, $0
+DATA permTable<>+0x9c(SB)/4, $0
+
+DATA permTable<>+0xa0(SB)/4, $1
+DATA permTable<>+0xa4(SB)/4, $3
+DATA permTable<>+0xa8(SB)/4, $0
+DATA permTable<>+0xac(SB)/4, $0
+
+DATA permTable<>+0xb0(SB)/4, $0
+DATA permTable<>+0xb4(SB)/4, $1
+DATA permTable<>+0xb8(SB)/4, $3
+DATA permTable<>+0xbc(SB)/4, $0
+
+DATA permTable<>+0xc0(SB)/4, $2
+DATA permTable<>+0xc4(SB)/4, $3
+DATA permTable<>+0xc8(SB)/4, $0
+DATA permTable<>+0xcc(SB)/4, $0
+
+DATA permTable<>+0xd0(SB)/4, $0
+DATA permTable<>+0xd4(SB)/4, $2
+DATA permTable<>+0xd8(SB)/4, $3
+DATA permTable<>+0xdc(SB)/4, $0
+
+DATA permTable<>+0xe0(SB)/4, $1
+DATA permTable<>+0xe4(SB)/4, $2
+DATA permTable<>+0xe8(SB)/4, $3
+DATA permTable<>+0xec(SB)/4, $0
+
+DATA permTable<>+0xf0(SB)/4, $0
+DATA permTable<>+0xf4(SB)/4, $1
+DATA permTable<>+0xf8(SB)/4, $2
+DATA permTable<>+0xfc(SB)/4, $3
+GLOBL permTable<>(SB), RODATA|NOPTR, $256

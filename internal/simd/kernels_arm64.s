@@ -1,0 +1,411 @@
+//go:build arm64 && !purego
+
+#include "textflag.h"
+
+// NEON kernels behind the columnar hot paths. Same bit-identity
+// contracts as the AVX2 file: no FMA (separate FMUL/FADD, never VFMLA),
+// vectorization across output elements only, unordered-true compare
+// polarity where the scalar code's negated comparisons keep NaN, and
+// blends via FCM* masks + BIT rather than FMAX (whose NaN propagation
+// differs from the scalar `if p > acc` predicate).
+//
+// Go's arm64 assembler has no mnemonics for the vector FP arithmetic
+// and compare instructions (only the fused VFMLA/VFMLS, which the
+// contract forbids), so those are emitted as WORD-encoded A64 words via
+// the macros below. Operand roles follow the ARM manual: Vd = Vn op Vm.
+// Everything else (loads, stores, bitwise ops, integer adds, the BIT
+// blend, scalar FP tails) uses native mnemonics.
+
+#define VFMUL2D(vm, vn, vd) WORD $(0x6E60DC00 | ((vm)<<16) | ((vn)<<5) | (vd)) // FMUL Vd.2D, Vn.2D, Vm.2D
+#define VFADD2D(vm, vn, vd) WORD $(0x4E60D400 | ((vm)<<16) | ((vn)<<5) | (vd)) // FADD Vd.2D, Vn.2D, Vm.2D
+#define VFCMGT2D(vm, vn, vd) WORD $(0x6EE0E400 | ((vm)<<16) | ((vn)<<5) | (vd)) // FCMGT Vd.2D, Vn.2D, Vm.2D (Vn > Vm, NaN -> 0)
+#define VFCMGE2D(vm, vn, vd) WORD $(0x6E60E400 | ((vm)<<16) | ((vn)<<5) | (vd)) // FCMGE Vd.2D, Vn.2D, Vm.2D (Vn >= Vm, NaN -> 0)
+#define VFCMEQ2D(vm, vn, vd) WORD $(0x4E60E400 | ((vm)<<16) | ((vn)<<5) | (vd)) // FCMEQ Vd.2D, Vn.2D, Vm.2D (Vn == Vm, NaN -> 0)
+#define VCMHS2D(vm, vn, vd) WORD $(0x6EE03C00 | ((vm)<<16) | ((vn)<<5) | (vd))  // CMHS Vd.2D, Vn.2D, Vm.2D (Vn >=u Vm)
+
+// func axpyNEON(out, col *float64, a float64, n int)
+TEXT ·axpyNEON(SB), NOSPLIT, $0-32
+	MOVD out+0(FP), R0
+	MOVD col+8(FP), R1
+	FMOVD a+16(FP), F0
+	VDUP V0.D[0], V0.D2
+	MOVD n+24(FP), R2
+	AND $-4, R2, R4
+	MOVD $0, R3
+
+axpy4:
+	CMP R4, R3
+	BGE axpytail
+	VLD1.P 32(R1), [V1.D2, V2.D2]
+	VLD1 (R0), [V3.D2, V4.D2]
+	VFMUL2D(0, 1, 1)
+	VFMUL2D(0, 2, 2)
+	VFADD2D(3, 1, 1)
+	VFADD2D(4, 2, 2)
+	VST1.P [V1.D2, V2.D2], 32(R0)
+	ADD $4, R3
+	B axpy4
+
+axpytail:
+	CMP R2, R3
+	BGE axpydone
+	FMOVD (R1), F1
+	FMULD F0, F1, F1
+	FMOVD (R0), F2
+	FADDD F2, F1, F1
+	FMOVD F1, (R0)
+	ADD $8, R0
+	ADD $8, R1
+	ADD $1, R3
+	B axpytail
+
+axpydone:
+	RET
+
+// func axpyZNEON(out, col *float64, a float64, n int)
+TEXT ·axpyZNEON(SB), NOSPLIT, $0-32
+	MOVD out+0(FP), R0
+	MOVD col+8(FP), R1
+	FMOVD a+16(FP), F0
+	VDUP V0.D[0], V0.D2
+	MOVD n+24(FP), R2
+	VEOR V5.B16, V5.B16, V5.B16
+	AND $-4, R2, R4
+	MOVD $0, R3
+
+axpyz4:
+	CMP R4, R3
+	BGE axpyztail
+	VLD1.P 32(R1), [V1.D2, V2.D2]
+	VFMUL2D(0, 1, 1)
+	VFMUL2D(0, 2, 2)
+	VFADD2D(5, 1, 1)
+	VFADD2D(5, 2, 2)
+	VST1.P [V1.D2, V2.D2], 32(R0)
+	ADD $4, R3
+	B axpyz4
+
+axpyztail:
+	CMP R2, R3
+	BGE axpyzdone
+	FMOVD (R1), F1
+	FMULD F0, F1, F1
+	FADDD F5, F1, F1
+	FMOVD F1, (R0)
+	ADD $8, R0
+	ADD $8, R1
+	ADD $1, R3
+	B axpyztail
+
+axpyzdone:
+	RET
+
+// func scaleMaxNEON(out, col *float64, a float64, n int)
+TEXT ·scaleMaxNEON(SB), NOSPLIT, $0-32
+	MOVD out+0(FP), R0
+	MOVD col+8(FP), R1
+	FMOVD a+16(FP), F0
+	VDUP V0.D[0], V0.D2
+	MOVD n+24(FP), R2
+	AND $-4, R2, R4
+	MOVD $0, R3
+
+smax4:
+	CMP R4, R3
+	BGE smaxtail
+	VLD1.P 32(R1), [V1.D2, V2.D2]
+	VLD1 (R0), [V3.D2, V4.D2]
+	VFMUL2D(0, 1, 1)
+	VFMUL2D(0, 2, 2)
+	VFCMGT2D(3, 1, 6)
+	VFCMGT2D(4, 2, 7)
+	VBIT V6.B16, V1.B16, V3.B16
+	VBIT V7.B16, V2.B16, V4.B16
+	VST1.P [V3.D2, V4.D2], 32(R0)
+	ADD $4, R3
+	B smax4
+
+smaxtail:
+	CMP R2, R3
+	BGE smaxdone
+	FMOVD (R1), F1
+	FMULD F0, F1, F1
+	FMOVD (R0), F2
+	FCMPD F2, F1
+	BLE smaxskip
+	FMOVD F1, (R0)
+
+smaxskip:
+	ADD $8, R0
+	ADD $8, R1
+	ADD $1, R3
+	B smaxtail
+
+smaxdone:
+	RET
+
+// func scaleMaxZNEON(out, col *float64, a float64, n int)
+TEXT ·scaleMaxZNEON(SB), NOSPLIT, $0-32
+	MOVD out+0(FP), R0
+	MOVD col+8(FP), R1
+	FMOVD a+16(FP), F0
+	VDUP V0.D[0], V0.D2
+	MOVD n+24(FP), R2
+	VEOR V5.B16, V5.B16, V5.B16
+	AND $-4, R2, R4
+	MOVD $0, R3
+
+smaxz4:
+	CMP R4, R3
+	BGE smaxztail
+	VLD1.P 32(R1), [V1.D2, V2.D2]
+	VFMUL2D(0, 1, 1)
+	VFMUL2D(0, 2, 2)
+	VFCMGT2D(5, 1, 6)
+	VFCMGT2D(5, 2, 7)
+	VAND V6.B16, V1.B16, V1.B16
+	VAND V7.B16, V2.B16, V2.B16
+	VST1.P [V1.D2, V2.D2], 32(R0)
+	ADD $4, R3
+	B smaxz4
+
+smaxztail:
+	CMP R2, R3
+	BGE smaxzdone
+	FMOVD (R1), F1
+	FMULD F0, F1, F1
+	FCMPD F5, F1
+	BGT smaxzp
+	FMOVD F5, (R0)
+	B smaxznext
+
+smaxzp:
+	FMOVD F1, (R0)
+
+smaxznext:
+	ADD $8, R0
+	ADD $8, R1
+	ADD $1, R3
+	B smaxztail
+
+smaxzdone:
+	RET
+
+// func axpySqClampNEON(out, col *float64, a float64, n int)
+TEXT ·axpySqClampNEON(SB), NOSPLIT, $0-32
+	MOVD out+0(FP), R0
+	MOVD col+8(FP), R1
+	FMOVD a+16(FP), F0
+	VDUP V0.D[0], V0.D2
+	MOVD n+24(FP), R2
+	VEOR V5.B16, V5.B16, V5.B16
+	VMOVI $255, V16.B16
+	AND $-4, R2, R4
+	MOVD $0, R3
+
+sq4:
+	CMP R4, R3
+	BGE sqtail
+	VLD1.P 32(R1), [V1.D2, V2.D2]
+	VFCMGE2D(1, 5, 6)
+	VFCMGE2D(2, 5, 7)
+	VEOR V16.B16, V6.B16, V6.B16
+	VEOR V16.B16, V7.B16, V7.B16
+	VFMUL2D(1, 1, 1)
+	VFMUL2D(2, 2, 2)
+	VAND V6.B16, V1.B16, V1.B16
+	VAND V7.B16, V2.B16, V2.B16
+	VFMUL2D(0, 1, 1)
+	VFMUL2D(0, 2, 2)
+	VLD1 (R0), [V3.D2, V4.D2]
+	VFADD2D(3, 1, 1)
+	VFADD2D(4, 2, 2)
+	VST1.P [V1.D2, V2.D2], 32(R0)
+	ADD $4, R3
+	B sq4
+
+sqtail:
+	CMP R2, R3
+	BGE sqdone
+	FMOVD (R1), F1
+	FCMPD F5, F1
+	BGT sqsquare
+	BVS sqsquare
+	FMOVD F5, F1
+	B sqmul
+
+sqsquare:
+	FMULD F1, F1, F1
+
+sqmul:
+	FMULD F0, F1, F1
+	FMOVD (R0), F2
+	FADDD F2, F1, F1
+	FMOVD F1, (R0)
+	ADD $8, R0
+	ADD $8, R1
+	ADD $1, R3
+	B sqtail
+
+sqdone:
+	RET
+
+// func axpySqClampZNEON(out, col *float64, a float64, n int)
+TEXT ·axpySqClampZNEON(SB), NOSPLIT, $0-32
+	MOVD out+0(FP), R0
+	MOVD col+8(FP), R1
+	FMOVD a+16(FP), F0
+	VDUP V0.D[0], V0.D2
+	MOVD n+24(FP), R2
+	VEOR V5.B16, V5.B16, V5.B16
+	VMOVI $255, V16.B16
+	AND $-4, R2, R4
+	MOVD $0, R3
+
+sqz4:
+	CMP R4, R3
+	BGE sqztail
+	VLD1.P 32(R1), [V1.D2, V2.D2]
+	VFCMGE2D(1, 5, 6)
+	VFCMGE2D(2, 5, 7)
+	VEOR V16.B16, V6.B16, V6.B16
+	VEOR V16.B16, V7.B16, V7.B16
+	VFMUL2D(1, 1, 1)
+	VFMUL2D(2, 2, 2)
+	VAND V6.B16, V1.B16, V1.B16
+	VAND V7.B16, V2.B16, V2.B16
+	VFMUL2D(0, 1, 1)
+	VFMUL2D(0, 2, 2)
+	VFADD2D(5, 1, 1)
+	VFADD2D(5, 2, 2)
+	VST1.P [V1.D2, V2.D2], 32(R0)
+	ADD $4, R3
+	B sqz4
+
+sqztail:
+	CMP R2, R3
+	BGE sqzdone
+	FMOVD (R1), F1
+	FCMPD F5, F1
+	BGT sqzsquare
+	BVS sqzsquare
+	FMOVD F5, F1
+	B sqzmul
+
+sqzsquare:
+	FMULD F1, F1, F1
+
+sqzmul:
+	FMULD F0, F1, F1
+	FADDD F5, F1, F1
+	FMOVD F1, (R0)
+	ADD $8, R0
+	ADD $8, R1
+	ADD $1, R3
+	B sqztail
+
+sqzdone:
+	RET
+
+// func compressNotLessNEON(dst *int32, col *float64, q float64, base int32, n int) int
+// Per 2-lane block: one vector NLT compare (as NOT(q > v)), then each
+// lane's index is stored unconditionally at dst[k] and k advances by
+// the survivor bit — branchless, relying on the dst slack.
+TEXT ·compressNotLessNEON(SB), NOSPLIT, $0-48
+	MOVD dst+0(FP), R0
+	MOVD col+8(FP), R1
+	FMOVD q+16(FP), F0
+	VDUP V0.D[0], V0.D2
+	MOVW base+24(FP), R3
+	MOVD n+32(FP), R2
+	MOVD $0, R5
+	MOVD $0, R6
+
+cmp2:
+	CMP R2, R6
+	BGE cmpdone
+	VLD1.P 16(R1), [V1.D2]
+	VFCMGT2D(1, 0, 6)
+	VMOV V6.D[0], R7
+	VMOV V6.D[1], R8
+	ADDW R6, R3, R9
+	MOVW R9, (R0)(R5<<2)
+	AND $1, R7
+	EOR $1, R7
+	ADD R7, R5
+	ADDW $1, R9
+	MOVW R9, (R0)(R5<<2)
+	AND $1, R8
+	EOR $1, R8
+	ADD R8, R5
+	ADD $2, R6
+	B cmp2
+
+cmpdone:
+	MOVD R5, ret+40(FP)
+	RET
+
+// func selectBestNEON(L *SelLanes, scores *float64, ids *uint64, n int)
+// Lanes 0-1 live in {V20,V22,V24}, lanes 2-3 in {V21,V23,V25}; each
+// block of 4 folds two element pairs under the replacement predicate
+//   repl = !(s < bestS) && !(s == bestS && id >= bestID)
+// built from FCMGT/FCMEQ/CMHS masks and applied with BIT blends — pure
+// compares and selects, no arithmetic.
+TEXT ·selectBestNEON(SB), NOSPLIT, $0-32
+	MOVD L+0(FP), R0
+	MOVD scores+8(FP), R1
+	MOVD ids+16(FP), R2
+	MOVD n+24(FP), R3
+	AND $-4, R3
+	VLD1.P 32(R1), [V20.D2, V21.D2]
+	VLD1.P 32(R2), [V22.D2, V23.D2]
+	MOVD $0, R5
+	MOVD $1, R6
+	VMOV R5, V24.D[0]
+	VMOV R6, V24.D[1]
+	MOVD $2, R5
+	MOVD $3, R6
+	VMOV R5, V25.D[0]
+	VMOV R6, V25.D[1]
+	VORR V24.B16, V24.B16, V26.B16
+	VORR V25.B16, V25.B16, V27.B16
+	MOVD $4, R5
+	VDUP R5, V28.D2
+	VMOVI $255, V16.B16
+	MOVD $4, R4
+
+sel4:
+	CMP R3, R4
+	BGE seldone
+	VADD V28.D2, V26.D2, V26.D2
+	VADD V28.D2, V27.D2, V27.D2
+	VLD1.P 32(R1), [V1.D2, V2.D2]
+	VLD1.P 32(R2), [V3.D2, V4.D2]
+	VFCMGT2D(1, 20, 6)
+	VEOR V16.B16, V6.B16, V6.B16
+	VFCMEQ2D(20, 1, 7)
+	VCMHS2D(22, 3, 8)
+	VAND V8.B16, V7.B16, V7.B16
+	VEOR V16.B16, V7.B16, V7.B16
+	VAND V7.B16, V6.B16, V6.B16
+	VBIT V6.B16, V1.B16, V20.B16
+	VBIT V6.B16, V3.B16, V22.B16
+	VBIT V6.B16, V26.B16, V24.B16
+	VFCMGT2D(2, 21, 6)
+	VEOR V16.B16, V6.B16, V6.B16
+	VFCMEQ2D(21, 2, 7)
+	VCMHS2D(23, 4, 8)
+	VAND V8.B16, V7.B16, V7.B16
+	VEOR V16.B16, V7.B16, V7.B16
+	VAND V7.B16, V6.B16, V6.B16
+	VBIT V6.B16, V2.B16, V21.B16
+	VBIT V6.B16, V4.B16, V23.B16
+	VBIT V6.B16, V27.B16, V25.B16
+	ADD $4, R4
+	B sel4
+
+seldone:
+	VST1.P [V20.D2, V21.D2], 32(R0)
+	VST1.P [V22.D2, V23.D2], 32(R0)
+	VST1 [V24.D2, V25.D2], (R0)
+	RET

@@ -1,0 +1,298 @@
+package simd
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// The differential harness: every exported kernel must be bit-identical
+// between the assembly and pure-Go paths on every input. NaN results
+// are compared as "both NaN" rather than by payload: payload bits of
+// NaN produced by float arithmetic depend on operand order choices the
+// Go compiler is free to make per call site, so they are outside every
+// kernel's contract (sign/payload of non-NaN results, including signed
+// zeros and denormals, is exact).
+
+var specials = []float64{
+	math.NaN(),
+	math.Inf(1),
+	math.Inf(-1),
+	0,
+	math.Copysign(0, -1),
+	5e-324, // smallest denormal
+	-5e-324,
+	math.MaxFloat64,
+	-math.MaxFloat64,
+	1, -1,
+}
+
+func randCol(r *rand.Rand, n int, special bool) []float64 {
+	c := make([]float64, n)
+	for i := range c {
+		if special && r.Intn(6) == 0 {
+			c[i] = specials[r.Intn(len(specials))]
+		} else {
+			c[i] = r.NormFloat64() * math.Pow(10, float64(r.Intn(13)-6))
+		}
+	}
+	return c
+}
+
+// unaligned returns a copy of c living at an odd element offset of a
+// larger backing array, so vector loads in the kernels exercise
+// unaligned addresses (pooled scratch hands out such sub-slices).
+func unaligned(c []float64) []float64 {
+	b := make([]float64, len(c)+1)
+	u := b[1 : 1+len(c)]
+	copy(u, c)
+	return u
+}
+
+func sameBits(a, b []float64) bool {
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) &&
+			!(math.IsNaN(a[i]) && math.IsNaN(b[i])) {
+			return false
+		}
+	}
+	return true
+}
+
+// testLens covers n = 0, sub-lane-width, every tail residue mod 4, and
+// block-crossing sizes.
+var testLens = []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 15, 16, 17, 31, 32, 33, 63, 100, 255, 256, 257, 1000, 1023}
+
+func accKernels() []struct {
+	name string
+	asm  func(out, col []float64, a float64)
+	gen  func(out, col []float64, a float64)
+} {
+	return []struct {
+		name string
+		asm  func(out, col []float64, a float64)
+		gen  func(out, col []float64, a float64)
+	}{
+		{"Axpy", Axpy, axpyGeneric},
+		{"AxpyZ", AxpyZ, axpyZGeneric},
+		{"ScaleMax", ScaleMax, scaleMaxGeneric},
+		{"ScaleMaxZ", ScaleMaxZ, scaleMaxZGeneric},
+		{"AxpySqClamp", AxpySqClamp, axpySqClampGeneric},
+		{"AxpySqClampZ", AxpySqClampZ, axpySqClampZGeneric},
+	}
+}
+
+func TestAccumulationKernelsDifferential(t *testing.T) {
+	if !Available() {
+		t.Skip("no assembly kernels for this CPU")
+	}
+	defer SetEnabled(true)
+	r := rand.New(rand.NewSource(11))
+	for _, n := range testLens {
+		for trial := 0; trial < 24; trial++ {
+			col := unaligned(randCol(r, n, true))
+			out0 := unaligned(randCol(r, n, true))
+			a := r.NormFloat64()
+			switch trial % 6 {
+			case 0:
+				a = specials[r.Intn(len(specials))]
+			case 1:
+				a = 0
+			}
+			for _, k := range accKernels() {
+				o1 := append([]float64(nil), out0...)
+				o2 := append([]float64(nil), out0...)
+				SetEnabled(true)
+				k.asm(o1, col, a)
+				SetEnabled(false)
+				k.gen(o2, col, a)
+				if !sameBits(o1, o2) {
+					t.Fatalf("%s n=%d a=%v: asm and portable disagree\nasm=%v\ngen=%v\ncol=%v\nout0=%v",
+						k.name, n, a, o1, o2, col, out0)
+				}
+			}
+		}
+	}
+}
+
+func TestCompressNotLessDifferential(t *testing.T) {
+	if !Available() {
+		t.Skip("no assembly kernels for this CPU")
+	}
+	defer SetEnabled(true)
+	r := rand.New(rand.NewSource(12))
+	for _, n := range testLens {
+		for trial := 0; trial < 24; trial++ {
+			col := unaligned(randCol(r, n, true))
+			q := r.NormFloat64()
+			if trial%5 == 0 {
+				q = specials[r.Intn(len(specials))]
+			}
+			base := int32(r.Intn(1 << 20))
+			d1 := make([]int32, n)
+			d2 := make([]int32, n)
+			SetEnabled(true)
+			k1 := CompressNotLess(d1, col, q, base)
+			SetEnabled(false)
+			k2 := CompressNotLess(d2, col, q, base)
+			if k1 != k2 {
+				t.Fatalf("n=%d q=%v: survivor count %d (asm) vs %d (portable)\ncol=%v", n, q, k1, k2, col)
+			}
+			for i := 0; i < k1; i++ {
+				if d1[i] != d2[i] {
+					t.Fatalf("n=%d q=%v survivor %d: %d (asm) vs %d (portable)", n, q, i, d1[i], d2[i])
+				}
+			}
+		}
+	}
+}
+
+func TestSelectBestDifferential(t *testing.T) {
+	if !Available() {
+		t.Skip("no assembly kernels for this CPU")
+	}
+	defer SetEnabled(true)
+	r := rand.New(rand.NewSource(13))
+	for _, n := range testLens {
+		for trial := 0; trial < 40; trial++ {
+			s := unaligned(randCol(r, n, trial%2 == 0))
+			ids := make([]uint64, n)
+			for i := range ids {
+				ids[i] = uint64(r.Intn(2*n + 1)) // collisions on purpose
+			}
+			if n > 4 && trial%3 == 0 {
+				// exact score ties across lanes
+				s[n/2], ids[n/2] = s[1], ids[1]+1
+				s[n-1], ids[n-1] = s[1], ids[1]
+			}
+			SetEnabled(true)
+			i1 := SelectBest(s, ids)
+			SetEnabled(false)
+			i2 := SelectBest(s, ids)
+			if i1 != i2 {
+				t.Fatalf("n=%d: argmax %d (asm) vs %d (portable)\ns=%v\nids=%v", n, i1, i2, s, ids)
+			}
+		}
+	}
+}
+
+// TestSelectBestSpec pins the sequential semantics on NaN-free scores:
+// the winner is the element maximizing (score, -id), regardless of scan
+// order.
+func TestSelectBestSpec(t *testing.T) {
+	defer SetEnabled(true)
+	r := rand.New(rand.NewSource(14))
+	for _, on := range []bool{true, false} {
+		SetEnabled(on)
+		for _, n := range testLens {
+			if n == 0 {
+				if got := SelectBest(nil, nil); got != -1 {
+					t.Fatalf("SelectBest(empty) = %d, want -1", got)
+				}
+				continue
+			}
+			s := randCol(r, n, false)
+			ids := make([]uint64, n)
+			perm := r.Perm(n)
+			for i := range ids {
+				ids[i] = uint64(perm[i])
+			}
+			want := 0
+			for i := 1; i < n; i++ {
+				if s[i] > s[want] || (s[i] == s[want] && ids[i] < ids[want]) {
+					want = i
+				}
+			}
+			if got := SelectBest(s, ids); got != want {
+				t.Fatalf("simd=%v n=%d: SelectBest=%d want %d", on, n, got, want)
+			}
+		}
+	}
+}
+
+func TestKillSwitches(t *testing.T) {
+	defer SetEnabled(true)
+	if Available() {
+		SetEnabled(true)
+		if !Enabled() || Level() == "portable" {
+			t.Fatalf("enable failed: Enabled=%v Level=%q", Enabled(), Level())
+		}
+		if Level() != DetectedLevel() {
+			t.Fatalf("Level %q != DetectedLevel %q while enabled", Level(), DetectedLevel())
+		}
+	}
+	SetEnabled(false)
+	if Enabled() || Level() != "portable" {
+		t.Fatalf("disable failed: Enabled=%v Level=%q", Enabled(), Level())
+	}
+	if !Available() {
+		SetEnabled(true)
+		if Enabled() {
+			t.Fatal("SetEnabled(true) must stay off without assembly kernels")
+		}
+		if DetectedLevel() != "portable" {
+			t.Fatalf("DetectedLevel=%q want portable", DetectedLevel())
+		}
+	}
+}
+
+// FuzzKernelsSIMD drives all eight kernels from one fuzz corpus,
+// bit-comparing assembly against pure Go on arbitrary lengths, weights,
+// and bit patterns (the raw bytes reinterpret as float64 columns, so
+// NaN payloads, infinities, denormals and signed zeros all occur).
+func FuzzKernelsSIMD(f *testing.F) {
+	f.Add(uint8(3), int64(-1), []byte{0, 0, 0, 0, 0, 0, 0xf0, 0x7f, 1, 0, 0, 0, 0, 0, 0xf8, 0xff})
+	f.Add(uint8(0), int64(0x7ff8000000000001), []byte{})
+	f.Add(uint8(5), int64(1), []byte{0x55, 0xAA, 0x01, 0xFF, 0x80, 0x00, 0x7F, 0xF0, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x01})
+	f.Fuzz(func(t *testing.T, sel uint8, abits int64, raw []byte) {
+		if !Available() {
+			t.Skip("no assembly kernels for this CPU")
+		}
+		defer SetEnabled(true)
+		n := len(raw) / 16
+		col := make([]float64, n)
+		out0 := make([]float64, n)
+		ids := make([]uint64, n)
+		for i := 0; i < n; i++ {
+			col[i] = math.Float64frombits(leU64(raw[16*i:]))
+			out0[i] = math.Float64frombits(leU64(raw[16*i+8:]))
+			ids[i] = leU64(raw[16*i:]) >> 1
+		}
+		a := math.Float64frombits(uint64(abits))
+		ks := accKernels()
+		k := ks[int(sel)%len(ks)]
+		o1 := append([]float64(nil), out0...)
+		o2 := append([]float64(nil), out0...)
+		SetEnabled(true)
+		k.asm(o1, col, a)
+		SetEnabled(false)
+		k.gen(o2, col, a)
+		if !sameBits(o1, o2) {
+			t.Fatalf("%s n=%d a=%v: asm and portable disagree\nasm=%v\ngen=%v", k.name, n, a, o1, o2)
+		}
+		d1 := make([]int32, n)
+		d2 := make([]int32, n)
+		SetEnabled(true)
+		k1 := CompressNotLess(d1, col, a, 7)
+		i1 := SelectBest(out0, ids)
+		SetEnabled(false)
+		k2 := CompressNotLess(d2, col, a, 7)
+		i2 := SelectBest(out0, ids)
+		if k1 != k2 {
+			t.Fatalf("CompressNotLess count %d (asm) vs %d (portable)", k1, k2)
+		}
+		for i := 0; i < k1; i++ {
+			if d1[i] != d2[i] {
+				t.Fatalf("CompressNotLess survivor %d: %d vs %d", i, d1[i], d2[i])
+			}
+		}
+		if i1 != i2 {
+			t.Fatalf("SelectBest %d (asm) vs %d (portable)", i1, i2)
+		}
+	})
+}
+
+func leU64(b []byte) uint64 {
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+}

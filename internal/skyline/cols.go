@@ -5,6 +5,7 @@ import (
 
 	"fairassign/internal/geom"
 	"fairassign/internal/score"
+	"fairassign/internal/simd"
 )
 
 // ColSet is a columnar (structure-of-arrays) point set: per-dimension
@@ -152,25 +153,13 @@ func (c *ColSet) FirstDominator(q []float64) int {
 		if hi > c.n {
 			hi = c.n
 		}
-		cand := c.cand[:0]
-		q0 := q[0]
-		col0 := c.cols[0][lo:hi]
-		for i, v := range col0 {
-			if !(v < q0) {
-				cand = append(cand, int32(lo+i))
-			}
-		}
+		// Dimension 0 compresses the survivor indices with the SIMD
+		// kernel (c.cand has domBlock capacity — at least the block
+		// length, the slack the vector stores need); later dimensions
+		// filter the few survivors in place.
+		cand := c.cand[:simd.CompressNotLess(c.cand, c.cols[0][lo:hi], q[0], int32(lo))]
 		for d := 1; d < c.dims && len(cand) > 0; d++ {
-			qd := q[d]
-			col := c.cols[d]
-			k := 0
-			for _, ci := range cand {
-				if !(col[ci] < qd) {
-					cand[k] = ci
-					k++
-				}
-			}
-			cand = cand[:k]
+			cand = cand[:simd.FilterIdxNotLess(cand, c.cols[d], q[d])]
 		}
 		for _, ci := range cand {
 			// A survivor with no strictly-better dimension is a
@@ -210,12 +199,8 @@ func (c *ColSet) Best(sc score.Scorer) (idx int, best float64, ok bool) {
 	}
 	out := sb.out[:c.n]
 	score.EvalBlock(sc.Fam, sc.W, c.cols, out)
-	for i, s := range out {
-		if ok && (s < best || (s == best && c.ids[i] >= c.ids[idx])) {
-			continue
-		}
-		idx, best, ok = i, s, true
-	}
+	idx = simd.SelectBest(out, c.ids[:c.n])
+	best, ok = out[idx], true
 	scoreScratchPool.Put(sb)
 	return idx, best, ok
 }

@@ -1,0 +1,79 @@
+package skyline
+
+import (
+	"math"
+	"testing"
+
+	"fairassign/internal/geom"
+	"fairassign/internal/score"
+	"fairassign/internal/simd"
+)
+
+// FuzzDominanceSIMD bit-compares the SIMD and portable dominance filter
+// on arbitrary raw float64 bit patterns: FirstDominator against both
+// the other kernel path and the row-wise geom.Point.Dominates scan
+// (exact on every input — the filter's !(v < q) predicate reproduces
+// Dominates' NaN behavior), and ColSet.Best across kernel paths.
+func FuzzDominanceSIMD(f *testing.F) {
+	f.Add(uint8(2), []byte{0, 0, 0, 0, 0, 0, 0xf0, 0x7f, 0, 0, 0, 0, 0, 0, 0xf8, 0xff})
+	f.Add(uint8(3), make([]byte, 8*3*20))
+	f.Add(uint8(4), []byte{0x01, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x80, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xef, 0xff})
+	f.Fuzz(func(t *testing.T, dimSel uint8, raw []byte) {
+		if !simd.Available() {
+			t.Skip("no assembly kernels for this CPU")
+		}
+		defer simd.SetEnabled(true)
+		dims := 2 + int(dimSel)%4
+		vals := make([]float64, len(raw)/8)
+		for i := range vals {
+			var u uint64
+			for b := 0; b < 8; b++ {
+				u |= uint64(raw[8*i+b]) << (8 * b)
+			}
+			vals[i] = math.Float64frombits(u)
+		}
+		if len(vals) < 2*dims {
+			t.Skip("not enough data")
+		}
+		q := vals[:dims]
+		rows := vals[dims:]
+		n := len(rows) / dims
+		cs := NewColSet(dims)
+		pts := make([]geom.Point, n)
+		for i := 0; i < n; i++ {
+			pts[i] = geom.Point(rows[i*dims : (i+1)*dims])
+			cs.Append(uint64(i), pts[i])
+		}
+
+		simd.SetEnabled(true)
+		fd1 := cs.FirstDominator(q)
+		simd.SetEnabled(false)
+		fd2 := cs.FirstDominator(q)
+		if fd1 != fd2 {
+			t.Fatalf("dims=%d n=%d: FirstDominator %d (SIMD) vs %d (portable)\nq=%v", dims, n, fd1, fd2, q)
+		}
+		want := -1
+		for i, p := range pts {
+			if p.Dominates(geom.Point(q)) {
+				want = i
+				break
+			}
+		}
+		if fd1 != want {
+			t.Fatalf("dims=%d n=%d: FirstDominator %d, row-wise Dominates scan %d\nq=%v", dims, n, fd1, want, q)
+		}
+
+		sc := score.LinearScorer(q)
+		simd.SetEnabled(true)
+		i1, b1, ok1 := cs.Best(sc)
+		simd.SetEnabled(false)
+		i2, b2, ok2 := cs.Best(sc)
+		if i1 != i2 || ok1 != ok2 {
+			t.Fatalf("dims=%d n=%d: Best %d,%v (SIMD) vs %d,%v (portable)", dims, n, i1, ok1, i2, ok2)
+		}
+		if ok1 && math.Float64bits(b1) != math.Float64bits(b2) &&
+			!(math.IsNaN(b1) && math.IsNaN(b2)) {
+			t.Fatalf("dims=%d n=%d: Best score %x (SIMD) vs %x (portable)", dims, n, math.Float64bits(b1), math.Float64bits(b2))
+		}
+	})
+}

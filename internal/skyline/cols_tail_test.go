@@ -1,0 +1,93 @@
+package skyline
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"fairassign/internal/geom"
+	"fairassign/internal/score"
+	"fairassign/internal/simd"
+)
+
+// Lane-tail edge cases for the columnar dominance and argmax kernels:
+// set sizes covering every residue mod 4 (the SIMD lane width) around
+// the dispatch threshold and the dominance block boundaries, plus exact
+// score ties straddling lane boundaries, with dispatch on and off.
+
+func TestColSetLaneTails(t *testing.T) {
+	defer simd.SetEnabled(true)
+	rng := rand.New(rand.NewSource(91))
+	dims := 3
+	for _, n := range []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 17, 18, 19, 253, 254, 257, 258} {
+		cs := NewColSet(dims)
+		pts := make([]geom.Point, n)
+		for i := range pts {
+			pts[i] = make(geom.Point, dims)
+			for d := range pts[i] {
+				pts[i][d] = rng.Float64()
+			}
+			cs.Append(uint64(i), pts[i])
+		}
+		w := make([]float64, dims)
+		for d := range w {
+			w[d] = rng.Float64()
+		}
+		q := make(geom.Point, dims)
+		for trial := 0; trial < 20; trial++ {
+			for d := range q {
+				q[d] = rng.Float64()
+			}
+			if trial%3 == 0 && n > 0 {
+				copy(q, pts[rng.Intn(n)]) // coincident probe
+			}
+			wantFD := -1
+			for i, p := range pts {
+				if p.Dominates(q) {
+					wantFD = i
+					break
+				}
+			}
+			for _, on := range []bool{true, false} {
+				simd.SetEnabled(on)
+				if got := cs.FirstDominator(q); got != wantFD {
+					t.Fatalf("simd=%v n=%d trial=%d: FirstDominator=%d want %d", on, n, trial, got, wantFD)
+				}
+			}
+		}
+		if n == 0 {
+			continue
+		}
+		// Exact score ties straddling the 4-lane boundaries: the lowest
+		// ID must win under both kernel paths.
+		sc := score.LinearScorer(w)
+		wantIdx, wantBest := 0, sc.Score(pts[0])
+		for i := 1; i < n; i++ {
+			s := sc.Score(pts[i])
+			if s > wantBest {
+				wantIdx, wantBest = i, s
+			}
+		}
+		if n > 5 {
+			for d := range pts[n-1] {
+				pts[n-1][d] = pts[wantIdx][d]
+				cs.cols[d][n-1] = cs.cols[d][wantIdx]
+			}
+		}
+		wantIdx, wantBest = 0, sc.Score(pts[0])
+		for i := 1; i < n; i++ {
+			s := sc.Score(pts[i])
+			if s > wantBest || (s == wantBest && cs.ids[i] < cs.ids[wantIdx]) {
+				wantIdx, wantBest = i, s
+			}
+		}
+		for _, on := range []bool{true, false} {
+			simd.SetEnabled(on)
+			idx, best, ok := cs.Best(sc)
+			if !ok || idx != wantIdx || math.Float64bits(best) != math.Float64bits(wantBest) {
+				t.Fatalf("simd=%v n=%d: Best=(%d,%x,%v) want (%d,%x)",
+					on, n, idx, math.Float64bits(best), ok, wantIdx, math.Float64bits(wantBest))
+			}
+		}
+	}
+}

@@ -330,7 +330,8 @@ func (s *Search) threshold() float64 {
 		if beta > b {
 			beta = b
 		}
-		t += beta * s.obj[d]
+		p := beta * s.obj[d]
+		t += p
 		b -= beta
 	}
 	return t
