@@ -225,6 +225,24 @@ func main() {
 		}
 	}
 
+	for _, c := range rep.ShardedScale {
+		match := "identical"
+		if !c.Identical {
+			match = "OUTPUT DIVERGED"
+		}
+		speed := ""
+		if c.SpeedupX > 0 {
+			speed = fmt.Sprintf(" | %5.2fx vs 1 shard", c.SpeedupX)
+		}
+		fmt.Printf("%-26s n=%-8d d=%d  %8.1f muts/s (apply %9d ns, snap %9d ns) | topk p50 %9d p99 %9d ns%s | %s\n",
+			c.Name, c.N, c.Dims, c.MutationsPerSec, c.ApplyNsPerOp, c.SnapNsPerOp,
+			c.TopKP50NS, c.TopKP99NS, speed, match)
+		if !c.Identical {
+			diverged = true
+			fmt.Fprintf(os.Stderr, "bench: %s(n=%d): sharded output diverged from the 1-shard run\n", c.Name, c.N)
+		}
+	}
+
 	// Write the report even on divergence — the JSON is the evidence
 	// needed to debug it.
 	data, err := json.MarshalIndent(rep, "", "  ")

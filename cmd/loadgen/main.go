@@ -19,7 +19,19 @@
 //	loadgen [-out traffic.json] [-seed 20090824] [-n 2000] [-funcs 64]
 //	        [-dims 3] [-ops 20000] [-rate 5000] [-burst 4] [-zipf 1.2]
 //	        [-write 0.2] [-batch 128] [-mode both|seq|batch]
+//	        [-shards N] [-closed] [-clients C]
 //	        [-crash] [-preflight 0] [-quick]
+//
+// -shards N (> 1) makes the trace multi-tenant: every mutation is
+// tagged with the shard routing key the sharded tier assigns it, and
+// an additional run drives a ShardedWorkspace through per-shard
+// group-commit lanes, reporting per-shard mutation percentiles next to
+// the global classes. -closed adds a closed-loop run: the arrival
+// schedule is ignored and C read clients (plus one writer client per
+// mutation lane) each issue their next operation only on completion —
+// sweeping -clients across runs traces the throughput/latency knee.
+// All runs must end in the same final matching; the process exits
+// non-zero otherwise.
 //
 // -crash additionally runs the crash-replay conformance mode: the same
 // trace's mutation stream is applied to a durable workspace that is
@@ -38,6 +50,7 @@ import (
 	"os"
 	"time"
 
+	"fairassign"
 	"fairassign/internal/conformance"
 	"fairassign/internal/traffic"
 )
@@ -68,6 +81,9 @@ func main() {
 	maxCap := flag.Int("maxcap", 3, "max random capacity for arriving entities (<=1 unit caps)")
 	batch := flag.Int("batch", 128, "group-commit max batch size")
 	mode := flag.String("mode", "both", "driver mode: both, seq, or batch")
+	shards := flag.Int("shards", 0, "multi-tenant mode: tag mutations with shard routing keys and add a sharded-tier run with per-shard latency (>1 enables)")
+	closed := flag.Bool("closed", false, "add a closed-loop run: ignore the arrival schedule, drive with a fixed client population, and report saturation throughput (sweep -clients to find the knee)")
+	clients := flag.Int("clients", 8, "closed-loop read-client population (-closed)")
 	crash := flag.Bool("crash", false, "also run the crash-replay conformance mode: crash a durable workspace mid-trace, recover from snapshot+WAL, finish, and require the final matching to equal an uninterrupted run")
 	preflight := flag.Int("preflight", 0, "batch-conformance scripts per grid cell before the run (0 skips)")
 	quick := flag.Bool("quick", false, "CI smoke preset: small trace at high rate")
@@ -97,6 +113,7 @@ func main() {
 		Zipf:      *zipf,
 		WriteFrac: *write,
 		MaxCap:    *maxCap,
+		Shards:    *shards,
 	}
 	if *quick {
 		spec.Objects = 400
@@ -127,16 +144,15 @@ func main() {
 
 	rep := report{Spec: spec}
 	var pairSets [][]uint64
-	for _, m := range modes {
-		res, pairs, err := traffic.Run(tr, m, *batch)
+	collect := func(label string, res *traffic.Result, pairs []fairassign.Pair, err error) {
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "loadgen: %s run: %v\n", m, err)
+			fmt.Fprintf(os.Stderr, "loadgen: %s run: %v\n", label, err)
 			os.Exit(1)
 		}
 		rep.Runs = append(rep.Runs, res)
 		printRun(res)
 		if res.MutationErrors > 0 {
-			fmt.Fprintf(os.Stderr, "loadgen: %s run rejected %d mutations from a well-formed trace\n", m, res.MutationErrors)
+			fmt.Fprintf(os.Stderr, "loadgen: %s run rejected %d mutations from a well-formed trace\n", label, res.MutationErrors)
 			os.Exit(1)
 		}
 		keys := make([]uint64, 0, 2*len(pairs))
@@ -145,12 +161,29 @@ func main() {
 		}
 		pairSets = append(pairSets, keys)
 	}
-	if len(pairSets) == 2 && !sameMultiset(pairSets[0], pairSets[1]) {
-		fmt.Fprintln(os.Stderr, "loadgen: CONFORMANCE FAILURE: sequential and batch modes produced different final matchings")
-		os.Exit(1)
+	for _, m := range modes {
+		res, pairs, err := traffic.Run(tr, m, *batch)
+		collect(string(m), res, pairs, err)
 	}
-	if len(pairSets) == 2 {
-		fmt.Printf("conformance: final matchings identical across modes (%d pairs)\n", rep.Runs[0].FinalPairs)
+	if spec.Shards > 1 {
+		res, pairs, err := traffic.RunSharded(tr, *batch)
+		collect("sharded", res, pairs, err)
+	}
+	if *closed {
+		res, pairs, err := traffic.RunClosed(tr, *clients, *batch)
+		collect("closed", res, pairs, err)
+	}
+	// Every driver lands the same mutation stream (FIFO per dependency
+	// lane), so all modes must end in the same matching.
+	for i := 1; i < len(pairSets); i++ {
+		if !sameMultiset(pairSets[0], pairSets[i]) {
+			fmt.Fprintf(os.Stderr, "loadgen: CONFORMANCE FAILURE: %s and %s runs produced different final matchings\n",
+				rep.Runs[0].Mode, rep.Runs[i].Mode)
+			os.Exit(1)
+		}
+	}
+	if len(pairSets) > 1 {
+		fmt.Printf("conformance: final matchings identical across %d runs (%d pairs)\n", len(pairSets), rep.Runs[0].FinalPairs)
 	}
 
 	if *crash {
@@ -187,8 +220,15 @@ func main() {
 }
 
 func printRun(r *traffic.Result) {
-	fmt.Printf("%-10s %6d ops in %8v (%.0f ops/s achieved) | mutations %d, commits %d\n",
-		r.Mode, r.Ops, time.Duration(r.WallNS).Round(time.Millisecond), r.AchievedRate, r.Mutations, r.Commits)
+	tag := ""
+	if r.Shards > 0 {
+		tag = fmt.Sprintf(" [%d shards]", r.Shards)
+	}
+	if r.Clients > 0 {
+		tag += fmt.Sprintf(" [%d clients, closed loop]", r.Clients)
+	}
+	fmt.Printf("%-10s %6d ops in %8v (%.0f ops/s achieved) | mutations %d, commits %d%s\n",
+		r.Mode, r.Ops, time.Duration(r.WallNS).Round(time.Millisecond), r.AchievedRate, r.Mutations, r.Commits, tag)
 	for _, class := range []string{"mutation", "snapshot_acquire", "view_query"} {
 		cs, ok := r.Classes[class]
 		if !ok || cs.Count == 0 {
@@ -196,6 +236,17 @@ func printRun(r *traffic.Result) {
 		}
 		fmt.Printf("  %-16s n=%-6d p50 %9v  p95 %9v  p99 %9v  max %9v\n",
 			class, cs.Count,
+			time.Duration(cs.P50NS).Round(time.Microsecond),
+			time.Duration(cs.P95NS).Round(time.Microsecond),
+			time.Duration(cs.P99NS).Round(time.Microsecond),
+			time.Duration(cs.MaxNS).Round(time.Microsecond))
+	}
+	for s, cs := range r.PerShard {
+		if cs.Count == 0 {
+			continue
+		}
+		fmt.Printf("  shard %-10d n=%-6d p50 %9v  p95 %9v  p99 %9v  max %9v\n",
+			s, cs.Count,
 			time.Duration(cs.P50NS).Round(time.Microsecond),
 			time.Duration(cs.P95NS).Round(time.Microsecond),
 			time.Duration(cs.P99NS).Round(time.Microsecond),

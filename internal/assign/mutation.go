@@ -3,7 +3,6 @@ package assign
 import (
 	"errors"
 	"fmt"
-	"math"
 
 	"fairassign/internal/rtree"
 	"fairassign/internal/snapshot"
@@ -246,84 +245,21 @@ func (b *batchView) record(m *Mutation) {
 // (overlaid with the batch prefix when bv is non-nil) without touching
 // any workspace structure. Caller holds w.mu.
 func (w *Workspace) validateMutationLocked(m *Mutation, bv *batchView) error {
-	switch m.Kind {
-	case MutAddObject:
-		o := &m.Object
-		if len(o.Point) != w.Dims() {
-			return fmt.Errorf("assign: object %d has %d dims, want %d", o.ID, len(o.Point), w.Dims())
-		}
-		for _, v := range o.Point {
-			if math.IsNaN(v) || math.IsInf(v, 0) {
-				return fmt.Errorf("%w: object %d", ErrBadPoint, o.ID)
-			}
-		}
-		if o.Capacity < 0 {
-			return fmt.Errorf("%w: object %d has capacity %d", ErrBadCapacity, o.ID, o.Capacity)
-		}
-		live := false
+	objLive := func(id uint64) bool {
 		if bv != nil {
-			live = bv.objLive(o.ID)
-		} else {
-			_, live = w.objs[o.ID]
+			return bv.objLive(id)
 		}
-		if live {
-			return fmt.Errorf("%w: object %d", ErrDuplicateID, o.ID)
-		}
-	case MutRemoveObject:
-		live := false
-		if bv != nil {
-			live = bv.objLive(m.ID)
-		} else {
-			_, live = w.objs[m.ID]
-		}
-		if !live {
-			return fmt.Errorf("%w: object %d", ErrUnknownID, m.ID)
-		}
-	case MutAddFunction:
-		f := &m.Function
-		if len(f.Weights) != w.Dims() {
-			return fmt.Errorf("assign: function %d has %d weights, want %d", f.ID, len(f.Weights), w.Dims())
-		}
-		for _, v := range f.Weights {
-			if math.IsNaN(v) || math.IsInf(v, 0) {
-				return fmt.Errorf("%w: function %d has non-finite weight", ErrBadWeight, f.ID)
-			}
-			if v < 0 {
-				return fmt.Errorf("%w: function %d has negative weight", ErrBadWeight, f.ID)
-			}
-		}
-		if math.IsNaN(f.Gamma) || math.IsInf(f.Gamma, 0) {
-			return fmt.Errorf("%w: function %d", ErrBadGamma, f.ID)
-		}
-		if f.Capacity < 0 {
-			return fmt.Errorf("%w: function %d has capacity %d", ErrBadCapacity, f.ID, f.Capacity)
-		}
-		if err := f.Fam.Validate(); err != nil {
-			return fmt.Errorf("assign: function %d: %w", f.ID, err)
-		}
-		live := false
-		if bv != nil {
-			live = bv.funcLive(f.ID)
-		} else {
-			_, live = w.funcs[f.ID]
-		}
-		if live {
-			return fmt.Errorf("%w: function %d", ErrDuplicateID, f.ID)
-		}
-	case MutRemoveFunction:
-		live := false
-		if bv != nil {
-			live = bv.funcLive(m.ID)
-		} else {
-			_, live = w.funcs[m.ID]
-		}
-		if !live {
-			return fmt.Errorf("%w: function %d", ErrUnknownID, m.ID)
-		}
-	default:
-		return fmt.Errorf("%w: %d", ErrBadMutation, m.Kind)
+		_, ok := w.objs[id]
+		return ok
 	}
-	return nil
+	funcLive := func(id uint64) bool {
+		if bv != nil {
+			return bv.funcLive(id)
+		}
+		_, ok := w.funcs[id]
+		return ok
+	}
+	return ValidateMutation(w.Dims(), m, objLive, funcLive)
 }
 
 // mutateLocked performs the structural phase of one already-validated

@@ -1,0 +1,113 @@
+package assign
+
+import (
+	"fmt"
+	"math"
+
+	"fairassign/internal/pagestore"
+)
+
+// This file exports the small pieces of workspace machinery the sharded
+// tier (internal/shard) composes: index store/pool construction through
+// the same Config knobs, the definitional pair order, per-entity
+// effective capacities, and mutation validation. Keeping these exported
+// rather than duplicated means a Workspace and a shard core built from
+// the same Config are physically identical — same page size, fill
+// factor, buffer fraction, and decoded-node-cache setting — which is
+// what makes the shard-count invariance sweep meaningful.
+
+// SortPairs orders pairs in the definitional greedy order: descending
+// score, ties by ascending function then object ID — the order Pairs
+// and View.Pairs return.
+func SortPairs(out []Pair) { sortPairsDefinitional(out) }
+
+// NewIndexStore builds one physical page store through the configured
+// factory (an in-memory simulated disk by default) — the exported form
+// of the constructor every solver-side index uses.
+func (c Config) NewIndexStore() (pagestore.Store, error) { return c.newStore() }
+
+// NewIndexPool wraps a store with a construction-sized buffer pool,
+// honoring the decoded-node-cache knob.
+func (c Config) NewIndexPool(store pagestore.Store) *pagestore.BufferPool {
+	return c.newBuildPool(store)
+}
+
+// TreeFillFactor returns the effective STR bulk-load occupancy.
+func (c Config) TreeFillFactor() float64 { return c.treeFill() }
+
+// IndexBuildWorkers returns the effective parallel bulk-load worker
+// setting (passed straight to rtree.BulkLoadWorkers).
+func (c Config) IndexBuildWorkers() int { return c.buildWorkers() }
+
+// IndexBufferFrac returns the effective buffer-pool fraction of index
+// pages.
+func (c Config) IndexBufferFrac() float64 { return c.bufferFrac() }
+
+// Cap returns the object's effective capacity (<= 0 means 1).
+func (o Object) Cap() int { return o.capacity() }
+
+// Cap returns the function's effective capacity (<= 0 means 1).
+func (f Function) Cap() int { return f.capacity() }
+
+// ValidateMutation checks one mutation against a population described
+// by the two liveness predicates, without touching any state. It is the
+// single validation routine behind Workspace.Apply and the sharded
+// engine, so both reject exactly the same inputs with the same typed
+// sentinels (ErrBadPoint, ErrBadCapacity, ErrBadWeight, ErrBadGamma,
+// ErrBadMutation, ErrDuplicateID, ErrUnknownID).
+func ValidateMutation(dims int, m *Mutation, objLive, funcLive func(uint64) bool) error {
+	switch m.Kind {
+	case MutAddObject:
+		o := &m.Object
+		if len(o.Point) != dims {
+			return fmt.Errorf("assign: object %d has %d dims, want %d", o.ID, len(o.Point), dims)
+		}
+		for _, v := range o.Point {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("%w: object %d", ErrBadPoint, o.ID)
+			}
+		}
+		if o.Capacity < 0 {
+			return fmt.Errorf("%w: object %d has capacity %d", ErrBadCapacity, o.ID, o.Capacity)
+		}
+		if objLive(o.ID) {
+			return fmt.Errorf("%w: object %d", ErrDuplicateID, o.ID)
+		}
+	case MutRemoveObject:
+		if !objLive(m.ID) {
+			return fmt.Errorf("%w: object %d", ErrUnknownID, m.ID)
+		}
+	case MutAddFunction:
+		f := &m.Function
+		if len(f.Weights) != dims {
+			return fmt.Errorf("assign: function %d has %d weights, want %d", f.ID, len(f.Weights), dims)
+		}
+		for _, v := range f.Weights {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("%w: function %d has non-finite weight", ErrBadWeight, f.ID)
+			}
+			if v < 0 {
+				return fmt.Errorf("%w: function %d has negative weight", ErrBadWeight, f.ID)
+			}
+		}
+		if math.IsNaN(f.Gamma) || math.IsInf(f.Gamma, 0) {
+			return fmt.Errorf("%w: function %d", ErrBadGamma, f.ID)
+		}
+		if f.Capacity < 0 {
+			return fmt.Errorf("%w: function %d has capacity %d", ErrBadCapacity, f.ID, f.Capacity)
+		}
+		if err := f.Fam.Validate(); err != nil {
+			return fmt.Errorf("assign: function %d: %w", f.ID, err)
+		}
+		if funcLive(f.ID) {
+			return fmt.Errorf("%w: function %d", ErrDuplicateID, f.ID)
+		}
+	case MutRemoveFunction:
+		if !funcLive(m.ID) {
+			return fmt.Errorf("%w: function %d", ErrUnknownID, m.ID)
+		}
+	default:
+		return fmt.Errorf("%w: %d", ErrBadMutation, m.Kind)
+	}
+	return nil
+}

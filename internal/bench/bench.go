@@ -144,6 +144,11 @@ type Report struct {
 	// the cold bulk-load duel, a full SB solve, per-family top-k, and
 	// the batched kernels racing their row-wise twins.
 	Production []ProductionCase `json:"production_scale,omitempty"`
+	// ShardedScale sweeps the sharded serving tier at 1/2/4/8 shards on
+	// the production-scale instance: sustained mutation throughput of
+	// the mutate→snapshot→top-k serving loop, with every count's output
+	// byte-compared against the 1-shard run.
+	ShardedScale []ShardedScaleCase `json:"sharded_scale,omitempty"`
 }
 
 // Options tunes a pipeline run.
@@ -370,6 +375,13 @@ func Run(opts Options) (*Report, error) {
 			return nil, err
 		}
 		rep.Production = prod
+		// Sharded serving tier at the same production cardinality —
+		// the scaling story the shard package exists to tell.
+		ss, err := runShardedScale(opts)
+		if err != nil {
+			return nil, err
+		}
+		rep.ShardedScale = ss
 	}
 	return rep, nil
 }

@@ -1,0 +1,146 @@
+package shard
+
+import (
+	"fmt"
+
+	"fairassign/internal/assign"
+	"fairassign/internal/pagestore"
+	"fairassign/internal/rtree"
+	"fairassign/internal/skyline"
+)
+
+// pair is one assigned unit of the global matching, mirrored on both
+// sides: the owning shard's byObj and the engine's byFunc.
+type pair struct {
+	fid   uint64
+	oid   uint64
+	score float64
+}
+
+// repairItem is a freed unit awaiting chain repair: a function unit
+// looking for an object, or an object unit looking for a function.
+type repairItem struct {
+	isFunc bool
+	id     uint64
+}
+
+// worstOfObj returns the weakest assignment an object holds — the one a
+// stronger proposer displaces. Greedy order: lower score is worse; on a
+// tie the higher function ID lost the tiebreak, so it goes first.
+func worstOfObj(ps []pair) pair {
+	worst := ps[0]
+	for _, p := range ps[1:] {
+		if p.score < worst.score || (p.score == worst.score && p.fid > worst.fid) {
+			worst = p
+		}
+	}
+	return worst
+}
+
+// worstOfFunc is the function-side mirror: lower score is worse, ties
+// broken toward the higher object ID.
+func worstOfFunc(ps []pair) pair {
+	worst := ps[0]
+	for _, p := range ps[1:] {
+		if p.score < worst.score || (p.score == worst.score && p.oid > worst.oid) {
+			worst = p
+		}
+	}
+	return worst
+}
+
+// core is one shard: a self-contained slice of the object space with
+// its own versioned page store, R-tree, availability frontier, and
+// epoch stream. It is exactly the object half of an assign.Workspace;
+// the function side stays global on the Engine because function
+// capacity is shared state every repair chain can touch.
+type core struct {
+	idx   int
+	store *pagestore.VersionedStore
+	pool  *pagestore.BufferPool
+	tree  *rtree.Tree
+
+	// avail is this shard's availability frontier: the skyline of the
+	// shard's objects with remaining capacity. Repair's frontier-ceiling
+	// exchange combines the per-shard Best results into the global
+	// ceiling that prices displacement searches.
+	avail *skyline.Maintainer
+
+	objs      map[uint64]assign.Object
+	remaining map[uint64]int
+	byObj     map[uint64][]pair
+
+	epoch uint64 // latest published page-store epoch
+
+	// pageDirty marks tree pages mutated since the last publish (object
+	// arrivals/departures); stateDirty marks any capture-visible change
+	// (tree, objects, or frontier) since the last capture. Repair moves
+	// that only shuffle assignments set neither — pure cross-shard churn
+	// republishes nothing on untouched shards, which is the amortization
+	// that makes shard-local epochs cheap.
+	pageDirty  bool
+	stateDirty bool
+
+	// pub caches the capture of the latest published epoch; it is only
+	// rebuilt when stateDirty, so a shard untouched since its last
+	// capture contributes to a global snapshot for the cost of a
+	// refcount increment instead of an O(objects) copy.
+	pub *shardPub
+}
+
+// restoreUnit gives one unit of capacity back to an object; a revival
+// (exhausted -> available) re-enters the availability skyline.
+func (sh *core) restoreUnit(oid uint64) {
+	sh.remaining[oid]++
+	if sh.remaining[oid] == 1 {
+		o := sh.objs[oid]
+		if err := sh.avail.Insert(rtree.Item{ID: oid, Point: o.Point}); err != nil {
+			// Insert only errors on a live duplicate, which the
+			// availability bookkeeping rules out.
+			panic(fmt.Sprintf("shard: availability out of sync: %v", err))
+		}
+		sh.stateDirty = true
+	}
+}
+
+// consumeUnit takes one unit of an object's capacity; exhaustion leaves
+// the availability skyline via Discard.
+func (sh *core) consumeUnit(oid uint64) error {
+	sh.remaining[oid]--
+	if sh.remaining[oid] == 0 {
+		sh.stateDirty = true
+		return sh.avail.Discard(oid)
+	}
+	return nil
+}
+
+// capture freezes the shard's capture-visible state: a pinned page
+// snapshot, the tree metadata, and flat copies of the object table and
+// availability frontier (per-entity points alias the immutable
+// originals).
+func (sh *core) capture() *shardPub {
+	p := &shardPub{
+		shard: sh.idx,
+		epoch: sh.epoch,
+		snap:  sh.store.Acquire(),
+		meta:  sh.tree.Meta(),
+		avail: sh.avail.Skyline(),
+	}
+	p.refs.Store(1)
+	p.objs = make([]assign.Object, 0, len(sh.objs))
+	for _, o := range sh.objs {
+		p.objs = append(p.objs, o)
+	}
+	return p
+}
+
+// release drops the shard's resources (cached capture and page store).
+func (sh *core) release() {
+	if sh.pub != nil {
+		sh.pub.release()
+		sh.pub = nil
+	}
+	if sh.store != nil {
+		sh.store.Close()
+	}
+}

@@ -1,0 +1,819 @@
+// Package shard implements the sharded workspace tier: N independent
+// object shards — each with its own versioned page store, R-tree, and
+// availability frontier — behind one stable-matching engine whose
+// repair chains run the exact per-mutation algorithm of
+// assign.Workspace, with the object side factored across shards.
+//
+// Partitioning follows the STR bulk-load key order (internal/rtree):
+// objects sort by center coordinate on the split axis, ties by ID, and
+// the range cuts into N contiguous slabs, so each shard's tree covers a
+// spatially coherent slice and per-shard search frontiers stay tight; a
+// degenerate distribution falls back to ID hashing (partition.go).
+//
+// Correctness across shards is the interesting part. A function's best
+// object may live on any shard, so every proposal runs a bounded
+// cross-shard displacement protocol:
+//
+//   - frontier-ceiling exchange: every shard reports the best object
+//     its availability skyline offers under the proposer's scorer; the
+//     global maximum is the ceiling that prices displacement, exactly
+//     as the single-workspace skyline scan does;
+//   - bounded displacement search: each shard runs a BRS NextAtLeast
+//     bounded by that ceiling over its own tree — expanding only the
+//     region that could beat taking a free object outright — and the
+//     per-shard winners combine by (score desc, ID asc), the same
+//     tie-break BRS applies inside one tree;
+//   - re-routed proposals: a displaced function re-enters the global
+//     repair queue, and its next landing may be on any shard; a
+//     vacancy cascades to the shard owning the abandoned object.
+//
+// Because every repair step makes the same state transition the
+// single workspace would make, the matching is byte-identical at every
+// mutation boundary for any shard count — the conformance sweep in
+// internal/conformance asserts exactly that at counts {1,2,4,7}. (The
+// one theoretical exception: a non-strictly-monotone scorer family can
+// tie a dominated point with its dominator; if shard boundaries
+// separate them, the per-shard frontiers may surface the dominated
+// lower-ID point a single global skyline pruned. Both resolutions are
+// stable; the case requires exactly tied scores across a dominance
+// pair, which is measure-zero for continuous data.)
+//
+// What sharding buys on the serving path: epochs, flushes, publishes,
+// and snapshot captures are per shard and dirty-shard-only. A mutation
+// touches one shard's pages, so a commit flushes and republishes 1/N of
+// the page state, and the next snapshot re-captures 1/N of the object
+// table while every clean shard contributes a refcounted reuse of its
+// cached capture. On multi-core hosts the per-shard frontier scans and
+// displacement searches of each repair step also fan out in parallel
+// (Options.SearchWorkers); global reads merge per-shard ranked streams
+// lazily by score ceiling (view.go).
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"fairassign/internal/assign"
+	"fairassign/internal/geom"
+	"fairassign/internal/metrics"
+	"fairassign/internal/pagestore"
+	"fairassign/internal/rtree"
+	"fairassign/internal/score"
+	"fairassign/internal/skyline"
+)
+
+// Typed errors (match with errors.Is). The engine shares the assign
+// sentinels for everything a Workspace can also return.
+var (
+	// ErrDurabilityUnsupported is returned by New when the Config asks
+	// for a WAL: the sharded tier has no durability story yet (each
+	// shard would need its own log stream); run durable single
+	// workspaces or keep the sharded tier as a serving cache.
+	ErrDurabilityUnsupported = errors.New("shard: durable sharded workspaces are not supported")
+)
+
+// Options tunes the sharded engine.
+type Options struct {
+	// Shards is the number of object shards (<= 0 means 1).
+	Shards int
+	// Partition selects the object->shard mapping (default
+	// PartitionAuto: spatial with hash fallback).
+	Partition PartitionKind
+	// SearchWorkers bounds the per-shard fan-out of repair's frontier
+	// scans and displacement searches, and of commit-time flushes:
+	// <= 0 uses min(Shards, GOMAXPROCS); 1 runs them sequentially. The
+	// matching is identical at every setting.
+	SearchWorkers int
+}
+
+// Stats summarizes a sharded engine. Objects, Functions, and
+// AssignedUnits are partition-invariant (the conformance sweep asserts
+// they are byte-identical across shard counts); Frontier and the work
+// counters depend on the partition — per-shard skylines overlap-free
+// union to more points than one global skyline, and every proposal
+// issues one probe per shard.
+type Stats struct {
+	Shards        int
+	Objects       int
+	Functions     int
+	AssignedUnits int
+	// Frontier is the summed size of the per-shard availability
+	// skylines.
+	Frontier  int
+	Mutations int64
+	Commits   int64
+	// Seq is the global commit sequence number snapshots pin.
+	Seq        uint64
+	ChainSteps int64
+	Searches   int64
+	Resolves   int64
+	IO         metrics.IOCounter
+	PerShard   []ShardStats
+}
+
+// ShardStats is the per-shard breakdown.
+type ShardStats struct {
+	Objects       int
+	AssignedUnits int
+	Frontier      int
+	Epoch         uint64
+}
+
+// Engine is the sharded multi-workspace: the object space partitioned
+// across N shard cores, the function side global, mutations repaired by
+// the single-workspace chain algorithm with cross-shard search fan-out,
+// and global reads served from per-shard pinned snapshots composed
+// under one sequence number.
+type Engine struct {
+	mu sync.Mutex
+
+	cfg  assign.Config
+	dims int
+	part *Partitioner
+
+	shards   []*core
+	objShard map[uint64]int // object ID -> owning shard
+
+	// Global function side: the weight R-tree (linear families), the
+	// columnar blocks (non-linear), capacities, and the function half
+	// of the matching. Function capacity is shared state every chain
+	// can consume, so it is not sharded.
+	fstore        pagestore.Store
+	fpool         *pagestore.BufferPool
+	ftree         *rtree.Tree
+	funcs         map[uint64]assign.Function
+	eff           map[uint64][]float64
+	nonlin        *score.FuncBlocks
+	funcRemaining map[uint64]int
+	funcLive      int // functions with remaining capacity > 0
+	byFunc        map[uint64][]pair
+	funcDirty     bool
+	funcsSnap     []assign.Function // immutable capture, rebuilt when funcDirty
+
+	queue   []repairItem
+	workers int
+
+	seq  uint64 // global commit sequence number (all shards)
+	pub  *globalPub
+	pubA atomic.Pointer[globalPub]
+
+	closed  bool
+	closedA atomic.Bool
+	corrupt error
+
+	mutations  int64
+	commits    int64
+	chainSteps int64
+	searches   int64
+	resolves   int64
+}
+
+// New validates the problem, computes the initial stable matching with
+// one full SB solve (byte-identical to what assign.NewWorkspace
+// computes), partitions the object space, and bulk-loads one R-tree
+// per shard. Config is honored exactly as in assign.NewWorkspace —
+// page size, buffer fraction, tree fill, build workers, store factory —
+// except durability, which the sharded tier does not support.
+func New(p *assign.Problem, cfg assign.Config, opt Options) (*Engine, error) {
+	if cfg.Durable || cfg.WALDir != "" {
+		return nil, ErrDurabilityUnsupported
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	res, err := assign.SB(p, cfg)
+	if err != nil {
+		return nil, err
+	}
+	n := opt.Shards
+	if n < 1 {
+		n = 1
+	}
+	workers := opt.SearchWorkers
+	if workers <= 0 {
+		workers = min(n, runtime.GOMAXPROCS(0))
+	}
+	e := &Engine{
+		cfg:           cfg,
+		dims:          p.Dims,
+		part:          NewPartitioner(p.Dims, n, p.Objects, opt.Partition),
+		objShard:      make(map[uint64]int, len(p.Objects)),
+		funcs:         make(map[uint64]assign.Function, len(p.Functions)),
+		eff:           make(map[uint64][]float64, len(p.Functions)),
+		nonlin:        score.NewFuncBlocks(p.Dims),
+		funcRemaining: make(map[uint64]int, len(p.Functions)),
+		byFunc:        make(map[uint64][]pair),
+		workers:       workers,
+		funcDirty:     true,
+		resolves:      1,
+	}
+
+	// Shard cores: group the objects, then bulk-load each shard's tree
+	// through its own versioned store.
+	grouped := make([][]assign.Object, n)
+	for _, o := range p.Objects {
+		s := e.part.Route(o.Point, o.ID)
+		grouped[s] = append(grouped[s], assign.Object{ID: o.ID, Point: o.Point.Clone(), Capacity: o.Capacity})
+		e.objShard[o.ID] = s
+	}
+	for i := 0; i < n; i++ {
+		sh, err := e.newCore(i, grouped[i])
+		if err != nil {
+			e.Close()
+			return nil, err
+		}
+		e.shards = append(e.shards, sh)
+	}
+
+	// Global function side.
+	finner, err := cfg.NewIndexStore()
+	if err != nil {
+		e.Close()
+		return nil, err
+	}
+	e.fstore = finner
+	e.fpool = cfg.NewIndexPool(finner)
+	fitems := make([]rtree.Item, 0, len(p.Functions))
+	for _, f := range p.Functions {
+		weights := make([]float64, len(f.Weights))
+		copy(weights, f.Weights)
+		f.Weights = weights
+		ew := f.Effective()
+		e.funcs[f.ID] = f
+		e.eff[f.ID] = ew
+		e.funcRemaining[f.ID] = f.Cap()
+		if f.Fam.IsLinear() {
+			fitems = append(fitems, rtree.Item{ID: f.ID, Point: ew})
+		} else {
+			e.nonlin.Add(f.ID, f.Fam, ew)
+		}
+	}
+	e.ftree, err = rtree.BulkLoadWorkers(e.fpool, p.Dims, fitems, cfg.TreeFillFactor(), cfg.IndexBuildWorkers())
+	if err != nil {
+		e.Close()
+		return nil, err
+	}
+
+	// Distribute the initial matching: link each pair on the global
+	// function side and the owning shard's object side, consuming
+	// capacities.
+	for _, pr := range res.Pairs {
+		e.link(pair{fid: pr.FuncID, oid: pr.ObjectID, score: pr.Score})
+		e.shards[e.objShard[pr.ObjectID]].remaining[pr.ObjectID]--
+		e.funcRemaining[pr.FuncID]--
+	}
+	for _, rem := range e.funcRemaining {
+		if rem > 0 {
+			e.funcLive++
+		}
+	}
+
+	// Materialize each shard's availability frontier from the
+	// post-solve capacities.
+	for _, sh := range e.shards {
+		sh := sh
+		var availItems []rtree.Item
+		for id, o := range sh.objs {
+			if sh.remaining[id] > 0 {
+				availItems = append(availItems, rtree.Item{ID: id, Point: o.Point})
+			}
+		}
+		sh.avail = skyline.NewMaintainerFromItems(p.Dims, availItems, nil)
+		sh.avail.SetLiveCheck(func(id uint64, pt geom.Point) bool {
+			o, ok := sh.objs[id]
+			return ok && sh.remaining[id] > 0 && o.Point.Equal(pt)
+		})
+		sh.pageDirty = true // force the initial publish
+		sh.stateDirty = true
+	}
+	if err := e.commitLocked(); err != nil {
+		e.Close()
+		return nil, err
+	}
+	return e, nil
+}
+
+// newCore builds one shard: versioned store, build pool, bulk-loaded
+// tree (resized to the configured buffer fraction afterwards), and the
+// object tables.
+func (e *Engine) newCore(idx int, objs []assign.Object) (*core, error) {
+	inner, err := e.cfg.NewIndexStore()
+	if err != nil {
+		return nil, err
+	}
+	vstore := pagestore.NewVersioned(inner)
+	// e.mu serializes snapshot capture with mutations, so the store may
+	// recycle page versions in place whenever no live view observes
+	// them.
+	vstore.SetSerializedAcquire(true)
+	pool := e.cfg.NewIndexPool(vstore)
+	items := make([]rtree.Item, len(objs))
+	for i, o := range objs {
+		items[i] = rtree.Item{ID: o.ID, Point: o.Point}
+	}
+	tree, err := rtree.BulkLoadWorkers(pool, e.dims, items, e.cfg.TreeFillFactor(), e.cfg.IndexBuildWorkers())
+	if err != nil {
+		vstore.Close()
+		return nil, err
+	}
+	if err := pool.Flush(); err != nil {
+		vstore.Close()
+		return nil, err
+	}
+	if err := pool.Resize(pagestore.CapacityFromFraction(tree.NumPages(), e.cfg.IndexBufferFrac())); err != nil {
+		vstore.Close()
+		return nil, err
+	}
+	if err := pool.Clear(); err != nil {
+		vstore.Close()
+		return nil, err
+	}
+	inner.IO().Reset()
+	sh := &core{
+		idx:       idx,
+		store:     vstore,
+		pool:      pool,
+		tree:      tree,
+		objs:      make(map[uint64]assign.Object, len(objs)),
+		remaining: make(map[uint64]int, len(objs)),
+		byObj:     make(map[uint64][]pair),
+	}
+	for _, o := range objs {
+		sh.objs[o.ID] = o
+		sh.remaining[o.ID] = o.Cap()
+	}
+	return sh, nil
+}
+
+// Dims returns the problem dimensionality.
+func (e *Engine) Dims() int { return e.dims }
+
+// ShardCount returns the number of shards.
+func (e *Engine) ShardCount() int { return len(e.shards) }
+
+// Partition returns the resolved partition strategy.
+func (e *Engine) Partition() PartitionKind { return e.part.Kind() }
+
+// ShardOfObject returns the shard owning a live object.
+func (e *Engine) ShardOfObject(id uint64) (int, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	s, ok := e.objShard[id]
+	return s, ok
+}
+
+// RouteObject returns the shard a (possibly not yet live) object with
+// the given point and ID would land on — the routing key producers use
+// to pick a per-shard queue.
+func (e *Engine) RouteObject(pt geom.Point, id uint64) int {
+	return e.part.Route(pt, id)
+}
+
+// Close releases every shard store and the function store. The engine
+// must not be used afterwards.
+func (e *Engine) Close() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return
+	}
+	e.closed = true
+	e.closedA.Store(true)
+	e.dropPubLocked()
+	for _, sh := range e.shards {
+		sh.release()
+	}
+	if e.fstore != nil {
+		e.fstore.Close()
+	}
+}
+
+func (e *Engine) liveLocked() error {
+	if e.closed {
+		return assign.ErrClosed
+	}
+	if e.corrupt != nil {
+		return fmt.Errorf("%w: %w", assign.ErrCorrupt, e.corrupt)
+	}
+	return nil
+}
+
+// corruptLocked poisons the engine after a structural failure, exactly
+// like Workspace: open views keep serving their pinned epochs.
+func (e *Engine) corruptLocked(cause error) error {
+	if e.corrupt == nil {
+		e.corrupt = cause
+		e.dropPubLocked()
+	}
+	return fmt.Errorf("%w: %w", assign.ErrCorrupt, cause)
+}
+
+// link records one assigned unit on both sides.
+func (e *Engine) link(p pair) {
+	sh := e.shards[e.objShard[p.oid]]
+	sh.byObj[p.oid] = append(sh.byObj[p.oid], p)
+	e.byFunc[p.fid] = append(e.byFunc[p.fid], p)
+}
+
+// unlink removes one instance of the pair from both sides.
+func (e *Engine) unlink(p pair) {
+	sh := e.shards[e.objShard[p.oid]]
+	sh.byObj[p.oid] = cutPair(sh.byObj[p.oid], p)
+	e.byFunc[p.fid] = cutPair(e.byFunc[p.fid], p)
+}
+
+func cutPair(ps []pair, p pair) []pair {
+	for i := range ps {
+		if ps[i] == p {
+			ps[i] = ps[len(ps)-1]
+			return ps[:len(ps)-1]
+		}
+	}
+	panic("shard: pair index out of sync")
+}
+
+func (e *Engine) funcConsume(fid uint64) {
+	e.funcRemaining[fid]--
+	if e.funcRemaining[fid] == 0 {
+		e.funcLive--
+	}
+}
+
+func (e *Engine) funcRestore(fid uint64) {
+	e.funcRemaining[fid]++
+	if e.funcRemaining[fid] == 1 {
+		e.funcLive++
+	}
+}
+
+func (e *Engine) pushFunc(id uint64) { e.queue = append(e.queue, repairItem{isFunc: true, id: id}) }
+func (e *Engine) pushObj(id uint64)  { e.queue = append(e.queue, repairItem{isFunc: false, id: id}) }
+
+// Apply applies a batch of mutations as one group commit with the same
+// semantics as Workspace.Apply: the batch validates up front against
+// sequential liveness (a validation error leaves the engine untouched),
+// each mutation's structural change and chain repair run in arrival
+// order, and one global sequence number publishes at the end — but
+// flush, publish, and the next snapshot's capture touch only the dirty
+// shards.
+func (e *Engine) Apply(muts []assign.Mutation) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if err := e.liveLocked(); err != nil {
+		return err
+	}
+	if len(muts) == 0 {
+		return nil
+	}
+	ov := newOverlay(e)
+	for i := range muts {
+		if err := assign.ValidateMutation(e.dims, &muts[i], ov.objLive, ov.funcLive); err != nil {
+			if len(muts) > 1 {
+				return fmt.Errorf("shard: batch mutation %d (%s): %w", i, muts[i].Kind, err)
+			}
+			return err
+		}
+		ov.record(&muts[i])
+	}
+	for i := range muts {
+		if err := e.mutateLocked(&muts[i]); err != nil {
+			return e.corruptLocked(fmt.Errorf("batch mutation %d (%s): %w", i, muts[i].Kind, err))
+		}
+		if err := e.repair(); err != nil {
+			return e.corruptLocked(fmt.Errorf("batch mutation %d (%s): repair: %w", i, muts[i].Kind, err))
+		}
+		e.mutations++
+	}
+	if err := e.commitLocked(); err != nil {
+		return e.corruptLocked(err)
+	}
+	return nil
+}
+
+// overlay tracks the net liveness effect of a validated batch prefix,
+// mirroring the sequential semantics Workspace.Apply validates against.
+type overlay struct {
+	e                *Engine
+	objAdd, objDel   map[uint64]bool
+	funcAdd, funcDel map[uint64]bool
+}
+
+func newOverlay(e *Engine) *overlay {
+	return &overlay{
+		e:      e,
+		objAdd: make(map[uint64]bool), objDel: make(map[uint64]bool),
+		funcAdd: make(map[uint64]bool), funcDel: make(map[uint64]bool),
+	}
+}
+
+func (ov *overlay) objLive(id uint64) bool {
+	if ov.objAdd[id] {
+		return true
+	}
+	if ov.objDel[id] {
+		return false
+	}
+	_, ok := ov.e.objShard[id]
+	return ok
+}
+
+func (ov *overlay) funcLive(id uint64) bool {
+	if ov.funcAdd[id] {
+		return true
+	}
+	if ov.funcDel[id] {
+		return false
+	}
+	_, ok := ov.e.funcs[id]
+	return ok
+}
+
+func (ov *overlay) record(m *assign.Mutation) {
+	switch m.Kind {
+	case assign.MutAddObject:
+		ov.objAdd[m.Object.ID] = true
+	case assign.MutRemoveObject:
+		delete(ov.objAdd, m.ID)
+		ov.objDel[m.ID] = true
+	case assign.MutAddFunction:
+		ov.funcAdd[m.Function.ID] = true
+	case assign.MutRemoveFunction:
+		delete(ov.funcAdd, m.ID)
+		ov.funcDel[m.ID] = true
+	}
+}
+
+// mutateLocked performs the structural phase of one validated mutation.
+func (e *Engine) mutateLocked(m *assign.Mutation) error {
+	switch m.Kind {
+	case assign.MutAddObject:
+		return e.addObjectLocked(m.Object)
+	case assign.MutRemoveObject:
+		return e.removeObjectLocked(m.ID)
+	case assign.MutAddFunction:
+		return e.addFunctionLocked(m.Function)
+	default:
+		return e.removeFunctionLocked(m.ID)
+	}
+}
+
+func (e *Engine) addObjectLocked(o assign.Object) error {
+	pt := o.Point.Clone()
+	sidx := e.part.Route(pt, o.ID)
+	sh := e.shards[sidx]
+	sh.objs[o.ID] = assign.Object{ID: o.ID, Point: pt, Capacity: o.Capacity}
+	e.objShard[o.ID] = sidx
+	if err := sh.tree.Insert(rtree.Item{ID: o.ID, Point: pt}); err != nil {
+		return err
+	}
+	sh.pageDirty, sh.stateDirty = true, true
+	sh.remaining[o.ID] = o.Cap()
+	if err := sh.avail.Insert(rtree.Item{ID: o.ID, Point: pt}); err != nil {
+		return err
+	}
+	e.pushObj(o.ID)
+	return nil
+}
+
+func (e *Engine) removeObjectLocked(id uint64) error {
+	sidx := e.objShard[id]
+	sh := e.shards[sidx]
+	o := sh.objs[id]
+	if sh.remaining[id] > 0 {
+		if err := sh.avail.Discard(id); err != nil {
+			return err
+		}
+	}
+	for _, p := range append([]pair(nil), sh.byObj[id]...) {
+		e.unlink(p)
+		e.funcRestore(p.fid)
+		e.pushFunc(p.fid)
+	}
+	delete(sh.byObj, id)
+	if err := sh.tree.Delete(rtree.Item{ID: id, Point: o.Point}); err != nil {
+		return err
+	}
+	sh.pageDirty, sh.stateDirty = true, true
+	delete(sh.remaining, id)
+	delete(sh.objs, id)
+	delete(e.objShard, id)
+	return nil
+}
+
+func (e *Engine) addFunctionLocked(f assign.Function) error {
+	weights := make([]float64, len(f.Weights))
+	copy(weights, f.Weights)
+	f.Weights = weights
+	ew := f.Effective()
+	e.funcs[f.ID] = f
+	e.eff[f.ID] = ew
+	if f.Fam.IsLinear() {
+		if err := e.ftree.Insert(rtree.Item{ID: f.ID, Point: ew}); err != nil {
+			return err
+		}
+	} else {
+		e.nonlin.Add(f.ID, f.Fam, ew)
+	}
+	e.funcRemaining[f.ID] = f.Cap()
+	e.funcLive++
+	e.funcDirty = true
+	e.pushFunc(f.ID)
+	return nil
+}
+
+func (e *Engine) removeFunctionLocked(id uint64) error {
+	for _, p := range append([]pair(nil), e.byFunc[id]...) {
+		e.unlink(p)
+		e.shards[e.objShard[p.oid]].restoreUnit(p.oid)
+		e.pushObj(p.oid)
+	}
+	delete(e.byFunc, id)
+	if !e.nonlin.Remove(id) {
+		if err := e.ftree.Delete(rtree.Item{ID: id, Point: e.eff[id]}); err != nil {
+			return err
+		}
+	}
+	if e.funcRemaining[id] > 0 {
+		e.funcLive--
+	}
+	delete(e.funcRemaining, id)
+	delete(e.funcs, id)
+	delete(e.eff, id)
+	e.funcDirty = true
+	return nil
+}
+
+// commitLocked seals the round: every page-dirty shard flushes its pool
+// and publishes a new store epoch (fanned out across workers), the
+// global sequence number advances, and the cached composed snapshot is
+// dropped. Clean shards publish nothing — their open epochs and cached
+// captures stay valid.
+func (e *Engine) commitLocked() error {
+	e.dropPubLocked()
+	err := e.runShards(func(_ int, sh *core) error {
+		if !sh.pageDirty {
+			return nil
+		}
+		if err := sh.pool.Flush(); err != nil {
+			return err
+		}
+		sh.epoch = sh.store.Publish()
+		sh.pageDirty = false
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	e.seq++
+	e.commits++
+	return nil
+}
+
+func (e *Engine) dropPubLocked() {
+	if e.pub != nil {
+		e.pubA.Store(nil)
+		e.pub.release()
+		e.pub = nil
+	}
+}
+
+// runShards invokes fn once per shard, fanning out across
+// Options.SearchWorkers goroutines when configured. fn must confine its
+// writes to its own shard (the caller holds e.mu, so global engine
+// state is stable to read). The first error wins.
+func (e *Engine) runShards(fn func(i int, sh *core) error) error {
+	if e.workers <= 1 || len(e.shards) == 1 {
+		for i, sh := range e.shards {
+			if err := fn(i, sh); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, e.workers)
+	errs := make([]error, len(e.shards))
+	for i, sh := range e.shards {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, sh *core) {
+			defer wg.Done()
+			errs[i] = fn(i, sh)
+			<-sem
+		}(i, sh)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// scorerOf returns a live function's effective scorer.
+func (e *Engine) scorerOf(fid uint64) score.Scorer {
+	return score.Scorer{Fam: e.funcs[fid].Fam, W: e.eff[fid]}
+}
+
+// Stats summarizes the engine.
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.statsLocked()
+}
+
+func (e *Engine) statsLocked() Stats {
+	s := Stats{
+		Shards:     len(e.shards),
+		Functions:  len(e.funcs),
+		Mutations:  e.mutations,
+		Commits:    e.commits,
+		Seq:        e.seq,
+		ChainSteps: e.chainSteps,
+		Searches:   e.searches,
+		Resolves:   e.resolves,
+	}
+	for _, ps := range e.byFunc {
+		s.AssignedUnits += len(ps)
+	}
+	s.PerShard = make([]ShardStats, len(e.shards))
+	for i, sh := range e.shards {
+		units := 0
+		for _, ps := range sh.byObj {
+			units += len(ps)
+		}
+		s.PerShard[i] = ShardStats{
+			Objects:       len(sh.objs),
+			AssignedUnits: units,
+			Frontier:      sh.avail.Size(),
+			Epoch:         sh.epoch,
+		}
+		s.Objects += len(sh.objs)
+		s.Frontier += sh.avail.Size()
+	}
+	if !e.closed {
+		for _, sh := range e.shards {
+			s.IO.Add(sh.store.IO().Snapshot())
+		}
+		s.IO.Add(e.fstore.IO().Snapshot())
+	}
+	return s
+}
+
+// Pairs returns the current matching in the definitional greedy order.
+func (e *Engine) Pairs() []assign.Pair {
+	e.mu.Lock()
+	out := e.pairsLocked()
+	e.mu.Unlock()
+	assign.SortPairs(out)
+	return out
+}
+
+func (e *Engine) pairsLocked() []assign.Pair {
+	out := make([]assign.Pair, 0, len(e.byFunc))
+	for _, ps := range e.byFunc {
+		for _, p := range ps {
+			out = append(out, assign.Pair{FuncID: p.fid, ObjectID: p.oid, Score: p.score})
+		}
+	}
+	return out
+}
+
+// ProblemSnapshot materializes the current population as a Problem
+// (entities sorted by ID), for differential validation.
+func (e *Engine) ProblemSnapshot() *assign.Problem {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.problemLocked()
+}
+
+func (e *Engine) problemLocked() *assign.Problem {
+	p := &assign.Problem{Dims: e.dims}
+	for _, sh := range e.shards {
+		for _, o := range sh.objs {
+			p.Objects = append(p.Objects, assign.Object{ID: o.ID, Point: o.Point.Clone(), Capacity: o.Capacity})
+		}
+	}
+	sortObjectsByID(p.Objects)
+	for _, f := range e.funcs {
+		weights := make([]float64, len(f.Weights))
+		copy(weights, f.Weights)
+		p.Functions = append(p.Functions, assign.Function{ID: f.ID, Weights: weights, Gamma: f.Gamma, Capacity: f.Capacity, Fam: f.Fam})
+	}
+	sortFunctionsByID(p.Functions)
+	return p
+}
+
+// VerifyStable checks that the current matching is stable for the
+// current population.
+func (e *Engine) VerifyStable() error {
+	e.mu.Lock()
+	if e.corrupt != nil {
+		err := fmt.Errorf("%w: %w", assign.ErrCorrupt, e.corrupt)
+		e.mu.Unlock()
+		return err
+	}
+	p := e.problemLocked()
+	pairs := e.pairsLocked()
+	e.mu.Unlock()
+	return assign.IsStable(p, pairs)
+}

@@ -1,0 +1,268 @@
+package shard
+
+import (
+	"math"
+
+	"fairassign/internal/geom"
+	"fairassign/internal/score"
+	"fairassign/internal/topk"
+)
+
+// repair drains the free-unit queue, exactly like the single
+// workspace: every step either fills a free slot (bounded by total
+// capacity) or replaces an assignment with a strictly better one in
+// the greedy order, so the cascade terminates with no blocking pair.
+// Displaced proposals re-enter the global queue and may re-route to
+// any shard; what stays shard-local is the index work each step does.
+func (e *Engine) repair() error {
+	for len(e.queue) > 0 {
+		it := e.queue[0]
+		e.queue = e.queue[1:]
+		var err error
+		if it.isFunc {
+			err = e.placeFunction(it.id)
+		} else {
+			err = e.fillObject(it.id)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// placeFunction runs proposal chains for every free unit of a function.
+func (e *Engine) placeFunction(fid uint64) error {
+	if _, ok := e.funcs[fid]; !ok {
+		return nil // departed while queued
+	}
+	for e.funcRemaining[fid] > 0 {
+		oid, s, displace, ok, err := e.bestEntry(fid)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil // no object accepts: the unit stays free
+		}
+		sh := e.shards[e.objShard[oid]]
+		if displace {
+			evicted := worstOfObj(sh.byObj[oid])
+			e.unlink(evicted)
+			e.funcRestore(evicted.fid)
+			e.pushFunc(evicted.fid)
+		} else if err := sh.consumeUnit(oid); err != nil {
+			return err
+		}
+		e.funcConsume(fid)
+		e.link(pair{fid: fid, oid: oid, score: s})
+		e.chainSteps++
+	}
+	return nil
+}
+
+// shardCand is one shard's answer to a cross-shard search round.
+type shardCand struct {
+	ok    bool
+	id    uint64
+	score float64
+}
+
+// betterCand is the global combine order for per-shard candidates:
+// higher score wins, ties to the lower ID — the same total order BRS
+// enumerates inside a single tree, which is what makes the cross-shard
+// combine land on the identical object a one-tree search would.
+func betterCand(a, b shardCand) bool {
+	if !b.ok {
+		return a.ok
+	}
+	if !a.ok {
+		return false
+	}
+	return a.score > b.score || (a.score == b.score && a.id < b.id)
+}
+
+// bestEntry finds the best object a function unit can enter, via the
+// bounded cross-shard displacement protocol:
+//
+//  1. frontier-ceiling exchange — every shard's availability skyline
+//     reports its best object under the proposer's scorer (one batched
+//     columnar pass per shard, no I/O); the global best prices the
+//     round;
+//  2. displacement search — every shard runs a BRS search over its own
+//     tree, skip-filtered to objects that would actually evict for
+//     this proposer and bounded below by the availability ceiling, so
+//     only the index region that could beat a free object is expanded;
+//  3. combine — the per-shard winners and the availability best merge
+//     by (score desc, ID asc), preferring displacement only when it
+//     strictly beats taking the free object, exactly as the
+//     single-tree comparison does.
+//
+// The searches fan out across Options.SearchWorkers; each shard's
+// search touches only its own pool, tree, and scratch.
+func (e *Engine) bestEntry(fid uint64) (oid uint64, sc float64, displace, ok bool, err error) {
+	fsc := e.scorerOf(fid)
+
+	frontier := make([]shardCand, len(e.shards))
+	_ = e.runShards(func(i int, sh *core) error {
+		if it, s, bok := sh.avail.Best(fsc); bok {
+			frontier[i] = shardCand{ok: true, id: it.ID, score: s}
+		}
+		return nil
+	})
+	var avail shardCand
+	for _, c := range frontier {
+		if betterCand(c, avail) {
+			avail = c
+		}
+	}
+	availScore := math.Inf(-1)
+	if avail.ok {
+		availScore = avail.score
+	}
+
+	bound := availScore
+	cands := make([]shardCand, len(e.shards))
+	serr := e.runShards(func(i int, sh *core) error {
+		sr := topk.NewScorerSearcher(sh.tree, fsc, func(cand uint64) bool {
+			return !e.displaceableIn(sh, fid, fsc, cand)
+		})
+		it, s, found, err := sr.NextAtLeast(bound)
+		if err != nil {
+			return err
+		}
+		if found {
+			cands[i] = shardCand{ok: true, id: it.ID, score: s}
+		}
+		return nil
+	})
+	e.searches += int64(len(e.shards))
+	if serr != nil {
+		return 0, 0, false, false, serr
+	}
+	var best shardCand
+	for _, c := range cands {
+		if betterCand(c, best) {
+			best = c
+		}
+	}
+	if best.ok && (!avail.ok || best.score > avail.score || (best.score == avail.score && best.id < avail.id)) {
+		return best.id, best.score, true, true, nil
+	}
+	if avail.ok {
+		return avail.id, avail.score, false, true, nil
+	}
+	return 0, 0, false, false, nil
+}
+
+// displaceableIn reports whether a full object on the given shard would
+// evict its worst assignment in favor of the proposing function
+// (available objects are handled by the frontier path and skipped
+// here). Runs inside the per-shard search fan-out: it reads only the
+// shard's own tables plus immutable engine state.
+func (e *Engine) displaceableIn(sh *core, fid uint64, fsc score.Scorer, oid uint64) bool {
+	if sh.remaining[oid] > 0 {
+		return false
+	}
+	worst := worstOfObj(sh.byObj[oid])
+	s := fsc.Score(sh.objs[oid].Point)
+	return s > worst.score || (s == worst.score && fid < worst.fid)
+}
+
+// fillObject runs vacancy chains for every free unit of an object. The
+// function side is global, so this is a verbatim port of the workspace
+// version — only the object-side capacity bookkeeping routes to the
+// owning shard.
+func (e *Engine) fillObject(oid uint64) error {
+	sidx, live := e.objShard[oid]
+	if !live {
+		return nil // departed while queued
+	}
+	sh := e.shards[sidx]
+	for sh.remaining[oid] > 0 {
+		gid, s, ok, err := e.bestTaker(sh, oid)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil // nobody wants the vacancy: it stays open
+		}
+		if e.funcRemaining[gid] > 0 {
+			e.funcConsume(gid)
+		} else {
+			// The mover abandons its worst unit, cascading the vacancy.
+			left := worstOfFunc(e.byFunc[gid])
+			e.unlink(left)
+			e.shards[e.objShard[left.oid]].restoreUnit(left.oid)
+			e.pushObj(left.oid)
+		}
+		if err := sh.consumeUnit(oid); err != nil {
+			return err
+		}
+		e.link(pair{fid: gid, oid: oid, score: s})
+		e.chainSteps++
+	}
+	return nil
+}
+
+// bestTaker finds the best function that wants a vacant object unit:
+// a function with spare capacity wants it at any score; a fully
+// assigned function wants it only above its current worst assignment.
+// The reverse search runs over the global function R-tree — the
+// function side is not sharded, so this is single-tree exactly as in
+// the workspace.
+func (e *Engine) bestTaker(sh *core, oid uint64) (gid uint64, sc float64, ok bool, err error) {
+	o := sh.objs[oid]
+	bound := math.Inf(1)
+	if e.funcLive > 0 {
+		// Some function has spare capacity and wants anything: no bound.
+		bound = math.Inf(-1)
+	} else {
+		for fid := range e.funcs {
+			if worst := worstOfFunc(e.byFunc[fid]); worst.score < bound {
+				bound = worst.score
+			}
+		}
+	}
+	sr := topk.NewSearcher(e.ftree, o.Point, func(cand uint64) bool {
+		return !e.wants(cand, oid, o.Point)
+	})
+	e.searches++
+	it, s, found, err := sr.NextAtLeast(bound)
+	if err != nil {
+		return 0, 0, false, err
+	}
+	gid = it.ID
+	// Non-linear functions live outside the weight tree; the columnar
+	// blocks score them all with one pass under the same wants filter
+	// and bound, ties to the lower ID exactly as the BRS enumeration.
+	if bid, v, bok := e.nonlin.Best(o.Point, func(fid uint64, v float64) bool {
+		return v >= bound && e.wantsAt(fid, oid, v)
+	}); bok {
+		if !found || v > s || (v == s && bid < gid) {
+			gid, s, found = bid, v, true
+		}
+	}
+	if !found {
+		return 0, 0, false, nil
+	}
+	return gid, s, true, nil
+}
+
+// wants reports whether a function prefers the vacant object over its
+// current worst assignment (or has a free unit).
+func (e *Engine) wants(fid, oid uint64, point geom.Point) bool {
+	if e.funcRemaining[fid] > 0 {
+		return true
+	}
+	return e.wantsAt(fid, oid, e.scorerOf(fid).Score(point))
+}
+
+// wantsAt is wants with the function's score for the object already in
+// hand (spare capacity is re-checked so both entry points agree).
+func (e *Engine) wantsAt(fid, oid uint64, s float64) bool {
+	if e.funcRemaining[fid] > 0 {
+		return true
+	}
+	worst := worstOfFunc(e.byFunc[fid])
+	return s > worst.score || (s == worst.score && oid < worst.oid)
+}

@@ -1,0 +1,395 @@
+package shard
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"fairassign/internal/assign"
+	"fairassign/internal/pagestore"
+	"fairassign/internal/rtree"
+	"fairassign/internal/score"
+	"fairassign/internal/skyline"
+	"fairassign/internal/topk"
+)
+
+// shardPub is one shard's capture at its latest published epoch: a
+// pinned page snapshot plus flat copies of the capture-visible logical
+// state. It is refcounted twice over — once by the shard (which caches
+// it until the shard next changes) and once per globalPub composing it
+// — so a clean shard contributes to any number of global snapshots for
+// the cost of a refcount increment.
+type shardPub struct {
+	refs atomic.Int64
+
+	shard int
+	epoch uint64
+	snap  *pagestore.Snapshot
+	meta  rtree.Meta
+	avail []rtree.Item
+	objs  []assign.Object
+}
+
+func (p *shardPub) retain() { p.refs.Add(1) }
+
+func (p *shardPub) release() {
+	if p.refs.Add(-1) == 0 {
+		p.snap.Release()
+	}
+}
+
+// globalPub is one published sequence point of the sharded engine: the
+// per-shard captures current at one global sequence number, pinned
+// together atomically under the writer lock, plus the global function
+// table and matching. Like the workspace pubState it is shared between
+// the engine (cached until the next commit) and every View.
+type globalPub struct {
+	refs atomic.Int64
+
+	seq   uint64
+	dims  int
+	stats Stats
+
+	shards []*shardPub
+	funcs  []assign.Function
+	pairs  []assign.Pair
+
+	sortOnce sync.Once
+
+	objs     []assign.Object
+	objsOnce sync.Once
+
+	objByID     map[uint64]assign.Object
+	objByIDOnce sync.Once
+}
+
+func (g *globalPub) retain() { g.refs.Add(1) }
+
+func (g *globalPub) tryRetain() bool {
+	for {
+		r := g.refs.Load()
+		if r <= 0 {
+			return false
+		}
+		if g.refs.CompareAndSwap(r, r+1) {
+			return true
+		}
+	}
+}
+
+func (g *globalPub) release() {
+	if g.refs.Add(-1) == 0 {
+		for _, sp := range g.shards {
+			sp.release()
+		}
+	}
+}
+
+func (g *globalPub) sortedPairs() []assign.Pair {
+	g.sortOnce.Do(func() { assign.SortPairs(g.pairs) })
+	return g.pairs
+}
+
+func (g *globalPub) allObjs() []assign.Object {
+	g.objsOnce.Do(func() {
+		n := 0
+		for _, sp := range g.shards {
+			n += len(sp.objs)
+		}
+		objs := make([]assign.Object, 0, n)
+		for _, sp := range g.shards {
+			objs = append(objs, sp.objs...)
+		}
+		sortObjectsByID(objs)
+		g.objs = objs
+	})
+	return g.objs
+}
+
+func (g *globalPub) object(id uint64) (assign.Object, bool) {
+	g.objByIDOnce.Do(func() {
+		idx := make(map[uint64]assign.Object)
+		for _, sp := range g.shards {
+			for _, o := range sp.objs {
+				idx[o.ID] = o
+			}
+		}
+		g.objByID = idx
+	})
+	o, ok := g.objByID[id]
+	return o, ok
+}
+
+func sortObjectsByID(objs []assign.Object) {
+	sort.Slice(objs, func(i, j int) bool { return objs[i].ID < objs[j].ID })
+}
+
+func sortFunctionsByID(funcs []assign.Function) {
+	sort.Slice(funcs, func(i, j int) bool { return funcs[i].ID < funcs[j].ID })
+}
+
+// Snapshot pins the engine's latest published state and returns a
+// snapshot-isolated View over it. Like Workspace.Snapshot it is
+// lock-free when the composed capture is already cached (the common
+// case on a read-heavy engine: only dirty shards force a re-capture,
+// and only the first snapshot after a commit pays it).
+func (e *Engine) Snapshot() (*View, error) {
+	if g := e.pubA.Load(); g != nil && g.tryRetain() {
+		if e.closedA.Load() {
+			g.release()
+			return nil, assign.ErrClosed
+		}
+		return &View{pub: g}, nil
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if err := e.liveLocked(); err != nil {
+		return nil, err
+	}
+	if e.pub == nil {
+		e.pub = e.captureLocked()
+		e.pubA.Store(e.pub)
+	}
+	e.pub.retain()
+	return &View{pub: e.pub}, nil
+}
+
+// captureLocked composes the global capture for the current sequence
+// number: every state-dirty shard is re-captured (pinning its latest
+// epoch and copying its object table), every clean shard's cached
+// capture is retained as-is. This is where sharding pays off on the
+// serving path — after a mutation touching one shard, the next
+// snapshot copies 1/N of the object space instead of all of it.
+func (e *Engine) captureLocked() *globalPub {
+	g := &globalPub{seq: e.seq, dims: e.dims, stats: e.statsLocked()}
+	g.refs.Store(1)
+	g.shards = make([]*shardPub, len(e.shards))
+	for i, sh := range e.shards {
+		if sh.pub == nil || sh.stateDirty {
+			if sh.pub != nil {
+				sh.pub.release()
+			}
+			sh.pub = sh.capture()
+			sh.stateDirty = false
+		}
+		sh.pub.retain()
+		g.shards[i] = sh.pub
+	}
+	if e.funcDirty || e.funcsSnap == nil {
+		snap := make([]assign.Function, 0, len(e.funcs))
+		for _, f := range e.funcs {
+			snap = append(snap, f)
+		}
+		sortFunctionsByID(snap)
+		e.funcsSnap = snap
+		e.funcDirty = false
+	}
+	g.funcs = e.funcsSnap
+	g.pairs = e.pairsLocked()
+	return g
+}
+
+// View is a snapshot-isolated read handle on a sharded engine: one
+// pinned page snapshot per shard, acquired atomically under a single
+// global sequence number, plus the frozen matching and function table.
+// Logical reads answer from the captured state; ranked queries merge
+// the per-shard frozen indexes lazily by score ceiling. A View is safe
+// for concurrent use, stays valid after the engine is closed, and must
+// be Closed to release the pinned epochs.
+type View struct {
+	pub    *globalPub
+	closed atomic.Bool
+}
+
+// Seq returns the global commit sequence number this view pins.
+func (v *View) Seq() uint64 { return v.pub.seq }
+
+// Dims returns the problem dimensionality.
+func (v *View) Dims() int { return v.pub.dims }
+
+// Closed reports whether Close has been called.
+func (v *View) Closed() bool { return v.closed.Load() }
+
+// Close releases the view's pins. Idempotent.
+func (v *View) Close() {
+	if v.closed.CompareAndSwap(false, true) {
+		v.pub.release()
+	}
+}
+
+// Pairs returns the frozen matching in the definitional greedy order.
+// Shared by every caller on this sequence point; treat as immutable.
+func (v *View) Pairs() []assign.Pair {
+	if v.closed.Load() {
+		return nil
+	}
+	return v.pub.sortedPairs()
+}
+
+// Stats returns the engine summary as of the view's sequence point.
+func (v *View) Stats() Stats {
+	if v.closed.Load() {
+		return Stats{}
+	}
+	return v.pub.stats
+}
+
+// Object returns a frozen object by ID.
+func (v *View) Object(id uint64) (assign.Object, bool) {
+	if v.closed.Load() {
+		return assign.Object{}, false
+	}
+	return v.pub.object(id)
+}
+
+// Problem materializes the frozen population as a Problem (entities
+// sorted by ID). Slices are shared with the view; treat as immutable.
+func (v *View) Problem() *assign.Problem {
+	if v.closed.Load() {
+		return nil
+	}
+	return &assign.Problem{Dims: v.pub.dims, Objects: v.pub.allObjs(), Functions: v.pub.funcs}
+}
+
+// VerifyStable checks that the frozen matching is stable for the
+// frozen population — answered entirely from the snapshot.
+func (v *View) VerifyStable() error {
+	if v.closed.Load() {
+		return assign.ErrViewClosed
+	}
+	return assign.IsStable(v.Problem(), v.Pairs())
+}
+
+// ShardTree returns one shard's object index frozen at the view's
+// sequence point.
+func (v *View) ShardTree(i int) *rtree.View {
+	sp := v.pub.shards[i]
+	return rtree.NewView(sp.snap, v.pub.dims, sp.meta)
+}
+
+// AvailableFrontier returns the union of the frozen per-shard
+// availability skylines. Unlike the single workspace's frontier this
+// may contain points dominated across shard boundaries (each shard
+// maintains its own skyline); the set of available objects it covers
+// is identical. Shared and immutable.
+func (v *View) AvailableFrontier() []rtree.Item {
+	if v.closed.Load() {
+		return nil
+	}
+	var out []rtree.Item
+	for _, sp := range v.pub.shards {
+		out = append(out, sp.avail...)
+	}
+	return out
+}
+
+// Skyline computes the global skyline of the frozen object set: BBS
+// over each shard's pinned index, then one BNL pass over the
+// concatenated per-shard skylines (the skyline of a union is the
+// skyline of the unions' skylines).
+func (v *View) Skyline() ([]rtree.Item, error) {
+	if v.closed.Load() {
+		return nil, assign.ErrViewClosed
+	}
+	var all []rtree.Item
+	for i := range v.pub.shards {
+		sky, err := skyline.Compute(v.ShardTree(i), nil)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, sky...)
+	}
+	return skyline.BNL(all), nil
+}
+
+// TopK runs the merged ranked search for a linear preference function.
+func (v *View) TopK(weights []float64, k int) ([]rtree.Item, []float64, error) {
+	return v.TopKScorer(score.LinearScorer(weights), k)
+}
+
+// TopKScorer answers a global top-k query by lazily merging one BRS
+// stream per shard, TA-style: a shard's searcher only advances while
+// its score ceiling (the maxscore bound at the head of its frontier
+// heap) could still beat the best already-buffered candidate, so cold
+// shards stop after their root node and the per-query I/O concentrates
+// on the shards that actually hold results. Emission order — score
+// descending, ties to the lower ID — is identical to a single-tree BRS
+// over the union of the shards.
+func (v *View) TopKScorer(sc score.Scorer, k int) ([]rtree.Item, []float64, error) {
+	if v.closed.Load() {
+		return nil, nil, assign.ErrViewClosed
+	}
+	type stream struct {
+		sr   *topk.Searcher
+		it   rtree.Item
+		s    float64
+		have bool
+		done bool
+	}
+	streams := make([]stream, len(v.pub.shards))
+	for i := range v.pub.shards {
+		streams[i].sr = topk.NewScorerSearcher(v.ShardTree(i), sc, nil)
+	}
+	var items []rtree.Item
+	var scores []float64
+	for len(items) < k {
+		// Best buffered candidate across streams.
+		best := -1
+		for i := range streams {
+			st := &streams[i]
+			if !st.have {
+				continue
+			}
+			if best < 0 || st.s > streams[best].s || (st.s == streams[best].s && st.it.ID < streams[best].it.ID) {
+				best = i
+			}
+		}
+		bestScore := math.Inf(-1)
+		if best >= 0 {
+			bestScore = streams[best].s
+		}
+		// Advance every unbuffered stream whose ceiling could still
+		// matter. >= (not >) keeps equal-score candidates in play so the
+		// cross-shard ID tiebreak sees them all before anything emits.
+		advanced := false
+		for i := range streams {
+			st := &streams[i]
+			if st.have || st.done {
+				continue
+			}
+			if st.sr.Ceiling() >= bestScore {
+				it, s, ok, err := st.sr.Next()
+				if err != nil {
+					return nil, nil, err
+				}
+				if ok {
+					st.it, st.s, st.have = it, s, true
+				} else {
+					st.done = true
+				}
+				advanced = true
+			}
+		}
+		if advanced {
+			continue
+		}
+		if best < 0 {
+			break // every shard drained
+		}
+		items = append(items, streams[best].it)
+		scores = append(scores, streams[best].s)
+		streams[best].have = false
+	}
+	return items, scores, nil
+}
+
+// IOReads reports the page resolutions served by this view's pinned
+// snapshots (reader-side I/O; never charged to the writer).
+func (v *View) IOReads() int64 {
+	var n int64
+	for _, sp := range v.pub.shards {
+		n += sp.snap.Reads()
+	}
+	return n
+}

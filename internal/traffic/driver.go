@@ -19,6 +19,16 @@ const (
 	// ModeBatch routes mutations through the group-commit
 	// MutationQueue, coalescing concurrent arrivals into shared epochs.
 	ModeBatch Mode = "batch"
+	// ModeSharded routes mutations through a ShardedQueue into a
+	// ShardedWorkspace — one group-commit lane per shard, so writes to
+	// different shards commit concurrently. Reads are global
+	// cross-shard snapshots.
+	ModeSharded Mode = "sharded"
+	// ModeClosed is the closed-loop driver: the open-loop schedule is
+	// ignored and a fixed client population issues the next operation
+	// only after the previous one completes, which finds the
+	// saturation throughput instead of charging queueing delay.
+	ModeClosed Mode = "closed"
 )
 
 // ClassStats summarizes the latency distribution of one operation
@@ -52,18 +62,45 @@ type Result struct {
 	// FinalPairs is the matching hash input: the assignment after the
 	// full trace, used to assert mode-independence.
 	FinalPairs int `json:"final_pairs"`
+
+	// Shards is the shard count of a sharded run (0 otherwise), and
+	// PerShard the per-shard mutation latency breakdown, indexed by
+	// shard. Function mutations are global (they touch every shard's
+	// frontier), so they appear in the global mutation class only.
+	Shards   int          `json:"shards,omitempty"`
+	PerShard []ClassStats `json:"per_shard,omitempty"`
+	// Clients is the closed-loop client population (0 for open loop).
+	// In closed loop, latencies are pure service times and
+	// AchievedRate IS the saturation throughput at this concurrency.
+	Clients int `json:"clients,omitempty"`
 }
 
-// recorder accumulates per-class latencies thread-safely.
+// recorder accumulates per-class latencies thread-safely, plus the
+// per-shard mutation breakdown on sharded runs.
 type recorder struct {
-	mu   sync.Mutex
-	lat  [3][]time.Duration
-	errs int
+	mu    sync.Mutex
+	lat   [3][]time.Duration
+	shard map[int][]time.Duration
+	errs  int
 }
 
 func (r *recorder) record(c OpClass, d time.Duration) {
 	r.mu.Lock()
 	r.lat[c] = append(r.lat[c], d)
+	r.mu.Unlock()
+}
+
+// recordShard records a mutation latency under both the global class
+// and its routing key (ignored for key < 0: global function ops).
+func (r *recorder) recordShard(sh int, d time.Duration) {
+	r.mu.Lock()
+	r.lat[ClassMutation] = append(r.lat[ClassMutation], d)
+	if sh >= 0 {
+		if r.shard == nil {
+			r.shard = make(map[int][]time.Duration)
+		}
+		r.shard[sh] = append(r.shard[sh], d)
+	}
 	r.mu.Unlock()
 }
 

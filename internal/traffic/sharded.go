@@ -1,0 +1,306 @@
+package traffic
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"fairassign"
+)
+
+// RunSharded drives an open-loop sharded trace (Spec.Shards > 1)
+// against a ShardedWorkspace through a ShardedQueue — one group-commit
+// lane per shard, so mutations tagged with different routing keys
+// commit concurrently. Reads acquire global cross-shard snapshots. The
+// report carries per-shard mutation percentiles alongside the global
+// classes, and the final matching is returned for cross-mode identity
+// checks (sharding is matching-invariant, so it must equal the
+// sequential run's as a multiset).
+func RunSharded(tr *Trace, maxBatch int) (*Result, []fairassign.Pair, error) {
+	shards := tr.Spec.Shards
+	if shards < 2 {
+		return nil, nil, fmt.Errorf("traffic: sharded run needs Spec.Shards > 1, got %d", shards)
+	}
+	sw, err := fairassign.NewShardedWorkspace(tr.Objects, tr.Functions, fairassign.ShardedOptions{Shards: shards})
+	if err != nil {
+		return nil, nil, fmt.Errorf("traffic: build sharded workspace: %w", err)
+	}
+	defer sw.Close()
+	queue := fairassign.NewShardedQueue(sw, maxBatch)
+
+	rec := &recorder{}
+	var readers sync.WaitGroup
+
+	start := time.Now()
+	for i := range tr.Ops {
+		op := &tr.Ops[i]
+		sched := start.Add(op.At)
+		if d := time.Until(sched); d > 0 {
+			time.Sleep(d)
+		}
+		switch op.Class {
+		case ClassMutation:
+			ch := queue.Enqueue(op.Mut)
+			readers.Add(1)
+			go func() {
+				defer readers.Done()
+				if err := <-ch; err != nil {
+					rec.fail()
+				}
+				rec.recordShard(op.Shard, time.Since(sched))
+			}()
+		case ClassSnapshot:
+			readers.Add(1)
+			go func() {
+				defer readers.Done()
+				v, err := sw.Snapshot()
+				rec.record(ClassSnapshot, time.Since(sched))
+				if err != nil {
+					rec.fail()
+					return
+				}
+				v.Close()
+			}()
+		default: // ClassQuery
+			readers.Add(1)
+			go func() {
+				defer readers.Done()
+				v, err := sw.Snapshot()
+				if err != nil {
+					rec.fail()
+					return
+				}
+				defer v.Close()
+				if _, err := v.TopK(op.Query, op.K); err != nil {
+					rec.fail()
+					return
+				}
+				rec.record(ClassQuery, time.Since(sched))
+			}()
+		}
+	}
+	readers.Wait()
+	queue.Close()
+	wall := time.Since(start)
+
+	st := sw.Stats()
+	pairs := sw.Assignment()
+	res := &Result{
+		Mode:           ModeSharded,
+		WallNS:         int64(wall),
+		Ops:            len(tr.Ops),
+		AchievedRate:   float64(len(tr.Ops)) / wall.Seconds(),
+		Mutations:      st.Mutations,
+		Commits:        st.Commits,
+		MutationErrors: rec.errs,
+		Classes: map[string]ClassStats{
+			ClassMutation.String(): summarize(rec.lat[ClassMutation]),
+			ClassSnapshot.String(): summarize(rec.lat[ClassSnapshot]),
+			ClassQuery.String():    summarize(rec.lat[ClassQuery]),
+		},
+		FinalPairs: len(pairs),
+		Shards:     shards,
+		PerShard:   perShardStats(rec, shards),
+	}
+	return res, pairs, nil
+}
+
+func perShardStats(rec *recorder, shards int) []ClassStats {
+	out := make([]ClassStats, shards)
+	for s := 0; s < shards; s++ {
+		out[s] = summarize(rec.shard[s])
+	}
+	return out
+}
+
+// RunClosed drives the trace closed-loop: the arrival schedule is
+// ignored, and a fixed client population issues each next operation
+// only after the previous one completes. Latencies are therefore pure
+// service times, and AchievedRate is the saturation throughput at this
+// concurrency — sweeping the client count locates the knee where
+// throughput stops scaling.
+//
+// Mutations keep their required ordering by draining in per-lane FIFO:
+// one writer client per mutation lane. Unsharded traces have a single
+// lane; sharded traces (Spec.Shards > 1) have one lane per shard plus
+// a global lane for function mutations — lanes touch disjoint
+// entities, so any interleaving of in-order lanes is valid and the
+// final matching is score-identical regardless of schedule. The
+// remaining `clients` clients drain the read operations.
+func RunClosed(tr *Trace, clients, maxBatch int) (*Result, []fairassign.Pair, error) {
+	if clients < 1 {
+		clients = 1
+	}
+	shards := tr.Spec.Shards
+
+	// Backend: sharded tier when the trace is sharded, else the single
+	// workspace behind its group-commit queue.
+	var (
+		enqueue    func(m fairassign.Mutation) <-chan error
+		query      func(op *Op) error
+		acquire    func() error
+		finish     func() (int64, int64, []fairassign.Pair)
+		closeAll   func()
+		laneOf     func(op *Op) int
+		writeLanes int
+	)
+	if shards > 1 {
+		sw, err := fairassign.NewShardedWorkspace(tr.Objects, tr.Functions, fairassign.ShardedOptions{Shards: shards})
+		if err != nil {
+			return nil, nil, fmt.Errorf("traffic: build sharded workspace: %w", err)
+		}
+		queue := fairassign.NewShardedQueue(sw, maxBatch)
+		enqueue = queue.Enqueue
+		query = func(op *Op) error {
+			v, err := sw.Snapshot()
+			if err != nil {
+				return err
+			}
+			defer v.Close()
+			_, err = v.TopK(op.Query, op.K)
+			return err
+		}
+		acquire = func() error {
+			v, err := sw.Snapshot()
+			if err != nil {
+				return err
+			}
+			v.Close()
+			return nil
+		}
+		finish = func() (int64, int64, []fairassign.Pair) {
+			st := sw.Stats()
+			return st.Mutations, st.Commits, sw.Assignment()
+		}
+		closeAll = func() { queue.Close(); sw.Close() }
+		// Lane = routing key; global function mutations get the extra
+		// last lane (mirrors ShardedQueue's internal routing).
+		writeLanes = shards + 1
+		laneOf = func(op *Op) int {
+			if op.Shard < 0 {
+				return shards
+			}
+			return op.Shard
+		}
+	} else {
+		ws, err := fairassign.NewWorkspace(tr.Objects, tr.Functions, fairassign.Options{})
+		if err != nil {
+			return nil, nil, fmt.Errorf("traffic: build workspace: %w", err)
+		}
+		queue := fairassign.NewMutationQueue(ws, maxBatch)
+		enqueue = queue.Enqueue
+		query = func(op *Op) error {
+			v, err := ws.Snapshot()
+			if err != nil {
+				return err
+			}
+			defer v.Close()
+			_, err = v.TopK(op.Query, op.K)
+			return err
+		}
+		acquire = func() error {
+			v, err := ws.Snapshot()
+			if err != nil {
+				return err
+			}
+			v.Close()
+			return nil
+		}
+		finish = func() (int64, int64, []fairassign.Pair) {
+			st := ws.Stats()
+			return st.Mutations, st.Commits, ws.Assignment()
+		}
+		closeAll = func() { queue.Close(); ws.Close() }
+		writeLanes = 1
+		laneOf = func(*Op) int { return 0 }
+	}
+
+	// Split the trace: per-lane mutation streams (order within a lane
+	// preserved) and the read stream.
+	lanes := make([][]*Op, writeLanes)
+	var reads []*Op
+	for i := range tr.Ops {
+		op := &tr.Ops[i]
+		if op.Class == ClassMutation {
+			l := laneOf(op)
+			lanes[l] = append(lanes[l], op)
+		} else {
+			reads = append(reads, op)
+		}
+	}
+
+	rec := &recorder{}
+	var wg sync.WaitGroup
+	start := time.Now()
+
+	// One closed-loop writer client per lane.
+	for _, lane := range lanes {
+		if len(lane) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(lane []*Op) {
+			defer wg.Done()
+			for _, op := range lane {
+				t0 := time.Now()
+				if err := <-enqueue(op.Mut); err != nil {
+					rec.fail()
+				}
+				rec.recordShard(op.Shard, time.Since(t0))
+			}
+		}(lane)
+	}
+
+	// The read clients share one work queue.
+	readCh := make(chan *Op)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for op := range readCh {
+				t0 := time.Now()
+				var err error
+				if op.Class == ClassSnapshot {
+					err = acquire()
+				} else {
+					err = query(op)
+				}
+				if err != nil {
+					rec.fail()
+					continue
+				}
+				rec.record(op.Class, time.Since(t0))
+			}
+		}()
+	}
+	for _, op := range reads {
+		readCh <- op
+	}
+	close(readCh)
+	wg.Wait()
+	wall := time.Since(start)
+
+	mutations, commits, pairs := finish()
+	closeAll()
+	res := &Result{
+		Mode:           ModeClosed,
+		WallNS:         int64(wall),
+		Ops:            len(tr.Ops),
+		AchievedRate:   float64(len(tr.Ops)) / wall.Seconds(),
+		Mutations:      mutations,
+		Commits:        commits,
+		MutationErrors: rec.errs,
+		Classes: map[string]ClassStats{
+			ClassMutation.String(): summarize(rec.lat[ClassMutation]),
+			ClassSnapshot.String(): summarize(rec.lat[ClassSnapshot]),
+			ClassQuery.String():    summarize(rec.lat[ClassQuery]),
+		},
+		FinalPairs: len(pairs),
+		Clients:    clients,
+	}
+	if shards > 1 {
+		res.Shards = shards
+		res.PerShard = perShardStats(rec, shards)
+	}
+	return res, pairs, nil
+}

@@ -151,6 +151,15 @@ type queued struct {
 	errc chan error
 }
 
+// Applier is the commit target of a MutationQueue: anything that lands
+// a batch of mutations as one group commit with Workspace.Apply's
+// atomicity contract. Both *Workspace and *ShardedWorkspace satisfy it,
+// so the same queue front end serves the single-writer and the sharded
+// tiers.
+type Applier interface {
+	Apply(muts []Mutation) error
+}
+
 // MutationQueue is an asynchronous group-commit front end for a
 // Workspace writer. Producers Enqueue mutations from any goroutine; a
 // single pump goroutine drains whatever has accumulated — up to
@@ -166,7 +175,7 @@ type queued struct {
 // workspace poisons (ErrWorkspaceCorrupt), every in-flight and
 // subsequent mutation fails with that error.
 type MutationQueue struct {
-	ws        *Workspace
+	ws        Applier
 	maxBatch  int
 	retries   int
 	backoff   time.Duration
@@ -207,13 +216,13 @@ type QueueOptions struct {
 // caps the number of mutations coalesced into one commit (<= 0 means
 // DefaultMaxBatch). The queue does not own the workspace: Close stops
 // the pump but leaves the workspace open.
-func NewMutationQueue(ws *Workspace, maxBatch int) *MutationQueue {
+func NewMutationQueue(ws Applier, maxBatch int) *MutationQueue {
 	return NewMutationQueueOpts(ws, QueueOptions{MaxBatch: maxBatch})
 }
 
 // NewMutationQueueOpts starts the pump with explicit retry and backoff
 // policy; see QueueOptions.
-func NewMutationQueueOpts(ws *Workspace, qo QueueOptions) *MutationQueue {
+func NewMutationQueueOpts(ws Applier, qo QueueOptions) *MutationQueue {
 	mq := newMutationQueue(ws, qo)
 	go mq.pump()
 	return mq
@@ -221,7 +230,7 @@ func NewMutationQueueOpts(ws *Workspace, qo QueueOptions) *MutationQueue {
 
 // newMutationQueue builds the queue without starting the pump; tests
 // use it to pre-load the channel and observe deterministic coalescing.
-func newMutationQueue(ws *Workspace, qo QueueOptions) *MutationQueue {
+func newMutationQueue(ws Applier, qo QueueOptions) *MutationQueue {
 	if qo.MaxBatch <= 0 {
 		qo.MaxBatch = DefaultMaxBatch
 	}
